@@ -1,0 +1,47 @@
+//! Criterion: Table I login flows (simulated latencies are data; this
+//! bench measures the host cost of the full integrated unlock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use btd_fingerprint::quality::QualityGate;
+use btd_flock::fp_processor::FingerprintProcessor;
+use btd_flock::module::FlockConfig;
+use btd_flock::pipeline::AuthPipeline;
+use btd_flock::risk::RiskConfig;
+use btd_flock::unlock::{unlock_with_flock, LoginApproach};
+use btd_sensor::capture::CapturePipeline;
+use btd_sensor::readout::ReadoutConfig;
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+
+fn bench_login(c: &mut Criterion) {
+    let mut group = c.benchmark_group("login");
+    let mut rng = SimRng::seed_from(1);
+
+    group.bench_function("approach_sampling", |b| {
+        b.iter(|| {
+            black_box(LoginApproach::Password { length: 8 }.sample(&mut rng));
+            black_box(LoginApproach::SeparateSensor.sample(&mut rng));
+            black_box(LoginApproach::IntegratedSensor.sample(&mut rng));
+        })
+    });
+
+    let mut processor = FingerprintProcessor::new();
+    processor.enroll_user(7, 3, &mut rng);
+    let mut pipeline = AuthPipeline::new(
+        CapturePipeline::new(FlockConfig::default_sensors(), ReadoutConfig::default()),
+        QualityGate::default(),
+        processor,
+        RiskConfig::default(),
+        SimDuration::from_millis(4),
+    );
+    group.sample_size(30);
+    group.bench_function("integrated_unlock_end_to_end", |b| {
+        b.iter(|| black_box(unlock_with_flock(&mut pipeline, 7, 0, 5, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_login);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion: the Figure 6 continuous-auth pipeline, per-touch host cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use btd_fingerprint::quality::QualityGate;
+use btd_flock::fp_processor::FingerprintProcessor;
+use btd_flock::module::FlockConfig;
+use btd_flock::pipeline::AuthPipeline;
+use btd_flock::risk::RiskConfig;
+use btd_sensor::capture::CapturePipeline;
+use btd_sensor::readout::ReadoutConfig;
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use btd_workload::profile::UserProfile;
+use btd_workload::session::SessionGenerator;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    let mut rng = SimRng::seed_from(1);
+    let mut processor = FingerprintProcessor::new();
+    processor.enroll_user(0, 3, &mut rng);
+    let mut pipeline = AuthPipeline::new(
+        CapturePipeline::new(FlockConfig::default_sensors(), ReadoutConfig::default()),
+        QualityGate::default(),
+        processor,
+        RiskConfig::default(),
+        SimDuration::from_millis(4),
+    );
+    let mut gen = SessionGenerator::new(UserProfile::builtin(0), &mut rng);
+    // Pre-generate touches so the bench measures the pipeline, not the
+    // workload generator.
+    let touches: Vec<_> = (0..1_000).map(|_| gen.next_touch(&mut rng)).collect();
+    let mut i = 0usize;
+    group.bench_function("process_touch_owner", |b| {
+        b.iter(|| {
+            let t = &touches[i % touches.len()];
+            i += 1;
+            black_box(pipeline.process_touch(t, &mut rng))
+        })
+    });
+
+    // On-sensor touch only (worst case: always captures + matches).
+    let on_sensor: Vec<_> = touches
+        .iter()
+        .filter(|t| pipeline.capture_pipeline().sensor_covering(t.pos).is_some())
+        .cloned()
+        .collect();
+    if !on_sensor.is_empty() {
+        let mut j = 0usize;
+        group.bench_function("process_touch_on_sensor", |b| {
+            b.iter(|| {
+                let t = &on_sensor[j % on_sensor.len()];
+                j += 1;
+                black_box(pipeline.process_touch(t, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion: placement optimization cost (greedy and coverage eval).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use btd_placement::greedy::greedy;
+use btd_placement::problem::PlacementProblem;
+use btd_sim::geom::MmSize;
+use btd_sim::rng::SimRng;
+use btd_workload::heatmap::Heatmap;
+use btd_workload::profile::UserProfile;
+use btd_workload::session::SessionGenerator;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    let mut rng = SimRng::seed_from(1);
+    let profile = UserProfile::builtin(0);
+    let panel = profile.panel_size();
+    let mut gen = SessionGenerator::new(profile, &mut rng);
+    let samples = gen.generate(4_000, &mut rng);
+    let heatmap = Heatmap::from_samples(panel, 4.0, &samples);
+    let problem = PlacementProblem::new(panel, MmSize::new(8.0, 8.0), heatmap);
+
+    let placement = greedy(&problem, 4, 2.0);
+    group.bench_function("coverage_eval_4_sensors", |b| {
+        b.iter(|| black_box(problem.coverage(black_box(&placement))))
+    });
+    group.bench_function("greedy_k4_step4", |b| {
+        b.iter(|| black_box(greedy(&problem, 4, 4.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: the Figure 9/10 protocol flows end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use btd_sim::rng::SimRng;
+use trust_core::scenario::World;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(10);
+
+    group.bench_function("fig9_registration", |b| {
+        let mut rng = SimRng::seed_from(1);
+        let mut world = World::new(&mut rng);
+        world.add_server("www.xyz.com", &mut rng);
+        let d = world.add_device("phone", 42, &mut rng);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(
+                world
+                    .register(d, "www.xyz.com", &format!("user-{i}"), &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("fig10_login", |b| {
+        let mut rng = SimRng::seed_from(2);
+        let mut world = World::new(&mut rng);
+        world.add_server("www.xyz.com", &mut rng);
+        let d = world.add_device("phone", 42, &mut rng);
+        world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+        b.iter(|| black_box(world.login(d, "www.xyz.com", &mut rng).unwrap()))
+    });
+
+    group.bench_function("fig10_interaction", |b| {
+        let mut rng = SimRng::seed_from(3);
+        let mut world = World::new(&mut rng);
+        world.add_server("www.xyz.com", &mut rng);
+        let d = world.add_device("phone", 42, &mut rng);
+        world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+        world.login(d, "www.xyz.com", &mut rng).unwrap();
+        b.iter(|| black_box(world.run_session(d, "www.xyz.com", 1, &mut rng).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

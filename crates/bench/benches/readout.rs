@@ -1,0 +1,43 @@
+//! Criterion: Figure 4 readout ablation — simulated capture latency per
+//! design point (reported as the *model's simulated time*, benchmarked for
+//! evaluation cost; the simulated times themselves appear in fig4_readout).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use btd_sensor::readout::{CellWindow, ColumnTransfer, ReadoutConfig, RowAddressing};
+use btd_sensor::spec::SensorSpec;
+
+fn bench_readout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readout");
+    let spec = SensorSpec::flock_patch();
+    let window = CellWindow::clamped(&spec, 40, 120, 40, 120);
+    let designs = [
+        (
+            "serial_full",
+            ReadoutConfig {
+                row_addressing: RowAddressing::Serial,
+                column_transfer: ColumnTransfer::Full,
+                transfer_lanes: 1,
+            },
+        ),
+        (
+            "parallel_full",
+            ReadoutConfig {
+                row_addressing: RowAddressing::Parallel,
+                column_transfer: ColumnTransfer::Full,
+                transfer_lanes: 1,
+            },
+        ),
+        ("parallel_selective_4lane", ReadoutConfig::default()),
+    ];
+    for (name, cfg) in designs {
+        group.bench_with_input(BenchmarkId::new("cycles", name), &cfg, |b, cfg| {
+            b.iter(|| black_box(cfg.capture_cycles(&spec, &window)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_readout);
+criterion_main!(benches);

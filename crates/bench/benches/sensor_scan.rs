@@ -1,0 +1,39 @@
+//! Criterion: Table II sensor scan-time model and binary image capture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use btd_fingerprint::pattern::FingerPattern;
+use btd_sensor::array::PlacedSensor;
+use btd_sensor::readout::ReadoutConfig;
+use btd_sensor::spec::SensorSpec;
+use btd_sim::geom::MmPoint;
+
+fn bench_sensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensor_scan");
+
+    // Timing-model evaluation cost for each Table II sensor (the model is
+    // what every simulated capture pays).
+    let baseline = ReadoutConfig::table_ii_baseline();
+    for spec in SensorSpec::table_ii() {
+        group.bench_with_input(
+            BenchmarkId::new("capture_time_model", spec.name),
+            &spec,
+            |b, spec| b.iter(|| black_box(baseline.capture_time(spec, &spec.full_window()))),
+        );
+    }
+
+    // Actual pixel sampling: binary capture of an 8x8 mm patch.
+    let sensor = PlacedSensor::new(SensorSpec::flock_patch(), MmPoint::new(10.0, 20.0));
+    let finger = FingerPattern::generate(1, 0);
+    let center = MmPoint::new(14.0, 24.0);
+    let window = sensor.window_around(center, 4.0).unwrap();
+    group.sample_size(20);
+    group.bench_function("capture_binary_160x160", |b| {
+        b.iter(|| black_box(sensor.capture_binary(&finger, center, &window)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensor);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 4 — parallel row addressing and selective column transfer.
+//!
+//! Sweeps capture-window sizes across the four readout design points and
+//! reports capture latency, quantifying "using parallel addressing and
+//! selected data transfer, the fingerprint capture speed can be greatly
+//! improved".
+//!
+//! ```sh
+//! cargo run -p btd-bench --bin fig4_readout
+//! ```
+
+use btd_bench::report::{banner, Table};
+use btd_sensor::readout::{CellWindow, ColumnTransfer, ReadoutConfig, RowAddressing};
+use btd_sensor::spec::SensorSpec;
+
+fn main() {
+    banner("Figure 4: readout architecture ablation (FLock 160x160 patch @ 2 MHz)");
+    let spec = SensorSpec::flock_patch();
+
+    let designs = [
+        (
+            "serial + full transfer (naive)",
+            ReadoutConfig {
+                row_addressing: RowAddressing::Serial,
+                column_transfer: ColumnTransfer::Full,
+                transfer_lanes: 1,
+            },
+        ),
+        (
+            "parallel + full transfer",
+            ReadoutConfig {
+                row_addressing: RowAddressing::Parallel,
+                column_transfer: ColumnTransfer::Full,
+                transfer_lanes: 1,
+            },
+        ),
+        (
+            "parallel + selective transfer",
+            ReadoutConfig {
+                row_addressing: RowAddressing::Parallel,
+                column_transfer: ColumnTransfer::Selective,
+                transfer_lanes: 1,
+            },
+        ),
+        (
+            "paper design (+4-lane mux)",
+            ReadoutConfig {
+                row_addressing: RowAddressing::Parallel,
+                column_transfer: ColumnTransfer::Selective,
+                transfer_lanes: 4,
+            },
+        ),
+    ];
+
+    let windows = [
+        (
+            "2x2 mm (40x40 cells)",
+            CellWindow::clamped(&spec, 60, 100, 60, 100),
+        ),
+        (
+            "4x4 mm (80x80 cells)",
+            CellWindow::clamped(&spec, 40, 120, 40, 120),
+        ),
+        (
+            "6x6 mm (120x120)",
+            CellWindow::clamped(&spec, 20, 140, 20, 140),
+        ),
+        ("full array (160x160)", spec.full_window()),
+    ];
+
+    let mut header = vec!["design".to_owned()];
+    header.extend(windows.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(header);
+    let naive = designs[0].1;
+    for (name, cfg) in &designs {
+        let mut row = vec![name.to_string()];
+        for (_, w) in &windows {
+            let t = cfg.capture_time(&spec, w);
+            let speedup = naive.capture_time(&spec, w) / t;
+            row.push(format!("{t} ({speedup:.1}x)"));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!("(speedups relative to the naive serial/full design per window)");
+}

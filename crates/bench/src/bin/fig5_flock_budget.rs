@@ -1,0 +1,93 @@
+//! Figure 5 — the FLock module: per-block latency/energy budget under a
+//! realistic browsing session.
+//!
+//! ```sh
+//! cargo run -p btd-bench --bin fig5_flock_budget
+//! ```
+
+use btd_bench::report::{banner, Table};
+use btd_flock::framehash::DisplayFrame;
+use btd_flock::module::{FlockConfig, FlockModule};
+use btd_flock::risk::RiskAction;
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use btd_workload::profile::UserProfile;
+use btd_workload::session::SessionGenerator;
+
+fn main() {
+    banner("Figure 5: FLock module budget over a 500-touch browsing session");
+    let mut rng = SimRng::seed_from(5);
+    let mut flock = FlockModule::new("budget-phone", FlockConfig::fast_test(), &mut rng);
+    flock.enroll_owner(0, 3, &mut rng);
+
+    // Crypto traffic comparable to a browsing session: one login-grade
+    // burst plus a MAC per interaction.
+    let crypto_before = flock.crypto().busy_time();
+
+    let mut touch_latency = SimDuration::ZERO;
+    let mut frame_time = SimDuration::ZERO;
+    let mut gen = SessionGenerator::new(UserProfile::builtin(1), &mut rng);
+    let frames = 500u64;
+    for i in 0..frames {
+        // One displayed frame per interaction (40 kB page render).
+        let frame = DisplayFrame::new(vec![(i % 251) as u8; 40_000], 480, 800);
+        let (_, t) = flock.relay_frame(&frame);
+        frame_time += t;
+
+        let mut touch = gen.next_touch(&mut rng);
+        touch.user_id = 0;
+        let processed = flock.process_touch(&touch, &mut rng);
+        touch_latency += processed.latency;
+        if processed.action == RiskAction::Reauthenticate {
+            flock.auth_mut().risk_mut().reset_window();
+        }
+
+        // Each interaction carries a session MAC.
+        let _ = flock.crypto_mut().mac(b"session-key", b"interaction body");
+    }
+    let crypto_time = flock.crypto().busy_time() - crypto_before;
+
+    let stats = flock.auth().stats();
+    let energy = flock.auth().energy().total();
+    let (flash_used, flash_cap) = flock.storage_usage();
+
+    let mut table = Table::new(["block", "busy time / usage", "notes"]);
+    table.row([
+        "touchscreen + fp controller + matcher".to_owned(),
+        touch_latency.to_string(),
+        format!(
+            "{} touches, {} captures, {} verified",
+            stats.touches,
+            stats.touches - stats.outside,
+            stats.verified
+        ),
+    ]);
+    table.row([
+        "display repeater + frame hash engine".to_owned(),
+        frame_time.to_string(),
+        format!("{frames} frames x 40 kB"),
+    ]);
+    table.row([
+        "crypto processor".to_owned(),
+        crypto_time.to_string(),
+        format!("{frames} MACs"),
+    ]);
+    table.row([
+        "sensor energy".to_owned(),
+        energy.to_string(),
+        "opportunistic activation only".to_owned(),
+    ]);
+    table.row([
+        "protected flash".to_owned(),
+        format!("{flash_used} / {flash_cap} B"),
+        format!("{} finger templates", flock.enrolled_finger_count()),
+    ]);
+    table.print();
+
+    let session_span = SimDuration::from_secs(550); // ~1.1 s mean gap
+    println!(
+        "\nutilization over a ~{session_span} session: biometric path {:.3}%, display path {:.3}%",
+        100.0 * (touch_latency / session_span),
+        100.0 * (frame_time / session_span),
+    );
+}

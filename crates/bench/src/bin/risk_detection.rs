@@ -1,0 +1,126 @@
+//! Impostor detection latency vs the (k, n) window policy (paper §IV-A).
+//!
+//! Sweeps the risk configuration and measures, over many takeover traces,
+//! how many impostor touches pass before detection (re-auth demand or
+//! lockout) — against both the naive impostor and the low-quality-evasion
+//! impostor — plus the owner's false-alarm rate under the same policy.
+//!
+//! ```sh
+//! cargo run -p btd-bench --bin risk_detection
+//! ```
+
+use btd_bench::report::{banner, Table};
+use btd_flock::module::{FlockConfig, FlockModule};
+use btd_flock::risk::{RiskAction, RiskConfig};
+use btd_sim::rng::SimRng;
+use btd_workload::impostor::{ImpostorStrategy, TakeoverScenario};
+use btd_workload::profile::UserProfile;
+
+const TRACES: u64 = 30;
+
+/// Mean impostor touches until first escalation; `None` entries (never
+/// detected) count as the trace length.
+fn detection_latency(config: RiskConfig, strategy: ImpostorStrategy, seed: u64) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut undetected = 0.0;
+    for t in 0..TRACES {
+        let mut rng = SimRng::seed_from(seed + t);
+        let mut flock_config = FlockConfig::fast_test();
+        flock_config.risk = config;
+        let mut flock = FlockModule::new("risk", flock_config, &mut rng);
+        flock.enroll_owner(0, 3, &mut rng);
+        let scenario = TakeoverScenario {
+            owner: UserProfile::builtin(0),
+            impostor: UserProfile::builtin(((t % 2) + 1) as usize),
+            owner_touches: 40,
+            impostor_touches: 80,
+            strategy,
+        };
+        let trace = scenario.generate(&mut rng);
+        let mut detected = None;
+        for (i, touch) in trace.touches.iter().enumerate() {
+            let out = flock.process_touch(touch, &mut rng);
+            if i < trace.takeover_index {
+                if out.action == RiskAction::Reauthenticate {
+                    flock.auth_mut().risk_mut().reset_window();
+                }
+            } else if out.action != RiskAction::Continue {
+                detected = Some((i - trace.takeover_index + 1) as f64);
+                break;
+            }
+        }
+        match detected {
+            Some(n) => total += n,
+            None => {
+                total += 80.0;
+                undetected += 1.0;
+            }
+        }
+    }
+    (total / TRACES as f64, undetected / TRACES as f64)
+}
+
+/// Owner false-alarm rate: re-auth prompts per 100 touches.
+fn owner_false_alarms(config: RiskConfig, seed: u64) -> f64 {
+    let mut prompts = 0u64;
+    let touches = 400;
+    let mut rng = SimRng::seed_from(seed);
+    let mut flock_config = FlockConfig::fast_test();
+    flock_config.risk = config;
+    let mut flock = FlockModule::new("owner", flock_config, &mut rng);
+    flock.enroll_owner(0, 3, &mut rng);
+    let mut gen = btd_workload::session::SessionGenerator::new(UserProfile::builtin(0), &mut rng);
+    for _ in 0..touches {
+        let touch = gen.next_touch(&mut rng);
+        let out = flock.process_touch(&touch, &mut rng);
+        if out.action != RiskAction::Continue {
+            prompts += 1;
+            flock.auth_mut().risk_mut().reset_window();
+        }
+    }
+    100.0 * prompts as f64 / touches as f64
+}
+
+fn main() {
+    banner("impostor detection latency vs (k-of-n, max-mismatch) policy");
+    let mut table = Table::new([
+        "policy (n, k, max-mm)",
+        "naive: mean touches",
+        "naive: undetected",
+        "evasive: mean touches",
+        "evasive: undetected",
+        "owner prompts /100 touches",
+    ]);
+    for (window, min_verified, max_mismatches) in [
+        (8, 1, 2),
+        (12, 1, 3),
+        (12, 2, 3),
+        (16, 1, 3),
+        (20, 1, 4),
+        (20, 3, 4),
+    ] {
+        let config = RiskConfig {
+            window,
+            min_verified,
+            max_mismatches,
+        };
+        let (naive_mean, naive_miss) = detection_latency(config, ImpostorStrategy::Naive, 100);
+        let (evasive_mean, evasive_miss) =
+            detection_latency(config, ImpostorStrategy::LowQualityEvasion, 500);
+        let false_alarms = owner_false_alarms(config, 900);
+        table.row([
+            format!("({window}, {min_verified}, {max_mismatches})"),
+            format!("{naive_mean:.1}"),
+            format!("{:.0}%", 100.0 * naive_miss),
+            format!("{evasive_mean:.1}"),
+            format!("{:.0}%", 100.0 * evasive_miss),
+            format!("{false_alarms:.1}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nshape check: smaller windows / larger k detect faster but prompt the owner \
+         more — the usability/security trade-off the paper's window rule navigates. \
+         The evasive impostor is caught by the k-of-n floor in ~n touches regardless."
+    );
+}

@@ -1,0 +1,86 @@
+//! Identity-risk trajectory through a device takeover.
+//!
+//! The series behind Figure 6's narrative: the owner's risk stays low as
+//! touches keep verifying; at the takeover point the impostor's touches
+//! stop verifying and risk climbs until the system escalates. Printed as
+//! a per-touch series (touch index, risk score, verified-in-window,
+//! mismatched-in-window, action).
+//!
+//! ```sh
+//! cargo run -p btd-bench --bin risk_trajectory
+//! ```
+
+use btd_bench::report::{banner, Table};
+use btd_flock::module::{FlockConfig, FlockModule};
+use btd_flock::risk::RiskAction;
+use btd_sim::rng::SimRng;
+use btd_workload::impostor::{ImpostorStrategy, TakeoverScenario};
+use btd_workload::profile::UserProfile;
+
+fn main() {
+    banner("identity-risk trajectory: owner -> takeover -> escalation");
+    let mut rng = SimRng::seed_from(17);
+    let mut flock = FlockModule::new("trajectory", FlockConfig::fast_test(), &mut rng);
+    flock.enroll_owner(0, 3, &mut rng);
+
+    let scenario = TakeoverScenario {
+        owner: UserProfile::builtin(0),
+        impostor: UserProfile::builtin(2),
+        owner_touches: 40,
+        impostor_touches: 40,
+        strategy: ImpostorStrategy::Naive,
+    };
+    let trace = scenario.generate(&mut rng);
+
+    let mut table = Table::new([
+        "touch",
+        "holder",
+        "risk",
+        "verified/window",
+        "mismatch/window",
+        "action",
+    ]);
+    let mut escalated_at = None;
+    for (i, touch) in trace.touches.iter().enumerate() {
+        let out = flock.process_touch(touch, &mut rng);
+        let risk = flock.auth().risk();
+        let holder = if i < trace.takeover_index {
+            "owner"
+        } else {
+            "IMPOSTOR"
+        };
+        // Print every 4th owner touch and every impostor touch.
+        if i % 4 == 0 || i >= trace.takeover_index {
+            table.row([
+                i.to_string(),
+                holder.to_owned(),
+                format!("{:.2}", risk.risk_score()),
+                risk.verified_in_window().to_string(),
+                risk.mismatched_in_window().to_string(),
+                format!("{:?}", out.action),
+            ]);
+        }
+        if i < trace.takeover_index {
+            if out.action == RiskAction::Reauthenticate {
+                // Owner passes the explicit verify.
+                flock.auth_mut().risk_mut().reset_window();
+            }
+        } else if out.action != RiskAction::Continue && escalated_at.is_none() {
+            escalated_at = Some(i - trace.takeover_index + 1);
+            table.row([
+                i.to_string(),
+                "IMPOSTOR".to_owned(),
+                format!("{:.2}", risk.risk_score()),
+                risk.verified_in_window().to_string(),
+                risk.mismatched_in_window().to_string(),
+                "*** ESCALATED ***".to_owned(),
+            ]);
+            break;
+        }
+    }
+    table.print();
+    match escalated_at {
+        Some(n) => println!("\nimpostor escalated after {n} touches"),
+        None => println!("\nimpostor not escalated within the trace (unexpected)"),
+    }
+}

@@ -1,0 +1,59 @@
+//! Table II — performance of several fingerprint sensors.
+//!
+//! Re-derives each published sensor's full-array response time from the
+//! Figure 4 readout model and reports paper-vs-simulated side by side.
+//!
+//! ```sh
+//! cargo run -p btd-bench --bin table2_sensors
+//! ```
+
+use btd_bench::report::{banner, Table};
+use btd_sensor::readout::ReadoutConfig;
+use btd_sensor::spec::SensorSpec;
+
+fn main() {
+    banner("Table II: performance of several fingerprint sensors");
+    let baseline = ReadoutConfig::table_ii_baseline();
+    let mut table = Table::new([
+        "sensor",
+        "cell size",
+        "resolution",
+        "clock",
+        "paper response",
+        "simulated response",
+        "ratio",
+    ]);
+    for spec in SensorSpec::table_ii() {
+        let simulated = baseline.capture_time(&spec, &spec.full_window());
+        let (paper, ratio) = match spec.published_response {
+            Some(p) => (p.to_string(), format!("{:.2}x", simulated / p)),
+            None => ("n/m".to_owned(), "-".to_owned()),
+        };
+        table.row([
+            spec.name.to_owned(),
+            format!("{:.1} um", spec.cell_pitch_um),
+            format!("{} x {}", spec.rows, spec.cols),
+            format!("{:.2} MHz", spec.clock.freq_hz() / 1e6),
+            paper,
+            simulated.to_string(),
+            ratio,
+        ]);
+    }
+    table.print();
+
+    banner("the FLock transparent patch this reproduction deploys");
+    let spec = SensorSpec::flock_patch();
+    let modern = ReadoutConfig::default();
+    let full = modern.capture_time(&spec, &spec.full_window());
+    println!(
+        "{}: {:.0} dpi, {}x{} cells, {:.0}mm x {:.0}mm, full-array capture {} \
+         (windowed captures are faster still — see fig4_readout)",
+        spec.name,
+        spec.dpi(),
+        spec.rows,
+        spec.cols,
+        spec.width_mm(),
+        spec.height_mm(),
+        full
+    );
+}

@@ -1,0 +1,95 @@
+//! Table rendering for the experiment binaries.
+//!
+//! Every `src/bin/*.rs` experiment prints rows in the same shape the paper
+//! reports them; [`Table`] keeps the formatting consistent and testable.
+
+use std::fmt::Write as _;
+
+/// A simple left-padded text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders and prints.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["short", "1"]).row(["a-much-longer-name", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("a-much-longer-name"));
+        // The separator is at least as wide as the widest row.
+        assert!(lines[1].len() >= lines[3].trim_end().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline frame-hash auditing.
+//!
+//! "To avoid expensive computation, a server can store the returned frame
+//! hash code in a log and perform verification during \[an\] off-line audit
+//! process." For every audit entry, the frame hash FLock reported must
+//! belong to the finite set of legitimate views of the page the server
+//! had served; anything else means the user was shown tampered content.
+
+use std::collections::HashMap;
+
+use btd_crypto::sha256::Digest;
+
+use crate::server::WebServer;
+
+/// One flagged audit entry.
+#[derive(Clone, Debug)]
+pub struct AuditFinding {
+    /// Index into the server's audit log.
+    pub log_index: usize,
+    /// The account affected.
+    pub account: String,
+    /// The page the server believes it served.
+    pub expected_path: String,
+    /// The hash of what the user actually saw.
+    pub observed_hash: Digest,
+    /// The action the (possibly deceived) user authorized.
+    pub action: String,
+}
+
+/// The result of an offline audit pass.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Entries examined.
+    pub total: usize,
+    /// Entries whose frame hash matched a legitimate view.
+    pub legitimate: usize,
+    /// Entries that did not match any legitimate view.
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// Whether every entry checked out.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Audits the server's entire frame-hash log against the finite view sets
+/// of its pages.
+pub fn audit_server(server: &WebServer) -> AuditReport {
+    let mut view_cache: HashMap<String, Vec<Digest>> = HashMap::new();
+    let mut report = AuditReport {
+        total: 0,
+        legitimate: 0,
+        findings: Vec::new(),
+    };
+    for (i, entry) in server.audit_log().iter().enumerate() {
+        report.total += 1;
+        let hashes = view_cache
+            .entry(entry.expected_path.clone())
+            .or_insert_with(|| {
+                server
+                    .page(&entry.expected_path)
+                    .map(|p| p.all_view_hashes())
+                    .unwrap_or_default()
+            });
+        if hashes.contains(&entry.frame_hash) {
+            report.legitimate += 1;
+        } else {
+            report.findings.push(AuditFinding {
+                log_index: i,
+                account: entry.account.clone(),
+                expected_path: entry.expected_path.clone(),
+                observed_hash: entry.frame_hash,
+                action: entry.action.clone(),
+            });
+        }
+    }
+    report
+}

@@ -1,0 +1,157 @@
+//! The end-to-end continuous-authentication flow (Figure 10).
+
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use btd_workload::session::TouchSample;
+
+use crate::channel::Channel;
+use crate::device::MobileDevice;
+use crate::messages::Reject;
+use crate::registration::FlowError;
+use crate::server::WebServer;
+
+/// What happened during a login run.
+#[derive(Clone, Debug)]
+pub struct LoginOutcome {
+    /// The session id the server opened.
+    pub session_id: String,
+    /// Adversarial duplicate deliveries the server rejected.
+    pub replays_rejected: u64,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+}
+
+/// Runs the Fig. 10 login (steps 1–3).
+///
+/// # Errors
+///
+/// Propagates device refusals, server rejections, or drops.
+pub fn login(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    rng: &mut SimRng,
+) -> Result<LoginOutcome, FlowError> {
+    let mut latency = SimDuration::ZERO;
+
+    let hello = server.hello("/login");
+    latency += channel.round_trip();
+    let hello = channel
+        .deliver(hello)
+        .into_iter()
+        .next()
+        .ok_or(FlowError::NetworkDropped)?;
+    let domain = hello.domain.clone();
+
+    let submit = device.begin_login(&hello, owner_user, rng)?;
+    latency += channel.latency;
+
+    let copies = channel.deliver(submit);
+    if copies.is_empty() {
+        return Err(FlowError::NetworkDropped);
+    }
+    let mut replays_rejected = 0;
+    let mut first: Option<Result<crate::messages::ContentPage, Reject>> = None;
+    for (i, copy) in copies.into_iter().enumerate() {
+        let result = server.handle_login(&copy);
+        if i == 0 {
+            first = Some(result);
+        } else if result.is_err() {
+            replays_rejected += 1;
+        }
+    }
+    let content = first.expect("at least one delivery")?;
+    latency += channel.latency;
+
+    let content = channel
+        .deliver(content)
+        .into_iter()
+        .next()
+        .ok_or(FlowError::NetworkDropped)?;
+    device.accept_content(&domain, &content)?;
+    let session_id = device
+        .session_id(&domain)
+        .expect("session established")
+        .to_owned();
+    Ok(LoginOutcome {
+        session_id,
+        replays_rejected,
+        latency,
+    })
+}
+
+/// Aggregate outcome of a post-login browsing session.
+#[derive(Clone, Debug, Default)]
+pub struct SessionReport {
+    /// Interactions the device attempted.
+    pub attempted: u64,
+    /// Interactions the server served.
+    pub served: u64,
+    /// Server rejections, by reason.
+    pub rejects: Vec<Reject>,
+    /// Adversarial duplicate deliveries the server rejected.
+    pub replays_rejected: u64,
+    /// Whether the server terminated the session on risk.
+    pub terminated: bool,
+    /// Total protocol latency.
+    pub latency: SimDuration,
+}
+
+/// Runs `touches.len()` post-login interactions (Fig. 10, step 4),
+/// cycling through `actions`.
+///
+/// # Errors
+///
+/// Fails only on setup problems (no session); per-interaction rejections
+/// are recorded in the report.
+pub fn run_session(
+    device: &mut MobileDevice,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    domain: &str,
+    actions: &[&str],
+    touches: &[TouchSample],
+    rng: &mut SimRng,
+) -> Result<SessionReport, FlowError> {
+    assert!(!actions.is_empty(), "need at least one action");
+    let mut report = SessionReport::default();
+
+    for (i, touch) in touches.iter().enumerate() {
+        let action = actions[i % actions.len()];
+        let request = device.interact(domain, action, touch, rng)?;
+        report.attempted += 1;
+        report.latency += channel.latency;
+
+        let copies = channel.deliver(request);
+        if copies.is_empty() {
+            continue; // dropped request; device will retry next touch
+        }
+        let mut first = None;
+        for (j, copy) in copies.into_iter().enumerate() {
+            let result = server.handle_interaction(&copy);
+            if j == 0 {
+                first = Some(result);
+            } else if result.is_err() {
+                report.replays_rejected += 1;
+            }
+        }
+        match first.expect("at least one delivery") {
+            Ok(content) => {
+                report.latency += channel.latency;
+                if let Some(content) = channel.deliver(content).into_iter().next() {
+                    device.accept_content(domain, &content)?;
+                    report.served += 1;
+                }
+            }
+            Err(reject) => {
+                report.rejects.push(reject);
+                if reject == Reject::RiskTerminated {
+                    report.terminated = true;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(report)
+}

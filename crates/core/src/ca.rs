@@ -1,0 +1,88 @@
+//! The certificate authority of Figure 8.
+//!
+//! "The public key of the CA is stored on the FLock. We assume that each
+//! Web Server and each FLock module of a mobile device have a public key
+//! certificate signed by the CA." [`TrustAuthority`] issues those
+//! certificates and provisions devices.
+
+use btd_crypto::cert::{Certificate, CertificateAuthority, Role};
+use btd_crypto::entropy::ChaChaEntropy;
+use btd_crypto::group::DhGroup;
+use btd_crypto::schnorr::PublicKey;
+use btd_flock::module::FlockModule;
+use btd_sim::rng::SimRng;
+
+/// The CA server of the TRUST deployment.
+#[derive(Debug)]
+pub struct TrustAuthority {
+    inner: CertificateAuthority,
+    entropy: ChaChaEntropy,
+}
+
+impl TrustAuthority {
+    /// Creates a CA over `group`.
+    pub fn new(group: &'static DhGroup, rng: &mut SimRng) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        let mut entropy = ChaChaEntropy::from_seed(seed);
+        let inner = CertificateAuthority::new(group, &mut entropy);
+        TrustAuthority { inner, entropy }
+    }
+
+    /// The CA root public key.
+    pub fn public_key(&self) -> &PublicKey {
+        self.inner.public_key()
+    }
+
+    /// Issues a web-server certificate.
+    pub fn issue_server_cert(&mut self, domain: &str, key: &PublicKey) -> Certificate {
+        self.inner
+            .issue(domain, Role::WebServer, key, &mut self.entropy)
+    }
+
+    /// Issues a FLock-module certificate.
+    pub fn issue_device_cert(&mut self, device_id: &str, key: &PublicKey) -> Certificate {
+        self.inner
+            .issue(device_id, Role::FlockModule, key, &mut self.entropy)
+    }
+
+    /// Factory provisioning: stores the CA root key in a FLock module and
+    /// installs the module's own certificate.
+    pub fn provision_device(&mut self, flock: &mut FlockModule) {
+        flock.provision_ca(self.public_key().clone());
+        let cert = self.issue_device_cert(flock.device_id(), &flock.device_public_key().clone());
+        flock.install_certificate(cert);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btd_flock::module::FlockConfig;
+
+    #[test]
+    fn provisioned_device_trusts_ca_issued_certs() {
+        let mut rng = SimRng::seed_from(1);
+        let mut ca = TrustAuthority::new(DhGroup::test_512(), &mut rng);
+        let mut flock = FlockModule::new("phone-1", FlockConfig::fast_test(), &mut rng);
+        ca.provision_device(&mut flock);
+        assert!(flock.certificate().is_some());
+        // The device's own cert verifies under its provisioned root.
+        let own = flock.certificate().unwrap().clone();
+        assert!(flock.verify_certificate(&own));
+    }
+
+    #[test]
+    fn server_and_device_roles_are_distinct() {
+        let mut rng = SimRng::seed_from(2);
+        let mut ca = TrustAuthority::new(DhGroup::test_512(), &mut rng);
+        let mut flock = FlockModule::new("phone-1", FlockConfig::fast_test(), &mut rng);
+        let key = flock.device_public_key().clone();
+        let server_cert = ca.issue_server_cert("www.xyz.com", &key);
+        let device_cert = ca.issue_device_cert("phone-1", &key);
+        assert_ne!(server_cert.role(), device_cert.role());
+        ca.provision_device(&mut flock);
+        assert!(flock.verify_certificate(&server_cert));
+        assert!(flock.verify_certificate(&device_cert));
+    }
+}

@@ -1,0 +1,139 @@
+//! The untrusted network between device and server.
+//!
+//! "The Internet communication between a Web Server and a mobile device is
+//! untrusted. Replay and Man-in-the-Middle attacks need to be considered."
+//! [`Channel`] delivers messages with a latency model and an optional
+//! adversary; tampering attacks are expressed by the attack experiments as
+//! modified message copies, which the channel delivers faithfully (the
+//! adversary *is* the network).
+
+use btd_sim::time::SimDuration;
+
+/// What the on-path adversary does to traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Adversary {
+    /// Honest network.
+    None,
+    /// Records every message and immediately replays a copy of each —
+    /// the classic replay attack.
+    Replayer,
+    /// Drops every `n`-th message (lossy/censoring network; tests
+    /// liveness handling, not a security property).
+    Dropper {
+        /// Drop period: every `period`-th message is dropped (1 = all).
+        period: u32,
+    },
+}
+
+/// The network channel.
+#[derive(Debug)]
+pub struct Channel {
+    /// One-way latency.
+    pub latency: SimDuration,
+    adversary: Adversary,
+    sent: u64,
+    delivered: u64,
+    replayed: u64,
+    dropped: u64,
+}
+
+impl Channel {
+    /// An honest channel with mobile-network latency (~60 ms one way).
+    pub fn honest() -> Self {
+        Channel::with_adversary(Adversary::None)
+    }
+
+    /// A channel with the given adversary.
+    pub fn with_adversary(adversary: Adversary) -> Self {
+        Channel {
+            latency: SimDuration::from_millis(60),
+            adversary,
+            sent: 0,
+            delivered: 0,
+            replayed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The configured adversary.
+    pub fn adversary(&self) -> Adversary {
+        self.adversary
+    }
+
+    /// Transmits a message, returning the copies that arrive (in arrival
+    /// order). An empty vector means the message was dropped.
+    pub fn deliver<T: Clone>(&mut self, msg: T) -> Vec<T> {
+        self.sent += 1;
+        match self.adversary {
+            Adversary::None => {
+                self.delivered += 1;
+                vec![msg]
+            }
+            Adversary::Replayer => {
+                self.delivered += 1;
+                self.replayed += 1;
+                vec![msg.clone(), msg]
+            }
+            Adversary::Dropper { period } => {
+                if period > 0 && self.sent.is_multiple_of(period as u64) {
+                    self.dropped += 1;
+                    Vec::new()
+                } else {
+                    self.delivered += 1;
+                    vec![msg]
+                }
+            }
+        }
+    }
+
+    /// Round-trip latency for one request/response exchange.
+    pub fn round_trip(&self) -> SimDuration {
+        self.latency * 2
+    }
+
+    /// Counters: `(sent, delivered, replayed, dropped)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.sent, self.delivered, self.replayed, self.dropped)
+    }
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel::honest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_channel_delivers_once() {
+        let mut ch = Channel::honest();
+        assert_eq!(ch.deliver(1), vec![1]);
+        assert_eq!(ch.stats(), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn replayer_duplicates_every_message() {
+        let mut ch = Channel::with_adversary(Adversary::Replayer);
+        assert_eq!(ch.deliver("msg"), vec!["msg", "msg"]);
+        let (_, _, replayed, _) = ch.stats();
+        assert_eq!(replayed, 1);
+    }
+
+    #[test]
+    fn dropper_drops_periodically() {
+        let mut ch = Channel::with_adversary(Adversary::Dropper { period: 2 });
+        assert_eq!(ch.deliver(1), vec![1]); // 1st delivered
+        assert_eq!(ch.deliver(2), Vec::<i32>::new()); // 2nd dropped
+        assert_eq!(ch.deliver(3), vec![3]);
+        assert_eq!(ch.stats().3, 1);
+    }
+
+    #[test]
+    fn round_trip_doubles_latency() {
+        let ch = Channel::honest();
+        assert_eq!(ch.round_trip(), SimDuration::from_millis(120));
+    }
+}

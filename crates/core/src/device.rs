@@ -1,0 +1,443 @@
+//! The mobile device: an untrusted host stack in front of a FLock module.
+//!
+//! Per the paper's threat model (§IV-B assumption i), "only the FLock
+//! module as well as the Web Server are secure; the mobile device software
+//! stack and browser … may be monitored or under the control of a remote
+//! attacker through malware. The encryptions and authentication steps take
+//! place in the FLock module." [`MobileDevice`] models that split: the
+//! session keys and signing keys never leave the [`FlockModule`]; the
+//! "browser" only shuttles opaque messages and chooses what to display —
+//! which is exactly the power a malware infection has, and no more.
+
+use std::collections::HashMap;
+
+use btd_crypto::cert::Role;
+use btd_crypto::hmac::verify_hmac;
+use btd_crypto::nonce::Nonce;
+use btd_crypto::sha256::Digest;
+use btd_flock::module::FlockModule;
+use btd_flock::pipeline::TouchAuthOutcome;
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use btd_workload::session::TouchSample;
+
+use crate::messages::{
+    ContentPage, InteractionRequest, LoginSubmit, RegistrationSubmit, ServerHello,
+};
+use crate::pages::{Page, View};
+use crate::risk_policy::RiskReport;
+
+/// Why a device-side protocol step failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceError {
+    /// The server certificate did not verify against the provisioned CA.
+    UntrustedServer,
+    /// The server's hello signature failed.
+    BadServerSignature,
+    /// The owner's explicit touch failed biometric verification.
+    BiometricRejected,
+    /// No registered identity for the domain.
+    UnknownDomain,
+    /// No live session for the domain.
+    NoSession,
+    /// A content page's MAC failed under the session key.
+    BadServerMac,
+    /// Protected storage is full.
+    StorageFull,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceError::UntrustedServer => "server certificate untrusted",
+            DeviceError::BadServerSignature => "server signature invalid",
+            DeviceError::BiometricRejected => "biometric verification failed",
+            DeviceError::UnknownDomain => "no identity for domain",
+            DeviceError::NoSession => "no live session",
+            DeviceError::BadServerMac => "server mac invalid",
+            DeviceError::StorageFull => "protected storage full",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// FLock-held session state for one domain.
+#[derive(Debug)]
+struct DeviceSession {
+    session_id: String,
+    key: Vec<u8>,
+    next_nonce: Nonce,
+    current_page: Page,
+}
+
+/// A mobile device.
+#[derive(Debug)]
+pub struct MobileDevice {
+    name: String,
+    flock: FlockModule,
+    sessions: HashMap<String, DeviceSession>,
+    /// Set when malware controls the browser's display path.
+    spoofed_page: Option<Page>,
+}
+
+/// Maximum owner-touch retries for explicit (register/login) verification.
+const EXPLICIT_TOUCH_RETRIES: u32 = 6;
+
+impl MobileDevice {
+    /// Creates a device around a FLock module.
+    pub fn new(name: &str, flock: FlockModule) -> Self {
+        MobileDevice {
+            name: name.to_owned(),
+            flock,
+            sessions: HashMap::new(),
+            spoofed_page: None,
+        }
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The FLock module.
+    pub fn flock(&self) -> &FlockModule {
+        &self.flock
+    }
+
+    /// The FLock module, mutable (enrollment, provisioning).
+    pub fn flock_mut(&mut self) -> &mut FlockModule {
+        &mut self.flock
+    }
+
+    /// Installs a malware display spoof: every subsequent page render shows
+    /// `fake` to the user instead of the genuine page. The display
+    /// repeater hashes what is *actually* shown, which is how the audit
+    /// catches this.
+    pub fn infect_display(&mut self, fake: Page) {
+        self.spoofed_page = Some(fake);
+    }
+
+    /// Removes the display malware.
+    pub fn disinfect(&mut self) {
+        self.spoofed_page = None;
+    }
+
+    /// Renders a page through the FLock display repeater, honouring any
+    /// active display malware; returns the frame hash of what the user saw.
+    fn display(&mut self, page: &Page, view: View) -> Digest {
+        let shown = self.spoofed_page.as_ref().unwrap_or(page);
+        let frame = shown.render(view);
+        self.flock.relay_frame(&frame).0
+    }
+
+    /// Validates a server hello inside FLock: CA-chain the certificate,
+    /// check the role, and verify the hello signature.
+    fn validate_hello(&mut self, hello: &ServerHello) -> Result<(), DeviceError> {
+        if !self.flock.verify_certificate(&hello.server_cert)
+            || hello.server_cert.role() != Role::WebServer
+            || hello.server_cert.subject() != hello.domain
+        {
+            return Err(DeviceError::UntrustedServer);
+        }
+        let bytes = ServerHello::signed_bytes(&hello.domain, &hello.page, &hello.nonce);
+        if !hello
+            .server_cert
+            .public_key()
+            .verify(&bytes, &hello.signature)
+        {
+            return Err(DeviceError::BadServerSignature);
+        }
+        Ok(())
+    }
+
+    /// An explicit, deliberate owner touch on a button drawn over the
+    /// first sensor; returns `Ok` only if a capture verified.
+    fn explicit_verified_touch(
+        &mut self,
+        user_id: u64,
+        finger_index: u8,
+        rng: &mut SimRng,
+    ) -> Result<(), DeviceError> {
+        let button = self
+            .flock
+            .auth()
+            .capture_pipeline()
+            .sensors()
+            .first()
+            .expect("flock has sensors")
+            .bounds()
+            .center();
+        let mut mismatches = 0;
+        for _ in 0..EXPLICIT_TOUCH_RETRIES {
+            let sample = TouchSample {
+                at: btd_sim::time::SimTime::ZERO,
+                pos: button,
+                finger_center: button
+                    .offset(rng.gaussian_with(0.0, 0.6), rng.gaussian_with(1.0, 0.6)),
+                user_id,
+                finger_index,
+                speed_mm_s: rng.range_f64(0.0, 5.0),
+                pressure: rng.gaussian_with(0.55, 0.08).clamp(0.2, 0.9),
+                contact_radius_mm: rng.range_f64(4.0, 5.5),
+                moisture: rng.range_f64(0.2, 0.5),
+                dwell: SimDuration::from_millis(250),
+            };
+            let processed = self.flock.process_touch(&sample, rng);
+            match processed.outcome {
+                TouchAuthOutcome::Verified { .. } => return Ok(()),
+                // A single conclusive mismatch can be capture noise even
+                // for the genuine owner; two is evidence.
+                TouchAuthOutcome::Mismatched { .. } => {
+                    mismatches += 1;
+                    if mismatches >= 2 {
+                        return Err(DeviceError::BiometricRejected);
+                    }
+                }
+                _ => continue,
+            }
+        }
+        Err(DeviceError::BiometricRejected)
+    }
+
+    /// Runs the device side of registration (Fig. 9, steps 2–4): validate
+    /// the hello, show the page, capture the registering user's
+    /// fingerprint on the register button, mint a per-site key pair, and
+    /// build the signed submission.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is untrusted, the touch does not verify as the
+    /// enrolled owner, or protected storage is full.
+    pub fn begin_registration(
+        &mut self,
+        hello: &ServerHello,
+        account: &str,
+        user_id: u64,
+        rng: &mut SimRng,
+    ) -> Result<RegistrationSubmit, DeviceError> {
+        self.validate_hello(hello)?;
+        let frame_hash = self.display(&hello.page, View::default());
+        self.explicit_verified_touch(user_id, 0, rng)?;
+        let user_public = self
+            .flock
+            .register_domain(&hello.domain, account, hello.server_cert.public_key())
+            .map_err(|_| DeviceError::StorageFull)?;
+        let bytes = RegistrationSubmit::signed_bytes(
+            &hello.domain,
+            account,
+            &hello.nonce,
+            &frame_hash,
+            &user_public.to_bytes(),
+        );
+        let signature = self.flock.sign_with_device_key(&bytes);
+        let device_cert = self
+            .flock
+            .certificate()
+            .expect("device provisioned with certificate")
+            .clone();
+        Ok(RegistrationSubmit {
+            domain: hello.domain.clone(),
+            account: account.to_owned(),
+            nonce: hello.nonce,
+            frame_hash,
+            user_public: user_public.to_bytes(),
+            device_cert,
+            signature,
+        })
+    }
+
+    /// Runs the device side of login (Fig. 10, step 2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is untrusted, the domain is unregistered, or
+    /// the owner's touch does not verify.
+    pub fn begin_login(
+        &mut self,
+        hello: &ServerHello,
+        user_id: u64,
+        rng: &mut SimRng,
+    ) -> Result<LoginSubmit, DeviceError> {
+        self.validate_hello(hello)?;
+        let record = self
+            .flock
+            .domain_record(&hello.domain)
+            .ok_or(DeviceError::UnknownDomain)?;
+        let account = record.account.clone();
+        let server_key = record.server_key.clone();
+
+        let frame_hash = self.display(&hello.page, View::default());
+        self.explicit_verified_touch(user_id, 0, rng)?;
+        let risk = RiskReport::from_tracker(self.flock.auth().risk());
+
+        let session_key = self.flock.crypto_mut().random_bytes(32);
+        let sealed = self.flock.crypto_mut().seal_to(&server_key, &session_key);
+        let bytes = LoginSubmit::signed_bytes(
+            &hello.domain,
+            &account,
+            &hello.nonce,
+            &sealed,
+            &frame_hash,
+            &risk,
+        );
+        let signature = self
+            .flock
+            .sign_with_domain_key(&hello.domain, &bytes)
+            .expect("domain record present");
+
+        // Session key is held by FLock pending the server's first page.
+        self.sessions.insert(
+            hello.domain.clone(),
+            DeviceSession {
+                session_id: String::new(),
+                key: session_key,
+                next_nonce: hello.nonce,
+                current_page: hello.page.clone(),
+            },
+        );
+        Ok(LoginSubmit {
+            domain: hello.domain.clone(),
+            account,
+            nonce: hello.nonce,
+            sealed_session_key: sealed,
+            frame_hash,
+            risk,
+            signature,
+        })
+    }
+
+    /// Accepts a content page from the server (login response or
+    /// interaction response): verifies the session MAC, displays the page,
+    /// and arms the next nonce.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live session or on MAC mismatch.
+    pub fn accept_content(
+        &mut self,
+        domain: &str,
+        content: &ContentPage,
+    ) -> Result<(), DeviceError> {
+        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
+        let bytes = ContentPage::mac_bytes(
+            &content.session_id,
+            &content.account,
+            &content.nonce,
+            &content.page,
+        );
+        if !verify_hmac(&session.key, &bytes, &content.mac) {
+            return Err(DeviceError::BadServerMac);
+        }
+        let page = content.page.clone();
+        let session = self.sessions.get_mut(domain).expect("session checked");
+        session.session_id = content.session_id.clone();
+        session.next_nonce = content.nonce;
+        session.current_page = page.clone();
+        self.display(&page, View::default());
+        Ok(())
+    }
+
+    /// Builds a post-login interaction request for `action`, driven by a
+    /// physical touch: the touch goes through the continuous-auth pipeline
+    /// and the current risk window rides along in the request.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live session.
+    pub fn interact(
+        &mut self,
+        domain: &str,
+        action: &str,
+        touch: &TouchSample,
+        rng: &mut SimRng,
+    ) -> Result<InteractionRequest, DeviceError> {
+        // The touch itself is opportunistic continuous authentication.
+        let processed = self.flock.process_touch(touch, rng);
+        if processed.action == btd_flock::risk::RiskAction::Reauthenticate {
+            // The k-of-n window ran dry: the system displays a verify
+            // button over a sensor region (paper §IV-A, preventive measure
+            // 1). Whoever is holding the phone must touch it; the attempt
+            // is processed through the same pipeline, so a genuine owner
+            // refreshes the window and an impostor adds mismatch evidence.
+            let _ = self.explicit_verified_touch(touch.user_id, touch.finger_index, rng);
+        }
+        let risk = RiskReport::from_tracker(self.flock.auth().risk());
+
+        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
+        if session.session_id.is_empty() {
+            return Err(DeviceError::NoSession);
+        }
+        let current_page = session.current_page.clone();
+        let session_id = session.session_id.clone();
+        let account = self
+            .flock
+            .domain_record(domain)
+            .ok_or(DeviceError::UnknownDomain)?
+            .account
+            .clone();
+        let nonce = self.sessions[domain].next_nonce;
+
+        // The frame hash of what the user is currently looking at.
+        let frame_hash = self.display(&current_page, View::default());
+
+        let bytes = InteractionRequest::mac_bytes(
+            &session_id,
+            &account,
+            &nonce,
+            action,
+            &frame_hash,
+            &risk,
+        );
+        let key = &self.sessions[domain].key;
+        let mac = btd_crypto::hmac::hmac_sha256(key, &bytes);
+        Ok(InteractionRequest {
+            session_id,
+            account,
+            nonce,
+            action: action.to_owned(),
+            frame_hash,
+            risk,
+            mac,
+        })
+    }
+
+    /// Malware-forged interaction: crafted entirely in the compromised
+    /// host, without FLock — so without the session key. The MAC is
+    /// necessarily garbage; the experiment shows the server rejecting it.
+    pub fn malware_forge_interaction(
+        &self,
+        domain: &str,
+        action: &str,
+    ) -> Option<InteractionRequest> {
+        let session = self.sessions.get(domain)?;
+        // The account name is on screen, so malware knows it.
+        let account = self
+            .flock
+            .domain_record(domain)
+            .map(|r| r.account.clone())
+            .unwrap_or_else(|| "forged".to_owned());
+        Some(InteractionRequest {
+            session_id: session.session_id.clone(),
+            account,
+            nonce: session.next_nonce,
+            action: action.to_owned(),
+            frame_hash: Digest([0xEE; 32]),
+            risk: RiskReport {
+                window: 12,
+                verified: 12,
+                mismatched: 0,
+            },
+            mac: Digest([0xEE; 32]), // malware cannot compute the real MAC
+        })
+    }
+
+    /// The device-side session id for a domain, if logged in.
+    pub fn session_id(&self, domain: &str) -> Option<&str> {
+        self.sessions
+            .get(domain)
+            .filter(|s| !s.session_id.is_empty())
+            .map(|s| s.session_id.as_str())
+    }
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! TRUST — Trust Reinforcement based on the Unified Structural
+//! Touch-display.
+//!
+//! This crate is the paper's primary contribution: continuous local and
+//! remote mobile identity management on top of the FLock biometric
+//! touch-display module. It implements both TRUST scenarios end-to-end
+//! against simulated adversaries:
+//!
+//! * **Local identity management** (paper §IV-A) — device unlock and
+//!   continuous opportunistic fingerprint authentication live in
+//!   [`btd_flock`]; this crate adds the device abstraction and scenario
+//!   harnesses around them.
+//! * **Remote identity management** (paper §IV-B) — device-to-web-server
+//!   registration (Fig. 9), continuous per-interaction authentication over
+//!   an untrusted network and host stack (Fig. 10), frame-hash auditing,
+//!   identity reset, and identity transfer.
+//!
+//! Module map:
+//!
+//! * [`wire`] — canonical byte encoding shared by all signed/MACed
+//!   messages.
+//! * [`messages`] — the cookie-extension protocol messages of Figs. 9/10.
+//! * [`ca`] — the certificate authority of Fig. 8.
+//! * [`pages`] — hyper-text pages and their finite set of rendered views.
+//! * [`server`] — the web server: account binding, sessions, replay
+//!   protection, risk policy, audit log.
+//! * [`device`] — the mobile device: untrusted host stack in front of a
+//!   [`btd_flock::FlockModule`].
+//! * [`channel`] — the untrusted network with replay / man-in-the-middle
+//!   adversaries.
+//! * [`risk_policy`] — the "Risk: x out of the n touches authenticated"
+//!   report and the server-side policy on it.
+//! * [`registration`] — the Fig. 9 binding flow, end to end.
+//! * [`auth`] — the Fig. 10 continuous-authentication flow.
+//! * [`audit`] — offline frame-hash verification against the finite view
+//!   set.
+//! * [`reset`] — identity reset after device loss.
+//! * [`transfer`] — identity transfer to a new device.
+//! * [`timeline`] — a discrete-event replay of a session with true
+//!   timestamps (touches at workload time, messages after latency).
+//! * [`scenario`] — turnkey harnesses used by the examples, integration
+//!   tests, and benches.
+//!
+//! # Example
+//!
+//! ```
+//! use trust_core::scenario::World;
+//! use btd_sim::rng::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let mut world = World::new(&mut rng);
+//! world.add_server("www.xyz.com", &mut rng);
+//! let device = world.add_device("phone-1", 42, &mut rng);
+//! let report = world.register(device, "www.xyz.com", "alice", &mut rng);
+//! assert!(report.is_ok());
+//! ```
+
+pub mod audit;
+pub mod auth;
+pub mod ca;
+pub mod channel;
+pub mod device;
+pub mod messages;
+pub mod pages;
+pub mod registration;
+pub mod reset;
+pub mod risk_policy;
+pub mod scenario;
+pub mod server;
+pub mod timeline;
+pub mod transfer;
+pub mod wire;
+
+pub use device::MobileDevice;
+pub use scenario::World;
+pub use server::WebServer;

@@ -1,0 +1,347 @@
+//! The cookie-extension protocol messages of Figures 9 and 10.
+//!
+//! "The FLock module relies on cookie extensions for exchanging data with
+//! a remote server" — each struct here is one such cookie payload. Every
+//! message exposes the canonical bytes its signature or MAC covers, built
+//! with [`crate::wire`] so fields cannot be re-split by an attacker.
+
+use btd_crypto::cert::Certificate;
+use btd_crypto::elgamal::SealedBox;
+use btd_crypto::nonce::Nonce;
+use btd_crypto::schnorr::Signature;
+use btd_crypto::sha256::Digest;
+
+use crate::pages::Page;
+use crate::risk_policy::RiskReport;
+use crate::wire::signing_bytes;
+
+/// Server → device: a served page with freshness and authenticity proof
+/// (both the registration page of Fig. 9 and the login page of Fig. 10).
+#[derive(Clone, Debug)]
+pub struct ServerHello {
+    /// Serving domain (`www.xyz.com`).
+    pub domain: String,
+    /// The page content.
+    pub page: Page,
+    /// Fresh server nonce (`N_WS`).
+    pub nonce: Nonce,
+    /// The server's CA-signed certificate.
+    pub server_cert: Certificate,
+    /// Server signature over the hello fields ("MAC … signed by the Web
+    /// Server using its private key").
+    pub signature: Signature,
+}
+
+impl ServerHello {
+    /// The bytes the server signature covers.
+    pub fn signed_bytes(domain: &str, page: &Page, nonce: &Nonce) -> Vec<u8> {
+        signing_bytes("trust-server-hello-v1", |w| {
+            w.str(domain)
+                .str(&page.path)
+                .bytes(&page.body)
+                .bytes(nonce.as_bytes());
+        })
+    }
+}
+
+/// Device → server: the registration submission of Fig. 9, step 4.
+#[derive(Clone, Debug)]
+pub struct RegistrationSubmit {
+    /// Target domain.
+    pub domain: String,
+    /// Chosen account identifier.
+    pub account: String,
+    /// Echo of the server nonce.
+    pub nonce: Nonce,
+    /// Hash of the registration frame the user actually saw.
+    pub frame_hash: Digest,
+    /// The fresh per-site user public key (canonical bytes).
+    pub user_public: Vec<u8>,
+    /// The FLock module's CA-signed certificate.
+    pub device_cert: Certificate,
+    /// Signature by the FLock device key over the submission.
+    pub signature: Signature,
+}
+
+impl RegistrationSubmit {
+    /// The bytes the device signature covers.
+    pub fn signed_bytes(
+        domain: &str,
+        account: &str,
+        nonce: &Nonce,
+        frame_hash: &Digest,
+        user_public: &[u8],
+    ) -> Vec<u8> {
+        signing_bytes("trust-registration-v1", |w| {
+            w.str(domain)
+                .str(account)
+                .bytes(nonce.as_bytes())
+                .bytes(frame_hash.as_bytes())
+                .bytes(user_public);
+        })
+    }
+}
+
+/// Canonical bytes of a sealed box (for inclusion under signatures/MACs).
+pub fn sealed_box_bytes(boxed: &SealedBox) -> Vec<u8> {
+    signing_bytes("sealed-box-v1", |w| {
+        w.bytes(&boxed.ephemeral.to_be_bytes())
+            .bytes(&boxed.ciphertext)
+            .bytes(&boxed.tag);
+    })
+}
+
+/// Canonical bytes of a risk report.
+pub fn risk_report_bytes(r: &RiskReport) -> Vec<u8> {
+    signing_bytes("risk-report-v1", |w| {
+        w.u64(r.window as u64)
+            .u64(r.verified as u64)
+            .u64(r.mismatched as u64);
+    })
+}
+
+/// Device → server: the login submission of Fig. 10, step 2.
+#[derive(Clone, Debug)]
+pub struct LoginSubmit {
+    /// Target domain.
+    pub domain: String,
+    /// Account being logged into.
+    pub account: String,
+    /// Echo of the server's login nonce (`N_WS1`).
+    pub nonce: Nonce,
+    /// Fresh session key sealed to the server's public key.
+    pub sealed_session_key: SealedBox,
+    /// Hash of the login frame the user actually saw.
+    pub frame_hash: Digest,
+    /// The unlock-touch risk state.
+    pub risk: RiskReport,
+    /// Signature by the account's per-site user key (proves the right
+    /// FLock is logging in).
+    pub signature: Signature,
+}
+
+impl LoginSubmit {
+    /// The bytes the user-key signature covers.
+    pub fn signed_bytes(
+        domain: &str,
+        account: &str,
+        nonce: &Nonce,
+        sealed: &SealedBox,
+        frame_hash: &Digest,
+        risk: &RiskReport,
+    ) -> Vec<u8> {
+        signing_bytes("trust-login-v1", |w| {
+            w.str(domain)
+                .str(account)
+                .bytes(nonce.as_bytes())
+                .bytes(&sealed_box_bytes(sealed))
+                .bytes(frame_hash.as_bytes())
+                .bytes(&risk_report_bytes(risk));
+        })
+    }
+}
+
+/// Server → device: a content page within a session (Fig. 10, steps 3/4).
+#[derive(Clone, Debug)]
+pub struct ContentPage {
+    /// Session identifier.
+    pub session_id: String,
+    /// Account the session belongs to.
+    pub account: String,
+    /// Fresh nonce for the *next* request (`N_WS2`, `N_WS3`, …).
+    pub nonce: Nonce,
+    /// The page.
+    pub page: Page,
+    /// HMAC under the session key.
+    pub mac: Digest,
+}
+
+impl ContentPage {
+    /// The bytes the session MAC covers.
+    pub fn mac_bytes(session_id: &str, account: &str, nonce: &Nonce, page: &Page) -> Vec<u8> {
+        signing_bytes("trust-content-v1", |w| {
+            w.str(session_id)
+                .str(account)
+                .bytes(nonce.as_bytes())
+                .str(&page.path)
+                .bytes(&page.body);
+        })
+    }
+}
+
+/// Device → server: a post-login interaction (Fig. 10, step 4: "for each
+/// subsequent user-to-Web-Server interaction, the above process is
+/// repeated").
+#[derive(Clone, Debug)]
+pub struct InteractionRequest {
+    /// Session identifier.
+    pub session_id: String,
+    /// Account.
+    pub account: String,
+    /// Echo of the nonce from the last content page.
+    pub nonce: Nonce,
+    /// The requested action (link/button identifier).
+    pub action: String,
+    /// Hash of the frame the user was looking at when they touched.
+    pub frame_hash: Digest,
+    /// Continuous-auth risk state at the moment of the touch.
+    pub risk: RiskReport,
+    /// HMAC under the session key.
+    pub mac: Digest,
+}
+
+impl InteractionRequest {
+    /// The bytes the session MAC covers.
+    pub fn mac_bytes(
+        session_id: &str,
+        account: &str,
+        nonce: &Nonce,
+        action: &str,
+        frame_hash: &Digest,
+        risk: &RiskReport,
+    ) -> Vec<u8> {
+        signing_bytes("trust-interaction-v1", |w| {
+            w.str(session_id)
+                .str(account)
+                .bytes(nonce.as_bytes())
+                .str(action)
+                .bytes(frame_hash.as_bytes())
+                .bytes(&risk_report_bytes(risk));
+        })
+    }
+}
+
+/// Why a server rejected a message (each maps to a security property the
+/// paper's §IV-B analysis claims).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Reject {
+    /// Certificate failed CA verification.
+    BadCertificate,
+    /// A signature failed verification (tampering or wrong key).
+    BadSignature,
+    /// A session MAC failed verification.
+    BadMac,
+    /// The nonce was already consumed — a replay.
+    Replay,
+    /// The nonce was never issued by this server.
+    UnknownNonce,
+    /// The account does not exist or has no key binding.
+    UnknownAccount,
+    /// The account name is already bound.
+    AccountExists,
+    /// The session id is unknown or already terminated.
+    UnknownSession,
+    /// The session key could not be unsealed.
+    BadSessionKey,
+    /// The risk policy terminated the session.
+    RiskTerminated,
+    /// Identity-reset credential (fallback password) was wrong.
+    BadResetCredential,
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Reject::BadCertificate => "bad certificate",
+            Reject::BadSignature => "bad signature",
+            Reject::BadMac => "bad mac",
+            Reject::Replay => "nonce replayed",
+            Reject::UnknownNonce => "nonce unknown",
+            Reject::UnknownAccount => "unknown account",
+            Reject::AccountExists => "account exists",
+            Reject::UnknownSession => "unknown session",
+            Reject::BadSessionKey => "bad session key",
+            Reject::RiskTerminated => "risk policy terminated session",
+            Reject::BadResetCredential => "bad reset credential",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Reject {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btd_crypto::bignum::U2048;
+
+    fn nonce(b: u8) -> Nonce {
+        Nonce([b; 16])
+    }
+
+    #[test]
+    fn hello_bytes_bind_all_fields() {
+        let page = Page::new("/register", b"form".to_vec());
+        let base = ServerHello::signed_bytes("www.xyz.com", &page, &nonce(1));
+        assert_ne!(
+            base,
+            ServerHello::signed_bytes("www.evil.com", &page, &nonce(1))
+        );
+        assert_ne!(
+            base,
+            ServerHello::signed_bytes("www.xyz.com", &page, &nonce(2))
+        );
+        let other = Page::new("/register", b"evil form".to_vec());
+        assert_ne!(
+            base,
+            ServerHello::signed_bytes("www.xyz.com", &other, &nonce(1))
+        );
+    }
+
+    #[test]
+    fn registration_bytes_bind_key_and_frame() {
+        let fh = Digest([7; 32]);
+        let base = RegistrationSubmit::signed_bytes("d", "a", &nonce(1), &fh, &[1, 2, 3]);
+        assert_ne!(
+            base,
+            RegistrationSubmit::signed_bytes("d", "a", &nonce(1), &fh, &[1, 2, 4])
+        );
+        assert_ne!(
+            base,
+            RegistrationSubmit::signed_bytes("d", "a", &nonce(1), &Digest([8; 32]), &[1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn sealed_box_bytes_cover_every_component() {
+        let mk = |eph: u64, ct: &[u8], tag: u8| SealedBox {
+            ephemeral: U2048::from_u64(eph),
+            ciphertext: ct.to_vec(),
+            tag: [tag; 32],
+        };
+        let base = sealed_box_bytes(&mk(1, b"ct", 1));
+        assert_ne!(base, sealed_box_bytes(&mk(2, b"ct", 1)));
+        assert_ne!(base, sealed_box_bytes(&mk(1, b"cx", 1)));
+        assert_ne!(base, sealed_box_bytes(&mk(1, b"ct", 2)));
+    }
+
+    #[test]
+    fn interaction_bytes_bind_action_and_risk() {
+        let fh = Digest([7; 32]);
+        let risk = RiskReport {
+            window: 12,
+            verified: 2,
+            mismatched: 0,
+        };
+        let base = InteractionRequest::mac_bytes("s", "a", &nonce(1), "pay", &fh, &risk);
+        assert_ne!(
+            base,
+            InteractionRequest::mac_bytes("s", "a", &nonce(1), "pay-all", &fh, &risk)
+        );
+        let worse = RiskReport {
+            window: 12,
+            verified: 0,
+            mismatched: 2,
+        };
+        assert_ne!(
+            base,
+            InteractionRequest::mac_bytes("s", "a", &nonce(1), "pay", &fh, &worse)
+        );
+    }
+
+    #[test]
+    fn reject_display_is_informative() {
+        assert_eq!(Reject::Replay.to_string(), "nonce replayed");
+        assert_eq!(Reject::BadMac.to_string(), "bad mac");
+    }
+}

@@ -1,0 +1,130 @@
+//! Hyper-text pages and their finite set of rendered views.
+//!
+//! The server serves pages; the device renders a page into a
+//! [`btd_flock::framehash::DisplayFrame`] under some view transform (zoom,
+//! scroll). "Displayed view of a web page can only belong to a finite set
+//! of all the possible views of the original page. It is feasible to match
+//! the corresponding frame hash code against a finite set of all the
+//! possible hash codes" — [`Page::all_view_hashes`] is that set, used by
+//! the offline audit.
+
+use btd_crypto::sha256::Digest;
+use btd_flock::framehash::{DisplayFrame, FrameHashEngine};
+
+/// The zoom levels the simulated browser supports.
+pub const ZOOM_LEVELS: [u32; 4] = [75, 100, 150, 200];
+/// The scroll stops the simulated browser supports (pixels).
+pub const SCROLL_STOPS: [u32; 5] = [0, 200, 400, 800, 1600];
+
+/// A hyper-text page served by a web server.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Page {
+    /// Stable page identifier (path).
+    pub path: String,
+    /// Page content (markup stand-in).
+    pub body: Vec<u8>,
+}
+
+/// One concrete view (zoom + scroll) of a page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct View {
+    /// Zoom percentage.
+    pub zoom: u32,
+    /// Vertical scroll offset, pixels.
+    pub scroll: u32,
+}
+
+impl Default for View {
+    fn default() -> Self {
+        View {
+            zoom: 100,
+            scroll: 0,
+        }
+    }
+}
+
+impl Page {
+    /// Creates a page.
+    pub fn new(path: &str, body: impl Into<Vec<u8>>) -> Self {
+        Page {
+            path: path.to_owned(),
+            body: body.into(),
+        }
+    }
+
+    /// Renders the page under `view` into a display frame.
+    pub fn render(&self, view: View) -> DisplayFrame {
+        let mut content = Vec::with_capacity(self.path.len() + self.body.len());
+        content.extend_from_slice(self.path.as_bytes());
+        content.push(0);
+        content.extend_from_slice(&self.body);
+        DisplayFrame::rendered_view(&content, view.zoom, view.scroll)
+    }
+
+    /// Every view the browser can produce of this page.
+    pub fn all_views() -> impl Iterator<Item = View> {
+        ZOOM_LEVELS.into_iter().flat_map(|zoom| {
+            SCROLL_STOPS
+                .into_iter()
+                .map(move |scroll| View { zoom, scroll })
+        })
+    }
+
+    /// The finite set of legitimate frame hashes for this page.
+    pub fn all_view_hashes(&self) -> Vec<Digest> {
+        let mut engine = FrameHashEngine::new();
+        Page::all_views()
+            .map(|v| engine.hash_frame(&self.render(v)).0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_view_renders_deterministically() {
+        let p = Page::new("/login", b"login form".to_vec());
+        let mut e = FrameHashEngine::new();
+        let h1 = e.hash_frame(&p.render(View::default())).0;
+        let h2 = e.hash_frame(&p.render(View::default())).0;
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn view_set_size() {
+        assert_eq!(
+            Page::all_views().count(),
+            ZOOM_LEVELS.len() * SCROLL_STOPS.len()
+        );
+    }
+
+    #[test]
+    fn all_view_hashes_contains_every_rendering() {
+        let p = Page::new("/account", b"balance: $100".to_vec());
+        let hashes = p.all_view_hashes();
+        let mut e = FrameHashEngine::new();
+        for v in Page::all_views() {
+            let h = e.hash_frame(&p.render(v)).0;
+            assert!(hashes.contains(&h));
+        }
+    }
+
+    #[test]
+    fn different_pages_share_no_view_hashes() {
+        let a = Page::new("/a", b"content a".to_vec()).all_view_hashes();
+        let b = Page::new("/b", b"content b".to_vec()).all_view_hashes();
+        assert!(a.iter().all(|h| !b.contains(h)));
+    }
+
+    #[test]
+    fn tampered_body_leaves_the_view_set() {
+        let honest = Page::new("/pay", b"pay alice".to_vec());
+        let spoofed = Page::new("/pay", b"pay mallory".to_vec());
+        let legit = honest.all_view_hashes();
+        let mut e = FrameHashEngine::new();
+        let spoof_hash = e.hash_frame(&spoofed.render(View::default())).0;
+        assert!(!legit.contains(&spoof_hash));
+    }
+}

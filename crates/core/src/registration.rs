@@ -1,0 +1,103 @@
+//! The end-to-end registration flow (Figure 9).
+
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+
+use crate::channel::Channel;
+use crate::device::{DeviceError, MobileDevice};
+use crate::messages::Reject;
+use crate::server::WebServer;
+
+/// Why an end-to-end flow failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowError {
+    /// The device refused to proceed.
+    Device(DeviceError),
+    /// The server rejected the message.
+    Server(Reject),
+    /// The network dropped a required message.
+    NetworkDropped,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Device(e) => write!(f, "device: {e}"),
+            FlowError::Server(e) => write!(f, "server: {e}"),
+            FlowError::NetworkDropped => f.write_str("network dropped the message"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<DeviceError> for FlowError {
+    fn from(e: DeviceError) -> Self {
+        FlowError::Device(e)
+    }
+}
+
+impl From<Reject> for FlowError {
+    fn from(e: Reject) -> Self {
+        FlowError::Server(e)
+    }
+}
+
+/// What happened during a registration run.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistrationReport {
+    /// Adversarial duplicate deliveries the server rejected.
+    pub replays_rejected: u64,
+    /// End-to-end latency (network + device work).
+    pub latency: SimDuration,
+}
+
+/// Runs the full Fig. 9 flow: hello → device submission → server binding.
+///
+/// # Errors
+///
+/// Propagates device refusals, server rejections, or a dropped message.
+pub fn register(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    account: &str,
+    rng: &mut SimRng,
+) -> Result<RegistrationReport, FlowError> {
+    let mut latency = SimDuration::ZERO;
+
+    // Step 1: request + serve the registration page.
+    let hello = server.hello("/register");
+    latency += channel.round_trip();
+    let hello = channel
+        .deliver(hello)
+        .into_iter()
+        .next()
+        .ok_or(FlowError::NetworkDropped)?;
+
+    // Steps 2–4: device-side validation, display, touch, key generation.
+    let submit = device.begin_registration(&hello, account, owner_user, rng)?;
+    latency += channel.latency;
+
+    // Step 5: server verification and binding (adversary may replay).
+    let copies = channel.deliver(submit);
+    if copies.is_empty() {
+        return Err(FlowError::NetworkDropped);
+    }
+    let mut replays_rejected = 0;
+    let mut outcome: Option<Result<(), Reject>> = None;
+    for (i, copy) in copies.into_iter().enumerate() {
+        let result = server.handle_registration(&copy);
+        if i == 0 {
+            outcome = Some(result);
+        } else if result.is_err() {
+            replays_rejected += 1;
+        }
+    }
+    outcome.expect("at least one delivery")?;
+    Ok(RegistrationReport {
+        replays_rejected,
+        latency,
+    })
+}

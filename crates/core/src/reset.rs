@@ -1,0 +1,37 @@
+//! Identity reset after device loss (paper §IV, "Identity Reset").
+//!
+//! "When a user loses her mobile device, all her identity information
+//! stored in the old mobile device is lost. … The user can rely on her old
+//! passwords in order to login on her web services accounts using her new
+//! mobile device. … The identity reset service enables the server to
+//! remove the user's previous public key binding to the account. The user
+//! can then bind her new mobile device … in a manner similar to the
+//! registration process."
+
+use btd_sim::rng::SimRng;
+
+use crate::channel::Channel;
+use crate::device::MobileDevice;
+use crate::registration::{register, FlowError, RegistrationReport};
+use crate::server::WebServer;
+
+/// Resets `account`'s key binding with the fallback password and re-binds
+/// it to `new_device`.
+///
+/// # Errors
+///
+/// Fails if the credential is wrong or the re-registration flow fails.
+pub fn reset_and_rebind(
+    server: &mut WebServer,
+    channel: &mut Channel,
+    account: &str,
+    password: &str,
+    new_device: &mut MobileDevice,
+    owner_user: u64,
+    rng: &mut SimRng,
+) -> Result<RegistrationReport, FlowError> {
+    server
+        .reset_identity(account, password)
+        .map_err(FlowError::Server)?;
+    register(new_device, owner_user, server, channel, account, rng)
+}

@@ -1,0 +1,384 @@
+//! Turnkey scenario harnesses.
+//!
+//! [`World`] wires a CA, web servers, mobile devices, and a network channel
+//! into one deterministic simulation so examples, integration tests, and
+//! benches can express scenarios in a few lines.
+
+use btd_crypto::group::DhGroup;
+use btd_flock::module::{FlockConfig, FlockModule};
+use btd_sim::rng::SimRng;
+use btd_workload::profile::UserProfile;
+use btd_workload::session::{SessionGenerator, TouchSample};
+
+use crate::auth::{login, run_session, LoginOutcome, SessionReport};
+use crate::ca::TrustAuthority;
+use crate::channel::{Adversary, Channel};
+use crate::device::MobileDevice;
+use crate::registration::{register, FlowError, RegistrationReport};
+use crate::server::WebServer;
+
+/// Default post-login actions a session cycles through.
+pub const DEFAULT_ACTIONS: [&str; 4] = ["/inbox", "/transfer", "/settings", "/home"];
+
+/// A complete TRUST deployment.
+#[derive(Debug)]
+pub struct World {
+    /// The certificate authority.
+    pub ca: TrustAuthority,
+    /// The network.
+    pub channel: Channel,
+    group: &'static DhGroup,
+    servers: Vec<WebServer>,
+    devices: Vec<(MobileDevice, u64)>,
+}
+
+impl World {
+    /// Creates a world over the fast test group with an honest network.
+    pub fn new(rng: &mut SimRng) -> Self {
+        World::with_adversary(Adversary::None, rng)
+    }
+
+    /// Creates a world with an on-path adversary.
+    pub fn with_adversary(adversary: Adversary, rng: &mut SimRng) -> Self {
+        let group = DhGroup::test_512();
+        World {
+            ca: TrustAuthority::new(group, rng),
+            channel: Channel::with_adversary(adversary),
+            group,
+            servers: Vec::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Adds a web server for `domain`; returns its index.
+    pub fn add_server(&mut self, domain: &str, rng: &mut SimRng) -> usize {
+        let server = WebServer::new(domain, self.group, &mut self.ca, rng);
+        self.servers.push(server);
+        self.servers.len() - 1
+    }
+
+    /// Adds a mobile device owned (and enrolled, three fingers) by
+    /// `owner_user`; returns its index.
+    pub fn add_device(&mut self, name: &str, owner_user: u64, rng: &mut SimRng) -> usize {
+        let mut flock = FlockModule::new(name, FlockConfig::fast_test(), rng);
+        self.ca.provision_device(&mut flock);
+        flock.enroll_owner(owner_user, 3, rng);
+        self.devices
+            .push((MobileDevice::new(name, flock), owner_user));
+        self.devices.len() - 1
+    }
+
+    /// Adds a device that is provisioned but whose enrolled owner differs
+    /// from the person who will hold it (a stolen device scenario helper).
+    pub fn add_device_enrolled_for(
+        &mut self,
+        name: &str,
+        enrolled_user: u64,
+        holder_user: u64,
+        rng: &mut SimRng,
+    ) -> usize {
+        let idx = self.add_device(name, enrolled_user, rng);
+        self.devices[idx].1 = holder_user;
+        idx
+    }
+
+    /// The server at `idx`.
+    pub fn server(&self, idx: usize) -> &WebServer {
+        &self.servers[idx]
+    }
+
+    /// The server at `idx`, mutable.
+    pub fn server_mut(&mut self, idx: usize) -> &mut WebServer {
+        &mut self.servers[idx]
+    }
+
+    /// Finds a server by domain.
+    pub fn server_by_domain(&self, domain: &str) -> Option<&WebServer> {
+        self.servers.iter().find(|s| s.domain() == domain)
+    }
+
+    /// The device at `idx`.
+    pub fn device(&self, idx: usize) -> &MobileDevice {
+        &self.devices[idx].0
+    }
+
+    /// The device at `idx`, mutable.
+    pub fn device_mut(&mut self, idx: usize) -> &mut MobileDevice {
+        &mut self.devices[idx].0
+    }
+
+    /// The user currently holding device `idx`.
+    pub fn holder(&self, idx: usize) -> u64 {
+        self.devices[idx].1
+    }
+
+    fn server_index(&self, domain: &str) -> usize {
+        self.servers
+            .iter()
+            .position(|s| s.domain() == domain)
+            .unwrap_or_else(|| panic!("no server for {domain}"))
+    }
+
+    /// Registers `account` at `domain` from device `device_idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flow error.
+    pub fn register(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        account: &str,
+        rng: &mut SimRng,
+    ) -> Result<RegistrationReport, FlowError> {
+        let sidx = self.server_index(domain);
+        let holder = self.devices[device_idx].1;
+        register(
+            &mut self.devices[device_idx].0,
+            holder,
+            &mut self.servers[sidx],
+            &mut self.channel,
+            account,
+            rng,
+        )
+    }
+
+    /// Logs device `device_idx` into `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flow error.
+    pub fn login(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        rng: &mut SimRng,
+    ) -> Result<LoginOutcome, FlowError> {
+        let sidx = self.server_index(domain);
+        let holder = self.devices[device_idx].1;
+        login(
+            &mut self.devices[device_idx].0,
+            holder,
+            &mut self.servers[sidx],
+            &mut self.channel,
+            rng,
+        )
+    }
+
+    /// Generates `n` natural touches for the holder of device `idx`.
+    pub fn touches_for_holder(
+        &self,
+        device_idx: usize,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<TouchSample> {
+        let holder = self.devices[device_idx].1;
+        let profile = UserProfile::builtin((holder % 3) as usize);
+        let mut gen = SessionGenerator::new(profile, rng);
+        let mut samples = gen.generate(n, rng);
+        for s in samples.iter_mut() {
+            s.user_id = holder;
+        }
+        samples
+    }
+
+    /// Runs `n` post-login interactions at `domain` from device
+    /// `device_idx`, with natural holder touches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow setup errors; per-interaction rejections are in the
+    /// report.
+    pub fn run_session(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Result<SessionReport, FlowError> {
+        let touches = self.touches_for_holder(device_idx, n, rng);
+        self.run_session_with_touches(device_idx, domain, &touches, rng)
+    }
+
+    /// Resets `account` at `domain` with the fallback password and
+    /// re-binds it to device `device_idx` (paper §IV, "Identity Reset").
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reset or re-registration failure.
+    pub fn reset_and_rebind(
+        &mut self,
+        domain: &str,
+        account: &str,
+        password: &str,
+        device_idx: usize,
+        rng: &mut SimRng,
+    ) -> Result<RegistrationReport, FlowError> {
+        let sidx = self.server_index(domain);
+        let holder = self.devices[device_idx].1;
+        crate::reset::reset_and_rebind(
+            &mut self.servers[sidx],
+            &mut self.channel,
+            account,
+            password,
+            &mut self.devices[device_idx].0,
+            holder,
+            rng,
+        )
+    }
+
+    /// Transfers the identity of device `old_idx` to device `new_idx`,
+    /// authorized by `authorizing_user`'s fingerprint (paper §IV,
+    /// "Identity Transfer").
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transfer failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old_idx == new_idx`.
+    pub fn transfer(
+        &mut self,
+        old_idx: usize,
+        new_idx: usize,
+        authorizing_user: u64,
+        rng: &mut SimRng,
+    ) -> Result<(), crate::transfer::TransferError> {
+        assert_ne!(old_idx, new_idx, "cannot transfer a device to itself");
+        let (lo, hi) = (old_idx.min(new_idx), old_idx.max(new_idx));
+        let (head, tail) = self.devices.split_at_mut(hi);
+        let (a, b) = (&mut head[lo].0, &mut tail[0].0);
+        let (old_dev, new_dev) = if old_idx < new_idx { (a, b) } else { (b, a) };
+        crate::transfer::transfer_identity(old_dev, new_dev, authorizing_user, rng)
+    }
+
+    /// Replays a session on the discrete-event timeline (see
+    /// [`crate::timeline::replay_session`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device has no live session at `domain`.
+    pub fn replay_session(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        touches: &[TouchSample],
+        rng: &mut SimRng,
+    ) -> Vec<crate::timeline::TraceEntry> {
+        let sidx = self.server_index(domain);
+        let latency = self.channel.latency;
+        crate::timeline::replay_session(
+            &mut self.devices[device_idx].0,
+            &mut self.servers[sidx],
+            domain,
+            &DEFAULT_ACTIONS,
+            touches,
+            latency,
+            rng,
+        )
+    }
+
+    /// Runs a session with caller-supplied touches (e.g. an impostor's
+    /// touches on a hijacked device).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow setup errors; per-interaction rejections are in the
+    /// report.
+    pub fn run_session_with_touches(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        touches: &[TouchSample],
+        rng: &mut SimRng,
+    ) -> Result<SessionReport, FlowError> {
+        let sidx = self.server_index(domain);
+        run_session(
+            &mut self.devices[device_idx].0,
+            &mut self.servers[sidx],
+            &mut self.channel,
+            domain,
+            &DEFAULT_ACTIONS,
+            touches,
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit_server;
+
+    #[test]
+    fn happy_path_register_login_browse() {
+        let mut rng = SimRng::seed_from(1);
+        let mut world = World::new(&mut rng);
+        world.add_server("www.xyz.com", &mut rng);
+        let d = world.add_device("phone-1", 42, &mut rng);
+
+        let reg = world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+        assert_eq!(reg.replays_rejected, 0);
+        assert!(world.server(0).has_account("alice"));
+
+        let login = world.login(d, "www.xyz.com", &mut rng).unwrap();
+        assert!(!login.session_id.is_empty());
+
+        let session = world.run_session(d, "www.xyz.com", 25, &mut rng).unwrap();
+        assert_eq!(session.attempted, 25);
+        assert_eq!(session.served, 25);
+        assert!(!session.terminated);
+        assert!(session.rejects.is_empty());
+
+        // Clean world, clean audit.
+        let audit = audit_server(world.server(0));
+        assert!(audit.is_clean());
+        assert_eq!(audit.total as u64, 2 + session.served);
+    }
+
+    #[test]
+    fn duplicate_account_registration_rejected() {
+        let mut rng = SimRng::seed_from(2);
+        let mut world = World::new(&mut rng);
+        world.add_server("www.xyz.com", &mut rng);
+        let d1 = world.add_device("phone-1", 42, &mut rng);
+        let d2 = world.add_device("phone-2", 43, &mut rng);
+        world
+            .register(d1, "www.xyz.com", "alice", &mut rng)
+            .unwrap();
+        let err = world.register(d2, "www.xyz.com", "alice", &mut rng);
+        assert_eq!(
+            err.unwrap_err(),
+            FlowError::Server(crate::messages::Reject::AccountExists)
+        );
+    }
+
+    #[test]
+    fn login_without_registration_fails_on_device() {
+        let mut rng = SimRng::seed_from(3);
+        let mut world = World::new(&mut rng);
+        world.add_server("www.xyz.com", &mut rng);
+        let d = world.add_device("phone-1", 42, &mut rng);
+        let err = world.login(d, "www.xyz.com", &mut rng);
+        assert_eq!(
+            err.unwrap_err(),
+            FlowError::Device(crate::device::DeviceError::UnknownDomain)
+        );
+    }
+
+    #[test]
+    fn two_servers_get_unrelated_keys() {
+        let mut rng = SimRng::seed_from(4);
+        let mut world = World::new(&mut rng);
+        world.add_server("bank.com", &mut rng);
+        world.add_server("mail.com", &mut rng);
+        let d = world.add_device("phone-1", 42, &mut rng);
+        world.register(d, "bank.com", "alice", &mut rng).unwrap();
+        world.register(d, "mail.com", "alice", &mut rng).unwrap();
+        let flock = world.device(d).flock();
+        let r1 = flock.domain_record("bank.com").unwrap();
+        let r2 = flock.domain_record("mail.com").unwrap();
+        assert_ne!(r1.user_secret, r2.user_secret, "per-site keys must differ");
+    }
+}

@@ -1,0 +1,567 @@
+//! The TRUST web server.
+//!
+//! Implements the server side of Figures 9 and 10: account ↔ public-key
+//! binding, nonce freshness with replay detection, session-key unsealing,
+//! per-interaction MAC verification, the risk policy, and the audit log of
+//! frame hashes ("the server can store it to a log file. During future
+//! audit event, the log can be investigated to discover how the user
+//! interacted with the service").
+
+use std::collections::HashMap;
+
+use btd_crypto::bignum::U2048;
+use btd_crypto::cert::{Certificate, Role};
+use btd_crypto::entropy::{ChaChaEntropy, EntropySource};
+use btd_crypto::group::DhGroup;
+use btd_crypto::hmac::{hmac_sha256, verify_hmac};
+use btd_crypto::nonce::{Nonce, NonceCheck, NonceGenerator, ReplayGuard};
+use btd_crypto::schnorr::{KeyPair, PublicKey};
+use btd_crypto::sha256::Digest;
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimTime;
+use btd_sim::trace::TraceLog;
+
+use crate::ca::TrustAuthority;
+use crate::messages::{
+    ContentPage, InteractionRequest, LoginSubmit, RegistrationSubmit, Reject, ServerHello,
+};
+use crate::pages::Page;
+use crate::risk_policy::{RiskDecision, RiskReport, ServerRiskPolicy};
+
+/// A bound account.
+#[derive(Clone, Debug)]
+struct AccountRecord {
+    public_key: PublicKey,
+    /// Fallback credential for identity reset ("the user can rely on her
+    /// old passwords in order to … reset").
+    reset_password: String,
+}
+
+/// A live session.
+#[derive(Clone, Debug)]
+struct Session {
+    account: String,
+    key: Vec<u8>,
+    pending_nonce: Nonce,
+    current_path: String,
+    stepups: u32,
+    terminated: bool,
+    interactions: u64,
+}
+
+/// One audit-log entry: what page the server believes the user was seeing,
+/// and the frame hash FLock reported.
+#[derive(Clone, Debug)]
+pub struct AuditEntry {
+    /// Account that acted.
+    pub account: String,
+    /// Path of the page the server had served for this view.
+    pub expected_path: String,
+    /// The frame hash FLock attached to the request.
+    pub frame_hash: Digest,
+    /// The action requested.
+    pub action: String,
+    /// The risk report attached.
+    pub risk: RiskReport,
+}
+
+/// The TRUST web server.
+#[derive(Debug)]
+pub struct WebServer {
+    domain: String,
+    keys: KeyPair,
+    cert: Certificate,
+    ca_key: PublicKey,
+    entropy: ChaChaEntropy,
+    nonces: NonceGenerator<ChaChaEntropy>,
+    replay: ReplayGuard,
+    accounts: HashMap<String, AccountRecord>,
+    sessions: HashMap<String, Session>,
+    pages: HashMap<String, Page>,
+    policy: ServerRiskPolicy,
+    audit_log: Vec<AuditEntry>,
+    reject_counts: HashMap<Reject, u64>,
+    session_counter: u64,
+    trace: TraceLog,
+}
+
+impl WebServer {
+    /// Creates a server for `domain`, with a CA-issued certificate and a
+    /// default page set (registration, login, home, and a few content
+    /// pages).
+    pub fn new(
+        domain: &str,
+        group: &'static DhGroup,
+        ca: &mut TrustAuthority,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        let mut entropy = ChaChaEntropy::from_seed(seed);
+        let keys = KeyPair::generate(group, &mut entropy);
+        let cert = ca.issue_server_cert(domain, keys.public_key());
+        let nonce_entropy = entropy.fork(b"nonces");
+
+        let mut pages = HashMap::new();
+        for (path, body) in [
+            ("/register", &b"create your account"[..]),
+            ("/login", &b"enter"[..]),
+            ("/home", &b"welcome back"[..]),
+            ("/inbox", &b"3 unread messages"[..]),
+            ("/transfer", &b"transfer funds"[..]),
+            ("/settings", &b"account settings"[..]),
+        ] {
+            pages.insert(path.to_owned(), Page::new(path, body.to_vec()));
+        }
+
+        WebServer {
+            domain: domain.to_owned(),
+            keys,
+            cert,
+            ca_key: ca.public_key().clone(),
+            entropy,
+            nonces: NonceGenerator::new(nonce_entropy),
+            replay: ReplayGuard::new(),
+            accounts: HashMap::new(),
+            sessions: HashMap::new(),
+            pages,
+            policy: ServerRiskPolicy::default(),
+            audit_log: Vec::new(),
+            reject_counts: HashMap::new(),
+            session_counter: 0,
+            trace: TraceLog::new(),
+        }
+    }
+
+    /// The serving domain.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The server's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public_key()
+    }
+
+    /// Overrides the risk policy (for the policy-sweep experiments).
+    pub fn set_risk_policy(&mut self, policy: ServerRiskPolicy) {
+        self.policy = policy;
+    }
+
+    /// The page at `path`, if served here.
+    pub fn page(&self, path: &str) -> Option<&Page> {
+        self.pages.get(path)
+    }
+
+    /// Adds (or replaces) a served page.
+    pub fn put_page(&mut self, page: Page) {
+        self.pages.insert(page.path.clone(), page);
+    }
+
+    /// Number of bound accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether `account` is bound.
+    pub fn has_account(&self, account: &str) -> bool {
+        self.accounts.contains_key(account)
+    }
+
+    /// The audit log.
+    pub fn audit_log(&self) -> &[AuditEntry] {
+        &self.audit_log
+    }
+
+    /// Rejection counters keyed by reason (the attack-matrix rows).
+    pub fn reject_counts(&self) -> &HashMap<Reject, u64> {
+        &self.reject_counts
+    }
+
+    fn reject(&mut self, reason: Reject) -> Reject {
+        *self.reject_counts.entry(reason).or_insert(0) += 1;
+        self.trace.security(
+            SimTime::ZERO,
+            "server",
+            format!("rejected request: {reason}"),
+        );
+        reason
+    }
+
+    /// The server's security-event trace (every rejection, in order).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    fn fresh_nonce(&mut self) -> Nonce {
+        let n = self.nonces.next_nonce();
+        self.replay.issue(n);
+        n
+    }
+
+    fn consume_nonce(&mut self, nonce: Nonce) -> Result<(), Reject> {
+        match self.replay.consume(nonce) {
+            NonceCheck::Fresh => Ok(()),
+            NonceCheck::Replayed => Err(self.reject(Reject::Replay)),
+            NonceCheck::Unknown => Err(self.reject(Reject::UnknownNonce)),
+        }
+    }
+
+    /// Serves a page with freshness + authenticity (Figs. 9/10, step 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is not a served page.
+    pub fn hello(&mut self, path: &str) -> ServerHello {
+        let page = self
+            .pages
+            .get(path)
+            .unwrap_or_else(|| panic!("no page at {path}"))
+            .clone();
+        let nonce = self.fresh_nonce();
+        let bytes = ServerHello::signed_bytes(&self.domain, &page, &nonce);
+        let signature = self.keys.sign(&bytes, &mut self.entropy);
+        ServerHello {
+            domain: self.domain.clone(),
+            page,
+            nonce,
+            server_cert: self.cert.clone(),
+            signature,
+        }
+    }
+
+    /// Handles a registration submission (Fig. 9, step 5): verifies the
+    /// nonce, the device certificate, and the device signature, then binds
+    /// the account to the submitted public key.
+    ///
+    /// # Errors
+    ///
+    /// Rejects on replayed/unknown nonce, bad certificate, bad signature,
+    /// an already-bound account name, or an invalid submitted key.
+    pub fn handle_registration(&mut self, msg: &RegistrationSubmit) -> Result<(), Reject> {
+        self.consume_nonce(msg.nonce)?;
+        if !msg.device_cert.verify(&self.ca_key) || msg.device_cert.role() != Role::FlockModule {
+            return Err(self.reject(Reject::BadCertificate));
+        }
+        let bytes = RegistrationSubmit::signed_bytes(
+            &msg.domain,
+            &msg.account,
+            &msg.nonce,
+            &msg.frame_hash,
+            &msg.user_public,
+        );
+        if msg.domain != self.domain || !msg.device_cert.public_key().verify(&bytes, &msg.signature)
+        {
+            return Err(self.reject(Reject::BadSignature));
+        }
+        if self.accounts.contains_key(&msg.account) {
+            return Err(self.reject(Reject::AccountExists));
+        }
+        let element = U2048::from_be_bytes(&msg.user_public);
+        let group = self.keys.public_key().group();
+        if !group.contains(&element) {
+            return Err(self.reject(Reject::BadSignature));
+        }
+        let public_key = PublicKey::from_element(group, element);
+        // Fallback password, deliverable out of band; derived here so the
+        // reset experiment has a stable credential.
+        let reset_password = format!("reset-{}-{}", msg.account, public_key.fingerprint());
+        self.accounts.insert(
+            msg.account.clone(),
+            AccountRecord {
+                public_key,
+                reset_password,
+            },
+        );
+        self.audit_log.push(AuditEntry {
+            account: msg.account.clone(),
+            expected_path: "/register".to_owned(),
+            frame_hash: msg.frame_hash,
+            action: "register".to_owned(),
+            risk: RiskReport::fresh_login(),
+        });
+        Ok(())
+    }
+
+    /// The account's fallback reset password (out-of-band channel in the
+    /// real deployment; exposed for the reset experiment).
+    pub fn reset_password_for(&self, account: &str) -> Option<&str> {
+        self.accounts
+            .get(account)
+            .map(|a| a.reset_password.as_str())
+    }
+
+    /// Handles a login submission (Fig. 10, step 3): verifies nonce and
+    /// user-key signature, recovers the session key, evaluates risk, and
+    /// opens a session whose first content page it returns.
+    ///
+    /// # Errors
+    ///
+    /// Rejects on nonce, account, signature, session-key, or risk-policy
+    /// failures.
+    pub fn handle_login(&mut self, msg: &LoginSubmit) -> Result<ContentPage, Reject> {
+        self.consume_nonce(msg.nonce)?;
+        let account_key = match self.accounts.get(&msg.account) {
+            Some(record) => record.public_key.clone(),
+            None => return Err(self.reject(Reject::UnknownAccount)),
+        };
+        let bytes = LoginSubmit::signed_bytes(
+            &msg.domain,
+            &msg.account,
+            &msg.nonce,
+            &msg.sealed_session_key,
+            &msg.frame_hash,
+            &msg.risk,
+        );
+        if msg.domain != self.domain || !account_key.verify(&bytes, &msg.signature) {
+            return Err(self.reject(Reject::BadSignature));
+        }
+        let Ok(session_key) = btd_crypto::elgamal::open(&self.keys, &msg.sealed_session_key) else {
+            return Err(self.reject(Reject::BadSessionKey));
+        };
+        if self.policy.evaluate(&msg.risk, 0) == RiskDecision::Terminate {
+            return Err(self.reject(Reject::RiskTerminated));
+        }
+
+        self.session_counter += 1;
+        let session_id = format!(
+            "sess-{}-{}",
+            self.session_counter,
+            Nonce({
+                let mut b = [0u8; 16];
+                self.entropy.fill(&mut b);
+                b
+            })
+        );
+        self.audit_log.push(AuditEntry {
+            account: msg.account.clone(),
+            expected_path: "/login".to_owned(),
+            frame_hash: msg.frame_hash,
+            action: "login".to_owned(),
+            risk: msg.risk,
+        });
+        let home = self.pages.get("/home").expect("home page").clone();
+        let nonce = self.fresh_nonce();
+        let mac_bytes = ContentPage::mac_bytes(&session_id, &msg.account, &nonce, &home);
+        let mac = hmac_sha256(&session_key, &mac_bytes);
+        self.sessions.insert(
+            session_id.clone(),
+            Session {
+                account: msg.account.clone(),
+                key: session_key,
+                pending_nonce: nonce,
+                current_path: "/home".to_owned(),
+                stepups: 0,
+                terminated: false,
+                interactions: 0,
+            },
+        );
+        Ok(ContentPage {
+            session_id,
+            account: msg.account.clone(),
+            nonce,
+            page: home,
+            mac,
+        })
+    }
+
+    /// Handles a post-login interaction (Fig. 10, step 4).
+    ///
+    /// # Errors
+    ///
+    /// Rejects on unknown/terminated session, nonce replay, MAC failure,
+    /// or risk-policy termination.
+    pub fn handle_interaction(&mut self, msg: &InteractionRequest) -> Result<ContentPage, Reject> {
+        let (terminated, account_matches, pending_nonce, key) =
+            match self.sessions.get(&msg.session_id) {
+                Some(s) => (
+                    s.terminated,
+                    s.account == msg.account,
+                    s.pending_nonce,
+                    s.key.clone(),
+                ),
+                None => return Err(self.reject(Reject::UnknownSession)),
+            };
+        if terminated || !account_matches {
+            return Err(self.reject(Reject::UnknownSession));
+        }
+        if msg.nonce != pending_nonce {
+            // Either a replayed old nonce or a forged one.
+            let reason = if self.replay.consume(msg.nonce) == NonceCheck::Replayed {
+                Reject::Replay
+            } else {
+                Reject::UnknownNonce
+            };
+            return Err(self.reject(reason));
+        }
+        let mac_bytes = InteractionRequest::mac_bytes(
+            &msg.session_id,
+            &msg.account,
+            &msg.nonce,
+            &msg.action,
+            &msg.frame_hash,
+            &msg.risk,
+        );
+        if !verify_hmac(&key, &mac_bytes, &msg.mac) {
+            return Err(self.reject(Reject::BadMac));
+        }
+        self.consume_nonce(msg.nonce)?;
+
+        // Risk policy.
+        let stepups = self.sessions[&msg.session_id].stepups;
+        let decision = self.policy.evaluate(&msg.risk, stepups);
+        if decision == RiskDecision::Terminate {
+            self.sessions
+                .get_mut(&msg.session_id)
+                .expect("session")
+                .terminated = true;
+            return Err(self.reject(Reject::RiskTerminated));
+        }
+
+        // Audit what the user saw when they acted.
+        let expected_path = self.sessions[&msg.session_id].current_path.clone();
+        self.audit_log.push(AuditEntry {
+            account: msg.account.clone(),
+            expected_path,
+            frame_hash: msg.frame_hash,
+            action: msg.action.clone(),
+            risk: msg.risk,
+        });
+
+        // Serve the requested page (unknown actions bounce to home).
+        let page = self
+            .pages
+            .get(&msg.action)
+            .or_else(|| self.pages.get("/home"))
+            .expect("home page")
+            .clone();
+        let nonce = self.fresh_nonce();
+        let mac_bytes = ContentPage::mac_bytes(&msg.session_id, &msg.account, &nonce, &page);
+        let mac = hmac_sha256(&key, &mac_bytes);
+        let session = self.sessions.get_mut(&msg.session_id).expect("session");
+        session.pending_nonce = nonce;
+        session.current_path = page.path.clone();
+        session.interactions += 1;
+        session.stepups = match decision {
+            RiskDecision::StepUp => session.stepups + 1,
+            _ => 0,
+        };
+        Ok(ContentPage {
+            session_id: msg.session_id.clone(),
+            account: msg.account.clone(),
+            nonce,
+            page,
+            mac,
+        })
+    }
+
+    /// Identity reset after device loss: the fallback password removes the
+    /// old key binding so the user can re-register from a new device
+    /// (paper §IV, "Identity Reset").
+    ///
+    /// # Errors
+    ///
+    /// Rejects on unknown account or wrong credential.
+    pub fn reset_identity(&mut self, account: &str, password: &str) -> Result<(), Reject> {
+        let Some(record) = self.accounts.get(account) else {
+            return Err(self.reject(Reject::UnknownAccount));
+        };
+        if record.reset_password != password {
+            return Err(self.reject(Reject::BadResetCredential));
+        }
+        self.accounts.remove(account);
+        // Kill any live sessions for the account.
+        for s in self.sessions.values_mut() {
+            if s.account == account {
+                s.terminated = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Interactions served in a session (testing/metrics).
+    pub fn session_interactions(&self, session_id: &str) -> Option<u64> {
+        self.sessions.get(session_id).map(|s| s.interactions)
+    }
+
+    /// Whether the session has been terminated.
+    pub fn session_terminated(&self, session_id: &str) -> Option<bool> {
+        self.sessions.get(session_id).map(|s| s.terminated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use btd_sim::trace::Severity;
+
+    fn setup() -> (WebServer, TrustAuthority, SimRng) {
+        let mut rng = SimRng::seed_from(11);
+        let mut ca = TrustAuthority::new(DhGroup::test_512(), &mut rng);
+        let server = WebServer::new("www.xyz.com", DhGroup::test_512(), &mut ca, &mut rng);
+        (server, ca, rng)
+    }
+
+    #[test]
+    fn hello_is_signed_and_fresh() {
+        let (mut server, ca, _) = setup();
+        let h1 = server.hello("/register");
+        let h2 = server.hello("/register");
+        assert_ne!(h1.nonce, h2.nonce, "nonces must be fresh");
+        assert!(h1.server_cert.verify(ca.public_key()));
+        let bytes = ServerHello::signed_bytes(&h1.domain, &h1.page, &h1.nonce);
+        assert!(server.public_key().verify(&bytes, &h1.signature));
+    }
+
+    #[test]
+    #[should_panic(expected = "no page")]
+    fn hello_for_missing_page_panics() {
+        let (mut server, _, _) = setup();
+        let _ = server.hello("/nope");
+    }
+
+    #[test]
+    fn reset_requires_correct_password() {
+        let (mut server, _, _) = setup();
+        // No account yet.
+        assert_eq!(
+            server.reset_identity("alice", "pw"),
+            Err(Reject::UnknownAccount)
+        );
+        // Insert an account directly for this unit test.
+        let key = server.public_key().clone();
+        server.accounts.insert(
+            "alice".into(),
+            AccountRecord {
+                public_key: key,
+                reset_password: "correct".into(),
+            },
+        );
+        assert_eq!(
+            server.reset_identity("alice", "wrong"),
+            Err(Reject::BadResetCredential)
+        );
+        assert!(server.reset_identity("alice", "correct").is_ok());
+        assert!(!server.has_account("alice"));
+    }
+
+    #[test]
+    fn reject_counters_accumulate() {
+        let (mut server, _, _) = setup();
+        let _ = server.reset_identity("ghost", "pw");
+        let _ = server.reset_identity("ghost", "pw");
+        assert_eq!(server.reject_counts()[&Reject::UnknownAccount], 2);
+        // The security trace mirrors the counters.
+        assert_eq!(server.trace().count_severity(Severity::Security), 2);
+        assert_eq!(server.trace().matching("unknown account").count(), 2);
+    }
+
+    #[test]
+    fn pages_can_be_added() {
+        let (mut server, _, _) = setup();
+        assert!(server.page("/promo").is_none());
+        server.put_page(Page::new("/promo", b"sale".to_vec()));
+        assert!(server.page("/promo").is_some());
+    }
+}

@@ -1,0 +1,214 @@
+//! Discrete-event session timeline.
+//!
+//! The flow functions in [`crate::auth`] run request/response pairs
+//! back-to-back; this module replays a session on a *timeline* instead:
+//! touches fire at their workload timestamps, network messages arrive one
+//! channel latency later, and everything interleaves through a
+//! deterministic event queue. The result is an event-ordered trace with
+//! true timestamps — what you need to measure, e.g., how long a hijacker
+//! holds a session in wall-clock terms, or how request pipelining behaves
+//! when the user taps faster than the network round-trip.
+
+use btd_sim::event::EventQueue;
+use btd_sim::rng::SimRng;
+use btd_workload::session::TouchSample;
+
+use crate::device::MobileDevice;
+use crate::messages::{ContentPage, InteractionRequest, Reject};
+use crate::server::WebServer;
+
+/// An event on the session timeline.
+#[derive(Debug)]
+enum Event {
+    /// The user touches the panel (and requests `action`).
+    Touch(TouchSample, &'static str),
+    /// A device request reaches the server.
+    RequestArrives(InteractionRequest),
+    /// A server response reaches the device.
+    ResponseArrives(ContentPage),
+}
+
+/// One entry of the resulting trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// A request left the device at this time.
+    Sent {
+        /// Send time.
+        at_ms: u64,
+        /// Requested action.
+        action: String,
+    },
+    /// The server served a page at this time.
+    Served {
+        /// Serve time.
+        at_ms: u64,
+        /// Served path.
+        path: String,
+    },
+    /// The server rejected a request at this time.
+    Rejected {
+        /// Rejection time.
+        at_ms: u64,
+        /// Why.
+        reason: Reject,
+    },
+    /// The device accepted and displayed a response at this time.
+    Displayed {
+        /// Display time.
+        at_ms: u64,
+    },
+}
+
+/// Replays `touches` as a timed session between `device` and `server`,
+/// with one-way network latency `latency`. Returns the event-ordered
+/// trace.
+///
+/// The device issues at most one in-flight request at a time (like a
+/// browser navigation): touches that land while a request is outstanding
+/// still run through the continuous-auth pipeline (they are touches!), but
+/// do not issue a second request.
+///
+/// # Panics
+///
+/// Panics if the device has no live session for `domain`.
+pub fn replay_session(
+    device: &mut MobileDevice,
+    server: &mut WebServer,
+    domain: &str,
+    actions: &[&'static str],
+    touches: &[TouchSample],
+    latency: btd_sim::time::SimDuration,
+    rng: &mut SimRng,
+) -> Vec<TraceEntry> {
+    assert!(
+        device.session_id(domain).is_some(),
+        "device must be logged in before replay_session"
+    );
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, t) in touches.iter().enumerate() {
+        queue.schedule(t.at, Event::Touch(*t, actions[i % actions.len()]));
+    }
+
+    let mut trace = Vec::new();
+    let mut in_flight = false;
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Touch(touch, action) => {
+                if in_flight {
+                    // The page hasn't come back yet; the touch is still
+                    // continuous authentication, just not a navigation.
+                    let _ = device.flock_mut().process_touch(&touch, rng);
+                    continue;
+                }
+                match device.interact(domain, action, &touch, rng) {
+                    Ok(request) => {
+                        in_flight = true;
+                        trace.push(TraceEntry::Sent {
+                            at_ms: now.as_millis(),
+                            action: action.to_owned(),
+                        });
+                        queue.schedule(now + latency, Event::RequestArrives(request));
+                    }
+                    Err(_) => continue,
+                }
+            }
+            Event::RequestArrives(request) => {
+                let arrival = now;
+                match server.handle_interaction(&request) {
+                    Ok(content) => {
+                        trace.push(TraceEntry::Served {
+                            at_ms: arrival.as_millis(),
+                            path: content.page.path.clone(),
+                        });
+                        queue.schedule(arrival + latency, Event::ResponseArrives(content));
+                    }
+                    Err(reason) => {
+                        in_flight = false;
+                        trace.push(TraceEntry::Rejected {
+                            at_ms: arrival.as_millis(),
+                            reason,
+                        });
+                    }
+                }
+            }
+            Event::ResponseArrives(content) => {
+                in_flight = false;
+                if device.accept_content(domain, &content).is_ok() {
+                    trace.push(TraceEntry::Displayed {
+                        at_ms: now.as_millis(),
+                    });
+                }
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::World;
+
+    fn logged_in_world(seed: u64) -> (World, usize, SimRng) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut world = World::new(&mut rng);
+        world.add_server("www.xyz.com", &mut rng);
+        let d = world.add_device("phone", 42, &mut rng);
+        world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+        world.login(d, "www.xyz.com", &mut rng).unwrap();
+        (world, d, rng)
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_causal() {
+        let (mut world, d, mut rng) = logged_in_world(60);
+        let touches = world.touches_for_holder(d, 20, &mut rng);
+        let trace = world.replay_session(d, "www.xyz.com", &touches, &mut rng);
+        assert!(!trace.is_empty());
+        // Monotone timestamps.
+        let times: Vec<u64> = trace
+            .iter()
+            .map(|e| match e {
+                TraceEntry::Sent { at_ms, .. }
+                | TraceEntry::Served { at_ms, .. }
+                | TraceEntry::Rejected { at_ms, .. }
+                | TraceEntry::Displayed { at_ms } => *at_ms,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        // Causality: sends ≥ serves ≥ displays, and every serve follows a
+        // send by exactly one latency.
+        let sends = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Sent { .. }))
+            .count();
+        let serves = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Served { .. }))
+            .count();
+        let displays = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Displayed { .. }))
+            .count();
+        assert!(sends >= serves);
+        assert_eq!(serves, displays, "every served page reaches the screen");
+        assert!(serves > 0, "session made no progress");
+    }
+
+    #[test]
+    fn fast_tapping_is_throttled_by_in_flight_navigation() {
+        let (mut world, d, mut rng) = logged_in_world(61);
+        // 30 touches crammed into a fraction of the round-trip time.
+        let mut touches = world.touches_for_holder(d, 30, &mut rng);
+        for (i, t) in touches.iter_mut().enumerate() {
+            t.at = btd_sim::time::SimTime::from_nanos(1_000_000 * (i as u64 + 1));
+            // 1 ms apart
+        }
+        let trace = world.replay_session(d, "www.xyz.com", &touches, &mut rng);
+        let sends = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEntry::Sent { .. }))
+            .count();
+        assert_eq!(sends, 1, "only one navigation can be in flight");
+    }
+}

@@ -1,0 +1,120 @@
+//! Identity transfer to a new device (paper §IV, "Identity Transfer").
+//!
+//! "The user sends an identity transfer request from the new mobile device
+//! along with its built-in public key certificate to the old mobile
+//! device. … The user can authorize the operation by verifying her
+//! fingerprint. When the authentication process is completed, the old
+//! mobile device encrypts — using the new device's public key — all the
+//! web service information and the corresponding (public, private) key
+//! pairs along with the user's biometric identity, and transfers the
+//! resulting information to the new mobile device."
+
+use btd_sim::rng::SimRng;
+
+use crate::device::{DeviceError, MobileDevice};
+
+/// Why an identity transfer failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransferError {
+    /// The new device's certificate did not verify on the old device.
+    UntrustedNewDevice,
+    /// The owner's authorizing fingerprint did not verify.
+    AuthorizationFailed,
+    /// The sealed payload could not be imported on the new device.
+    ImportFailed,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TransferError::UntrustedNewDevice => "new device certificate untrusted",
+            TransferError::AuthorizationFailed => "owner fingerprint authorization failed",
+            TransferError::ImportFailed => "identity import failed on new device",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Runs the full transfer: certificate check, fingerprint authorization on
+/// the old device, sealed export, and import on the new device.
+///
+/// # Errors
+///
+/// [`TransferError`] at whichever step fails; on failure no state is
+/// changed on the new device.
+pub fn transfer_identity(
+    old: &mut MobileDevice,
+    new: &mut MobileDevice,
+    owner_user: u64,
+    rng: &mut SimRng,
+) -> Result<(), TransferError> {
+    // The new device presents its certificate over the local channel.
+    let new_cert = new
+        .flock()
+        .certificate()
+        .cloned()
+        .ok_or(TransferError::UntrustedNewDevice)?;
+    if !old.flock_mut().verify_certificate(&new_cert) {
+        return Err(TransferError::UntrustedNewDevice);
+    }
+
+    // The owner authorizes with a fingerprint on the old device.
+    authorize_with_fingerprint(old, owner_user, rng)
+        .map_err(|_| TransferError::AuthorizationFailed)?;
+
+    // Export sealed to the new device's built-in key; import there.
+    let sealed = old.flock_mut().export_identity(new_cert.public_key());
+    new.flock_mut()
+        .import_identity(&sealed)
+        .map_err(|_| TransferError::ImportFailed)
+}
+
+/// An explicit verified touch on the old device.
+fn authorize_with_fingerprint(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    rng: &mut SimRng,
+) -> Result<(), DeviceError> {
+    use btd_flock::pipeline::TouchAuthOutcome;
+    use btd_sim::time::SimDuration;
+    use btd_workload::session::TouchSample;
+
+    let button = device
+        .flock()
+        .auth()
+        .capture_pipeline()
+        .sensors()
+        .first()
+        .expect("sensors present")
+        .bounds()
+        .center();
+    let mut mismatches = 0;
+    for _ in 0..6 {
+        let sample = TouchSample {
+            at: btd_sim::time::SimTime::ZERO,
+            pos: button,
+            finger_center: button.offset(rng.gaussian_with(0.0, 0.6), rng.gaussian_with(1.0, 0.6)),
+            user_id: owner_user,
+            finger_index: 0,
+            speed_mm_s: rng.range_f64(0.0, 5.0),
+            pressure: rng.gaussian_with(0.55, 0.08).clamp(0.2, 0.9),
+            contact_radius_mm: rng.range_f64(4.0, 5.5),
+            moisture: rng.range_f64(0.2, 0.5),
+            dwell: SimDuration::from_millis(250),
+        };
+        match device.flock_mut().process_touch(&sample, rng).outcome {
+            TouchAuthOutcome::Verified { .. } => return Ok(()),
+            // One conclusive mismatch can be noise; two is evidence.
+            TouchAuthOutcome::Mismatched { .. } => {
+                mismatches += 1;
+                if mismatches >= 2 {
+                    return Err(DeviceError::BiometricRejected);
+                }
+            }
+            _ => continue,
+        }
+    }
+    Err(DeviceError::BiometricRejected)
+}

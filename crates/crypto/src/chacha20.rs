@@ -1,0 +1,173 @@
+//! The ChaCha20 stream cipher (RFC 7539).
+//!
+//! Session traffic in the remote-identity protocol (Fig. 10, step 4) is
+//! "encrypted using the session key"; this reproduction uses ChaCha20 with
+//! an HMAC-SHA256 tag (encrypt-then-MAC) as the symmetric layer, and also
+//! reuses the keystream as the deterministic entropy source
+//! ([`crate::entropy::ChaChaEntropy`]).
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block for (`key`, `counter`, `nonce`).
+pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` in place with the ChaCha20 keystream starting at block
+/// `initial_counter` (encryption and decryption are the same operation).
+///
+/// # Example
+///
+/// ```
+/// use btd_crypto::chacha20::xor_keystream;
+///
+/// let key = [1u8; 32];
+/// let nonce = [2u8; 12];
+/// let mut buf = b"attack at dawn".to_vec();
+/// xor_keystream(&key, &nonce, 1, &mut buf);
+/// xor_keystream(&key, &nonce, 1, &mut buf);
+/// assert_eq!(buf, b"attack at dawn");
+/// ```
+pub fn xor_keystream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+        let counter = initial_counter
+            .checked_add(block_idx as u32)
+            .expect("chacha20 block counter overflow");
+        let keystream = chacha20_block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience: returns the encryption of `plaintext` (counter starts at 1,
+/// matching RFC 7539's AEAD construction).
+pub fn encrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    xor_keystream(key, nonce, 1, &mut out);
+    out
+}
+
+/// Convenience: decryption (identical to [`encrypt`]).
+pub fn decrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], ciphertext: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 block-function test vector.
+    #[test]
+    fn rfc7539_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, 1, &nonce);
+        let expected_start = [0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&block[..8], &expected_start);
+        let expected_end = [0xa2, 0x50, 0x3c, 0x4e];
+        assert_eq!(&block[60..], &expected_end);
+    }
+
+    /// RFC 7539 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc7539_encrypt_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, &nonce, plaintext);
+        assert_eq!(
+            &ct[..16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
+            ]
+        );
+        assert_eq!(ct.len(), plaintext.len());
+        assert_eq!(decrypt(&key, &nonce, &ct), plaintext);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = [7u8; 32];
+        let a = encrypt(&key, &[1u8; 12], &[0u8; 64]);
+        let b = encrypt(&key, &[2u8; 12], &[0u8; 64]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        let msg: Vec<u8> = (0..1_000u32).map(|i| (i % 256) as u8).collect();
+        let ct = encrypt(&key, &nonce, &msg);
+        assert_ne!(ct, msg);
+        assert_eq!(decrypt(&key, &nonce, &ct), msg);
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [5u8; 32];
+        let nonce = [6u8; 12];
+        assert!(encrypt(&key, &nonce, &[]).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Miller–Rabin probabilistic primality testing.
+//!
+//! The security of the discrete-log suite rests on the group moduli being
+//! safe primes; this module lets the test suite *verify* that for both
+//! parameter sets instead of trusting the constants, and supports any
+//! future parameter generation.
+
+use crate::bignum::U2048;
+use crate::entropy::EntropySource;
+
+/// Small primes for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 20] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+];
+
+/// Whether `n` is probably prime, using trial division and `rounds`
+/// Miller–Rabin rounds with random bases from `entropy`.
+///
+/// The error probability is at most 4^(−rounds) for composite `n`.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+pub fn is_probable_prime(n: &U2048, rounds: u32, entropy: &mut dyn EntropySource) -> bool {
+    assert!(rounds > 0, "need at least one round");
+    if n < &U2048::from_u64(2) {
+        return false;
+    }
+    // Trial division by small primes (also handles small n exactly).
+    for p in SMALL_PRIMES {
+        let p_big = U2048::from_u64(p);
+        if n == &p_big {
+            return true;
+        }
+        if n.rem(&p_big).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n − 1 = d · 2^s with d odd.
+    let n_minus_1 = n.checked_sub(&U2048::ONE);
+    let mut d = n_minus_1;
+    let mut s = 0u32;
+    while d.is_even() {
+        d = d.shr1();
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        // Random base a in [2, n − 2].
+        let a = random_base(n, entropy);
+        let mut x = a.pow_mod(&d, n);
+        if x == U2048::ONE || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Draws a base in `[2, n − 2]` (assumes `n > 4`, guaranteed by the trial
+/// division above).
+fn random_base(n: &U2048, entropy: &mut dyn EntropySource) -> U2048 {
+    let nbytes = n.bits().div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; nbytes];
+        entropy.fill(&mut buf);
+        let candidate = U2048::from_be_bytes(&buf);
+        let two = U2048::from_u64(2);
+        let upper = n.checked_sub(&two);
+        if candidate >= two && candidate < upper {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::ChaChaEntropy;
+    use crate::group::DhGroup;
+
+    fn entropy() -> ChaChaEntropy {
+        ChaChaEntropy::from_u64_seed(1)
+    }
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut e = entropy();
+        for p in [2u64, 3, 5, 7, 97, 101, 65_537] {
+            assert!(
+                is_probable_prime(&U2048::from_u64(p), 16, &mut e),
+                "{p} should be prime"
+            );
+        }
+        for c in [0u64, 1, 4, 9, 91, 561 /* Carmichael */, 65_536] {
+            assert!(
+                !is_probable_prime(&U2048::from_u64(c), 16, &mut e),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn large_composite_rejected() {
+        // Product of two 32-bit primes.
+        let n = U2048::from_u64(4_294_967_291).mul_mod(
+            &U2048::from_u64(4_294_967_279),
+            &U2048::from_hex(&"f".repeat(32)),
+        );
+        let mut e = entropy();
+        assert!(!is_probable_prime(&n, 16, &mut e));
+    }
+
+    #[test]
+    fn test_group_parameters_are_safe_primes() {
+        let g = DhGroup::test_512();
+        let mut e = entropy();
+        assert!(is_probable_prime(g.modulus(), 12, &mut e), "p not prime");
+        assert!(is_probable_prime(g.order(), 12, &mut e), "q not prime");
+    }
+
+    #[test]
+    fn rfc3526_modulus_is_prime() {
+        // Fewer rounds: each 2048-bit exponentiation is expensive and the
+        // constant is standardized anyway — this is a self-check.
+        let g = DhGroup::modp_2048();
+        let mut e = entropy();
+        assert!(is_probable_prime(g.modulus(), 2, &mut e));
+    }
+}

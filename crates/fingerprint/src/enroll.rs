@@ -1,0 +1,178 @@
+//! Guided enrollment: building a [`Template`] from multiple captures.
+//!
+//! Enrollment in the TRUST flow is an explicit, cooperative step (the user
+//! places a finger on the unlock region when binding a device or an
+//! account), so — unlike opportunistic captures — the finger pose is
+//! controlled. The simulation reflects that by mapping each enrollment
+//! capture back into the fingertip frame with its ground-truth pose, then
+//! clustering detections across captures to suppress spurious minutiae.
+
+use btd_sim::geom::MmPoint;
+use btd_sim::rng::SimRng;
+
+use crate::minutiae::{normalize_angle, CaptureWindow, Minutia};
+use crate::pattern::{FingerPattern, FINGER_HALF_H, FINGER_HALF_W};
+use crate::quality::CaptureConditions;
+use crate::template::Template;
+
+/// Minimum fraction of captures a minutia must appear in to be enrolled.
+const MIN_SUPPORT_FRACTION: f64 = 0.4;
+/// Cluster radius when merging detections across captures, millimetres.
+const CLUSTER_RADIUS: f64 = 0.7;
+
+/// Enrolls `finger` from `captures` guided captures.
+///
+/// # Panics
+///
+/// Panics if `captures` is zero or enrollment detects no stable minutiae
+/// (which cannot happen for a well-formed [`FingerPattern`] with ≥1
+/// capture).
+///
+/// # Example
+///
+/// ```
+/// use btd_fingerprint::enroll::enroll;
+/// use btd_fingerprint::pattern::FingerPattern;
+/// use btd_sim::rng::SimRng;
+///
+/// let finger = FingerPattern::generate(42, 0);
+/// let template = enroll(&finger, 5, &mut SimRng::seed_from(1));
+/// assert!(template.len() >= 20);
+/// ```
+pub fn enroll(finger: &FingerPattern, captures: usize, rng: &mut SimRng) -> Template {
+    assert!(captures > 0, "enrollment needs at least one capture");
+    // A window covering the whole fingertip: guided enrollment asks the
+    // user to press flat on a dedicated region.
+    let window = CaptureWindow::centered(
+        MmPoint::new(0.0, 0.0),
+        2.0 * FINGER_HALF_W + 2.0,
+        2.0 * FINGER_HALF_H + 2.0,
+    );
+
+    let mut all: Vec<Minutia> = Vec::new();
+    for _ in 0..captures {
+        let obs = finger.observe(&window, &CaptureConditions::ideal(), rng);
+        let (s, c) = (-obs.true_rotation).sin_cos();
+        let center = obs.true_window_center;
+        for m in &obs.minutiae {
+            // Invert the sensor-frame transform using the guided pose.
+            let x = m.pos.x * c - m.pos.y * s + center.x;
+            let y = m.pos.x * s + m.pos.y * c + center.y;
+            all.push(Minutia::new(
+                MmPoint::new(x, y),
+                m.angle - obs.true_rotation,
+                m.kind,
+            ));
+        }
+    }
+
+    // Greedy clustering: repeatedly take an unclustered minutia and absorb
+    // everything within CLUSTER_RADIUS.
+    let min_support = ((captures as f64 * MIN_SUPPORT_FRACTION).ceil() as usize).max(1);
+    let mut used = vec![false; all.len()];
+    let mut merged: Vec<Minutia> = Vec::new();
+    for i in 0..all.len() {
+        if used[i] {
+            continue;
+        }
+        let mut members = vec![i];
+        used[i] = true;
+        for j in (i + 1)..all.len() {
+            if !used[j] && all[i].pos.distance_to(all[j].pos) < CLUSTER_RADIUS {
+                used[j] = true;
+                members.push(j);
+            }
+        }
+        if members.len() < min_support {
+            continue;
+        }
+        // Average position; circular-mean angle; majority kind.
+        let n = members.len() as f64;
+        let mx = members.iter().map(|&k| all[k].pos.x).sum::<f64>() / n;
+        let my = members.iter().map(|&k| all[k].pos.y).sum::<f64>() / n;
+        let sin_sum: f64 = members.iter().map(|&k| all[k].angle.sin()).sum();
+        let cos_sum: f64 = members.iter().map(|&k| all[k].angle.cos()).sum();
+        let angle = normalize_angle(sin_sum.atan2(cos_sum));
+        let endings = members
+            .iter()
+            .filter(|&&k| all[k].kind == crate::minutiae::MinutiaKind::Ending)
+            .count();
+        let kind = if endings * 2 >= members.len() {
+            crate::minutiae::MinutiaKind::Ending
+        } else {
+            crate::minutiae::MinutiaKind::Bifurcation
+        };
+        merged.push(Minutia::new(MmPoint::new(mx, my), angle, kind));
+    }
+
+    Template::new(finger.user_id(), finger.finger_index(), merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enrollment_recovers_most_ground_truth() {
+        let finger = FingerPattern::generate(100, 0);
+        let mut rng = SimRng::seed_from(3);
+        let template = enroll(&finger, 6, &mut rng);
+        let truth = finger.minutiae();
+        // Most template minutiae should sit near a ground-truth minutia.
+        let near_truth = template
+            .minutiae()
+            .iter()
+            .filter(|t| truth.iter().any(|g| g.pos.distance_to(t.pos) < 0.6))
+            .count();
+        let frac = near_truth as f64 / template.len() as f64;
+        assert!(frac > 0.85, "only {frac:.2} of template is genuine");
+        // And most of the ground truth should be recovered.
+        let recovered = truth
+            .iter()
+            .filter(|g| {
+                template
+                    .minutiae()
+                    .iter()
+                    .any(|t| t.pos.distance_to(g.pos) < 0.6)
+            })
+            .count();
+        assert!(
+            recovered as f64 / truth.len() as f64 > 0.75,
+            "recovered {recovered}/{}",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn more_captures_do_not_shrink_template_badly() {
+        let finger = FingerPattern::generate(101, 0);
+        let t2 = enroll(&finger, 2, &mut SimRng::seed_from(1));
+        let t8 = enroll(&finger, 8, &mut SimRng::seed_from(1));
+        assert!(t8.len() >= t2.len() / 2);
+        assert!(t8.len() >= 20);
+    }
+
+    #[test]
+    fn enrollment_is_deterministic_given_rng_seed() {
+        let finger = FingerPattern::generate(102, 1);
+        let a = enroll(&finger, 4, &mut SimRng::seed_from(9));
+        let b = enroll(&finger, 4, &mut SimRng::seed_from(9));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.minutiae()[0].pos, b.minutiae()[0].pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capture")]
+    fn zero_captures_rejected() {
+        let finger = FingerPattern::generate(103, 0);
+        let _ = enroll(&finger, 0, &mut SimRng::seed_from(1));
+    }
+
+    #[test]
+    fn template_carries_identity() {
+        let finger = FingerPattern::generate(104, 3);
+        let t = enroll(&finger, 3, &mut SimRng::seed_from(1));
+        assert_eq!(t.user_id(), 104);
+        assert_eq!(t.finger_index(), 3);
+    }
+}

@@ -1,0 +1,502 @@
+//! Partial-fingerprint matching by Hough alignment voting.
+//!
+//! The paper's local-identity mechanism assumes partial-print matching "is
+//! robust enough" (§IV-A, assumption 3, citing score-level fusion work).
+//! This matcher recovers the unknown rigid transform between an enrolled
+//! template (fingertip frame) and an observation (sensor frame) by letting
+//! every (template, observed) minutia pair vote for the transform it
+//! implies, then scoring greedy one-to-one correspondences under the best
+//! transform.
+
+use std::collections::HashMap;
+
+use crate::minutiae::{angle_distance, normalize_angle, Minutia};
+use crate::template::Template;
+
+/// Matcher tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchConfig {
+    /// Max positional error for a correspondence, millimetres.
+    pub pos_tolerance_mm: f64,
+    /// Max angular error for a correspondence, radians.
+    pub angle_tolerance_rad: f64,
+    /// Rotation quantization for Hough voting, radians.
+    pub rotation_bin_rad: f64,
+    /// Translation quantization for Hough voting, millimetres.
+    pub translation_bin_mm: f64,
+    /// Score at or above which the match is accepted as genuine.
+    pub score_threshold: f64,
+    /// Score at or below which the observation is *conclusively* someone
+    /// else's finger. Scores between the two thresholds are inconclusive —
+    /// typical of noisy genuine captures — and should not be treated as
+    /// evidence of fraud.
+    pub reject_threshold: f64,
+    /// Minimum matched correspondences for an accept: the quadratic score
+    /// is noisy on tiny observations, so a high score from very few pairs
+    /// is treated as inconclusive rather than as a match.
+    pub min_match_count: usize,
+    /// Minimum observed minutiae for a meaningful match attempt.
+    pub min_minutiae: usize,
+    /// Minimum observed minutiae before a low score may be treated as a
+    /// *conclusive* reject rather than merely inconclusive.
+    pub reject_min_minutiae: usize,
+    /// How many of the top-voted Hough bins to refine and score (the best
+    /// result wins). Noisy observations split the true transform's votes
+    /// across neighbouring bins, so evaluating more candidates trades a
+    /// little work for robustness.
+    pub hough_bins_evaluated: usize,
+    /// ICP refinement iterations per bin. More iterations recover noisy
+    /// genuine transforms better but also let impostor alignments
+    /// over-fit; keep low unless the observation noise demands it.
+    pub refine_iterations: usize,
+    /// Treat minutia directions as π-periodic orientations instead of full
+    /// 2π headings. Image-domain extraction ([`crate::extract`]) recovers
+    /// direction only up to the ridge's sign, so matching extracted
+    /// observations needs this mode.
+    pub angle_mod_pi: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            pos_tolerance_mm: 0.9,
+            angle_tolerance_rad: 0.5,
+            rotation_bin_rad: 0.18,
+            translation_bin_mm: 1.2,
+            score_threshold: 0.38,
+            reject_threshold: 0.20,
+            min_match_count: 7,
+            min_minutiae: 4,
+            reject_min_minutiae: 8,
+            hough_bins_evaluated: 4,
+            refine_iterations: 1,
+            angle_mod_pi: false,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// The configuration for matching image-extracted observations
+    /// (π-periodic directions, slightly wider angular tolerance).
+    pub fn for_image_extraction() -> Self {
+        MatchConfig {
+            angle_mod_pi: true,
+            angle_tolerance_rad: 0.55,
+            pos_tolerance_mm: 0.6,
+            rotation_bin_rad: 0.35,
+            hough_bins_evaluated: 8,
+            refine_iterations: 3,
+            score_threshold: 0.45,
+            ..MatchConfig::default()
+        }
+    }
+
+    /// Folds an angle difference into this configuration's canonical
+    /// range: `[0, 2π)` for full headings, or the *signed* `[−π/2, π/2)`
+    /// for π-periodic orientations. The signed range matters: a tiny
+    /// negative orientation difference must fold near 0, not near π,
+    /// or Hough votes for the identity transform split into a spurious
+    /// 180°-rotation bin.
+    fn fold(&self, a: f64) -> f64 {
+        if self.angle_mod_pi {
+            let pi = std::f64::consts::PI;
+            let mut d = a % pi;
+            if d < -pi / 2.0 {
+                d += pi;
+            } else if d >= pi / 2.0 {
+                d -= pi;
+            }
+            d
+        } else {
+            normalize_angle(a)
+        }
+    }
+
+    /// Angular distance under this configuration's period.
+    fn angle_gap(&self, a: f64, b: f64) -> f64 {
+        if self.angle_mod_pi {
+            self.fold(a - b).abs()
+        } else {
+            angle_distance(a, b)
+        }
+    }
+}
+
+/// The outcome of a match attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchResult {
+    /// Normalized similarity in `[0, 1]`.
+    pub score: f64,
+    /// Number of minutia correspondences under the best transform.
+    pub matched: usize,
+    /// Recovered rotation (template → sensor frame), radians.
+    pub rotation: f64,
+    /// Recovered translation, millimetres.
+    pub translation: (f64, f64),
+}
+
+impl MatchResult {
+    /// A definite non-match.
+    pub fn no_match() -> Self {
+        MatchResult {
+            score: 0.0,
+            matched: 0,
+            rotation: 0.0,
+            translation: (0.0, 0.0),
+        }
+    }
+
+    /// Whether this result clears `config`'s acceptance criteria (score
+    /// threshold and minimum matched-pair count).
+    pub fn is_accepted(&self, config: &MatchConfig) -> bool {
+        self.score >= config.score_threshold && self.matched >= config.min_match_count
+    }
+}
+
+/// Matches an observation (sensor-frame minutiae) against a template.
+///
+/// Returns [`MatchResult::no_match`] when the observation has fewer than
+/// [`MatchConfig::min_minutiae`] points.
+///
+/// # Example
+///
+/// ```
+/// use btd_fingerprint::matcher::{match_observation, MatchConfig};
+/// use btd_fingerprint::pattern::FingerPattern;
+/// use btd_fingerprint::enroll::enroll;
+/// use btd_fingerprint::minutiae::CaptureWindow;
+/// use btd_fingerprint::quality::CaptureConditions;
+/// use btd_sim::geom::MmPoint;
+/// use btd_sim::rng::SimRng;
+///
+/// let finger = FingerPattern::generate(1, 0);
+/// let mut rng = SimRng::seed_from(2);
+/// let template = enroll(&finger, 5, &mut rng);
+/// let window = CaptureWindow::centered(MmPoint::new(0.0, 2.0), 8.0, 8.0);
+/// let obs = finger.observe(&window, &CaptureConditions::ideal(), &mut rng);
+/// let genuine = match_observation(&template, &obs.minutiae, &MatchConfig::default());
+///
+/// let impostor_finger = FingerPattern::generate(2, 0);
+/// let obs2 = impostor_finger.observe(&window, &CaptureConditions::ideal(), &mut rng);
+/// let impostor = match_observation(&template, &obs2.minutiae, &MatchConfig::default());
+/// assert!(genuine.score > impostor.score);
+/// ```
+pub fn match_observation(
+    template: &Template,
+    observed: &[Minutia],
+    config: &MatchConfig,
+) -> MatchResult {
+    if observed.len() < config.min_minutiae {
+        return MatchResult::no_match();
+    }
+
+    // --- Hough voting over (rotation, translation) ----------------------
+    // Every pair hypothesizes: rotate template minutia by Δθ (the angle
+    // difference), translation is whatever maps it onto the observed one.
+    let mut votes: HashMap<(i64, i64, i64), u32> = HashMap::new();
+    for t in template.minutiae() {
+        for o in observed {
+            let dtheta = config.fold(o.angle - t.angle);
+            let (s, c) = dtheta.sin_cos();
+            let tx = o.pos.x - (t.pos.x * c - t.pos.y * s);
+            let ty = o.pos.y - (t.pos.x * s + t.pos.y * c);
+            let key = (
+                (dtheta / config.rotation_bin_rad).round() as i64,
+                (tx / config.translation_bin_mm).round() as i64,
+                (ty / config.translation_bin_mm).round() as i64,
+            );
+            *votes.entry(key).or_insert(0) += 1;
+        }
+    }
+    // Evaluate the top few bins — vote quantization occasionally splits
+    // the true transform across neighbouring bins, and committing to a
+    // single bin causes catastrophic genuine misalignments.
+    let mut bins: Vec<(u32, (i64, i64, i64))> = votes.into_iter().map(|(k, v)| (v, k)).collect();
+    bins.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    bins.truncate(config.hough_bins_evaluated.max(1));
+    let mut best_result = MatchResult::no_match();
+    for (_, bin) in bins {
+        let candidate = score_bin(template, observed, config, bin);
+        if candidate.score > best_result.score {
+            best_result = candidate;
+        }
+    }
+    best_result
+}
+
+/// Refines the transform implied by one Hough bin and scores the
+/// correspondences it induces.
+///
+/// Refinement is ICP-style: starting from the bin-centre transform, find
+/// greedy one-to-one correspondences, re-estimate the rigid transform from
+/// *those pairs only*, and repeat. Estimating only from matched pairs (as
+/// opposed to every pair that voted near the bin) keeps accidental
+/// pairings from contaminating the transform.
+fn score_bin(
+    template: &Template,
+    observed: &[Minutia],
+    config: &MatchConfig,
+    (rb, xb, yb): (i64, i64, i64),
+) -> MatchResult {
+    let mut rotation = config.fold(rb as f64 * config.rotation_bin_rad);
+    let mut translation = (
+        xb as f64 * config.translation_bin_mm,
+        yb as f64 * config.translation_bin_mm,
+    );
+
+    let mut pairs: Vec<(usize, usize)>;
+    let iterations = config.refine_iterations.max(1);
+    for iteration in 0..iterations {
+        // Generous tolerances while the transform is still coarse.
+        let slack = match iterations - 1 - iteration {
+            0 => 1.0,
+            1 => 1.3,
+            _ => 1.6,
+        };
+        let transformed: Vec<Minutia> = template
+            .minutiae()
+            .iter()
+            .map(|m| m.transformed(rotation, translation.0, translation.1))
+            .collect();
+        pairs = correspondences(
+            &transformed,
+            observed,
+            config.pos_tolerance_mm * slack,
+            config.angle_tolerance_rad * slack,
+            config,
+        );
+        if pairs.is_empty() {
+            return MatchResult::no_match();
+        }
+        // Re-estimate the transform from the matched pairs only.
+        let (mut sin2, mut cos2, mut sin1, mut cos1) = (0.0f64, 0.0, 0.0, 0.0);
+        for &(ti, oi) in &pairs {
+            let d = observed[oi].angle - template.minutiae()[ti].angle;
+            sin2 += (2.0 * d).sin();
+            cos2 += (2.0 * d).cos();
+            sin1 += d.sin();
+            cos1 += d.cos();
+        }
+        // Circular mean with the period the angle convention demands:
+        // doubled angles for pi-periodic orientations.
+        rotation = if config.angle_mod_pi {
+            // Doubled-angle circular mean, kept in the signed [−π/2, π/2)
+            // range so near-identity rotations stay near zero.
+            config.fold(0.5 * sin2.atan2(cos2))
+        } else {
+            normalize_angle(sin1.atan2(cos1))
+        };
+        let (s, c) = rotation.sin_cos();
+        let (mut tx, mut ty) = (0.0f64, 0.0);
+        for &(ti, oi) in &pairs {
+            let tm = &template.minutiae()[ti];
+            tx += observed[oi].pos.x - (tm.pos.x * c - tm.pos.y * s);
+            ty += observed[oi].pos.y - (tm.pos.x * s + tm.pos.y * c);
+        }
+        translation = (tx / pairs.len() as f64, ty / pairs.len() as f64);
+    }
+
+    // --- Final correspondence count under exact tolerances ---------------
+    let transformed: Vec<Minutia> = template
+        .minutiae()
+        .iter()
+        .map(|m| m.transformed(rotation, translation.0, translation.1))
+        .collect();
+    let matched = correspondences(
+        &transformed,
+        observed,
+        config.pos_tolerance_mm,
+        config.angle_tolerance_rad,
+        config,
+    )
+    .len();
+
+    // --- Normalization ---------------------------------------------------
+    // The classic quadratic minutiae score: matched^2 over the product of
+    // the candidate set sizes. Accidental alignments that pair only a few
+    // minutiae are punished much harder than by a linear ratio, which is
+    // what keeps impostor scores low on small partial prints.
+    let obs_bound = bounding_radius(observed);
+    let in_region = transformed
+        .iter()
+        .filter(|t| t.pos.x.hypot(t.pos.y) <= obs_bound + config.pos_tolerance_mm)
+        .count()
+        .max(config.min_minutiae);
+    let denom = (observed.len() * in_region) as f64;
+    let score = ((matched * matched) as f64 / denom).clamp(0.0, 1.0);
+
+    MatchResult {
+        score,
+        matched,
+        rotation,
+        translation,
+    }
+}
+
+/// Greedy one-to-one correspondences (closest pairs first) between
+/// transformed template minutiae and observed minutiae. Returns
+/// `(template_index, observed_index)` pairs.
+fn correspondences(
+    transformed: &[Minutia],
+    observed: &[Minutia],
+    pos_tolerance: f64,
+    angle_tolerance: f64,
+    config: &MatchConfig,
+) -> Vec<(usize, usize)> {
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for (oi, o) in observed.iter().enumerate() {
+        for (ti, t) in transformed.iter().enumerate() {
+            let d = o.pos.distance_to(t.pos);
+            if d <= pos_tolerance && config.angle_gap(o.angle, t.angle) <= angle_tolerance {
+                candidates.push((d, ti, oi));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    let mut t_used = vec![false; transformed.len()];
+    let mut o_used = vec![false; observed.len()];
+    let mut pairs = Vec::new();
+    for (_, ti, oi) in candidates {
+        if !t_used[ti] && !o_used[oi] {
+            t_used[ti] = true;
+            o_used[oi] = true;
+            pairs.push((ti, oi));
+        }
+    }
+    pairs
+}
+
+/// Radius of the observation cloud around the sensor-frame origin.
+fn bounding_radius(minutiae: &[Minutia]) -> f64 {
+    minutiae
+        .iter()
+        .map(|m| m.pos.x.hypot(m.pos.y))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enroll::enroll;
+    use crate::minutiae::CaptureWindow;
+    use crate::pattern::FingerPattern;
+    use crate::quality::CaptureConditions;
+    use btd_sim::geom::MmPoint;
+    use btd_sim::rng::SimRng;
+
+    fn genuine_and_impostor_scores(window_size: f64, trials: u64) -> (Vec<f64>, Vec<f64>) {
+        let cfg = MatchConfig::default();
+        let mut genuine = Vec::new();
+        let mut impostor = Vec::new();
+        for trial in 0..trials {
+            let owner = FingerPattern::generate(trial, 0);
+            let other = FingerPattern::generate(10_000 + trial, 0);
+            let mut rng = SimRng::seed_from(500 + trial);
+            let template = enroll(&owner, 5, &mut rng);
+            let window = CaptureWindow::centered(
+                MmPoint::new(rng.range_f64(-2.0, 2.0), rng.range_f64(-3.0, 3.0)),
+                window_size,
+                window_size,
+            );
+            let obs_g = owner.observe(&window, &CaptureConditions::ideal(), &mut rng);
+            genuine.push(match_observation(&template, &obs_g.minutiae, &cfg).score);
+            let obs_i = other.observe(&window, &CaptureConditions::ideal(), &mut rng);
+            impostor.push(match_observation(&template, &obs_i.minutiae, &cfg).score);
+        }
+        (genuine, impostor)
+    }
+
+    #[test]
+    fn genuine_scores_dominate_impostor_scores() {
+        let (genuine, impostor) = genuine_and_impostor_scores(8.0, 12);
+        let g_mean = genuine.iter().sum::<f64>() / genuine.len() as f64;
+        let i_mean = impostor.iter().sum::<f64>() / impostor.len() as f64;
+        assert!(
+            g_mean > i_mean + 0.25,
+            "genuine {g_mean:.3} vs impostor {i_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn default_threshold_separates_most_cases() {
+        let cfg = MatchConfig::default();
+        let (genuine, impostor) = genuine_and_impostor_scores(8.0, 12);
+        let frr = genuine.iter().filter(|s| **s < cfg.score_threshold).count();
+        let far = impostor
+            .iter()
+            .filter(|s| **s >= cfg.score_threshold)
+            .count();
+        assert!(frr <= 3, "false rejects: {frr}/12 (scores {genuine:?})");
+        assert!(far <= 1, "false accepts: {far}/12 (scores {impostor:?})");
+    }
+
+    #[test]
+    fn recovers_the_applied_rotation() {
+        let finger = FingerPattern::generate(77, 0);
+        let mut rng = SimRng::seed_from(4);
+        let template = enroll(&finger, 5, &mut rng);
+        let window = CaptureWindow::centered(MmPoint::new(0.0, 0.0), 9.0, 9.0);
+        let obs = finger.observe(&window, &CaptureConditions::ideal(), &mut rng);
+        let result = match_observation(&template, &obs.minutiae, &MatchConfig::default());
+        assert!(result.matched >= 4);
+        let err = angle_distance(result.rotation, obs.true_rotation);
+        assert!(err < 0.2, "rotation error {err}");
+    }
+
+    #[test]
+    fn too_few_minutiae_is_no_match() {
+        let finger = FingerPattern::generate(78, 0);
+        let mut rng = SimRng::seed_from(5);
+        let template = enroll(&finger, 5, &mut rng);
+        let obs = [Minutia::new(
+            MmPoint::new(0.0, 0.0),
+            0.0,
+            crate::minutiae::MinutiaKind::Ending,
+        )];
+        let result = match_observation(&template, &obs, &MatchConfig::default());
+        assert_eq!(result, MatchResult::no_match());
+    }
+
+    #[test]
+    fn empty_observation_is_no_match() {
+        let finger = FingerPattern::generate(79, 0);
+        let mut rng = SimRng::seed_from(6);
+        let template = enroll(&finger, 5, &mut rng);
+        let result = match_observation(&template, &[], &MatchConfig::default());
+        assert_eq!(result.score, 0.0);
+    }
+
+    #[test]
+    fn smaller_windows_lower_scores_but_still_match() {
+        let (g_large, _) = genuine_and_impostor_scores(10.0, 8);
+        let (g_small, _) = genuine_and_impostor_scores(5.0, 8);
+        let large_mean = g_large.iter().sum::<f64>() / g_large.len() as f64;
+        let small_mean = g_small.iter().sum::<f64>() / g_small.len() as f64;
+        // Small patches carry fewer minutiae; scores drop but stay usable.
+        assert!(small_mean > 0.2, "small-window mean {small_mean}");
+        assert!(large_mean > 0.4, "large-window mean {large_mean}");
+    }
+
+    #[test]
+    fn result_accept_uses_threshold_and_match_count() {
+        let cfg = MatchConfig::default();
+        let good = MatchResult {
+            score: cfg.score_threshold + 0.01,
+            matched: cfg.min_match_count,
+            ..MatchResult::no_match()
+        };
+        let low_score = MatchResult {
+            score: cfg.score_threshold - 0.01,
+            matched: cfg.min_match_count,
+            ..MatchResult::no_match()
+        };
+        let too_few_pairs = MatchResult {
+            score: cfg.score_threshold + 0.2,
+            matched: cfg.min_match_count - 1,
+            ..MatchResult::no_match()
+        };
+        assert!(good.is_accepted(&cfg));
+        assert!(!low_score.is_accepted(&cfg));
+        assert!(!too_few_pairs.is_accepted(&cfg));
+    }
+}

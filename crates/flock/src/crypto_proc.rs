@@ -1,0 +1,171 @@
+//! The crypto processor block.
+//!
+//! "The crypto processor is used to generate (public, private) key pairs,
+//! as well as to encrypt and decrypt." This block wraps the `btd-crypto`
+//! primitives and attaches a latency model: an embedded asymmetric engine
+//! takes milliseconds per exponentiation, and the protocol benches report
+//! where that time goes.
+
+use btd_crypto::elgamal::{open, seal, OpenError, SealedBox};
+use btd_crypto::entropy::{ChaChaEntropy, EntropySource};
+use btd_crypto::group::DhGroup;
+use btd_crypto::hmac::hmac_sha256;
+use btd_crypto::schnorr::{KeyPair, PublicKey, Signature};
+use btd_crypto::sha256::Digest;
+use btd_sim::time::SimDuration;
+
+/// Latency model for the asymmetric engine.
+#[derive(Clone, Copy, Debug)]
+pub struct CryptoLatency {
+    /// One modular exponentiation in the working group.
+    pub modexp: SimDuration,
+    /// One HMAC / hash over a short message.
+    pub mac: SimDuration,
+}
+
+impl CryptoLatency {
+    /// An embedded-class engine: ~2 ms per 2048-bit exponentiation,
+    /// microseconds for a MAC.
+    pub fn embedded() -> Self {
+        CryptoLatency {
+            modexp: SimDuration::from_micros(2_000),
+            mac: SimDuration::from_micros(8),
+        }
+    }
+}
+
+/// The crypto processor: primitives plus accumulated busy time.
+#[derive(Clone, Debug)]
+pub struct CryptoProcessor {
+    group: &'static DhGroup,
+    entropy: ChaChaEntropy,
+    latency: CryptoLatency,
+    busy: SimDuration,
+}
+
+impl CryptoProcessor {
+    /// Creates a processor over `group` seeded by `entropy`.
+    pub fn new(group: &'static DhGroup, entropy: ChaChaEntropy) -> Self {
+        CryptoProcessor {
+            group,
+            entropy,
+            latency: CryptoLatency::embedded(),
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// The working group.
+    pub fn group(&self) -> &'static DhGroup {
+        self.group
+    }
+
+    /// Total time the engine has spent on crypto so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Generates a key pair (one exponentiation).
+    pub fn generate_keypair(&mut self) -> KeyPair {
+        self.busy += self.latency.modexp;
+        KeyPair::generate(self.group, &mut self.entropy)
+    }
+
+    /// Signs a message (one exponentiation + hash).
+    pub fn sign(&mut self, keys: &KeyPair, message: &[u8]) -> Signature {
+        self.busy += self.latency.modexp;
+        self.busy += self.latency.mac;
+        keys.sign(message, &mut self.entropy)
+    }
+
+    /// Verifies a signature (two exponentiations + hash).
+    pub fn verify(&mut self, key: &PublicKey, message: &[u8], sig: &Signature) -> bool {
+        self.busy += self.latency.modexp * 2;
+        self.busy += self.latency.mac;
+        key.verify(message, sig)
+    }
+
+    /// Seals a payload to a public key (two exponentiations + symmetric).
+    pub fn seal_to(&mut self, recipient: &PublicKey, payload: &[u8]) -> SealedBox {
+        self.busy += self.latency.modexp * 2;
+        self.busy += self.latency.mac;
+        seal(recipient, payload, &mut self.entropy)
+    }
+
+    /// Opens a sealed payload (one exponentiation + symmetric).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OpenError`] from the underlying primitive.
+    pub fn open_with(&mut self, keys: &KeyPair, boxed: &SealedBox) -> Result<Vec<u8>, OpenError> {
+        self.busy += self.latency.modexp;
+        self.busy += self.latency.mac;
+        open(keys, boxed)
+    }
+
+    /// Computes an HMAC tag under a symmetric session key.
+    pub fn mac(&mut self, key: &[u8], message: &[u8]) -> Digest {
+        self.busy += self.latency.mac;
+        hmac_sha256(key, message)
+    }
+
+    /// Draws fresh random bytes (e.g. a session key).
+    pub fn random_bytes(&mut self, n: usize) -> Vec<u8> {
+        self.entropy.bytes(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn processor(seed: u64) -> CryptoProcessor {
+        CryptoProcessor::new(DhGroup::test_512(), ChaChaEntropy::from_u64_seed(seed))
+    }
+
+    #[test]
+    fn sign_verify_through_processor() {
+        let mut p = processor(1);
+        let keys = p.generate_keypair();
+        let sig = p.sign(&keys, b"host request");
+        assert!(p.verify(keys.public_key(), b"host request", &sig));
+        assert!(!p.verify(keys.public_key(), b"tampered", &sig));
+    }
+
+    #[test]
+    fn seal_open_through_processor() {
+        let mut p = processor(2);
+        let keys = p.generate_keypair();
+        let boxed = p.seal_to(keys.public_key(), b"session key");
+        assert_eq!(p.open_with(&keys, &boxed).unwrap(), b"session key");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut p = processor(3);
+        let t0 = p.busy_time();
+        let keys = p.generate_keypair();
+        let t1 = p.busy_time();
+        assert!(t1 > t0);
+        let _ = p.sign(&keys, b"m");
+        assert!(p.busy_time() > t1);
+    }
+
+    #[test]
+    fn verify_costs_more_than_sign() {
+        let mut signer = processor(4);
+        let keys = signer.generate_keypair();
+        let base = signer.busy_time();
+        let sig = signer.sign(&keys, b"m");
+        let sign_cost = signer.busy_time() - base;
+        let base = signer.busy_time();
+        let _ = signer.verify(keys.public_key(), b"m", &sig);
+        let verify_cost = signer.busy_time() - base;
+        assert!(verify_cost > sign_cost);
+    }
+
+    #[test]
+    fn random_bytes_differ() {
+        let mut p = processor(5);
+        assert_ne!(p.random_bytes(32), p.random_bytes(32));
+    }
+}

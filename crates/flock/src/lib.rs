@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! The FLock module (paper Figure 5) and the continuous-authentication
+//! pipeline (Figure 6).
+//!
+//! FLock is the trusted hardware anchor of the TRUST architecture: "Each
+//! FLock module has a unique built-in (public, private) key pair. The FLock
+//! module consists of a fingerprint controller, a touchscreen controller, a
+//! display repeater, a frame hash engine, a fingerprint processor, a host
+//! interface, on-chip storage devices (SRAM and Flash), and a crypto
+//! processor." This crate assembles those blocks from the substrate crates:
+//!
+//! * [`storage`] — byte-budgeted protected non-volatile storage for
+//!   templates, per-site key pairs, and account records.
+//! * [`framehash`] — display frames and the frame-hash engine (hash of
+//!   every displayed frame, later auditable by the server).
+//! * [`display`] — the display repeater that taps frames into the hash
+//!   engine on their way to the panel.
+//! * [`crypto_proc`] — the crypto processor: `btd-crypto` operations with
+//!   latency accounting.
+//! * [`fp_processor`] — template store + partial-print matcher invocation.
+//! * [`risk`] — the identity-risk tracker (k-of-n window rule, lockout
+//!   policy).
+//! * [`pipeline`] — the Figure 6 flow: touch → sensor activation → quality
+//!   gate → match → risk update.
+//! * [`ui`] — critical buttons drawn over sensor regions with a minimal
+//!   touch time (the §IV-A preventive measures).
+//! * [`unlock`] — explicit login flows for the Table I comparison
+//!   (password vs separate sensor vs integrated sensor).
+//! * [`module`] — [`module::FlockModule`], the composition the TRUST
+//!   protocol talks to.
+//!
+//! # Example
+//!
+//! ```
+//! use btd_flock::module::{FlockConfig, FlockModule};
+//! use btd_sim::rng::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(7);
+//! let mut flock = FlockModule::new("device-1", FlockConfig::fast_test(), &mut rng);
+//! flock.enroll_owner(42, 3, &mut rng); // user 42, three fingers
+//! assert_eq!(flock.enrolled_finger_count(), 3);
+//! ```
+
+pub mod crypto_proc;
+pub mod display;
+pub mod fp_processor;
+pub mod framehash;
+pub mod module;
+pub mod pipeline;
+pub mod risk;
+pub mod storage;
+pub mod ui;
+pub mod unlock;
+
+pub use module::{FlockConfig, FlockModule};
+pub use pipeline::{AuthPipeline, TouchAuthOutcome};
+pub use risk::{RiskAction, RiskConfig, RiskTracker};

@@ -1,0 +1,277 @@
+//! Explicit login flows — the Table I comparison.
+//!
+//! | | Password | Separate sensor | Integrated sensor |
+//! |---|---|---|---|
+//! | Continuous verification | no | no | **yes** |
+//! | User burden | memorization | extra login step | none |
+//! | Login speed | typing speed | few seconds | **instant** |
+//! | Transparent | no | no | **yes** |
+//!
+//! [`LoginApproach`] models each row's login latency and burden; the
+//! integrated approach is additionally driven end-to-end through the real
+//! [`AuthPipeline`] by [`unlock_with_flock`] ("an unlock button will appear
+//! above a fingerprint sensor. The user has to touch the unlock button to
+//! unlock the mobile device").
+
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use btd_workload::session::TouchSample;
+
+use crate::pipeline::{AuthPipeline, TouchAuthOutcome};
+
+/// The three mobile-authentication approaches of Table I.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LoginApproach {
+    /// Typing a password on the soft keyboard.
+    Password {
+        /// Password length in characters.
+        length: usize,
+    },
+    /// A dedicated fingerprint sensor requiring an explicit rub/swipe.
+    SeparateSensor,
+    /// The paper's design: a touch on an unlock button over an integrated
+    /// transparent sensor.
+    IntegratedSensor,
+}
+
+/// Modelled login characteristics for one attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct LoginMetrics {
+    /// Wall-clock time from intent to unlocked.
+    pub latency: SimDuration,
+    /// Explicit user actions beyond the touch that expresses intent
+    /// (keystrokes, swipe strokes).
+    pub extra_actions: u32,
+    /// Whether the approach demands memorization (cognitive burden).
+    pub memorization: bool,
+    /// Whether the approach keeps verifying after login.
+    pub continuous: bool,
+    /// Whether authentication is invisible to the user.
+    pub transparent: bool,
+}
+
+impl LoginApproach {
+    /// Samples one login attempt's metrics.
+    pub fn sample(&self, rng: &mut SimRng) -> LoginMetrics {
+        match self {
+            LoginApproach::Password { length } => {
+                // Mobile soft-keyboard typing: ~350 ms/char with variance,
+                // plus recall and submit time.
+                let per_char = rng.gaussian_with(0.35, 0.08).clamp(0.15, 0.8);
+                let recall = rng.range_f64(0.4, 1.5);
+                LoginMetrics {
+                    latency: SimDuration::from_secs_f64(recall + per_char * *length as f64),
+                    extra_actions: *length as u32 + 1,
+                    memorization: true,
+                    continuous: false,
+                    transparent: false,
+                }
+            }
+            LoginApproach::SeparateSensor => {
+                // Reach the sensor, swipe, wait for the scan: "few
+                // seconds".
+                let reach = rng.range_f64(0.5, 1.2);
+                let swipe = rng.range_f64(0.8, 1.8);
+                let scan = rng.range_f64(0.3, 0.8);
+                LoginMetrics {
+                    latency: SimDuration::from_secs_f64(reach + swipe + scan),
+                    extra_actions: 1,
+                    memorization: false,
+                    continuous: false,
+                    transparent: false,
+                }
+            }
+            LoginApproach::IntegratedSensor => {
+                // The unlock touch *is* the authentication: touchscreen
+                // frame + windowed readout + match, tens of milliseconds.
+                let hardware = rng.range_f64(0.015, 0.045);
+                LoginMetrics {
+                    latency: SimDuration::from_secs_f64(hardware),
+                    extra_actions: 0,
+                    memorization: false,
+                    continuous: true,
+                    transparent: true,
+                }
+            }
+        }
+    }
+}
+
+/// Result of an end-to-end integrated unlock attempt sequence.
+#[derive(Clone, Copy, Debug)]
+pub struct UnlockResult {
+    /// Whether the device unlocked.
+    pub unlocked: bool,
+    /// Touches needed (low-quality touches force a retry).
+    pub attempts: u32,
+    /// Total latency across attempts, including inter-attempt delay.
+    pub total_latency: SimDuration,
+}
+
+/// Drives the real pipeline through the unlock flow: the unlock button sits
+/// over the pipeline's first sensor; the given user touches it until a
+/// capture verifies, fails as a mismatch, or `max_attempts` is exhausted.
+///
+/// # Panics
+///
+/// Panics if the pipeline has no sensors or `max_attempts` is zero.
+pub fn unlock_with_flock(
+    pipeline: &mut AuthPipeline,
+    user_id: u64,
+    finger_index: u8,
+    max_attempts: u32,
+    rng: &mut SimRng,
+) -> UnlockResult {
+    assert!(max_attempts > 0, "need at least one attempt");
+    let sensor = pipeline
+        .capture_pipeline()
+        .sensors()
+        .first()
+        .expect("pipeline must have at least one sensor");
+    let button = sensor.bounds().center();
+
+    let mut total_latency = SimDuration::ZERO;
+    let mut mismatches = 0;
+    for attempt in 1..=max_attempts {
+        // A deliberate unlock touch: slow and firm, centred on the button.
+        let sample = TouchSample {
+            at: btd_sim::time::SimTime::ZERO,
+            pos: button,
+            finger_center: button.offset(rng.gaussian_with(0.0, 0.6), rng.gaussian_with(1.0, 0.6)),
+            user_id,
+            finger_index,
+            speed_mm_s: rng.range_f64(0.0, 5.0),
+            pressure: rng.gaussian_with(0.55, 0.08).clamp(0.2, 0.9),
+            contact_radius_mm: rng.range_f64(4.0, 5.5),
+            moisture: rng.range_f64(0.2, 0.5),
+            dwell: SimDuration::from_millis(250),
+        };
+        let processed = pipeline.process_touch(&sample, rng);
+        total_latency += processed.latency;
+        match processed.outcome {
+            TouchAuthOutcome::Verified { .. } => {
+                return UnlockResult {
+                    unlocked: true,
+                    attempts: attempt,
+                    total_latency,
+                }
+            }
+            TouchAuthOutcome::Mismatched { .. } => {
+                // One conclusive mismatch can be capture noise even for
+                // the genuine owner; a second ends the attempt sequence.
+                mismatches += 1;
+                if mismatches >= 2 {
+                    return UnlockResult {
+                        unlocked: false,
+                        attempts: attempt,
+                        total_latency,
+                    };
+                }
+                total_latency += SimDuration::from_millis(400);
+            }
+            // Low quality or (impossible here) off-sensor: retry after the
+            // user repositions.
+            _ => total_latency += SimDuration::from_millis(400),
+        }
+    }
+    UnlockResult {
+        unlocked: false,
+        attempts: max_attempts,
+        total_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp_processor::FingerprintProcessor;
+    use crate::risk::RiskConfig;
+    use btd_fingerprint::quality::QualityGate;
+    use btd_sensor::array::PlacedSensor;
+    use btd_sensor::capture::CapturePipeline;
+    use btd_sensor::readout::ReadoutConfig;
+    use btd_sensor::spec::SensorSpec;
+    use btd_sim::geom::MmPoint;
+
+    fn pipeline(owner: u64, rng: &mut SimRng) -> AuthPipeline {
+        let capture = CapturePipeline::new(
+            vec![PlacedSensor::new(
+                SensorSpec::flock_patch(),
+                MmPoint::new(22.0, 80.0),
+            )],
+            ReadoutConfig::default(),
+        );
+        let mut processor = FingerprintProcessor::new();
+        processor.enroll_user(owner, 2, rng);
+        AuthPipeline::new(
+            capture,
+            QualityGate::default(),
+            processor,
+            RiskConfig::default(),
+            SimDuration::from_millis(4),
+        )
+    }
+
+    #[test]
+    fn integrated_is_fastest_approach() {
+        let mut rng = SimRng::seed_from(1);
+        let pw = LoginApproach::Password { length: 8 }.sample(&mut rng);
+        let sep = LoginApproach::SeparateSensor.sample(&mut rng);
+        let int = LoginApproach::IntegratedSensor.sample(&mut rng);
+        assert!(int.latency < sep.latency);
+        assert!(sep.latency < pw.latency);
+        assert!(int.latency < SimDuration::from_millis(100), "instant");
+    }
+
+    #[test]
+    fn table_i_qualitative_rows_hold() {
+        let mut rng = SimRng::seed_from(2);
+        let pw = LoginApproach::Password { length: 8 }.sample(&mut rng);
+        let sep = LoginApproach::SeparateSensor.sample(&mut rng);
+        let int = LoginApproach::IntegratedSensor.sample(&mut rng);
+        assert!(pw.memorization && !sep.memorization && !int.memorization);
+        assert!(!pw.continuous && !sep.continuous && int.continuous);
+        assert!(!pw.transparent && !sep.transparent && int.transparent);
+        assert_eq!(int.extra_actions, 0);
+        assert!(pw.extra_actions > sep.extra_actions);
+    }
+
+    #[test]
+    fn owner_unlocks_within_few_attempts() {
+        let mut rng = SimRng::seed_from(3);
+        let mut p = pipeline(7, &mut rng);
+        let mut total_attempts = 0;
+        for _ in 0..10 {
+            let r = unlock_with_flock(&mut p, 7, 0, 5, &mut rng);
+            assert!(r.unlocked, "owner failed to unlock");
+            total_attempts += r.attempts;
+        }
+        assert!(total_attempts <= 20, "attempts {total_attempts}");
+    }
+
+    #[test]
+    fn impostor_cannot_unlock() {
+        let mut rng = SimRng::seed_from(4);
+        let mut p = pipeline(7, &mut rng);
+        let mut unlocked = 0;
+        for _ in 0..10 {
+            if unlock_with_flock(&mut p, 99, 0, 5, &mut rng).unlocked {
+                unlocked += 1;
+            }
+        }
+        assert_eq!(unlocked, 0, "impostor unlocked {unlocked}/10 times");
+    }
+
+    #[test]
+    fn unlock_latency_is_interactive() {
+        let mut rng = SimRng::seed_from(5);
+        let mut p = pipeline(7, &mut rng);
+        let r = unlock_with_flock(&mut p, 7, 0, 5, &mut rng);
+        assert!(r.unlocked);
+        assert!(
+            r.total_latency < SimDuration::from_secs(2),
+            "unlock took {}",
+            r.total_latency
+        );
+    }
+}

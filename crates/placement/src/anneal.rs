@@ -1,0 +1,162 @@
+//! Simulated-annealing refinement of a placement.
+//!
+//! Greedy commits to grid-aligned origins; annealing jiggles sensors
+//! continuously to climb off the grid. Moves that break the layout
+//! (off-panel or overlapping) are rejected outright.
+
+use btd_sim::geom::{MmPoint, MmRect};
+use btd_sim::rng::SimRng;
+
+use crate::problem::PlacementProblem;
+
+/// Annealing schedule parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealConfig {
+    /// Number of proposal iterations.
+    pub iterations: usize,
+    /// Initial temperature (in coverage units).
+    pub initial_temp: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// Standard deviation of positional proposals, millimetres.
+    pub step_mm: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 2_000,
+            initial_temp: 0.02,
+            cooling: 0.998,
+            step_mm: 3.0,
+        }
+    }
+}
+
+/// Refines `initial` by simulated annealing; returns the best placement
+/// seen (never worse than the input).
+pub fn anneal(
+    problem: &PlacementProblem,
+    initial: &[MmRect],
+    config: &AnnealConfig,
+    rng: &mut SimRng,
+) -> Vec<MmRect> {
+    if initial.is_empty() {
+        return Vec::new();
+    }
+    let mut current: Vec<MmRect> = initial.to_vec();
+    let mut current_cov = problem.coverage(&current);
+    let mut best = current.clone();
+    let mut best_cov = current_cov;
+    let mut temp = config.initial_temp;
+
+    for _ in 0..config.iterations {
+        // Propose: move one sensor by a Gaussian step.
+        let idx = rng.below(current.len() as u64) as usize;
+        let old = current[idx];
+        let proposal = problem.sensor_rect(MmPoint::new(
+            old.origin.x + rng.gaussian_with(0.0, config.step_mm),
+            old.origin.y + rng.gaussian_with(0.0, config.step_mm),
+        ));
+        let others: Vec<MmRect> = current
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, r)| *r)
+            .collect();
+        if !problem.fits(proposal) || problem.overlaps_any(proposal, &others) {
+            temp *= config.cooling;
+            continue;
+        }
+        current[idx] = proposal;
+        let new_cov = problem.coverage(&current);
+        let accept = new_cov >= current_cov
+            || rng.chance(((new_cov - current_cov) / temp.max(1e-9)).exp().min(1.0));
+        if accept {
+            current_cov = new_cov;
+            if new_cov > best_cov {
+                best_cov = new_cov;
+                best = current.clone();
+            }
+        } else {
+            current[idx] = old;
+        }
+        temp *= config.cooling;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy;
+    use btd_sim::geom::MmSize;
+    use btd_workload::heatmap::Heatmap;
+    use btd_workload::profile::UserProfile;
+    use btd_workload::session::SessionGenerator;
+
+    fn problem_for(profile_idx: usize) -> PlacementProblem {
+        let mut rng = SimRng::seed_from(profile_idx as u64 + 300);
+        let profile = UserProfile::builtin(profile_idx);
+        let panel = profile.panel_size();
+        let mut gen = SessionGenerator::new(profile, &mut rng);
+        let samples = gen.generate(3_000, &mut rng);
+        let heatmap = Heatmap::from_samples(panel, 4.0, &samples);
+        PlacementProblem::new(panel, MmSize::new(8.0, 8.0), heatmap)
+    }
+
+    #[test]
+    fn anneal_never_degrades() {
+        let p = problem_for(0);
+        let initial = greedy(&p, 3, 4.0);
+        let before = p.coverage(&initial);
+        let mut rng = SimRng::seed_from(1);
+        let cfg = AnnealConfig {
+            iterations: 400,
+            ..AnnealConfig::default()
+        };
+        let refined = anneal(&p, &initial, &cfg, &mut rng);
+        let after = p.coverage(&refined);
+        assert!(
+            after >= before - 1e-9,
+            "annealing degraded: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn anneal_improves_a_random_start() {
+        let p = problem_for(1);
+        let mut rng = SimRng::seed_from(2);
+        let initial = p.random_placement(3, &mut rng);
+        let before = p.coverage(&initial);
+        let cfg = AnnealConfig {
+            iterations: 800,
+            ..AnnealConfig::default()
+        };
+        let refined = anneal(&p, &initial, &cfg, &mut rng);
+        let after = p.coverage(&refined);
+        assert!(after > before, "no improvement: {before} → {after}");
+    }
+
+    #[test]
+    fn result_remains_valid_layout() {
+        let p = problem_for(2);
+        let mut rng = SimRng::seed_from(3);
+        let initial = greedy(&p, 4, 4.0);
+        let refined = anneal(&p, &initial, &AnnealConfig::default(), &mut rng);
+        assert_eq!(refined.len(), initial.len());
+        for (i, r) in refined.iter().enumerate() {
+            assert!(p.fits(*r));
+            for other in &refined[i + 1..] {
+                assert!(!r.overlaps(*other));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_initial_is_noop() {
+        let p = problem_for(0);
+        let mut rng = SimRng::seed_from(4);
+        assert!(anneal(&p, &[], &AnnealConfig::default(), &mut rng).is_empty());
+    }
+}

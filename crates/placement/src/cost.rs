@@ -1,0 +1,82 @@
+//! The sensor cost model.
+//!
+//! The paper frames placement as a *coverage vs cost* trade-off: "From
+//! both energy consumption and hardware cost aspects, using a large
+//! fingerprint sensor to cover the entire touchscreen is not a feasible
+//! plan." The cost of a placement is TFT area cost plus per-patch
+//! integration overhead (driver wiring, controller ports).
+
+use btd_sim::geom::MmRect;
+
+/// Cost model parameters (arbitrary cost units).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cost per square centimetre of transparent TFT sensor area.
+    pub per_cm2: f64,
+    /// Fixed integration cost per sensor patch.
+    pub per_patch: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_cm2: 0.15,
+            per_patch: 0.25,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total cost of a placement.
+    pub fn cost(&self, placement: &[MmRect]) -> f64 {
+        let area_cm2: f64 = placement.iter().map(|r| r.area() / 100.0).sum();
+        self.per_cm2 * area_cm2 + self.per_patch * placement.len() as f64
+    }
+
+    /// Coverage gained per cost unit — the figure of merit for comparing
+    /// design points.
+    pub fn effectiveness(&self, coverage: f64, placement: &[MmRect]) -> f64 {
+        let c = self.cost(placement);
+        if c == 0.0 {
+            0.0
+        } else {
+            coverage / c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btd_sim::geom::{MmPoint, MmSize};
+
+    fn patch(x: f64) -> MmRect {
+        MmRect::new(MmPoint::new(x, 0.0), MmSize::new(8.0, 8.0))
+    }
+
+    #[test]
+    fn cost_scales_with_count_and_area() {
+        let m = CostModel::default();
+        let one = m.cost(&[patch(0.0)]);
+        let two = m.cost(&[patch(0.0), patch(10.0)]);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        let big = MmRect::new(MmPoint::new(0.0, 0.0), MmSize::new(16.0, 16.0));
+        assert!(m.cost(&[big]) > one);
+    }
+
+    #[test]
+    fn empty_placement_costs_nothing() {
+        let m = CostModel::default();
+        assert_eq!(m.cost(&[]), 0.0);
+        assert_eq!(m.effectiveness(0.5, &[]), 0.0);
+    }
+
+    #[test]
+    fn effectiveness_prefers_cheap_coverage() {
+        let m = CostModel::default();
+        // Same coverage, fewer patches → more effective.
+        let e1 = m.effectiveness(0.6, &[patch(0.0)]);
+        let e2 = m.effectiveness(0.6, &[patch(0.0), patch(10.0)]);
+        assert!(e1 > e2);
+    }
+}

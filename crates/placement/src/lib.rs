@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Fingerprint-sensor placement optimization (paper §III-A / §IV-A).
+//!
+//! "For achieving the best trade-off between touch point coverage and
+//! cost, one can use a biometric sensor placement approach that chooses
+//! the optimal number, places, and sizes of fingerprint sensors. The
+//! optimization is based on the observation that … touch points … appear
+//! more frequently in certain touchscreen regions."
+//!
+//! This crate implements that approach over the heatmaps produced by
+//! `btd-workload`:
+//!
+//! * [`problem`] — the optimization problem (panel, sensor footprint,
+//!   touch-density weights) and the coverage objective.
+//! * [`greedy`] — weighted maximum-coverage greedy placement.
+//! * [`anneal`] — simulated-annealing refinement of a placement.
+//! * [`cost`] — the area/unit cost model and cost-effectiveness metrics.
+//! * [`pareto`] — sensor-count sweeps and Pareto-front extraction for the
+//!   coverage-vs-cost experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use btd_placement::problem::PlacementProblem;
+//! use btd_workload::heatmap::Heatmap;
+//! use btd_workload::profile::UserProfile;
+//! use btd_workload::session::SessionGenerator;
+//! use btd_sim::geom::MmSize;
+//! use btd_sim::rng::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let profile = UserProfile::builtin(0);
+//! let panel = profile.panel_size();
+//! let mut gen = SessionGenerator::new(profile, &mut rng);
+//! let samples = gen.generate(2_000, &mut rng);
+//! let heatmap = Heatmap::from_samples(panel, 4.0, &samples);
+//! let problem = PlacementProblem::new(panel, MmSize::new(8.0, 8.0), heatmap);
+//! let placement = btd_placement::greedy::greedy(&problem, 4, 2.0);
+//! assert!(problem.coverage(&placement) > 0.3);
+//! ```
+
+pub mod anneal;
+pub mod cost;
+pub mod greedy;
+pub mod pareto;
+pub mod problem;
+
+pub use problem::PlacementProblem;

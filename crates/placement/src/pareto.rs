@@ -1,0 +1,221 @@
+//! Sensor-count sweeps and Pareto-front extraction.
+//!
+//! The coverage-vs-cost experiment sweeps the number of placed sensors and
+//! reports, for each count, the achieved coverage and cost — then extracts
+//! the Pareto-efficient design points.
+
+use btd_sim::geom::MmRect;
+
+use crate::cost::CostModel;
+use crate::greedy::greedy;
+use crate::problem::PlacementProblem;
+
+/// One design point of the sweep.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// Number of sensors placed.
+    pub sensors: usize,
+    /// Touch coverage in `[0, 1]`.
+    pub coverage: f64,
+    /// Cost under the sweep's cost model.
+    pub cost: f64,
+    /// The placement itself.
+    pub placement: Vec<MmRect>,
+}
+
+/// Sweeps sensor counts `1..=max_sensors` with greedy placement.
+pub fn sweep(
+    problem: &PlacementProblem,
+    max_sensors: usize,
+    step_mm: f64,
+    cost_model: &CostModel,
+) -> Vec<DesignPoint> {
+    (1..=max_sensors)
+        .map(|k| {
+            let placement = greedy(problem, k, step_mm);
+            DesignPoint {
+                sensors: placement.len(),
+                coverage: problem.coverage(&placement),
+                cost: cost_model.cost(&placement),
+                placement,
+            }
+        })
+        .collect()
+}
+
+/// Extracts the Pareto front (maximize coverage, minimize cost), sorted by
+/// cost ascending.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut sorted: Vec<DesignPoint> = points.to_vec();
+    sorted.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    let mut front: Vec<DesignPoint> = Vec::new();
+    let mut best_cov = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.coverage > best_cov + 1e-12 {
+            best_cov = p.coverage;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// A design point of the (size × count) sweep.
+#[derive(Clone, Debug)]
+pub struct SizedDesignPoint {
+    /// Sensor edge length, millimetres (square patches).
+    pub sensor_mm: f64,
+    /// Number of sensors placed.
+    pub sensors: usize,
+    /// Touch coverage in `[0, 1]`.
+    pub coverage: f64,
+    /// Cost under the sweep's cost model.
+    pub cost: f64,
+}
+
+/// Sweeps sensor *sizes* as well as counts — the paper's full design space
+/// ("the optimal number, places, and sizes of fingerprint sensors").
+/// Each design point places `k` square sensors of one size greedily.
+///
+/// # Panics
+///
+/// Panics if `sizes_mm` is empty or contains a non-positive size.
+pub fn sweep_sizes(
+    panel: btd_sim::geom::MmSize,
+    heatmap: &btd_workload::heatmap::Heatmap,
+    sizes_mm: &[f64],
+    max_sensors: usize,
+    step_mm: f64,
+    cost_model: &CostModel,
+) -> Vec<SizedDesignPoint> {
+    assert!(!sizes_mm.is_empty(), "need at least one size");
+    let mut points = Vec::new();
+    for &size in sizes_mm {
+        assert!(size > 0.0, "sensor size must be positive");
+        let problem = PlacementProblem::new(
+            panel,
+            btd_sim::geom::MmSize::new(size, size),
+            heatmap.clone(),
+        );
+        for k in 1..=max_sensors {
+            let placement = greedy(&problem, k, step_mm);
+            points.push(SizedDesignPoint {
+                sensor_mm: size,
+                sensors: placement.len(),
+                coverage: problem.coverage(&placement),
+                cost: cost_model.cost(&placement),
+            });
+        }
+    }
+    points
+}
+
+/// Extracts the Pareto front of a size sweep (maximize coverage, minimize
+/// cost), sorted by cost ascending.
+pub fn sized_pareto_front(points: &[SizedDesignPoint]) -> Vec<SizedDesignPoint> {
+    let mut sorted: Vec<SizedDesignPoint> = points.to_vec();
+    sorted.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    let mut front: Vec<SizedDesignPoint> = Vec::new();
+    let mut best_cov = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.coverage > best_cov + 1e-12 {
+            best_cov = p.coverage;
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btd_sim::geom::MmSize;
+    use btd_sim::rng::SimRng;
+    use btd_workload::heatmap::Heatmap;
+    use btd_workload::profile::UserProfile;
+    use btd_workload::session::SessionGenerator;
+
+    fn problem() -> PlacementProblem {
+        let mut rng = SimRng::seed_from(400);
+        let profile = UserProfile::builtin(0);
+        let panel = profile.panel_size();
+        let mut gen = SessionGenerator::new(profile, &mut rng);
+        let samples = gen.generate(2_000, &mut rng);
+        let heatmap = Heatmap::from_samples(panel, 4.0, &samples);
+        PlacementProblem::new(panel, MmSize::new(8.0, 8.0), heatmap)
+    }
+
+    #[test]
+    fn sweep_produces_monotone_coverage() {
+        let p = problem();
+        let points = sweep(&p, 5, 4.0, &CostModel::default());
+        assert_eq!(points.len(), 5);
+        for w in points.windows(2) {
+            assert!(w[1].coverage >= w[0].coverage - 1e-9);
+            assert!(w[1].cost >= w[0].cost);
+        }
+    }
+
+    #[test]
+    fn front_is_strictly_improving() {
+        let p = problem();
+        let points = sweep(&p, 5, 4.0, &CostModel::default());
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].cost > w[0].cost);
+            assert!(w[1].coverage > w[0].coverage);
+        }
+    }
+
+    #[test]
+    fn size_sweep_covers_the_grid_and_larger_is_costlier() {
+        let p = problem();
+        let heatmap = p.heatmap().clone();
+        let points = sweep_sizes(
+            p.panel(),
+            &heatmap,
+            &[6.0, 10.0],
+            3,
+            4.0,
+            &CostModel::default(),
+        );
+        assert_eq!(points.len(), 6);
+        // Same count, bigger sensor: at least as much coverage, higher cost.
+        for k in 1..=3 {
+            let small = points
+                .iter()
+                .find(|x| x.sensor_mm == 6.0 && x.sensors == k)
+                .unwrap();
+            let large = points
+                .iter()
+                .find(|x| x.sensor_mm == 10.0 && x.sensors == k)
+                .unwrap();
+            assert!(large.coverage >= small.coverage - 0.02, "k={k}");
+            assert!(large.cost > small.cost);
+        }
+        let front = sized_pareto_front(&points);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].cost > w[0].cost && w[1].coverage > w[0].coverage);
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let mk = |sensors, coverage, cost| DesignPoint {
+            sensors,
+            coverage,
+            cost,
+            placement: Vec::new(),
+        };
+        let points = vec![
+            mk(1, 0.4, 1.0),
+            mk(2, 0.4, 2.0), // same coverage, higher cost → dominated
+            mk(3, 0.6, 3.0),
+            mk(4, 0.55, 4.0), // less coverage, higher cost → dominated
+        ];
+        let front = pareto_front(&points);
+        let sensors: Vec<usize> = front.iter().map(|p| p.sensors).collect();
+        assert_eq!(sensors, vec![1, 3]);
+    }
+}

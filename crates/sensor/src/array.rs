@@ -1,0 +1,191 @@
+//! A sensor instance placed on the panel.
+//!
+//! The biometric touch panel overlays several small transparent TFT sensor
+//! patches on the touchscreen (paper §III-A). A [`PlacedSensor`] binds a
+//! [`SensorSpec`] to a physical rectangle on the panel, translates between
+//! panel millimetres and cell addresses (the paper's "fingerprint
+//! controller translates a touchscreen location … into a pair of
+//! fingerprint sensor line and column address"), and captures comparator-
+//! thresholded images from a synthetic finger.
+
+use btd_fingerprint::image::GrayImage;
+use btd_fingerprint::pattern::FingerPattern;
+use btd_sim::geom::{MmPoint, MmRect, MmSize};
+
+use crate::readout::CellWindow;
+use crate::spec::SensorSpec;
+
+/// A sensor patch at a fixed position on the panel.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PlacedSensor {
+    /// The sensor hardware.
+    pub spec: SensorSpec,
+    /// Top-left corner of the active area on the panel, millimetres.
+    pub origin: MmPoint,
+}
+
+impl PlacedSensor {
+    /// Places `spec` with its top-left active-area corner at `origin`.
+    pub fn new(spec: SensorSpec, origin: MmPoint) -> Self {
+        PlacedSensor { spec, origin }
+    }
+
+    /// The active area on the panel.
+    pub fn bounds(&self) -> MmRect {
+        MmRect::new(
+            self.origin,
+            MmSize::new(self.spec.width_mm(), self.spec.height_mm()),
+        )
+    }
+
+    /// Whether a touch at `p` lands on this sensor.
+    pub fn covers(&self, p: MmPoint) -> bool {
+        self.bounds().contains(p)
+    }
+
+    /// Translates a panel point to the (row, column) cell under it, or
+    /// `None` if the point is off this sensor — the address-translation
+    /// step of the paper's fingerprint controller.
+    pub fn cell_at(&self, p: MmPoint) -> Option<(usize, usize)> {
+        if !self.covers(p) {
+            return None;
+        }
+        let pitch = self.spec.cell_pitch_um / 1_000.0;
+        let col = ((p.x - self.origin.x) / pitch) as usize;
+        let row = ((p.y - self.origin.y) / pitch) as usize;
+        Some((row.min(self.spec.rows - 1), col.min(self.spec.cols - 1)))
+    }
+
+    /// The cell window covering a capture region of `half_extent_mm` around
+    /// a touch at `p` ("selecting the rows and columns surrounding the
+    /// touch point"), or `None` if `p` is off-sensor.
+    pub fn window_around(&self, p: MmPoint, half_extent_mm: f64) -> Option<CellWindow> {
+        let (row, col) = self.cell_at(p)?;
+        let pitch = self.spec.cell_pitch_um / 1_000.0;
+        let half_cells = (half_extent_mm / pitch).ceil() as usize;
+        Some(CellWindow::clamped(
+            &self.spec,
+            row.saturating_sub(half_cells),
+            row + half_cells,
+            col.saturating_sub(half_cells),
+            col + half_cells,
+        ))
+    }
+
+    /// The panel rectangle corresponding to a cell window.
+    pub fn window_bounds(&self, window: &CellWindow) -> MmRect {
+        let pitch = self.spec.cell_pitch_um / 1_000.0;
+        MmRect::new(
+            MmPoint::new(
+                self.origin.x + window.col_start as f64 * pitch,
+                self.origin.y + window.row_start as f64 * pitch,
+            ),
+            MmSize::new(
+                window.col_count() as f64 * pitch,
+                window.row_count() as f64 * pitch,
+            ),
+        )
+    }
+
+    /// Captures the comparator-thresholded (binary, stored as 0/255) image
+    /// of `finger` over `window`, assuming the fingertip centre sits at
+    /// `finger_center` on the panel.
+    ///
+    /// Each cell compares its sensed voltage against the reference and
+    /// latches one bit (Figure 4), so the output is bilevel.
+    pub fn capture_binary(
+        &self,
+        finger: &FingerPattern,
+        finger_center: MmPoint,
+        window: &CellWindow,
+    ) -> GrayImage {
+        let pitch = self.spec.cell_pitch_um / 1_000.0;
+        let mut img = GrayImage::new(window.col_count(), window.row_count(), pitch);
+        for r in 0..window.row_count() {
+            for c in 0..window.col_count() {
+                // Panel position of this cell centre.
+                let px = self.origin.x + (window.col_start + c) as f64 * pitch + pitch / 2.0;
+                let py = self.origin.y + (window.row_start + r) as f64 * pitch + pitch / 2.0;
+                // Fingertip-frame position.
+                let fp = MmPoint::new(px - finger_center.x, py - finger_center.y);
+                let v = finger.ridge_value(fp);
+                img.set(c, r, if v >= 0.5 { 255 } else { 0 });
+            }
+        }
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_at(x: f64, y: f64) -> PlacedSensor {
+        PlacedSensor::new(SensorSpec::flock_patch(), MmPoint::new(x, y))
+    }
+
+    #[test]
+    fn bounds_and_coverage() {
+        let s = sensor_at(10.0, 20.0);
+        assert_eq!(s.bounds(), MmRect::from_edges(10.0, 20.0, 18.0, 28.0));
+        assert!(s.covers(MmPoint::new(14.0, 24.0)));
+        assert!(!s.covers(MmPoint::new(9.0, 24.0)));
+    }
+
+    #[test]
+    fn cell_address_translation() {
+        let s = sensor_at(10.0, 20.0);
+        // 50 µm pitch: 1 mm = 20 cells.
+        assert_eq!(s.cell_at(MmPoint::new(10.0, 20.0)), Some((0, 0)));
+        assert_eq!(s.cell_at(MmPoint::new(11.0, 22.0)), Some((40, 20)));
+        assert_eq!(s.cell_at(MmPoint::new(5.0, 5.0)), None);
+    }
+
+    #[test]
+    fn window_around_touch_is_centred_and_clamped() {
+        let s = sensor_at(0.0, 0.0);
+        let w = s.window_around(MmPoint::new(4.0, 4.0), 2.0).unwrap();
+        assert_eq!(w.row_count(), 80); // ±2mm at 50µm = ±40 cells
+        assert_eq!(w.col_count(), 80);
+        // Near the corner the window clamps.
+        let corner = s.window_around(MmPoint::new(0.2, 0.2), 2.0).unwrap();
+        assert!(corner.row_start == 0 && corner.col_start == 0);
+        assert!(corner.row_count() < 80);
+    }
+
+    #[test]
+    fn window_bounds_roundtrip() {
+        let s = sensor_at(10.0, 20.0);
+        let w = s.window_around(MmPoint::new(14.0, 24.0), 2.0).unwrap();
+        let b = s.window_bounds(&w);
+        assert!(b.contains(MmPoint::new(14.0, 24.0)));
+        assert!(s.bounds().contains_rect(b));
+    }
+
+    #[test]
+    fn binary_capture_shows_ridge_structure() {
+        let s = sensor_at(10.0, 20.0);
+        let finger = FingerPattern::generate(8, 0);
+        let w = s.window_around(MmPoint::new(14.0, 24.0), 3.0).unwrap();
+        let img = s.capture_binary(&finger, MmPoint::new(14.0, 24.0), &w);
+        // Bilevel output with both ridge and valley pixels present.
+        let ridge = img.fraction_above(128);
+        assert!((0.2..0.8).contains(&ridge), "ridge fraction {ridge}");
+        assert!(img.pixels().iter().all(|p| *p == 0 || *p == 255));
+    }
+
+    #[test]
+    fn different_fingers_capture_differently() {
+        let s = sensor_at(0.0, 0.0);
+        let w = s.window_around(MmPoint::new(4.0, 4.0), 3.0).unwrap();
+        let a = s.capture_binary(&FingerPattern::generate(1, 0), MmPoint::new(4.0, 4.0), &w);
+        let b = s.capture_binary(&FingerPattern::generate(2, 0), MmPoint::new(4.0, 4.0), &w);
+        let diff = a
+            .pixels()
+            .iter()
+            .zip(b.pixels())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(diff > a.pixels().len() / 5);
+    }
+}

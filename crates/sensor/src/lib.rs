@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! TFT fingerprint sensor simulation (paper Figures 2–4 and Table II).
+//!
+//! The paper's hardware contribution is a touchscreen overlaid with
+//! multiple small *transparent TFT* fingerprint sensors, driven by the
+//! readout architecture of Figure 4: a line decoder feeding a
+//! parallel-in/parallel-out shift register enables one row of capacitive
+//! sensing cells at a time, every cell in the row is compared against a
+//! reference voltage in parallel, the binary results land in per-column
+//! latches, and a column MUX transfers only the latches inside a selected
+//! column range ("selective data transfer").
+//!
+//! * [`spec`] — sensor specifications (cell pitch, array size, clock) with
+//!   the five published sensors of Table II as presets.
+//! * [`readout`] — the cycle-level timing model of Figure 4, with the
+//!   serial/parallel row addressing and full/selective transfer ablations.
+//! * [`array`](mod@array) — a placed sensor instance: panel↔cell coordinate mapping
+//!   and comparator-thresholded image capture from a synthetic finger.
+//! * [`capture`] — the full opportunistic capture path: touch point →
+//!   activation → windowed readout → minutiae observation + timing.
+//! * [`optical`] — the optical-sensor baseline of Figure 3 (for the
+//!   technology comparison experiment).
+//! * [`power`] — per-capture and idle energy accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use btd_sensor::readout::{ReadoutConfig, RowAddressing, ColumnTransfer};
+//! use btd_sensor::spec::SensorSpec;
+//!
+//! let spec = SensorSpec::flock_patch();
+//! let fast = ReadoutConfig { row_addressing: RowAddressing::Parallel,
+//!                            column_transfer: ColumnTransfer::Selective,
+//!                            transfer_lanes: 4 };
+//! let slow = ReadoutConfig { row_addressing: RowAddressing::Serial,
+//!                            column_transfer: ColumnTransfer::Full,
+//!                            transfer_lanes: 1 };
+//! let full = spec.full_window();
+//! assert!(fast.capture_time(&spec, &full) < slow.capture_time(&spec, &full));
+//! ```
+
+pub mod array;
+pub mod capture;
+pub mod optical;
+pub mod power;
+pub mod readout;
+pub mod spec;
+
+pub use array::PlacedSensor;
+pub use capture::{CaptureOutcome, CapturePipeline};
+pub use readout::{CellWindow, ColumnTransfer, ReadoutConfig, RowAddressing};
+pub use spec::SensorSpec;

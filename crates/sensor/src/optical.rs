@@ -1,0 +1,141 @@
+//! The optical-sensor baseline (paper Figure 3).
+//!
+//! "Optical fingerprint sensing techniques require a lens system. As such,
+//! it is hard to implement in a small package at a low cost." This module
+//! models the three candidate technologies at the level the paper compares
+//! them — package size, cost scaling, transparency, latency — so the
+//! technology-comparison experiment can print the Figure 3 discussion as a
+//! table.
+
+use btd_sim::time::SimDuration;
+
+use crate::spec::{SensorSpec, SensorTechnology};
+
+/// A technology evaluated for a given sensing area.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TechAssessment {
+    /// Which technology.
+    pub technology: SensorTechnology,
+    /// Module thickness including optics/package, millimetres.
+    pub thickness_mm: f64,
+    /// Relative unit cost for the area (arbitrary units, CMOS 1 cm² ≡ 1).
+    pub relative_cost: f64,
+    /// Whether the sensor can be transparent (overlayable on a display).
+    pub transparent: bool,
+    /// Typical capture latency for a full scan of the area.
+    pub capture_latency: SimDuration,
+    /// Whether the technology can scale to cover a display-sized area.
+    pub scales_to_display: bool,
+}
+
+/// Assesses `technology` for a sensing area of `area_mm2` mm².
+///
+/// The numbers encode the paper's qualitative claims quantitatively:
+/// optical needs a lens stack (thick, never transparent); CMOS is thin but
+/// its cost grows super-linearly with die area ("prohibitively high … for
+/// a sensor that can cover area as large as a mobile phone display"); TFT
+/// on glass is thin, transparent, and cost-scales like display glass.
+pub fn assess(technology: SensorTechnology, area_mm2: f64) -> TechAssessment {
+    assert!(area_mm2 > 0.0, "area must be positive");
+    let area_cm2 = area_mm2 / 100.0;
+    match technology {
+        SensorTechnology::Optical => TechAssessment {
+            technology,
+            thickness_mm: 14.0, // lens + LED + camera stack
+            relative_cost: 2.0 + 0.5 * area_cm2,
+            transparent: false,
+            capture_latency: SimDuration::from_millis(100),
+            scales_to_display: false,
+        },
+        SensorTechnology::CmosCapacitive => TechAssessment {
+            technology,
+            thickness_mm: 1.2,
+            // Si die cost grows super-linearly with area (yield loss).
+            relative_cost: area_cm2.powf(1.6).max(0.05),
+            transparent: false,
+            capture_latency: SimDuration::from_millis(3),
+            scales_to_display: false,
+        },
+        SensorTechnology::TftCapacitive => TechAssessment {
+            technology,
+            thickness_mm: 0.7,
+            // Display-glass economics: near-linear, low slope.
+            relative_cost: 0.15 * area_cm2 + 0.1,
+            transparent: true,
+            capture_latency: SimDuration::from_millis(20),
+            scales_to_display: true,
+        },
+    }
+}
+
+/// Assesses all three technologies for the same area, TFT last.
+pub fn compare_all(area_mm2: f64) -> [TechAssessment; 3] {
+    [
+        assess(SensorTechnology::Optical, area_mm2),
+        assess(SensorTechnology::CmosCapacitive, area_mm2),
+        assess(SensorTechnology::TftCapacitive, area_mm2),
+    ]
+}
+
+/// The area of a full smartphone display (for the cost-at-scale argument).
+pub fn display_area_mm2() -> f64 {
+    52.0 * 94.0
+}
+
+/// The area of one FLock sensor patch.
+pub fn patch_area_mm2() -> f64 {
+    let s = SensorSpec::flock_patch();
+    s.width_mm() * s.height_mm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_tft_is_transparent_and_scalable() {
+        for a in compare_all(patch_area_mm2()) {
+            let is_tft = a.technology == SensorTechnology::TftCapacitive;
+            assert_eq!(a.transparent, is_tft);
+            assert_eq!(a.scales_to_display, is_tft);
+        }
+    }
+
+    #[test]
+    fn optical_is_thickest() {
+        let all = compare_all(patch_area_mm2());
+        let optical = all[0];
+        assert!(all[1..]
+            .iter()
+            .all(|a| a.thickness_mm < optical.thickness_mm));
+    }
+
+    #[test]
+    fn cmos_cost_explodes_at_display_scale() {
+        let patch = assess(SensorTechnology::CmosCapacitive, patch_area_mm2());
+        let display = assess(SensorTechnology::CmosCapacitive, display_area_mm2());
+        let tft_display = assess(SensorTechnology::TftCapacitive, display_area_mm2());
+        // At display scale CMOS is dramatically more expensive than TFT…
+        assert!(display.relative_cost > 10.0 * tft_display.relative_cost);
+        // …and the ratio is far worse than at patch scale (super-linear).
+        let patch_tft = assess(SensorTechnology::TftCapacitive, patch_area_mm2());
+        assert!(
+            display.relative_cost / tft_display.relative_cost
+                > 2.0 * (patch.relative_cost / patch_tft.relative_cost)
+        );
+    }
+
+    #[test]
+    fn tft_cost_is_modest_everywhere() {
+        let patch = assess(SensorTechnology::TftCapacitive, patch_area_mm2());
+        let display = assess(SensorTechnology::TftCapacitive, display_area_mm2());
+        assert!(patch.relative_cost < 1.0);
+        assert!(display.relative_cost < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_rejected() {
+        let _ = assess(SensorTechnology::Optical, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Sensor energy accounting: opportunistic vs always-on.
+//!
+//! "At the beginning, the touchscreen is in fully powered-on state and
+//! fingerprint sensors are idle. The fingerprint sensors are activated
+//! after a touch action has been sensed … Such design of opportunistic
+//! capture of fingerprint reduces power consumption overhead" (§III-A).
+//! [`SensorPowerModel`] quantifies that claim for the power ablation bench.
+
+use btd_sim::power::{Joules, Watts};
+use btd_sim::time::SimDuration;
+
+use crate::spec::SensorSpec;
+
+/// Per-sensor power model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SensorPowerModel {
+    /// Power while actively scanning.
+    pub active: Watts,
+    /// Leakage while idle but powered.
+    pub idle: Watts,
+    /// Power while fully gated off (opportunistic idle state).
+    pub gated: Watts,
+}
+
+impl SensorPowerModel {
+    /// A power model derived from a sensor's cell count: active power
+    /// scales with the number of simultaneously driven cells, leakage with
+    /// total area.
+    pub fn for_spec(spec: &SensorSpec) -> Self {
+        let cells = spec.cell_count() as f64;
+        SensorPowerModel {
+            // ~0.4 µW per actively driven cell-column plus controller
+            // overhead.
+            active: Watts(2e-3 + 0.4e-6 * spec.cols as f64),
+            // ~2 nW leakage per cell when powered but idle.
+            idle: Watts(2e-9 * cells),
+            // Power gating leaves only the wake logic.
+            gated: Watts(1e-7),
+        }
+    }
+
+    /// Energy for one capture taking `capture_time`.
+    pub fn capture_energy(&self, capture_time: SimDuration) -> Joules {
+        self.active.over(capture_time)
+    }
+
+    /// Energy spent over a session of `session` length in the
+    /// *opportunistic* regime: gated except for `captures` captures of
+    /// `capture_time` each.
+    pub fn opportunistic_energy(
+        &self,
+        session: SimDuration,
+        captures: u64,
+        capture_time: SimDuration,
+    ) -> Joules {
+        let active_time = capture_time * captures;
+        let active_time = if active_time > session {
+            session
+        } else {
+            active_time
+        };
+        let gated_time = session.saturating_sub(active_time);
+        Joules(self.active.over(active_time).0 + self.gated.over(gated_time).0)
+    }
+
+    /// Energy spent over the same session if the sensor scans continuously
+    /// (the always-on strawman the paper argues against).
+    pub fn always_on_energy(&self, session: SimDuration) -> Joules {
+        self.active.over(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opportunistic_is_much_cheaper() {
+        let model = SensorPowerModel::for_spec(&SensorSpec::flock_patch());
+        let session = SimDuration::from_secs(600); // 10-minute session
+        let capture_time = SimDuration::from_millis(15);
+        let opp = model.opportunistic_energy(session, 500, capture_time);
+        let always = model.always_on_energy(session);
+        assert!(
+            always.0 > 50.0 * opp.0,
+            "always-on {always:?} vs opportunistic {opp:?}"
+        );
+    }
+
+    #[test]
+    fn capture_energy_scales_with_time() {
+        let model = SensorPowerModel::for_spec(&SensorSpec::flock_patch());
+        let e1 = model.capture_energy(SimDuration::from_millis(10));
+        let e2 = model.capture_energy(SimDuration::from_millis(20));
+        assert!((e2.0 - 2.0 * e1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_captures_cannot_exceed_session() {
+        let model = SensorPowerModel::for_spec(&SensorSpec::flock_patch());
+        let session = SimDuration::from_millis(100);
+        // Captures nominally exceed the session; energy must be capped.
+        let e = model.opportunistic_energy(session, 1_000_000, SimDuration::from_millis(10));
+        assert!(e.0 <= model.always_on_energy(session).0 + 1e-12);
+    }
+
+    #[test]
+    fn bigger_arrays_leak_more() {
+        let small = SensorPowerModel::for_spec(&SensorSpec::lee_1999());
+        let large = SensorPowerModel::for_spec(&SensorSpec::hara_2004());
+        assert!(large.idle.0 > small.idle.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The cycle-level readout timing model of Figure 4.
+//!
+//! The paper's driving system works row by row: "The shift register enables
+//! one row of capacitive sensing cells at a time. All the sensing cells in
+//! the enabled row are addressed during a clock cycle … Only results stored
+//! in the latches within the selected columns are transferred to the
+//! fingerprint controller. Using parallel addressing and selected data
+//! transfer, the fingerprint capture speed can be greatly improved."
+//!
+//! [`ReadoutConfig`] captures the two design axes as ablations:
+//! [`RowAddressing`] (one cycle per row vs one cycle per cell) and
+//! [`ColumnTransfer`] (full row vs the selected column range).
+
+use btd_sim::time::SimDuration;
+
+use crate::spec::SensorSpec;
+
+/// A rectangular cell window `[row_start, row_end) × [col_start, col_end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CellWindow {
+    /// First row (inclusive).
+    pub row_start: usize,
+    /// One past the last row.
+    pub row_end: usize,
+    /// First column (inclusive).
+    pub col_start: usize,
+    /// One past the last column.
+    pub col_end: usize,
+}
+
+impl CellWindow {
+    /// Creates a window, clamping to the array bounds of `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty after clamping.
+    pub fn clamped(
+        spec: &SensorSpec,
+        row_start: usize,
+        row_end: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> Self {
+        let w = CellWindow {
+            row_start: row_start.min(spec.rows),
+            row_end: row_end.min(spec.rows),
+            col_start: col_start.min(spec.cols),
+            col_end: col_end.min(spec.cols),
+        };
+        assert!(
+            w.row_start < w.row_end && w.col_start < w.col_end,
+            "cell window is empty after clamping"
+        );
+        w
+    }
+
+    /// Number of rows in the window.
+    pub fn row_count(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Number of columns in the window.
+    pub fn col_count(&self) -> usize {
+        self.col_end - self.col_start
+    }
+
+    /// Number of cells in the window.
+    pub fn cell_count(&self) -> usize {
+        self.row_count() * self.col_count()
+    }
+}
+
+/// How cells within an enabled row are sensed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RowAddressing {
+    /// Per-column comparators sense the whole row in one clock cycle
+    /// (Figure 4's design).
+    Parallel,
+    /// A single shared comparator is multiplexed across the row — one
+    /// cycle per cell (the naive baseline).
+    Serial,
+}
+
+/// Which latched results are shifted out to the fingerprint controller.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColumnTransfer {
+    /// Every column of the array, regardless of the capture window.
+    Full,
+    /// Only the columns inside the capture window ("selected data
+    /// transfer").
+    Selective,
+}
+
+/// A complete readout configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReadoutConfig {
+    /// Sensing mode within a row.
+    pub row_addressing: RowAddressing,
+    /// Latch-transfer mode.
+    pub column_transfer: ColumnTransfer,
+    /// How many latched bits the MUX moves per clock cycle.
+    pub transfer_lanes: usize,
+}
+
+impl Default for ReadoutConfig {
+    /// The paper's design point: parallel row addressing, selective
+    /// transfer, a 4-bit-wide transfer MUX.
+    fn default() -> Self {
+        ReadoutConfig {
+            row_addressing: RowAddressing::Parallel,
+            column_transfer: ColumnTransfer::Selective,
+            transfer_lanes: 4,
+        }
+    }
+}
+
+impl ReadoutConfig {
+    /// The historical baseline used to reproduce Table II rows: parallel
+    /// comparators but single-lane full-row transfer.
+    pub fn table_ii_baseline() -> Self {
+        ReadoutConfig {
+            row_addressing: RowAddressing::Parallel,
+            column_transfer: ColumnTransfer::Full,
+            transfer_lanes: 1,
+        }
+    }
+
+    /// Clock cycles to capture `window` on `spec`.
+    ///
+    /// Per enabled row: one line-decoder/shift-register setup cycle, the
+    /// sensing cycles, and the transfer cycles for the columns that are
+    /// actually moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transfer_lanes` is zero or the window exceeds the array.
+    pub fn capture_cycles(&self, spec: &SensorSpec, window: &CellWindow) -> u64 {
+        assert!(self.transfer_lanes > 0, "transfer lanes must be positive");
+        assert!(
+            window.row_end <= spec.rows && window.col_end <= spec.cols,
+            "window exceeds sensor array"
+        );
+        let sense_cycles = match self.row_addressing {
+            RowAddressing::Parallel => 1,
+            RowAddressing::Serial => window.col_count() as u64,
+        };
+        let transferred_cols = match self.column_transfer {
+            ColumnTransfer::Full => spec.cols,
+            ColumnTransfer::Selective => window.col_count(),
+        } as u64;
+        let transfer_cycles = transferred_cols.div_ceil(self.transfer_lanes as u64);
+        let per_row = 1 + sense_cycles + transfer_cycles;
+        per_row * window.row_count() as u64
+    }
+
+    /// Wall-clock time to capture `window` on `spec`.
+    pub fn capture_time(&self, spec: &SensorSpec, window: &CellWindow) -> SimDuration {
+        spec.clock
+            .cycles_to_duration(self.capture_cycles(spec, window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_beats_serial() {
+        let spec = SensorSpec::flock_patch();
+        let w = spec.full_window();
+        let parallel = ReadoutConfig {
+            row_addressing: RowAddressing::Parallel,
+            ..ReadoutConfig::default()
+        };
+        let serial = ReadoutConfig {
+            row_addressing: RowAddressing::Serial,
+            ..ReadoutConfig::default()
+        };
+        let p = parallel.capture_cycles(&spec, &w);
+        let s = serial.capture_cycles(&spec, &w);
+        assert!(s > 3 * p, "serial {s} vs parallel {p}");
+    }
+
+    #[test]
+    fn selective_beats_full_on_small_windows() {
+        let spec = SensorSpec::flock_patch();
+        let small = CellWindow::clamped(&spec, 40, 120, 40, 120);
+        let selective = ReadoutConfig::default();
+        let full = ReadoutConfig {
+            column_transfer: ColumnTransfer::Full,
+            ..ReadoutConfig::default()
+        };
+        assert!(selective.capture_cycles(&spec, &small) < full.capture_cycles(&spec, &small));
+    }
+
+    #[test]
+    fn selective_equals_full_on_full_window() {
+        let spec = SensorSpec::flock_patch();
+        let w = spec.full_window();
+        let selective = ReadoutConfig::default();
+        let full = ReadoutConfig {
+            column_transfer: ColumnTransfer::Full,
+            ..ReadoutConfig::default()
+        };
+        assert_eq!(
+            selective.capture_cycles(&spec, &w),
+            full.capture_cycles(&spec, &w)
+        );
+    }
+
+    #[test]
+    fn more_lanes_is_faster() {
+        let spec = SensorSpec::flock_patch();
+        let w = spec.full_window();
+        let one = ReadoutConfig {
+            transfer_lanes: 1,
+            ..ReadoutConfig::default()
+        };
+        let eight = ReadoutConfig {
+            transfer_lanes: 8,
+            ..ReadoutConfig::default()
+        };
+        assert!(eight.capture_cycles(&spec, &w) < one.capture_cycles(&spec, &w));
+    }
+
+    #[test]
+    fn hashido_response_time_reproduced() {
+        // Table II: 320 × 250 at 500 kHz reported 160 ms. The baseline
+        // model gives 320 rows × (1 + 1 + 250) cycles = 80,640 cycles
+        // ≈ 161 ms.
+        let spec = SensorSpec::hashido_2003();
+        let t = ReadoutConfig::table_ii_baseline().capture_time(&spec, &spec.full_window());
+        let published = spec.published_response.unwrap();
+        let ratio = t / published;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "simulated {t} vs published {published} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn window_cycles_scale_with_rows() {
+        let spec = SensorSpec::flock_patch();
+        let cfg = ReadoutConfig::default();
+        let half = CellWindow::clamped(&spec, 0, 80, 0, 160);
+        let full = spec.full_window();
+        assert_eq!(
+            2 * cfg.capture_cycles(&spec, &half),
+            cfg.capture_cycles(&spec, &full)
+        );
+    }
+
+    #[test]
+    fn clamping_limits_to_array() {
+        let spec = SensorSpec::flock_patch();
+        let w = CellWindow::clamped(&spec, 100, 900, 100, 900);
+        assert_eq!(w.row_end, 160);
+        assert_eq!(w.col_end, 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_window_rejected() {
+        let spec = SensorSpec::flock_patch();
+        let _ = CellWindow::clamped(&spec, 200, 300, 0, 10);
+    }
+}

@@ -1,0 +1,223 @@
+//! Sensor specifications, including the five published sensors of Table II.
+//!
+//! | Ref. | Cell size | Resolution | Response | Clock |
+//! |------|-----------|------------|----------|-------|
+//! | Lee et al. \[24\] | 42 µm | 64 × 256 | 3 ms | 4 MHz |
+//! | Shigematsu et al. \[20\] | 81.6 µm | 124 × 166 | 2 ms | n/m |
+//! | Hashido et al. \[10\] | 60 µm | 320 × 250 | 160 ms | 500 kHz |
+//! | Hara et al. \[9\] | 66 µm | 304 × 304 | 200 ms | 250 kHz |
+//! | Shimamura et al. \[21\] | 50 µm | 224 × 256 | 20 ms | n/m |
+//!
+//! ("n/m" clocks are back-filled with the frequency that reproduces the
+//! published response time under the serial readout model; the Table II
+//! experiment reports both the paper value and the simulated value.)
+
+use btd_sim::clock::ClockDomain;
+use btd_sim::time::SimDuration;
+
+use crate::readout::CellWindow;
+
+/// The sensing technology of a fingerprint sensor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SensorTechnology {
+    /// Poly-Si thin-film transistors on glass — transparent, overlayable
+    /// on a display (the paper's choice).
+    TftCapacitive,
+    /// Single-crystal Si CMOS — thin package but cannot scale to display
+    /// areas and is opaque.
+    CmosCapacitive,
+    /// Optical with a lens system — bulky, cannot be transparent.
+    Optical,
+}
+
+/// Static description of a fingerprint sensor array.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SensorSpec {
+    /// Human-readable name (e.g. `"lee-1999"`).
+    pub name: &'static str,
+    /// Sensing technology.
+    pub technology: SensorTechnology,
+    /// Cell pitch, micrometres.
+    pub cell_pitch_um: f64,
+    /// Number of cell rows.
+    pub rows: usize,
+    /// Number of cell columns.
+    pub cols: usize,
+    /// Pixel/readout clock.
+    pub clock: ClockDomain,
+    /// Published response time, if the source reported one.
+    pub published_response: Option<SimDuration>,
+}
+
+impl SensorSpec {
+    /// Lee et al. 1999: 600-dpi CMOS sensor, 42 µm cells, 64 × 256, 3 ms,
+    /// 4 MHz (Table II row 1).
+    pub fn lee_1999() -> Self {
+        SensorSpec {
+            name: "lee-1999",
+            technology: SensorTechnology::CmosCapacitive,
+            cell_pitch_um: 42.0,
+            rows: 64,
+            cols: 256,
+            clock: ClockDomain::from_mhz(4.0),
+            published_response: Some(SimDuration::from_millis(3)),
+        }
+    }
+
+    /// Shigematsu et al. 1999: single-chip sensor/identifier, 81.6 µm,
+    /// 124 × 166, 2 ms (clock not reported; back-filled at 12 MHz).
+    pub fn shigematsu_1999() -> Self {
+        SensorSpec {
+            name: "shigematsu-1999",
+            technology: SensorTechnology::CmosCapacitive,
+            cell_pitch_um: 81.6,
+            rows: 124,
+            cols: 166,
+            clock: ClockDomain::from_mhz(12.0),
+            published_response: Some(SimDuration::from_millis(2)),
+        }
+    }
+
+    /// Hashido et al. 2003: low-temperature poly-Si TFT on glass, 60 µm,
+    /// 320 × 250, 160 ms, 500 kHz.
+    pub fn hashido_2003() -> Self {
+        SensorSpec {
+            name: "hashido-2003",
+            technology: SensorTechnology::TftCapacitive,
+            cell_pitch_um: 60.0,
+            rows: 320,
+            cols: 250,
+            clock: ClockDomain::from_khz(500.0),
+            published_response: Some(SimDuration::from_millis(160)),
+        }
+    }
+
+    /// Hara et al. 2004: poly-Si TFT with integrated comparator, 66 µm,
+    /// 304 × 304, 200 ms, 250 kHz.
+    pub fn hara_2004() -> Self {
+        SensorSpec {
+            name: "hara-2004",
+            technology: SensorTechnology::TftCapacitive,
+            cell_pitch_um: 66.0,
+            rows: 304,
+            cols: 304,
+            clock: ClockDomain::from_khz(250.0),
+            published_response: Some(SimDuration::from_millis(200)),
+        }
+    }
+
+    /// Shimamura et al. 2010: capacitive-sensing circuit technique, 50 µm,
+    /// 224 × 256, 20 ms (clock not reported; back-filled at 3 MHz).
+    pub fn shimamura_2010() -> Self {
+        SensorSpec {
+            name: "shimamura-2010",
+            technology: SensorTechnology::TftCapacitive,
+            cell_pitch_um: 50.0,
+            rows: 224,
+            cols: 256,
+            clock: ClockDomain::from_mhz(3.0),
+            published_response: Some(SimDuration::from_millis(20)),
+        }
+    }
+
+    /// All five Table II sensors in row order.
+    pub fn table_ii() -> [SensorSpec; 5] {
+        [
+            SensorSpec::lee_1999(),
+            SensorSpec::shigematsu_1999(),
+            SensorSpec::hashido_2003(),
+            SensorSpec::hara_2004(),
+            SensorSpec::shimamura_2010(),
+        ]
+    }
+
+    /// The transparent TFT patch this reproduction places on the panel:
+    /// an 8 × 8 mm window at 50 µm pitch (160 × 160 cells, ~508 dpi),
+    /// clocked at 2 MHz — a design point the paper's Figure 4 architecture
+    /// makes plausible on poly-Si TFT.
+    pub fn flock_patch() -> Self {
+        SensorSpec {
+            name: "flock-patch",
+            technology: SensorTechnology::TftCapacitive,
+            cell_pitch_um: 50.0,
+            rows: 160,
+            cols: 160,
+            clock: ClockDomain::from_mhz(2.0),
+            published_response: None,
+        }
+    }
+
+    /// Physical width of the active area, millimetres.
+    pub fn width_mm(&self) -> f64 {
+        self.cols as f64 * self.cell_pitch_um / 1_000.0
+    }
+
+    /// Physical height of the active area, millimetres.
+    pub fn height_mm(&self) -> f64 {
+        self.rows as f64 * self.cell_pitch_um / 1_000.0
+    }
+
+    /// Resolution in dots per inch.
+    pub fn dpi(&self) -> f64 {
+        25_400.0 / self.cell_pitch_um
+    }
+
+    /// Total number of sensing cells.
+    pub fn cell_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// A window spanning the whole array.
+    pub fn full_window(&self) -> CellWindow {
+        CellWindow {
+            row_start: 0,
+            row_end: self.rows,
+            col_start: 0,
+            col_end: self.cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_has_five_rows() {
+        let t = SensorSpec::table_ii();
+        assert_eq!(t.len(), 5);
+        let names: Vec<&str> = t.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "lee-1999",
+                "shigematsu-1999",
+                "hashido-2003",
+                "hara-2004",
+                "shimamura-2010"
+            ]
+        );
+    }
+
+    #[test]
+    fn physical_dimensions() {
+        let s = SensorSpec::flock_patch();
+        assert!((s.width_mm() - 8.0).abs() < 1e-9);
+        assert!((s.height_mm() - 8.0).abs() < 1e-9);
+        assert_eq!(s.cell_count(), 25_600);
+    }
+
+    #[test]
+    fn lee_is_600_dpi() {
+        let s = SensorSpec::lee_1999();
+        assert!((s.dpi() - 604.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_window_covers_array() {
+        let s = SensorSpec::hara_2004();
+        let w = s.full_window();
+        assert_eq!(w.row_count(), 304);
+        assert_eq!(w.col_count(), 304);
+    }
+}

@@ -1,0 +1,90 @@
+//! Physical finger contacts on the panel.
+//!
+//! A [`Contact`] is the ground-truth physical state the scan observes: the
+//! workload generator (`btd-workload`) produces sequences of contacts, and
+//! the capacitance model in [`crate::scan`] converts them into electrode
+//! readings.
+
+use btd_sim::geom::MmPoint;
+
+/// One finger touching the panel.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Contact {
+    /// Contact patch centre on the panel, millimetres.
+    pub center: MmPoint,
+    /// Effective contact patch radius, millimetres (typically 3–6 mm).
+    pub radius_mm: f64,
+    /// Normalized pressure in `[0, 1]`; scales capacitive coupling.
+    pub pressure: f64,
+}
+
+impl Contact {
+    /// Creates a contact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is not positive or pressure is outside `[0, 1]`.
+    pub fn new(center: MmPoint, radius_mm: f64, pressure: f64) -> Self {
+        assert!(
+            radius_mm.is_finite() && radius_mm > 0.0,
+            "contact radius must be positive"
+        );
+        assert!((0.0..=1.0).contains(&pressure), "pressure must be in [0,1]");
+        Contact {
+            center,
+            radius_mm,
+            pressure,
+        }
+    }
+
+    /// Capacitive coupling amplitude of this contact (arbitrary units,
+    /// proportional to pressure and contact area).
+    pub fn coupling(&self) -> f64 {
+        // Area grows quadratically with radius; pressure flattens the
+        // fingertip, increasing true contact area roughly linearly.
+        self.pressure * self.radius_mm * self.radius_mm
+    }
+
+    /// Capacitance contribution at lateral distance `d` mm from the centre
+    /// (Gaussian fall-off with the patch radius as scale).
+    pub fn profile_at(&self, d: f64) -> f64 {
+        self.coupling() * (-0.5 * (d / self.radius_mm).powi(2)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupling_scales_with_pressure_and_size() {
+        let light = Contact::new(MmPoint::new(0.0, 0.0), 4.0, 0.2);
+        let heavy = Contact::new(MmPoint::new(0.0, 0.0), 4.0, 0.8);
+        let big = Contact::new(MmPoint::new(0.0, 0.0), 6.0, 0.2);
+        assert!(heavy.coupling() > light.coupling());
+        assert!(big.coupling() > light.coupling());
+    }
+
+    #[test]
+    fn profile_peaks_at_center_and_decays() {
+        let c = Contact::new(MmPoint::new(0.0, 0.0), 4.0, 0.5);
+        let at0 = c.profile_at(0.0);
+        let at4 = c.profile_at(4.0);
+        let at12 = c.profile_at(12.0);
+        assert!(at0 > at4);
+        assert!(at4 > at12);
+        assert!(at12 < 0.02 * at0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_rejected() {
+        let _ = Contact::new(MmPoint::new(0.0, 0.0), 0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "pressure")]
+    fn bad_pressure_rejected() {
+        let _ = Contact::new(MmPoint::new(0.0, 0.0), 4.0, 1.5);
+    }
+}

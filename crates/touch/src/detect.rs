@@ -1,0 +1,234 @@
+//! Touch-point detection from scan profiles.
+//!
+//! "The touch points are determined by combining the row and column sensing
+//! results" (paper §II-B). With self-capacitance profiles, two simultaneous
+//! touches yield 2×2 candidate intersections — the classic *ghost point*
+//! problem — which this module resolves by amplitude matching: a real touch
+//! contributes the same coupling to its row and its column, so the peak
+//! pairing that best balances amplitudes is the physical one.
+
+use btd_sim::geom::MmPoint;
+
+use crate::panel::PanelSpec;
+use crate::scan::ScanFrame;
+
+/// A detected peak on one axis.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AxisPeak {
+    /// Interpolated position along the axis, millimetres.
+    pub pos_mm: f64,
+    /// Peak amplitude.
+    pub amplitude: f64,
+}
+
+/// A resolved touch point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DetectedTouch {
+    /// Panel position, millimetres.
+    pub pos: MmPoint,
+    /// Combined amplitude (mean of the row and column peaks).
+    pub amplitude: f64,
+}
+
+/// Detection threshold as a fraction of the frame's strongest peak.
+const RELATIVE_THRESHOLD: f64 = 0.35;
+/// Absolute floor below which a frame is considered empty.
+const ABSOLUTE_FLOOR: f64 = 0.5;
+
+/// Finds peaks along one profile with parabolic sub-electrode
+/// interpolation.
+pub fn find_peaks(profile: &[f64], pitch_mm: f64, offset_mm: f64) -> Vec<AxisPeak> {
+    let max = profile.iter().copied().fold(0.0, f64::max);
+    if max < ABSOLUTE_FLOOR {
+        return Vec::new();
+    }
+    let threshold = (max * RELATIVE_THRESHOLD).max(ABSOLUTE_FLOOR);
+    let mut peaks = Vec::new();
+    for i in 0..profile.len() {
+        let v = profile[i];
+        if v < threshold {
+            continue;
+        }
+        let left = if i > 0 { profile[i - 1] } else { 0.0 };
+        let right = if i + 1 < profile.len() {
+            profile[i + 1]
+        } else {
+            0.0
+        };
+        if v < left || v <= right {
+            continue; // not a local maximum (ties break rightward)
+        }
+        // Parabolic interpolation around the peak electrode.
+        let denom = left - 2.0 * v + right;
+        let delta = if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            (0.5 * (left - right) / denom).clamp(-0.5, 0.5)
+        };
+        peaks.push(AxisPeak {
+            pos_mm: offset_mm + (i as f64 + 0.5 + delta) * pitch_mm,
+            amplitude: v,
+        });
+    }
+    peaks
+}
+
+/// Combines row and column peaks into touch points, resolving ghosts by
+/// amplitude matching.
+pub fn detect_touches(panel: &PanelSpec, frame: &ScanFrame) -> Vec<DetectedTouch> {
+    let col_peaks = find_peaks(&frame.columns, panel.electrode_pitch_mm, 0.0);
+    let row_peaks = find_peaks(&frame.rows, panel.electrode_pitch_mm, 0.0);
+    if col_peaks.is_empty() || row_peaks.is_empty() {
+        return Vec::new();
+    }
+
+    // Greedy amplitude matching: repeatedly pair the column/row peaks whose
+    // amplitudes are closest. A physical touch couples equally into both
+    // layers, so ghost pairings (strong column with weak row) sort last.
+    let mut col_used = vec![false; col_peaks.len()];
+    let mut row_used = vec![false; row_peaks.len()];
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (ci, c) in col_peaks.iter().enumerate() {
+        for (ri, r) in row_peaks.iter().enumerate() {
+            let mismatch =
+                (c.amplitude - r.amplitude).abs() / c.amplitude.max(r.amplitude).max(1e-9);
+            pairs.push((mismatch, ci, ri));
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite mismatch"));
+
+    let mut touches = Vec::new();
+    for (_, ci, ri) in pairs {
+        if col_used[ci] || row_used[ri] {
+            continue;
+        }
+        col_used[ci] = true;
+        row_used[ri] = true;
+        touches.push(DetectedTouch {
+            pos: MmPoint::new(col_peaks[ci].pos_mm, row_peaks[ri].pos_mm),
+            amplitude: (col_peaks[ci].amplitude + row_peaks[ri].amplitude) / 2.0,
+        });
+    }
+    touches
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::contact::Contact;
+    use crate::scan::scan;
+    use btd_sim::rng::SimRng;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any single firm touch well inside the panel is detected exactly
+        /// once, within 1.5 mm of ground truth.
+        #[test]
+        fn single_touch_detected_accurately(
+            x in 8.0f64..44.0,
+            y in 8.0f64..86.0,
+            radius in 3.0f64..5.5,
+            pressure in 0.35f64..0.9,
+            seed in 0u64..1_000,
+        ) {
+            let panel = PanelSpec::smartphone();
+            let mut rng = SimRng::seed_from(seed);
+            let contact = Contact::new(MmPoint::new(x, y), radius, pressure);
+            let frame = scan(&panel, &[contact], &mut rng);
+            let touches = detect_touches(&panel, &frame);
+            prop_assert_eq!(touches.len(), 1);
+            let err = touches[0].pos.distance_to(contact.center);
+            prop_assert!(err < 1.5, "error {}mm at ({}, {})", err, x, y);
+        }
+
+        /// Peak finding never reports more peaks than local maxima exist.
+        #[test]
+        fn peaks_are_bounded_by_profile_size(profile in proptest::collection::vec(0.0f64..10.0, 1..30)) {
+            let peaks = find_peaks(&profile, 5.0, 0.0);
+            prop_assert!(peaks.len() <= profile.len().div_ceil(2));
+            for p in &peaks {
+                prop_assert!(p.amplitude > 0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Contact;
+    use crate::scan::scan;
+    use btd_sim::rng::SimRng;
+
+    #[test]
+    fn finds_single_interpolated_peak() {
+        // A peak between electrodes 3 and 4, closer to 3.
+        let profile = vec![0.0, 0.0, 2.0, 9.0, 7.0, 1.0, 0.0];
+        let peaks = find_peaks(&profile, 5.0, 0.0);
+        assert_eq!(peaks.len(), 1);
+        // Electrode 3 centre is at 17.5mm; interpolation pulls toward 4.
+        assert!(peaks[0].pos_mm > 17.5 && peaks[0].pos_mm < 20.0);
+    }
+
+    #[test]
+    fn ignores_noise_floor() {
+        let profile = vec![0.01, 0.02, 0.015, 0.01];
+        assert!(find_peaks(&profile, 5.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn detects_two_distinct_peaks() {
+        let profile = vec![0.0, 8.0, 1.0, 0.5, 7.0, 0.0];
+        let peaks = find_peaks(&profile, 5.0, 0.0);
+        assert_eq!(peaks.len(), 2);
+    }
+
+    #[test]
+    fn single_touch_position_accuracy() {
+        let panel = PanelSpec::smartphone();
+        let mut rng = SimRng::seed_from(1);
+        for (x, y) in [(26.0, 47.0), (10.5, 80.0), (40.0, 12.0)] {
+            let c = Contact::new(MmPoint::new(x, y), 4.0, 0.6);
+            let frame = scan(&panel, &[c], &mut rng);
+            let touches = detect_touches(&panel, &frame);
+            assert_eq!(touches.len(), 1, "at ({x},{y})");
+            let err = touches[0].pos.distance_to(c.center);
+            assert!(err < 1.0, "error {err:.2}mm at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn two_touch_ghost_disambiguation() {
+        let panel = PanelSpec::smartphone();
+        let mut rng = SimRng::seed_from(2);
+        // Different pressures make the real pairing identifiable.
+        let a = Contact::new(MmPoint::new(12.0, 20.0), 4.0, 0.9);
+        let b = Contact::new(MmPoint::new(40.0, 75.0), 4.0, 0.45);
+        let frame = scan(&panel, &[a, b], &mut rng);
+        let touches = detect_touches(&panel, &frame);
+        assert_eq!(touches.len(), 2);
+        for real in [a.center, b.center] {
+            assert!(
+                touches.iter().any(|t| t.pos.distance_to(real) < 2.5),
+                "missing touch near {real}"
+            );
+        }
+        // Neither detection should sit on a ghost intersection.
+        for ghost in [MmPoint::new(12.0, 75.0), MmPoint::new(40.0, 20.0)] {
+            assert!(
+                touches.iter().all(|t| t.pos.distance_to(ghost) > 2.5),
+                "ghost point detected near {ghost}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_frame_detects_nothing() {
+        let panel = PanelSpec::smartphone();
+        let mut rng = SimRng::seed_from(3);
+        let frame = scan(&panel, &[], &mut rng);
+        assert!(detect_touches(&panel, &frame).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! The touch event stream.
+//!
+//! [`TouchEvent`]s are what the touchscreen controller hands to the FLock
+//! fingerprint controller: a panel position, a timestamp, and the physical
+//! context (pressure, speed) the quality model needs.
+
+use std::fmt;
+
+use btd_sim::geom::MmPoint;
+use btd_sim::time::SimTime;
+
+/// The lifecycle phase of a touch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TouchPhase {
+    /// Finger landed this frame.
+    Down,
+    /// Finger is moving (or stationary) on the panel.
+    Move,
+    /// Finger lifted this frame.
+    Up,
+}
+
+impl fmt::Display for TouchPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TouchPhase::Down => "down",
+            TouchPhase::Move => "move",
+            TouchPhase::Up => "up",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reported touch event.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TouchEvent {
+    /// Stable id for the duration of the touch.
+    pub id: u64,
+    /// Panel position, millimetres.
+    pub pos: MmPoint,
+    /// When the controller reported the event.
+    pub at: SimTime,
+    /// Lifecycle phase.
+    pub phase: TouchPhase,
+    /// Amplitude-derived pressure estimate in `[0, 1]`.
+    pub pressure: f64,
+    /// Finger speed estimate, mm/s (0 on `Down`).
+    pub speed_mm_s: f64,
+}
+
+impl fmt::Display for TouchEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "touch#{} {} at {} {} (p={:.2}, v={:.0}mm/s)",
+            self.id, self.phase, self.pos, self.at, self.pressure, self.speed_mm_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TouchEvent {
+            id: 3,
+            pos: MmPoint::new(10.0, 20.0),
+            at: SimTime::from_nanos(4_000_000),
+            phase: TouchPhase::Down,
+            pressure: 0.5,
+            speed_mm_s: 0.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("touch#3"));
+        assert!(s.contains("down"));
+    }
+}

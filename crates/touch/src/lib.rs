@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Capacitive touchscreen simulation (paper Figure 1).
+//!
+//! The paper's biometric touch-display starts from a standard projected-
+//! capacitive panel: "two parallel ITO film layers … the top and bottom ITO
+//! layers provide row and column touch sensing, respectively", with a
+//! typical response time of 4 ms. The first stage of every fingerprint
+//! capture is the touchscreen locating the touch point so the right TFT
+//! sensor can be activated.
+//!
+//! * [`panel`] — panel geometry: physical size, ITO electrode pitch and
+//!   counts, frame time.
+//! * [`contact`] — physical finger contacts (position, radius, pressure).
+//! * [`scan`] — the parallel row/column capacitance scan with sensing
+//!   noise.
+//! * [`detect`] — peak detection, sub-electrode interpolation, and
+//!   multi-touch ghost-point disambiguation.
+//! * [`event`] — the [`event::TouchEvent`] stream consumed by the FLock
+//!   fingerprint controller.
+//! * [`controller`] — the touchscreen controller tying scan + detect
+//!   together at the panel frame rate.
+//!
+//! # Example
+//!
+//! ```
+//! use btd_touch::contact::Contact;
+//! use btd_touch::controller::TouchController;
+//! use btd_touch::panel::PanelSpec;
+//! use btd_sim::geom::MmPoint;
+//! use btd_sim::rng::SimRng;
+//! use btd_sim::time::SimTime;
+//!
+//! let mut controller = TouchController::new(PanelSpec::smartphone());
+//! let mut rng = SimRng::seed_from(1);
+//! let contact = Contact::new(MmPoint::new(30.0, 60.0), 4.0, 0.6);
+//! let events = controller.scan_frame(SimTime::ZERO, &[contact], &mut rng);
+//! assert_eq!(events.len(), 1);
+//! assert!(events[0].pos.distance_to(contact.center) < 1.0);
+//! ```
+
+pub mod contact;
+pub mod controller;
+pub mod detect;
+pub mod event;
+pub mod panel;
+pub mod scan;
+
+pub use contact::Contact;
+pub use controller::TouchController;
+pub use event::TouchEvent;
+pub use panel::PanelSpec;

@@ -1,0 +1,294 @@
+//! Gesture kinematics: full contact trajectories for the touchscreen
+//! simulation.
+//!
+//! [`crate::session`] summarizes each touch as one [`TouchSample`]; this
+//! module goes a level deeper and synthesizes the frame-by-frame
+//! [`Contact`] trajectory of a gesture, so the capacitive scan pipeline in
+//! `btd-touch` can be driven end to end (panel frames every 4 ms, finger
+//! accelerating through a swipe, pressure rising and falling through a
+//! tap).
+
+use btd_sim::geom::MmPoint;
+use btd_sim::rng::SimRng;
+use btd_sim::time::{SimDuration, SimTime};
+use btd_touch::contact::Contact;
+
+use crate::session::TouchSample;
+
+/// The kind of gesture a touch performs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum GestureKind {
+    /// A stationary press-and-release.
+    Tap,
+    /// A straight swipe of the given displacement (mm).
+    Swipe {
+        /// Displacement along x, millimetres.
+        dx: f64,
+        /// Displacement along y, millimetres.
+        dy: f64,
+    },
+    /// A long stationary press (e.g. the paper's "minimal touch time"
+    /// defence for critical buttons).
+    LongPress,
+}
+
+/// One finger contact at one panel frame.
+#[derive(Clone, Copy, Debug)]
+pub struct ContactFrame {
+    /// Frame timestamp.
+    pub at: SimTime,
+    /// The physical contact during this frame.
+    pub contact: Contact,
+}
+
+/// A synthesized gesture trajectory.
+#[derive(Clone, Debug)]
+pub struct GestureTrace {
+    /// The gesture that was synthesized.
+    pub kind: GestureKind,
+    /// Contact state at every panel frame, in time order.
+    pub frames: Vec<ContactFrame>,
+}
+
+impl GestureTrace {
+    /// Peak finger speed over the trajectory, mm/s.
+    pub fn peak_speed(&self) -> f64 {
+        self.frames
+            .windows(2)
+            .map(|w| {
+                let d = w[0].contact.center.distance_to(w[1].contact.center);
+                let dt = w[1].at.saturating_duration_since(w[0].at).as_secs_f64();
+                if dt > 0.0 {
+                    d / dt
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Total gesture duration.
+    pub fn duration(&self) -> SimDuration {
+        match (self.frames.first(), self.frames.last()) {
+            (Some(a), Some(b)) => b.at.saturating_duration_since(a.at),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Synthesizes the frame-by-frame trajectory of `kind` starting at
+/// `start`, sampled every `frame_time` (the panel scan period).
+///
+/// Pressure follows a rise–hold–fall envelope; swipes use smoothstep
+/// velocity (slow–fast–slow), which is what makes mid-swipe captures
+/// motion-blurred while the endpoints are usable.
+///
+/// # Panics
+///
+/// Panics if `frame_time` is zero.
+pub fn synthesize(
+    kind: GestureKind,
+    start: MmPoint,
+    start_time: SimTime,
+    frame_time: SimDuration,
+    peak_pressure: f64,
+    radius_mm: f64,
+    rng: &mut SimRng,
+) -> GestureTrace {
+    assert!(
+        frame_time > SimDuration::ZERO,
+        "frame time must be positive"
+    );
+    let duration = match kind {
+        GestureKind::Tap => SimDuration::from_secs_f64(rng.range_f64(0.08, 0.25)),
+        GestureKind::Swipe { .. } => SimDuration::from_secs_f64(rng.range_f64(0.15, 0.40)),
+        GestureKind::LongPress => SimDuration::from_secs_f64(rng.range_f64(0.6, 1.2)),
+    };
+    let n_frames = (duration.as_nanos() / frame_time.as_nanos()).max(2) as usize;
+
+    let mut frames = Vec::with_capacity(n_frames);
+    for i in 0..n_frames {
+        // 0..1 through the gesture; position follows smoothstep progress
+        // along the swipe vector.
+        let t = i as f64 / (n_frames - 1) as f64;
+        let progress = t * t * (3.0 - 2.0 * t);
+        let (dx, dy) = match kind {
+            GestureKind::Swipe { dx, dy } => (dx * progress, dy * progress),
+            _ => (0.0, 0.0),
+        };
+        // Small tremor on every frame.
+        let jx = rng.gaussian_with(0.0, 0.08);
+        let jy = rng.gaussian_with(0.0, 0.08);
+        // Pressure envelope: fast rise, hold, fall.
+        let envelope = (t / 0.15).min(1.0).min(((1.0 - t) / 0.15).min(1.0));
+        let pressure = (peak_pressure * envelope).clamp(0.01, 1.0);
+        frames.push(ContactFrame {
+            at: start_time + frame_time * i as u64,
+            contact: Contact::new(
+                MmPoint::new(start.x + dx + jx, start.y + dy + jy),
+                radius_mm,
+                pressure,
+            ),
+        });
+    }
+    GestureTrace { kind, frames }
+}
+
+/// Expands a high-level [`TouchSample`] into its contact trajectory, so a
+/// summarized workload can drive the full capacitive scan.
+pub fn expand_sample(
+    sample: &TouchSample,
+    frame_time: SimDuration,
+    rng: &mut SimRng,
+) -> GestureTrace {
+    let kind = if sample.speed_mm_s > 30.0 {
+        // Reconstruct the displacement from speed × dwell along a random
+        // direction biased downward (scrolls).
+        let len = sample.speed_mm_s * sample.dwell.as_secs_f64();
+        let angle = rng.gaussian_with(std::f64::consts::FRAC_PI_2, 0.6);
+        GestureKind::Swipe {
+            dx: len * angle.cos(),
+            dy: len * angle.sin(),
+        }
+    } else if sample.dwell > SimDuration::from_millis(450) {
+        GestureKind::LongPress
+    } else {
+        GestureKind::Tap
+    };
+    synthesize(
+        kind,
+        sample.pos,
+        sample.at,
+        frame_time,
+        sample.pressure,
+        sample.contact_radius_mm,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_time() -> SimDuration {
+        SimDuration::from_millis(4)
+    }
+
+    #[test]
+    fn tap_stays_put() {
+        let mut rng = SimRng::seed_from(1);
+        let trace = synthesize(
+            GestureKind::Tap,
+            MmPoint::new(20.0, 40.0),
+            SimTime::ZERO,
+            frame_time(),
+            0.6,
+            4.0,
+            &mut rng,
+        );
+        assert!(trace.frames.len() >= 2);
+        for f in &trace.frames {
+            assert!(f.contact.center.distance_to(MmPoint::new(20.0, 40.0)) < 0.8);
+        }
+        assert!(trace.peak_speed() < 150.0, "tap tremor too fast");
+    }
+
+    #[test]
+    fn swipe_travels_its_displacement() {
+        let mut rng = SimRng::seed_from(2);
+        let trace = synthesize(
+            GestureKind::Swipe { dx: 0.0, dy: 30.0 },
+            MmPoint::new(26.0, 30.0),
+            SimTime::ZERO,
+            frame_time(),
+            0.5,
+            4.0,
+            &mut rng,
+        );
+        let start = trace.frames.first().unwrap().contact.center;
+        let end = trace.frames.last().unwrap().contact.center;
+        assert!((end.y - start.y - 30.0).abs() < 1.0, "end {end}");
+        // Mid-swipe speed clearly exceeds tap tremor.
+        assert!(trace.peak_speed() > 80.0, "peak {}", trace.peak_speed());
+    }
+
+    #[test]
+    fn long_press_is_long_and_slow() {
+        let mut rng = SimRng::seed_from(3);
+        let trace = synthesize(
+            GestureKind::LongPress,
+            MmPoint::new(10.0, 10.0),
+            SimTime::ZERO,
+            frame_time(),
+            0.6,
+            4.5,
+            &mut rng,
+        );
+        assert!(trace.duration() >= SimDuration::from_millis(550));
+        assert!(trace.peak_speed() < 120.0);
+    }
+
+    #[test]
+    fn pressure_envelope_rises_and_falls() {
+        let mut rng = SimRng::seed_from(4);
+        let trace = synthesize(
+            GestureKind::Tap,
+            MmPoint::new(20.0, 40.0),
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            0.8,
+            4.0,
+            &mut rng,
+        );
+        let first = trace.frames.first().unwrap().contact.pressure;
+        let last = trace.frames.last().unwrap().contact.pressure;
+        let mid = trace.frames[trace.frames.len() / 2].contact.pressure;
+        assert!(mid > first, "mid {mid} vs first {first}");
+        assert!(mid > last);
+        assert!((mid - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn frames_are_evenly_timed() {
+        let mut rng = SimRng::seed_from(5);
+        let trace = synthesize(
+            GestureKind::Tap,
+            MmPoint::new(20.0, 40.0),
+            SimTime::from_nanos(500),
+            frame_time(),
+            0.6,
+            4.0,
+            &mut rng,
+        );
+        for w in trace.frames.windows(2) {
+            assert_eq!(w[1].at.saturating_duration_since(w[0].at), frame_time());
+        }
+        assert_eq!(trace.frames[0].at, SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn expand_sample_maps_speed_to_gesture_kind() {
+        let mut rng = SimRng::seed_from(6);
+        let mut sample = crate::session::SessionGenerator::new(
+            crate::profile::UserProfile::builtin(0),
+            &mut rng,
+        )
+        .next_touch(&mut rng);
+
+        sample.speed_mm_s = 2.0;
+        sample.dwell = SimDuration::from_millis(150);
+        let tap = expand_sample(&sample, frame_time(), &mut rng);
+        assert_eq!(tap.kind, GestureKind::Tap);
+
+        sample.speed_mm_s = 120.0;
+        sample.dwell = SimDuration::from_millis(250);
+        let swipe = expand_sample(&sample, frame_time(), &mut rng);
+        assert!(matches!(swipe.kind, GestureKind::Swipe { .. }));
+        assert!(swipe.peak_speed() > 60.0);
+
+        sample.speed_mm_s = 1.0;
+        sample.dwell = SimDuration::from_millis(800);
+        let press = expand_sample(&sample, frame_time(), &mut rng);
+        assert_eq!(press.kind, GestureKind::LongPress);
+    }
+}

@@ -1,0 +1,149 @@
+//! Device-takeover traces.
+//!
+//! The continuous-authentication experiments need traces where the device
+//! changes hands mid-session: an owner uses the device, then an impostor
+//! (a thief, or a borrower) continues. The paper also anticipates an
+//! *evasion* strategy — "an impostor may try to evade biometric protection
+//! by providing only low quality fingerprint data" — modelled here as
+//! deliberately fast, light touches.
+
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+
+use crate::profile::UserProfile;
+use crate::session::{SessionGenerator, TouchSample};
+
+/// How the impostor behaves after taking over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ImpostorStrategy {
+    /// Uses the device naturally (unaware of the biometric layer).
+    Naive,
+    /// Deliberately touches fast and lightly so captures fail the quality
+    /// gate (the evasion attack of §IV-A).
+    LowQualityEvasion,
+}
+
+/// A generated takeover trace.
+#[derive(Debug)]
+pub struct TakeoverTrace {
+    /// All touches, owner first then impostor.
+    pub touches: Vec<TouchSample>,
+    /// Index of the first impostor touch.
+    pub takeover_index: usize,
+}
+
+/// Scenario parameters for a takeover trace.
+#[derive(Clone, Debug)]
+pub struct TakeoverScenario {
+    /// The device owner's profile.
+    pub owner: UserProfile,
+    /// The impostor's profile (their own touch style and fingers).
+    pub impostor: UserProfile,
+    /// Owner touches before the device changes hands.
+    pub owner_touches: usize,
+    /// Impostor touches after.
+    pub impostor_touches: usize,
+    /// Impostor behaviour.
+    pub strategy: ImpostorStrategy,
+}
+
+impl TakeoverScenario {
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner and impostor share a user id (they must have
+    /// different fingers) or if either touch count is zero.
+    pub fn generate(&self, rng: &mut SimRng) -> TakeoverTrace {
+        assert_ne!(
+            self.owner.user_id(),
+            self.impostor.user_id(),
+            "owner and impostor must be different users"
+        );
+        assert!(
+            self.owner_touches > 0 && self.impostor_touches > 0,
+            "both phases need touches"
+        );
+        let mut touches = Vec::with_capacity(self.owner_touches + self.impostor_touches);
+        let mut owner_gen = SessionGenerator::new(self.owner.clone(), rng);
+        touches.extend(owner_gen.generate(self.owner_touches, rng));
+        let takeover_index = touches.len();
+
+        // The impostor picks up where the owner left off (same clock).
+        let handover =
+            touches.last().expect("owner touches present").at + SimDuration::from_secs(5);
+        let mut imp_gen = SessionGenerator::new(self.impostor.clone(), rng);
+        let mut imp_touches = imp_gen.generate(self.impostor_touches, rng);
+        for t in imp_touches.iter_mut() {
+            t.at = handover + (t.at - btd_sim::time::SimTime::ZERO);
+            if self.strategy == ImpostorStrategy::LowQualityEvasion {
+                // Fast flicks with a light grip: quality collapses.
+                t.speed_mm_s = rng.range_f64(80.0, 200.0);
+                t.pressure = rng.range_f64(0.05, 0.2);
+            }
+        }
+        touches.extend(imp_touches);
+        TakeoverTrace {
+            touches,
+            takeover_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(strategy: ImpostorStrategy) -> TakeoverScenario {
+        TakeoverScenario {
+            owner: UserProfile::builtin(0),
+            impostor: UserProfile::builtin(1),
+            owner_touches: 50,
+            impostor_touches: 50,
+            strategy,
+        }
+    }
+
+    #[test]
+    fn trace_has_both_phases_in_order() {
+        let mut rng = SimRng::seed_from(1);
+        let trace = scenario(ImpostorStrategy::Naive).generate(&mut rng);
+        assert_eq!(trace.touches.len(), 100);
+        assert_eq!(trace.takeover_index, 50);
+        for w in trace.touches.windows(2) {
+            assert!(w[1].at > w[0].at, "timeline must be monotone");
+        }
+        assert!(trace.touches[..50].iter().all(|t| t.user_id == 0));
+        assert!(trace.touches[50..].iter().all(|t| t.user_id == 1));
+    }
+
+    #[test]
+    fn evasion_touches_are_fast_and_light() {
+        let mut rng = SimRng::seed_from(2);
+        let trace = scenario(ImpostorStrategy::LowQualityEvasion).generate(&mut rng);
+        for t in &trace.touches[trace.takeover_index..] {
+            assert!(t.speed_mm_s >= 80.0);
+            assert!(t.pressure <= 0.2);
+        }
+        // Owner touches are untouched by the strategy.
+        let owner_fast = trace.touches[..trace.takeover_index]
+            .iter()
+            .filter(|t| t.speed_mm_s >= 80.0)
+            .count();
+        assert!(owner_fast < trace.takeover_index / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different users")]
+    fn same_user_rejected() {
+        let mut rng = SimRng::seed_from(3);
+        let s = TakeoverScenario {
+            owner: UserProfile::builtin(0),
+            impostor: UserProfile::builtin(0),
+            owner_touches: 5,
+            impostor_touches: 5,
+            strategy: ImpostorStrategy::Naive,
+        };
+        let _ = s.generate(&mut rng);
+    }
+}

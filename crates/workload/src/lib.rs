@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! User touch-behaviour workloads (paper Figure 7 and §IV-A).
+//!
+//! The paper "conducted experiments to collect distributions of touches
+//! from normal smartphone-user touch interactions" on an HTC device and
+//! shows three users' touch-density maps with overlapping hot-spot
+//! regions. Those traces are unavailable, so this crate generates them:
+//! per-user Gaussian-mixture touch models whose hot spots differ by usage
+//! style but overlap on common UI regions, app-session generators that turn
+//! the models into timed touch streams, and the heatmap machinery the
+//! placement optimizer consumes.
+//!
+//! * [`profile`] — per-user touch distributions; three built-in profiles
+//!   standing in for the paper's three users.
+//! * [`session`] — timed touch streams ([`session::TouchSample`]) for
+//!   realistic app mixes.
+//! * [`gesture`] — frame-by-frame contact trajectories (tap/swipe/long
+//!   press kinematics) for driving the capacitive scan end to end.
+//! * [`heatmap`] — touch-density grids, hot-spot extraction, overlap
+//!   statistics, ASCII rendering (the Figure 7 reproduction).
+//! * [`impostor`] — device-takeover traces, including the low-quality-touch
+//!   evasion strategy the paper's security discussion anticipates.
+//!
+//! # Example
+//!
+//! ```
+//! use btd_workload::profile::UserProfile;
+//! use btd_workload::session::SessionGenerator;
+//! use btd_sim::rng::SimRng;
+//!
+//! let profile = UserProfile::builtin(0);
+//! let mut rng = SimRng::seed_from(1);
+//! let mut gen = SessionGenerator::new(profile, &mut rng);
+//! let samples = gen.generate(100, &mut rng);
+//! assert_eq!(samples.len(), 100);
+//! ```
+
+pub mod gesture;
+pub mod heatmap;
+pub mod impostor;
+pub mod profile;
+pub mod session;
+
+pub use heatmap::Heatmap;
+pub use impostor::TakeoverScenario;
+pub use profile::UserProfile;
+pub use session::{SessionGenerator, TouchSample};

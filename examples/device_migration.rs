@@ -1,0 +1,80 @@
+//! Device lifecycle: identity transfer to a new phone, and identity reset
+//! after losing one (paper §IV, "Identity Transfer" / "Identity Reset").
+//!
+//! ```sh
+//! cargo run --example device_migration
+//! ```
+
+use btd_sim::rng::SimRng;
+use trust_core::scenario::World;
+
+fn main() {
+    let mut rng = SimRng::seed_from(99);
+    let mut world = World::new(&mut rng);
+    world.add_server("bank.com", &mut rng);
+    world.add_server("mail.com", &mut rng);
+
+    // Alice sets up her first phone and registers everywhere.
+    let phone1 = world.add_device("phone-1", 42, &mut rng);
+    world
+        .register(phone1, "bank.com", "alice", &mut rng)
+        .unwrap();
+    world
+        .register(phone1, "mail.com", "alice-m", &mut rng)
+        .unwrap();
+    println!(
+        "phone-1: {} identities in protected flash ({} bytes used)",
+        world.device(phone1).flock().domain_count(),
+        world.device(phone1).flock().storage_usage().0
+    );
+
+    // --- Upgrade: transfer everything to phone-2 -------------------------
+    println!("\n== upgrade: identity transfer to phone-2 ==");
+    let phone2 = world.add_device("phone-2", 42, &mut rng);
+    println!("connecting both phones; owner authorizes with her fingerprint…");
+    world.transfer(phone1, phone2, 42, &mut rng).unwrap();
+    println!(
+        "transfer complete: phone-2 now holds {} identities and {} finger templates",
+        world.device(phone2).flock().domain_count(),
+        world.device(phone2).flock().enrolled_finger_count()
+    );
+
+    // No re-registration needed — the bank accepts phone-2 immediately.
+    world.login(phone2, "bank.com", &mut rng).unwrap();
+    let s = world.run_session(phone2, "bank.com", 10, &mut rng).unwrap();
+    println!(
+        "phone-2 banking session: {}/{} served",
+        s.served, s.attempted
+    );
+
+    // A thief cannot authorize a transfer off phone-2.
+    let phone_thief = world.add_device("thief-phone", 13, &mut rng);
+    let theft = world.transfer(phone2, phone_thief, 31_337, &mut rng);
+    println!("thief-initiated transfer: {}", theft.unwrap_err());
+
+    // --- Loss: reset and rebind ------------------------------------------
+    println!("\n== phone-2 is lost: identity reset ==");
+    let phone3 = world.add_device("phone-3", 42, &mut rng);
+    let password = world
+        .server(0)
+        .reset_password_for("alice")
+        .unwrap()
+        .to_owned();
+    println!("alice resets 'alice' at bank.com with her fallback password…");
+    world
+        .reset_and_rebind("bank.com", "alice", &password, phone3, &mut rng)
+        .unwrap();
+    println!("phone-3 bound.");
+
+    // The lost phone's key no longer works at the bank.
+    let stale = world.login(phone2, "bank.com", &mut rng);
+    println!("lost phone-2 tries to log in: {}", stale.unwrap_err());
+
+    // Phone-3 works.
+    world.login(phone3, "bank.com", &mut rng).unwrap();
+    let s3 = world.run_session(phone3, "bank.com", 5, &mut rng).unwrap();
+    println!(
+        "phone-3 banking session: {}/{} served — lifecycle complete",
+        s3.served, s3.attempted
+    );
+}

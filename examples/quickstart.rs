@@ -1,0 +1,91 @@
+//! Quickstart: enroll a user, watch continuous local authentication work,
+//! and see an impostor get caught.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use btd_flock::module::{FlockConfig, FlockModule};
+use btd_flock::risk::RiskAction;
+use btd_flock::unlock::unlock_with_flock;
+use btd_sim::rng::SimRng;
+use btd_workload::profile::UserProfile;
+use btd_workload::session::SessionGenerator;
+
+fn main() {
+    let mut rng = SimRng::seed_from(2012);
+
+    // 1. A phone with a FLock biometric touch-display module.
+    let mut flock = FlockModule::new("demo-phone", FlockConfig::fast_test(), &mut rng);
+    println!("device: {}", flock.device_id());
+    println!(
+        "sensors: {} transparent TFT patches on the touchscreen",
+        flock.auth().capture_pipeline().sensors().len()
+    );
+
+    // 2. Enroll the owner (guided flow, three fingers).
+    let owner = 42;
+    flock.enroll_owner(owner, 3, &mut rng);
+    println!(
+        "enrolled owner {owner} with {} fingers\n",
+        flock.enrolled_finger_count()
+    );
+
+    // 3. Unlock with a single touch — the touch IS the authentication.
+    let unlock = unlock_with_flock(flock.auth_mut(), owner, 0, 5, &mut rng);
+    println!(
+        "unlock: {} in {} attempt(s), {}",
+        if unlock.unlocked { "OK" } else { "FAILED" },
+        unlock.attempts,
+        unlock.total_latency
+    );
+
+    // 4. Natural use: every ordinary touch opportunistically verifies.
+    let mut gen = SessionGenerator::new(UserProfile::builtin(0), &mut rng);
+    for _ in 0..300 {
+        let mut touch = gen.next_touch(&mut rng);
+        touch.user_id = owner; // these are the owner's physical fingers
+        let out = flock.process_touch(&touch, &mut rng);
+        if out.action == RiskAction::Reauthenticate {
+            flock.auth_mut().risk_mut().reset_window();
+        }
+    }
+    let s = flock.auth().stats();
+    println!("\nafter 300 natural owner touches:");
+    println!("  on-sensor captures : {}", s.touches - s.outside);
+    println!("  quality-discarded  : {}", s.low_quality);
+    println!("  verified           : {}", s.verified);
+    println!("  inconclusive       : {}", s.inconclusive);
+    println!("  mismatched         : {}", s.mismatched);
+    println!(
+        "  risk score         : {:.3}",
+        flock.auth().risk().risk_score()
+    );
+
+    // 5. The phone is snatched mid-session.
+    println!("\n*** phone snatched — impostor starts using it ***");
+    let mut thief_gen = SessionGenerator::new(UserProfile::builtin(1), &mut rng);
+    for i in 1..=100 {
+        let mut touch = thief_gen.next_touch(&mut rng);
+        touch.user_id = 6_666; // the thief's fingers
+        let out = flock.process_touch(&touch, &mut rng);
+        match out.action {
+            RiskAction::Lockout => {
+                println!(
+                    "thief locked out after {i} touches (risk {:.3})",
+                    flock.auth().risk().risk_score()
+                );
+                return;
+            }
+            RiskAction::Reauthenticate => {
+                println!(
+                    "explicit re-authentication demanded after {i} touches — \
+                     the thief's finger cannot pass it"
+                );
+                return;
+            }
+            RiskAction::Continue => {}
+        }
+    }
+    println!("impostor was NOT detected (unexpected)");
+}

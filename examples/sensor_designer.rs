@@ -1,0 +1,103 @@
+//! Sensor-placement design studio (paper §III-A / Fig. 7).
+//!
+//! Collects touch distributions for the three built-in users, renders the
+//! Figure 7 heatmaps as ASCII art, then optimizes transparent-TFT sensor
+//! placement for the pooled distribution, reporting the coverage-vs-cost
+//! sweep a hardware designer would use.
+//!
+//! ```sh
+//! cargo run --example sensor_designer
+//! ```
+
+use btd_placement::anneal::{anneal, AnnealConfig};
+use btd_placement::cost::CostModel;
+use btd_placement::greedy::greedy;
+use btd_placement::pareto::{pareto_front, sweep};
+use btd_placement::problem::PlacementProblem;
+use btd_sim::geom::MmSize;
+use btd_sim::rng::SimRng;
+use btd_workload::heatmap::Heatmap;
+use btd_workload::profile::UserProfile;
+use btd_workload::session::SessionGenerator;
+
+fn main() {
+    let mut rng = SimRng::seed_from(7);
+    let panel = UserProfile::builtin(0).panel_size();
+    let touches_per_user = 6_000;
+
+    // --- Figure 7: per-user touch distributions ---------------------------
+    let mut pooled = Heatmap::new(panel, 4.0);
+    for idx in 0..3 {
+        let profile = UserProfile::builtin(idx);
+        let name = profile.name().to_owned();
+        let mut gen = SessionGenerator::new(profile, &mut rng);
+        let samples = gen.generate(touches_per_user, &mut rng);
+        let heatmap = Heatmap::from_samples(panel, 4.0, &samples);
+        println!("touch density, {name} ({touches_per_user} touches):");
+        println!("{}", heatmap.render_ascii());
+        pooled.absorb(&heatmap);
+    }
+
+    // --- Hot-spot overlap (the paper's observation) -----------------------
+    let maps: Vec<Heatmap> = (0..3)
+        .map(|idx| {
+            let profile = UserProfile::builtin(idx);
+            let mut gen = SessionGenerator::new(profile, &mut rng);
+            let samples = gen.generate(touches_per_user, &mut rng);
+            Heatmap::from_samples(panel, 4.0, &samples)
+        })
+        .collect();
+    println!("hot-spot overlap (Jaccard of top-25 cells):");
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            println!(
+                "  user{} vs user{}: {:.2}",
+                i + 1,
+                j + 1,
+                maps[i].hotspot_overlap(&maps[j], 25)
+            );
+        }
+    }
+
+    // --- Placement optimization -------------------------------------------
+    let sensor = MmSize::new(8.0, 8.0);
+    let problem = PlacementProblem::new(panel, sensor, pooled);
+    let cost_model = CostModel::default();
+
+    println!("\ncoverage vs number of 8×8 mm sensors (pooled users):");
+    println!(
+        "{:>8} {:>10} {:>8} {:>14}",
+        "sensors", "coverage", "cost", "effectiveness"
+    );
+    let points = sweep(&problem, 8, 2.0, &cost_model);
+    for p in &points {
+        println!(
+            "{:>8} {:>9.1}% {:>8.2} {:>14.3}",
+            p.sensors,
+            100.0 * p.coverage,
+            p.cost,
+            cost_model.effectiveness(p.coverage, &p.placement)
+        );
+    }
+    let front = pareto_front(&points);
+    println!(
+        "pareto-efficient design points: {:?}",
+        front.iter().map(|p| p.sensors).collect::<Vec<_>>()
+    );
+
+    // --- Annealing refinement ----------------------------------------------
+    let k = 4;
+    let initial = greedy(&problem, k, 2.0);
+    let before = problem.coverage(&initial);
+    let refined = anneal(&problem, &initial, &AnnealConfig::default(), &mut rng);
+    let after = problem.coverage(&refined);
+    println!(
+        "\nannealing refinement of the {k}-sensor layout: {:.1}% → {:.1}%",
+        100.0 * before,
+        100.0 * after
+    );
+    println!("final layout:");
+    for (i, r) in refined.iter().enumerate() {
+        println!("  sensor {}: {}", i + 1, r);
+    }
+}

@@ -1,0 +1,80 @@
+//! A shared family tablet: several enrolled users, critical buttons over
+//! sensor regions, and a stranger who gets nowhere.
+//!
+//! Exercises the multi-user enrollment extension and the paper's §IV-A
+//! preventive measures (critical buttons over biometric regions with a
+//! minimal touch time).
+//!
+//! ```sh
+//! cargo run --example shared_tablet
+//! ```
+
+use btd_flock::module::{FlockConfig, FlockModule};
+use btd_flock::pipeline::TouchAuthOutcome;
+use btd_flock::ui::UiLayout;
+use btd_sim::rng::SimRng;
+use btd_sim::time::{SimDuration, SimTime};
+
+fn main() {
+    let mut rng = SimRng::seed_from(4242);
+
+    // One tablet, three enrolled family members.
+    let mut flock = FlockModule::new("family-tablet", FlockConfig::fast_test(), &mut rng);
+    flock.enroll_owner(1_001, 2, &mut rng); // parent (owner)
+    flock.enroll_additional_user(1_002, 2, &mut rng); // second parent
+    flock.enroll_additional_user(1_003, 2, &mut rng); // teenager
+    println!(
+        "enrolled users: {:?} ({} templates in flash)",
+        flock.enrolled_users(),
+        flock.enrolled_finger_count()
+    );
+
+    // Critical buttons drawn over the sensor patches.
+    let layout = UiLayout::over_sensors(
+        &["/purchase", "/settings", "/delete-profile"],
+        flock.auth().capture_pipeline().sensors(),
+        SimDuration::from_millis(200),
+    );
+    println!(
+        "critical buttons laid out over {} sensors\n",
+        layout.buttons().len()
+    );
+
+    // Each family member presses the purchase button; all verify.
+    for user in [1_001u64, 1_002, 1_003] {
+        let mut verified = 0;
+        let attempts = 10;
+        for _ in 0..attempts {
+            let touch = layout.deliberate_touch("/purchase", user, 0, SimTime::ZERO, &mut rng);
+            if matches!(
+                flock.process_touch(&touch, &mut rng).outcome,
+                TouchAuthOutcome::Verified { .. }
+            ) {
+                verified += 1;
+            }
+        }
+        println!("user {user}: {verified}/{attempts} purchase touches verified");
+    }
+
+    // A visiting stranger presses the same button.
+    let stranger = 9_999u64;
+    let mut verified = 0;
+    let mut mismatched = 0;
+    for _ in 0..10 {
+        let touch = layout.deliberate_touch("/purchase", stranger, 0, SimTime::ZERO, &mut rng);
+        match flock.process_touch(&touch, &mut rng).outcome {
+            TouchAuthOutcome::Verified { .. } => verified += 1,
+            TouchAuthOutcome::Mismatched { .. } => mismatched += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "\nstranger {stranger}: {verified}/10 verified, {mismatched}/10 conclusively rejected \
+         — purchases stay locked"
+    );
+    println!(
+        "risk after the stranger's attempts: {:.2} ({:?})",
+        flock.auth().risk().risk_score(),
+        flock.auth().risk().action()
+    );
+}

@@ -1,0 +1,146 @@
+//! Integration: gesture kinematics → capacitive scan → touch events.
+//!
+//! Drives frame-by-frame gesture trajectories through the full touchscreen
+//! pipeline and checks that what the controller reports (positions,
+//! speeds, lifecycle) is faithful enough to feed the quality model — the
+//! deepest loop of the hardware simulation.
+
+use btd_sim::geom::MmPoint;
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use btd_touch::controller::TouchController;
+use btd_touch::event::TouchPhase;
+use btd_touch::panel::PanelSpec;
+use btd_workload::gesture::{synthesize, GestureKind};
+use btd_workload::profile::UserProfile;
+use btd_workload::session::SessionGenerator;
+
+/// Plays a gesture trace through a controller, returning all events.
+fn play(
+    trace: &btd_workload::gesture::GestureTrace,
+    controller: &mut TouchController,
+    rng: &mut SimRng,
+) -> Vec<btd_touch::event::TouchEvent> {
+    let mut events = Vec::new();
+    for frame in &trace.frames {
+        events.extend(controller.scan_frame(frame.at, &[frame.contact], rng));
+    }
+    // One empty frame to emit the Up event.
+    let end = trace.frames.last().unwrap().at + SimDuration::from_millis(4);
+    events.extend(controller.scan_frame(end, &[], rng));
+    events
+}
+
+#[test]
+fn tap_produces_clean_lifecycle() {
+    let mut rng = SimRng::seed_from(1);
+    let mut controller = TouchController::new(PanelSpec::smartphone());
+    let trace = synthesize(
+        GestureKind::Tap,
+        MmPoint::new(26.0, 70.0),
+        btd_sim::time::SimTime::ZERO,
+        SimDuration::from_millis(4),
+        0.6,
+        4.5,
+        &mut rng,
+    );
+    let events = play(&trace, &mut controller, &mut rng);
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.phase == TouchPhase::Down)
+            .count(),
+        1
+    );
+    assert_eq!(
+        events.iter().filter(|e| e.phase == TouchPhase::Up).count(),
+        1
+    );
+    // All events share one id and stay near the tap point.
+    let id = events[0].id;
+    for e in &events {
+        assert_eq!(e.id, id);
+        if e.phase != TouchPhase::Up {
+            assert!(e.pos.distance_to(MmPoint::new(26.0, 70.0)) < 2.0);
+        }
+    }
+}
+
+#[test]
+fn swipe_speed_estimate_tracks_kinematics() {
+    let mut rng = SimRng::seed_from(2);
+    let mut controller = TouchController::new(PanelSpec::smartphone());
+    let trace = synthesize(
+        GestureKind::Swipe { dx: 0.0, dy: 35.0 },
+        MmPoint::new(26.0, 25.0),
+        btd_sim::time::SimTime::ZERO,
+        SimDuration::from_millis(4),
+        0.55,
+        4.5,
+        &mut rng,
+    );
+    let events = play(&trace, &mut controller, &mut rng);
+    let reported_peak = events
+        .iter()
+        .filter(|e| e.phase == TouchPhase::Move)
+        .map(|e| e.speed_mm_s)
+        .fold(0.0, f64::max);
+    let true_peak = trace.peak_speed();
+    assert!(
+        reported_peak > 0.4 * true_peak && reported_peak < 2.5 * true_peak,
+        "controller reported {reported_peak:.0} mm/s vs true peak {true_peak:.0}"
+    );
+    // Fast enough that the quality gate would flag a mid-swipe capture.
+    assert!(reported_peak > 60.0);
+}
+
+#[test]
+fn long_press_survives_many_frames_with_one_identity() {
+    let mut rng = SimRng::seed_from(3);
+    let mut controller = TouchController::new(PanelSpec::smartphone());
+    let trace = synthesize(
+        GestureKind::LongPress,
+        MmPoint::new(40.0, 60.0),
+        btd_sim::time::SimTime::ZERO,
+        SimDuration::from_millis(4),
+        0.6,
+        4.5,
+        &mut rng,
+    );
+    assert!(
+        trace.frames.len() > 100,
+        "long press should span many frames"
+    );
+    let events = play(&trace, &mut controller, &mut rng);
+    let ids: std::collections::HashSet<u64> = events.iter().map(|e| e.id).collect();
+    assert_eq!(ids.len(), 1, "identity must be stable across the press");
+    // Minimal-dwell rule: the press satisfies the critical-button dwell.
+    assert!(trace.duration() >= SimDuration::from_millis(500));
+}
+
+#[test]
+fn expanded_workload_sample_round_trips_through_the_panel() {
+    // Summarized workload sample → gesture expansion → capacitive scan →
+    // detected events: the detected landing point matches the sample.
+    let mut rng = SimRng::seed_from(4);
+    let mut gen = SessionGenerator::new(UserProfile::builtin(0), &mut rng);
+    let mut controller = TouchController::new(PanelSpec::smartphone());
+    let mut checked = 0;
+    for _ in 0..20 {
+        let sample = gen.next_touch(&mut rng);
+        let trace =
+            btd_workload::gesture::expand_sample(&sample, SimDuration::from_millis(4), &mut rng);
+        let events = play(&trace, &mut controller, &mut rng);
+        let Some(down) = events.iter().find(|e| e.phase == TouchPhase::Down) else {
+            continue; // extremely light touches can miss a frame
+        };
+        assert!(
+            down.pos.distance_to(sample.pos) < 3.0,
+            "detected {} vs sample {}",
+            down.pos,
+            sample.pos
+        );
+        checked += 1;
+    }
+    assert!(checked >= 15, "only {checked}/20 samples produced touches");
+}

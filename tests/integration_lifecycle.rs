@@ -1,0 +1,189 @@
+//! Integration: identity lifecycle — reset after loss and transfer to a
+//! new device (paper §IV, "Identity Reset" / "Identity Transfer").
+
+use btd_sim::rng::SimRng;
+use trust_core::messages::Reject;
+use trust_core::registration::FlowError;
+use trust_core::scenario::World;
+use trust_core::transfer::TransferError;
+
+#[test]
+fn lost_device_reset_and_rebind() {
+    let mut rng = SimRng::seed_from(30);
+    let mut world = World::new(&mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+
+    // The phone is lost. Alice buys a new one and resets with her fallback
+    // password, then re-binds.
+    let new = world.add_device("new-phone", 42, &mut rng);
+    let password = world
+        .server(0)
+        .reset_password_for("alice")
+        .unwrap()
+        .to_owned();
+
+    // Wrong password fails and leaves the binding intact.
+    let err = world.reset_and_rebind("bank.com", "alice", "wrong-password", new, &mut rng);
+    assert_eq!(
+        err.unwrap_err(),
+        FlowError::Server(Reject::BadResetCredential)
+    );
+    assert!(world.server(0).has_account("alice"));
+
+    // Correct password succeeds and binds the new device.
+    world
+        .reset_and_rebind("bank.com", "alice", &password, new, &mut rng)
+        .unwrap();
+    assert!(world.server(0).has_account("alice"));
+
+    // The new device can log in and browse.
+    world.login(new, "bank.com", &mut rng).unwrap();
+    let session = world.run_session(new, "bank.com", 10, &mut rng).unwrap();
+    assert_eq!(session.served, 10);
+}
+
+#[test]
+fn old_device_becomes_useless_after_reset() {
+    let mut rng = SimRng::seed_from(32);
+    let mut world = World::new(&mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+
+    let new = world.add_device("new-phone", 42, &mut rng);
+    let password = world
+        .server(0)
+        .reset_password_for("alice")
+        .unwrap()
+        .to_owned();
+    world
+        .reset_and_rebind("bank.com", "alice", &password, new, &mut rng)
+        .unwrap();
+
+    // A thief with the old device holds a key the server no longer trusts.
+    let err = world.login(old, "bank.com", &mut rng).unwrap_err();
+    assert_eq!(err, FlowError::Server(Reject::BadSignature));
+}
+
+#[test]
+fn identity_transfer_preserves_all_bindings() {
+    let mut rng = SimRng::seed_from(33);
+    let mut world = World::new(&mut rng);
+    world.add_server("bank.com", &mut rng);
+    world.add_server("mail.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+    world
+        .register(old, "mail.com", "alice-m", &mut rng)
+        .unwrap();
+
+    // New device out of the box: the transfer carries both the key
+    // material and the biometric identity across.
+    let new = world.add_device("new-phone", 42, &mut rng);
+    world.transfer(old, new, 42, &mut rng).unwrap();
+
+    // Same accounts, same keys: the server accepts the new device with no
+    // re-registration at all.
+    assert_eq!(world.device(new).flock().domain_count(), 2);
+    world.login(new, "bank.com", &mut rng).unwrap();
+    world.login(new, "mail.com", &mut rng).unwrap();
+    let r = world.run_session(new, "bank.com", 8, &mut rng).unwrap();
+    assert_eq!(r.served, 8);
+}
+
+#[test]
+fn transfer_order_does_not_matter_for_indices() {
+    // Regression guard for the split-borrow logic: transfer from a
+    // higher-indexed device to a lower-indexed one.
+    let mut rng = SimRng::seed_from(36);
+    let mut world = World::new(&mut rng);
+    world.add_server("bank.com", &mut rng);
+    let first = world.add_device("first", 42, &mut rng);
+    let second = world.add_device("second", 42, &mut rng);
+    world
+        .register(second, "bank.com", "alice", &mut rng)
+        .unwrap();
+    world.transfer(second, first, 42, &mut rng).unwrap();
+    assert_eq!(world.device(first).flock().domain_count(), 1);
+    world.login(first, "bank.com", &mut rng).unwrap();
+}
+
+#[test]
+fn transfer_to_unprovisioned_device_is_refused() {
+    let mut rng = SimRng::seed_from(34);
+    let mut world = World::new(&mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+
+    // A device from a different CA world: its certificate will not verify
+    // against this world's CA.
+    let mut rogue_world = World::new(&mut rng);
+    let rogue = rogue_world.add_device("rogue", 42, &mut rng);
+    let rogue_flock = {
+        // Move the rogue device into this world's device list so the
+        // transfer API can address it; its certificate chain still points
+        // at the rogue CA.
+        rogue_world
+            .device(rogue)
+            .flock()
+            .certificate()
+            .unwrap()
+            .clone()
+    };
+    let new = world.add_device("new-phone", 42, &mut rng);
+    // Overwrite the new device's certificate with the rogue one.
+    world
+        .device_mut(new)
+        .flock_mut()
+        .install_certificate(rogue_flock);
+
+    let err = world.transfer(old, new, 42, &mut rng).unwrap_err();
+    assert_eq!(err, TransferError::UntrustedNewDevice);
+}
+
+#[test]
+fn transfer_requires_the_owners_finger() {
+    let mut rng = SimRng::seed_from(35);
+    let mut world = World::new(&mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+    let new = world.add_device("new-phone", 42, &mut rng);
+
+    let err = world.transfer(old, new, 31_337, &mut rng).unwrap_err();
+    assert_eq!(err, TransferError::AuthorizationFailed);
+    // Nothing moved.
+    assert_eq!(world.device(new).flock().domain_count(), 0);
+}
+
+#[test]
+fn storage_capacity_bounds_registered_domains() {
+    // A FLock flash fills up eventually; registration fails gracefully.
+    use btd_flock::module::{FlockConfig, FlockModule};
+    let mut rng = SimRng::seed_from(37);
+    let mut config = FlockConfig::fast_test();
+    config.flash_bytes = 4_096; // tiny flash
+    let mut flock = FlockModule::new("tiny", config, &mut rng);
+    let mut entropy = btd_crypto::entropy::ChaChaEntropy::from_u64_seed(1);
+    let server_keys = btd_crypto::schnorr::KeyPair::generate(
+        btd_crypto::group::DhGroup::test_512(),
+        &mut entropy,
+    );
+    let mut stored = 0;
+    let mut failed = false;
+    for i in 0..50 {
+        match flock.register_domain(&format!("site-{i}.com"), "acct", server_keys.public_key()) {
+            Ok(_) => stored += 1,
+            Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+    }
+    assert!(failed, "tiny flash never filled");
+    assert!(stored >= 4, "only {stored} records fit");
+    assert_eq!(flock.domain_count(), stored);
+}
