@@ -13,9 +13,46 @@ use btd_flock::framehash::{DisplayFrame, FrameHashEngine};
 use btd_sim::rng::SimRng;
 use btd_sim::time::SimDuration;
 use trust_core::audit::audit_server;
+use trust_core::channel::Adversary;
+use trust_core::metrics::ProtocolMetrics;
 use trust_core::scenario::World;
 
 const INTERACTIONS: usize = 100;
+
+fn print_metrics(title: &str, metrics: &ProtocolMetrics) {
+    banner(title);
+    let mut table = Table::new(["counter", "value"]);
+    table.row(["sends", &metrics.sends.to_string()]);
+    table.row(["retries", &metrics.retries.to_string()]);
+    table.row(["timeouts", &metrics.timeouts.to_string()]);
+    table.row([
+        "duplicates resent (cache)",
+        &metrics.duplicates_resent.to_string(),
+    ]);
+    table.row([
+        "replays accepted (MUST be 0)",
+        &metrics.replays_accepted.to_string(),
+    ]);
+    table.row(["replays rejected", &metrics.replays_rejected.to_string()]);
+    table.row(["resyncs", &metrics.resyncs.to_string()]);
+    table.row(["giveups", &metrics.giveups.to_string()]);
+    table.row(["corrupt rejected", &metrics.corrupt_rejected.to_string()]);
+    table.row([
+        "stale content ignored",
+        &metrics.stale_content_ignored.to_string(),
+    ]);
+    table.print();
+
+    let mut hist = Table::new(["interaction RTT bucket", "count"]);
+    for (label, count) in metrics.interaction.rows() {
+        hist.row([label, count.to_string()]);
+    }
+    hist.row([
+        "mean served RTT".to_owned(),
+        metrics.interaction.mean().to_string(),
+    ]);
+    hist.print();
+}
 
 fn main() {
     banner(&format!(
@@ -48,6 +85,47 @@ fn main() {
     table.row(["session terminated", &session.terminated.to_string()]);
     table.row(["rejects", &format!("{:?}", session.rejects)]);
     table.print();
+
+    let mut net = login.metrics;
+    net.absorb(&session.metrics);
+    print_metrics("protocol metrics: honest channel (login + session)", &net);
+
+    // Same session, but the network drops every third message. Retries and
+    // the server's idempotency cache must deliver full service anyway.
+    banner(&format!(
+        "same {INTERACTIONS}-interaction session, dropping every 3rd message"
+    ));
+    let mut rng = SimRng::seed_from(21);
+    let mut lossy = World::with_adversary(Adversary::Dropper { period: 3 }, &mut rng);
+    lossy.add_server("www.xyz.com", &mut rng);
+    let d = lossy.add_device("phone-1", 42, &mut rng);
+    lossy.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+    let login = lossy.login(d, "www.xyz.com", &mut rng).unwrap();
+    let session = lossy
+        .run_session(d, "www.xyz.com", INTERACTIONS, &mut rng)
+        .unwrap();
+    let mut table = Table::new(["metric", "value"]);
+    table.row([
+        "interactions served",
+        &format!("{}/{}", session.served, session.attempted),
+    ]);
+    table.row(["login latency", &login.latency.to_string()]);
+    table.row([
+        "mean per-interaction latency",
+        &session
+            .latency
+            .div_int(session.attempted.max(1))
+            .to_string(),
+    ]);
+    table.print();
+    let mut net = login.metrics;
+    net.absorb(&session.metrics);
+    print_metrics("protocol metrics: lossy channel (login + session)", &net);
+    assert_eq!(
+        session.served, INTERACTIONS as u64,
+        "retries must deliver every interaction despite the dropper"
+    );
+    assert_eq!(net.replays_accepted, 0, "a replay advanced server state");
 
     // Risk reports as the server saw them.
     banner("risk reports attached to interactions (server view)");

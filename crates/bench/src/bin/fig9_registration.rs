@@ -54,18 +54,23 @@ fn main() {
     let mut world = World::with_adversary(Adversary::Replayer, &mut rng);
     world.add_server("www.xyz.com", &mut rng);
     let mut replays_rejected = 0;
+    let mut duplicates_resent = 0;
+    let mut replays_accepted = 0;
     for i in 0..REGISTRATIONS {
         let d = world.add_device(&format!("phone-{i}"), 2_000 + i as u64, &mut rng);
         let r = world
             .register(d, "www.xyz.com", &format!("user-{i}"), &mut rng)
             .unwrap();
-        replays_rejected += r.replays_rejected;
+        replays_rejected += r.metrics.replays_rejected;
+        duplicates_resent += r.metrics.duplicates_resent;
+        replays_accepted += r.metrics.replays_accepted;
     }
     println!(
-        "all {} registrations succeeded; all {} replayed copies rejected \
+        "all {REGISTRATIONS} registrations succeeded; {replays_accepted} replayed copies \
+         advanced server state, {duplicates_resent} were answered from the idempotency \
+         cache, {replays_rejected} were rejected outright \
          (reject counters: {:?})",
-        REGISTRATIONS,
-        replays_rejected,
         world.server(0).reject_counts()
     );
+    assert_eq!(replays_accepted, 0, "a replay advanced server state");
 }

@@ -1,83 +1,275 @@
 //! The end-to-end continuous-authentication flow (Figure 10).
+//!
+//! Every request/response exchange runs through a retry/timeout/backoff
+//! loop ([`RetryPolicy`]) against the fault-injecting
+//! [`Channel`](crate::channel::Channel): dropped, delayed, or corrupted
+//! messages are retransmitted, the server answers retransmits from its
+//! idempotency cache, and [`ProtocolMetrics`] records exactly what
+//! happened — including the one count that must never move,
+//! `replays_accepted`.
 
 use btd_sim::rng::SimRng;
 use btd_sim::time::SimDuration;
 use btd_workload::session::TouchSample;
 
-use crate::channel::Channel;
+use crate::channel::{Channel, NetMessage};
 use crate::device::MobileDevice;
-use crate::messages::Reject;
+use crate::messages::{ContentPage, Freshness, Reject, ServerHello};
+use crate::metrics::{Phase, ProtocolMetrics, RetryPolicy};
 use crate::registration::FlowError;
 use crate::server::WebServer;
+
+/// Why a retried exchange ultimately did not get its reply applied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ExchangeFailure {
+    /// The server conclusively rejected the request.
+    Rejected(Reject),
+    /// Every attempt timed out or bounced; the exchange was abandoned.
+    GaveUp,
+}
+
+impl From<ExchangeFailure> for FlowError {
+    fn from(f: ExchangeFailure) -> Self {
+        match f {
+            ExchangeFailure::Rejected(r) => FlowError::Server(r),
+            ExchangeFailure::GaveUp => FlowError::NetworkDropped,
+        }
+    }
+}
+
+/// How a successful exchange concluded.
+pub(crate) enum Exchanged<R> {
+    /// The request was served (possibly via a cached resend of *this*
+    /// request) and the accepted reply is attached.
+    Served(R),
+    /// The server answered with the cached reply to the *previous*
+    /// request ([`Freshness::Resync`]): the device state is healed but
+    /// this request still needs rebuilding against the new nonce.
+    Resynced,
+}
+
+/// Rejects that an honest exchange can produce when a message was damaged
+/// in transit — worth retrying with the undamaged original. A corrupted
+/// nonce surfaces as `UnknownNonce`, a corrupted MAC as `BadMac`.
+/// `BadSignature` is *not* here: transit damage never lands there in this
+/// model, so it means a key mismatch, which no retry heals.
+fn retryable(reject: Reject) -> bool {
+    matches!(reject, Reject::BadMac | Reject::UnknownNonce)
+}
+
+/// Drives one request/response exchange under the retry policy.
+///
+/// Per attempt: transmit the request, let the server process every copy
+/// the adversary delivers (classifying duplicates), transmit the reply,
+/// and accept the first copy that arrives in time and validates. Timeouts,
+/// drops, and transit corruption burn an attempt and back off; a
+/// conclusive server reject returns immediately.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exchange<Req, Resp, S, A>(
+    channel: &mut Channel,
+    policy: &RetryPolicy,
+    metrics: &mut ProtocolMetrics,
+    latency: &mut SimDuration,
+    phase: Phase,
+    request: &Req,
+    mut serve: S,
+    mut accept: A,
+) -> Result<Exchanged<Resp>, ExchangeFailure>
+where
+    Req: NetMessage,
+    Resp: NetMessage,
+    S: FnMut(&Req) -> Result<(Resp, Freshness), Reject>,
+    A: FnMut(&Resp) -> bool,
+{
+    for attempt in 0..policy.max_attempts {
+        metrics.sends += 1;
+        if attempt > 0 {
+            metrics.retries += 1;
+        }
+
+        let mut primary = None;
+        for (i, arrival) in channel.transmit(request.clone()).into_iter().enumerate() {
+            if i == 0 {
+                primary = Some((arrival.delay, serve(&arrival.msg)));
+            } else {
+                // Adversary-injected duplicate: the server's verdict on it
+                // is the replay-defense scoreboard.
+                match serve(&arrival.msg) {
+                    Ok((_, Freshness::Fresh)) => metrics.replays_accepted += 1,
+                    Ok((_, Freshness::Resent | Freshness::Resync)) => {
+                        metrics.duplicates_resent += 1;
+                    }
+                    Err(_) => metrics.replays_rejected += 1,
+                }
+            }
+        }
+
+        let Some((request_delay, result)) = primary else {
+            // Every copy of the request was destroyed in transit.
+            metrics.timeouts += 1;
+            *latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        };
+
+        let (reply, freshness) = match result {
+            Ok(served) => served,
+            Err(reject) if retryable(reject) => {
+                // In an honest flow this is a message damaged in transit;
+                // the undamaged original is worth resending. (A genuine
+                // forgery also lands here, and simply bounces again.)
+                metrics.corrupt_rejected += 1;
+                *latency += request_delay + channel.latency + policy.backoff(attempt);
+                continue;
+            }
+            Err(reject) => {
+                *latency += request_delay + channel.latency;
+                return Err(ExchangeFailure::Rejected(reject));
+            }
+        };
+        if freshness != Freshness::Fresh {
+            metrics.resyncs += 1;
+        }
+
+        let mut arrivals = channel.transmit(reply).into_iter();
+        let Some(first) = arrivals.next() else {
+            // The reply was destroyed; the server has already advanced, so
+            // the retransmit will be answered from the idempotency cache.
+            metrics.timeouts += 1;
+            *latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        };
+        metrics.stale_content_ignored += arrivals.count() as u64;
+
+        let rtt = request_delay + first.delay;
+        if rtt > policy.timeout {
+            // The reply exists but arrived after the device stopped
+            // waiting — indistinguishable from loss on this attempt.
+            metrics.timeouts += 1;
+            *latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        }
+        if !accept(&first.msg) {
+            metrics.corrupt_rejected += 1;
+            *latency += rtt + policy.backoff(attempt);
+            continue;
+        }
+        *latency += rtt;
+        metrics.record_latency(phase, rtt);
+        return Ok(match freshness {
+            Freshness::Resync => Exchanged::Resynced,
+            _ => Exchanged::Served(first.msg),
+        });
+    }
+    metrics.giveups += 1;
+    Err(ExchangeFailure::GaveUp)
+}
+
+/// Fetches and validates a server hello under the retry policy. Each
+/// retry requests a *fresh* hello (nonces are cheap; only consumption is
+/// guarded), and a hello damaged in transit is detected by the FLock
+/// certificate/signature check and refetched.
+pub(crate) fn fetch_hello(
+    device: &mut MobileDevice,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    policy: &RetryPolicy,
+    metrics: &mut ProtocolMetrics,
+    latency: &mut SimDuration,
+    path: &str,
+) -> Result<ServerHello, ExchangeFailure> {
+    for attempt in 0..policy.max_attempts {
+        metrics.sends += 1;
+        if attempt > 0 {
+            metrics.retries += 1;
+        }
+        let hello = server.hello(path);
+        let mut arrivals = channel.transmit(hello).into_iter();
+        let Some(first) = arrivals.next() else {
+            metrics.timeouts += 1;
+            *latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        };
+        // Duplicate copies of a public page carry no state; ignore them.
+        let rtt = channel.latency + first.delay;
+        if rtt > policy.timeout {
+            metrics.timeouts += 1;
+            *latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        }
+        if device.check_hello(&first.msg).is_err() {
+            metrics.corrupt_rejected += 1;
+            *latency += rtt + policy.backoff(attempt);
+            continue;
+        }
+        *latency += rtt;
+        metrics.record_latency(Phase::Hello, rtt);
+        return Ok(first.msg);
+    }
+    metrics.giveups += 1;
+    Err(ExchangeFailure::GaveUp)
+}
 
 /// What happened during a login run.
 #[derive(Clone, Debug)]
 pub struct LoginOutcome {
     /// The session id the server opened.
     pub session_id: String,
-    /// Adversarial duplicate deliveries the server rejected.
-    pub replays_rejected: u64,
-    /// End-to-end latency.
+    /// End-to-end latency, including retry timeouts and backoff.
     pub latency: SimDuration,
+    /// Network/retry accounting for the whole login flow.
+    pub metrics: ProtocolMetrics,
 }
 
-/// Runs the Fig. 10 login (steps 1–3).
+/// Runs the Fig. 10 login (steps 1–3) under the retry policy.
 ///
 /// # Errors
 ///
-/// Propagates device refusals, server rejections, or drops.
+/// Propagates device refusals, conclusive server rejections, or exhausted
+/// retries ([`FlowError::NetworkDropped`]).
 pub fn login(
     device: &mut MobileDevice,
     owner_user: u64,
     server: &mut WebServer,
     channel: &mut Channel,
+    policy: &RetryPolicy,
     rng: &mut SimRng,
 ) -> Result<LoginOutcome, FlowError> {
+    let mut metrics = ProtocolMetrics::default();
     let mut latency = SimDuration::ZERO;
 
-    let hello = server.hello("/login");
-    latency += channel.round_trip();
-    let hello = channel
-        .deliver(hello)
-        .into_iter()
-        .next()
-        .ok_or(FlowError::NetworkDropped)?;
+    let hello = fetch_hello(
+        device,
+        server,
+        channel,
+        policy,
+        &mut metrics,
+        &mut latency,
+        "/login",
+    )
+    .map_err(FlowError::from)?;
     let domain = hello.domain.clone();
 
     let submit = device.begin_login(&hello, owner_user, rng)?;
-    latency += channel.latency;
+    exchange(
+        channel,
+        policy,
+        &mut metrics,
+        &mut latency,
+        Phase::Submit,
+        &submit,
+        |m| server.handle_login(m),
+        |content: &ContentPage| device.accept_content(&domain, content).is_ok(),
+    )
+    .map_err(FlowError::from)?;
 
-    let copies = channel.deliver(submit);
-    if copies.is_empty() {
-        return Err(FlowError::NetworkDropped);
-    }
-    let mut replays_rejected = 0;
-    let mut first: Option<Result<crate::messages::ContentPage, Reject>> = None;
-    for (i, copy) in copies.into_iter().enumerate() {
-        let result = server.handle_login(&copy);
-        if i == 0 {
-            first = Some(result);
-        } else if result.is_err() {
-            replays_rejected += 1;
-        }
-    }
-    let content = first.expect("at least one delivery")?;
-    latency += channel.latency;
-
-    let content = channel
-        .deliver(content)
-        .into_iter()
-        .next()
-        .ok_or(FlowError::NetworkDropped)?;
-    device.accept_content(&domain, &content)?;
     let session_id = device
         .session_id(&domain)
         .expect("session established")
         .to_owned();
     Ok(LoginOutcome {
         session_id,
-        replays_rejected,
         latency,
+        metrics,
     })
 }
 
@@ -86,25 +278,29 @@ pub fn login(
 pub struct SessionReport {
     /// Interactions the device attempted.
     pub attempted: u64,
-    /// Interactions the server served.
+    /// Interactions the server served (each exactly once).
     pub served: u64,
-    /// Server rejections, by reason.
+    /// Conclusive server rejections, by reason.
     pub rejects: Vec<Reject>,
-    /// Adversarial duplicate deliveries the server rejected.
-    pub replays_rejected: u64,
     /// Whether the server terminated the session on risk.
     pub terminated: bool,
-    /// Total protocol latency.
+    /// Total protocol latency, including retry timeouts and backoff.
     pub latency: SimDuration,
+    /// Network/retry accounting for the whole session.
+    pub metrics: ProtocolMetrics,
 }
 
 /// Runs `touches.len()` post-login interactions (Fig. 10, step 4),
-/// cycling through `actions`.
+/// cycling through `actions`, under the retry policy. Dropped requests
+/// and replies are retransmitted until served or the policy gives up; a
+/// give-up leaves the device one reply behind, which the next interaction
+/// heals through the server's resync path.
 ///
 /// # Errors
 ///
 /// Fails only on setup problems (no session); per-interaction rejections
 /// are recorded in the report.
+#[allow(clippy::too_many_arguments)]
 pub fn run_session(
     device: &mut MobileDevice,
     server: &mut WebServer,
@@ -112,44 +308,46 @@ pub fn run_session(
     domain: &str,
     actions: &[&str],
     touches: &[TouchSample],
+    policy: &RetryPolicy,
     rng: &mut SimRng,
 ) -> Result<SessionReport, FlowError> {
     assert!(!actions.is_empty(), "need at least one action");
     let mut report = SessionReport::default();
 
-    for (i, touch) in touches.iter().enumerate() {
+    'touches: for (i, touch) in touches.iter().enumerate() {
         let action = actions[i % actions.len()];
-        let request = device.interact(domain, action, touch, rng)?;
+        device.observe_touch(touch, rng);
         report.attempted += 1;
-        report.latency += channel.latency;
 
-        let copies = channel.deliver(request);
-        if copies.is_empty() {
-            continue; // dropped request; device will retry next touch
-        }
-        let mut first = None;
-        for (j, copy) in copies.into_iter().enumerate() {
-            let result = server.handle_interaction(&copy);
-            if j == 0 {
-                first = Some(result);
-            } else if result.is_err() {
-                report.replays_rejected += 1;
-            }
-        }
-        match first.expect("at least one delivery") {
-            Ok(content) => {
-                report.latency += channel.latency;
-                if let Some(content) = channel.deliver(content).into_iter().next() {
-                    device.accept_content(domain, &content)?;
+        // One resync round: if the exchange reports the device was a
+        // reply behind, the request is rebuilt against the healed state
+        // and sent once more.
+        for _round in 0..2 {
+            let request = device.build_interaction(domain, action)?;
+            match exchange(
+                channel,
+                policy,
+                &mut report.metrics,
+                &mut report.latency,
+                Phase::Interaction,
+                &request,
+                |m| server.handle_interaction(m),
+                |content: &ContentPage| device.accept_content(domain, content).is_ok(),
+            ) {
+                Ok(Exchanged::Served(_)) => {
                     report.served += 1;
-                }
-            }
-            Err(reject) => {
-                report.rejects.push(reject);
-                if reject == Reject::RiskTerminated {
-                    report.terminated = true;
                     break;
                 }
+                Ok(Exchanged::Resynced) => continue,
+                Err(ExchangeFailure::Rejected(reject)) => {
+                    report.rejects.push(reject);
+                    if reject == Reject::RiskTerminated {
+                        report.terminated = true;
+                        break 'touches;
+                    }
+                    break;
+                }
+                Err(ExchangeFailure::GaveUp) => break,
             }
         }
     }

@@ -2,15 +2,67 @@
 //!
 //! "The Internet communication between a Web Server and a mobile device is
 //! untrusted. Replay and Man-in-the-Middle attacks need to be considered."
-//! [`Channel`] delivers messages with a latency model and an optional
-//! adversary; tampering attacks are expressed by the attack experiments as
-//! modified message copies, which the channel delivers faithfully (the
-//! adversary *is* the network).
+//! [`Channel`] is a seedable fault-injection harness: it delivers messages
+//! with a latency model and an on-path [`Adversary`] that can drop,
+//! duplicate, delay, reorder (by late delivery), and corrupt traffic.
+//! All randomness comes from a forked [`SimRng`], so a whole lossy run
+//! replays bit-for-bit from one seed. Tampering attacks are expressed by
+//! the attack experiments as modified message copies, which the channel
+//! delivers faithfully (the adversary *is* the network).
 
+use btd_sim::rng::SimRng;
 use btd_sim::time::SimDuration;
 
+/// A message type that can cross the [`Channel`].
+///
+/// `corrupt` flips bits the way an on-path attacker or a noisy link would;
+/// implementations should damage an integrity-protected field (MAC,
+/// signature, nonce) so the corruption is *detectable* — the protocol's
+/// whole claim is that flipped bits surface as rejects, not as silently
+/// altered state.
+pub trait NetMessage: Clone {
+    /// Damages the message in place, deterministically from `rng`.
+    fn corrupt(&mut self, rng: &mut SimRng);
+}
+
+/// Flips one random bit of `bytes` (helper for [`NetMessage`] impls).
+pub fn flip_random_bit(bytes: &mut [u8], rng: &mut SimRng) {
+    if bytes.is_empty() {
+        return;
+    }
+    let byte = rng.below(bytes.len() as u64) as usize;
+    let bit = rng.below(8) as u8;
+    bytes[byte] ^= 1 << bit;
+}
+
+impl NetMessage for String {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        // Stay valid UTF-8: damage via a safe ASCII substitution.
+        let mut bytes = std::mem::take(self).into_bytes();
+        if bytes.is_empty() {
+            bytes.push(b'?');
+        } else {
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] = b'a' + (rng.below(26) as u8);
+        }
+        *self = String::from_utf8(bytes).expect("ascii substitution");
+    }
+}
+
+impl NetMessage for u32 {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        *self ^= 1 << rng.below(32);
+    }
+}
+
+impl NetMessage for u64 {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        *self ^= 1 << rng.below(64);
+    }
+}
+
 /// What the on-path adversary does to traffic.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Adversary {
     /// Honest network.
     None,
@@ -23,18 +75,86 @@ pub enum Adversary {
         /// Drop period: every `period`-th message is dropped (1 = all).
         period: u32,
     },
+    /// Drops each message independently with probability `loss`.
+    RandomLoss {
+        /// Per-message loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Correlated loss: once a burst starts (probability `start` per
+    /// message), the next `burst` messages are all dropped — the radio
+    /// fade / handover pattern of mobile links.
+    BurstLoss {
+        /// Probability that a given message starts a burst.
+        start: f64,
+        /// Number of consecutive messages each burst destroys.
+        burst: u32,
+    },
+    /// Adds uniform random extra delay in `[0, max_extra_ms]` to every
+    /// message (congestion jitter).
+    Jitter {
+        /// Maximum extra one-way delay, in milliseconds.
+        max_extra_ms: u64,
+    },
+    /// Delays every `period`-th message by `extra_ms`. With a stop-and-wait
+    /// protocol this is how reordering manifests: the delayed original is
+    /// overtaken by the sender's retransmission and arrives as a stale
+    /// duplicate. Nothing is ever lost.
+    Reorderer {
+        /// Delay period: every `period`-th message arrives late.
+        period: u32,
+        /// How late, in milliseconds.
+        extra_ms: u64,
+    },
+    /// Corrupts every `period`-th message in transit (bit flips).
+    Corruptor {
+        /// Corruption period: every `period`-th message is damaged.
+        period: u32,
+    },
+    /// Applies each adversary in order to the same traffic, so loss,
+    /// jitter, and corruption can be studied together.
+    Composed(Vec<Adversary>),
 }
 
+/// One delivered copy of a transmitted message.
+#[derive(Clone, Debug)]
+pub struct Arrival<T> {
+    /// The (possibly corrupted) message.
+    pub msg: T,
+    /// One-way delay from transmission to arrival.
+    pub delay: SimDuration,
+}
+
+/// Channel counters. Conservation invariant:
+/// `delivered + dropped == sent + duplicated`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChannelStats {
+    /// Messages handed to the channel.
+    pub sent: u64,
+    /// Copies that arrived (on time or late).
+    pub delivered: u64,
+    /// Extra copies injected by the adversary.
+    pub duplicated: u64,
+    /// Copies destroyed in transit.
+    pub dropped: u64,
+    /// Copies damaged in transit (still delivered).
+    pub corrupted: u64,
+    /// Copies that arrived later than the base latency.
+    pub delayed: u64,
+}
+
+/// Extra delay between an original and its adversarial replay copy.
+const REPLAY_GAP: SimDuration = SimDuration::from_millis(5);
+
 /// The network channel.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Channel {
     /// One-way latency.
     pub latency: SimDuration,
     adversary: Adversary,
-    sent: u64,
-    delivered: u64,
-    replayed: u64,
-    dropped: u64,
+    rng: SimRng,
+    /// Remaining messages to destroy in the current loss burst.
+    burst_left: u32,
+    stats: ChannelStats,
 }
 
 impl Channel {
@@ -43,45 +163,136 @@ impl Channel {
         Channel::with_adversary(Adversary::None)
     }
 
-    /// A channel with the given adversary.
+    /// A channel with the given adversary and a fixed internal seed.
+    ///
+    /// Use [`Channel::seeded`] when the surrounding experiment wants the
+    /// channel's randomness tied to its own seed.
     pub fn with_adversary(adversary: Adversary) -> Self {
+        Channel::seeded(adversary, &mut SimRng::seed_from(0x006E_6574_776F_726B))
+    }
+
+    /// A channel with the given adversary, drawing all stochastic faults
+    /// (random loss, bursts, jitter, bit flips) from a stream forked off
+    /// `rng`.
+    pub fn seeded(adversary: Adversary, rng: &mut SimRng) -> Self {
         Channel {
             latency: SimDuration::from_millis(60),
             adversary,
-            sent: 0,
-            delivered: 0,
-            replayed: 0,
-            dropped: 0,
+            rng: rng.fork(0xC4A7),
+            burst_left: 0,
+            stats: ChannelStats::default(),
         }
     }
 
     /// The configured adversary.
-    pub fn adversary(&self) -> Adversary {
-        self.adversary
+    pub fn adversary(&self) -> &Adversary {
+        &self.adversary
     }
 
-    /// Transmits a message, returning the copies that arrive (in arrival
-    /// order). An empty vector means the message was dropped.
-    pub fn deliver<T: Clone>(&mut self, msg: T) -> Vec<T> {
-        self.sent += 1;
-        match self.adversary {
-            Adversary::None => {
-                self.delivered += 1;
-                vec![msg]
-            }
+    /// Transmits a message, returning the copies that arrive, earliest
+    /// first. An empty vector means every copy was destroyed in transit.
+    pub fn transmit<T: NetMessage>(&mut self, msg: T) -> Vec<Arrival<T>> {
+        self.stats.sent += 1;
+        let seq = self.stats.sent;
+        let mut arrivals = vec![Arrival {
+            msg,
+            delay: self.latency,
+        }];
+        let adversary = self.adversary.clone();
+        arrivals = self.apply(&adversary, arrivals, seq);
+        arrivals.sort_by_key(|a| a.delay);
+        self.stats.delivered += arrivals.len() as u64;
+        arrivals
+    }
+
+    fn apply<T: NetMessage>(
+        &mut self,
+        adversary: &Adversary,
+        mut arrivals: Vec<Arrival<T>>,
+        seq: u64,
+    ) -> Vec<Arrival<T>> {
+        match adversary {
+            Adversary::None => arrivals,
             Adversary::Replayer => {
-                self.delivered += 1;
-                self.replayed += 1;
-                vec![msg.clone(), msg]
+                let copies: Vec<Arrival<T>> = arrivals
+                    .iter()
+                    .map(|a| Arrival {
+                        msg: a.msg.clone(),
+                        delay: a.delay + REPLAY_GAP,
+                    })
+                    .collect();
+                self.stats.duplicated += copies.len() as u64;
+                arrivals.extend(copies);
+                arrivals
             }
             Adversary::Dropper { period } => {
-                if period > 0 && self.sent.is_multiple_of(period as u64) {
-                    self.dropped += 1;
+                if *period > 0 && seq.is_multiple_of(*period as u64) {
+                    self.stats.dropped += arrivals.len() as u64;
                     Vec::new()
                 } else {
-                    self.delivered += 1;
-                    vec![msg]
+                    arrivals
                 }
+            }
+            Adversary::RandomLoss { loss } => {
+                let mut kept = Vec::with_capacity(arrivals.len());
+                for a in arrivals {
+                    if self.rng.chance(*loss) {
+                        self.stats.dropped += 1;
+                    } else {
+                        kept.push(a);
+                    }
+                }
+                kept
+            }
+            Adversary::BurstLoss { start, burst } => {
+                if self.burst_left > 0 {
+                    self.burst_left -= 1;
+                    self.stats.dropped += arrivals.len() as u64;
+                    Vec::new()
+                } else if self.rng.chance(*start) {
+                    self.burst_left = burst.saturating_sub(1);
+                    self.stats.dropped += arrivals.len() as u64;
+                    Vec::new()
+                } else {
+                    arrivals
+                }
+            }
+            Adversary::Jitter { max_extra_ms } => {
+                for a in arrivals.iter_mut() {
+                    let extra = self.rng.below(max_extra_ms + 1);
+                    if extra > 0 {
+                        a.delay += SimDuration::from_millis(extra);
+                        self.stats.delayed += 1;
+                    }
+                }
+                arrivals
+            }
+            Adversary::Reorderer { period, extra_ms } => {
+                if *period > 0 && seq.is_multiple_of(*period as u64) {
+                    for a in arrivals.iter_mut() {
+                        a.delay += SimDuration::from_millis(*extra_ms);
+                        self.stats.delayed += 1;
+                    }
+                }
+                arrivals
+            }
+            Adversary::Corruptor { period } => {
+                if *period > 0 && seq.is_multiple_of(*period as u64) {
+                    for a in arrivals.iter_mut() {
+                        a.msg.corrupt(&mut self.rng);
+                        self.stats.corrupted += 1;
+                    }
+                }
+                arrivals
+            }
+            Adversary::Composed(layers) => {
+                for layer in layers {
+                    arrivals = self.apply(layer, arrivals, seq);
+                    if arrivals.is_empty() {
+                        break;
+                    }
+                }
+                arrivals
             }
         }
     }
@@ -91,9 +302,9 @@ impl Channel {
         self.latency * 2
     }
 
-    /// Counters: `(sent, delivered, replayed, dropped)`.
-    pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (self.sent, self.delivered, self.replayed, self.dropped)
+    /// Channel counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
     }
 }
 
@@ -107,28 +318,121 @@ impl Default for Channel {
 mod tests {
     use super::*;
 
+    fn arrived<T: Clone>(arrivals: &[Arrival<T>]) -> Vec<T> {
+        arrivals.iter().map(|a| a.msg.clone()).collect()
+    }
+
     #[test]
     fn honest_channel_delivers_once() {
         let mut ch = Channel::honest();
-        assert_eq!(ch.deliver(1), vec![1]);
-        assert_eq!(ch.stats(), (1, 1, 0, 0));
+        let out = ch.transmit(1u32);
+        assert_eq!(arrived(&out), vec![1]);
+        assert_eq!(out[0].delay, ch.latency);
+        let s = ch.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped), (1, 1, 0));
     }
 
     #[test]
     fn replayer_duplicates_every_message() {
         let mut ch = Channel::with_adversary(Adversary::Replayer);
-        assert_eq!(ch.deliver("msg"), vec!["msg", "msg"]);
-        let (_, _, replayed, _) = ch.stats();
-        assert_eq!(replayed, 1);
+        let out = ch.transmit("msg".to_owned());
+        assert_eq!(arrived(&out), vec!["msg".to_owned(), "msg".to_owned()]);
+        assert!(out[0].delay < out[1].delay, "replay copy arrives later");
+        assert_eq!(ch.stats().duplicated, 1);
     }
 
     #[test]
     fn dropper_drops_periodically() {
         let mut ch = Channel::with_adversary(Adversary::Dropper { period: 2 });
-        assert_eq!(ch.deliver(1), vec![1]); // 1st delivered
-        assert_eq!(ch.deliver(2), Vec::<i32>::new()); // 2nd dropped
-        assert_eq!(ch.deliver(3), vec![3]);
-        assert_eq!(ch.stats().3, 1);
+        assert_eq!(arrived(&ch.transmit(1u32)), vec![1]); // 1st delivered
+        assert!(ch.transmit(2u32).is_empty()); // 2nd dropped
+        assert_eq!(arrived(&ch.transmit(3u32)), vec![3]);
+        assert_eq!(ch.stats().dropped, 1);
+    }
+
+    #[test]
+    fn burst_loss_destroys_consecutive_messages() {
+        let mut ch = Channel::with_adversary(Adversary::BurstLoss {
+            start: 1.0,
+            burst: 3,
+        });
+        // start == 1.0: the very first message opens a burst of 3.
+        assert!(ch.transmit(1u32).is_empty());
+        assert!(ch.transmit(2u32).is_empty());
+        assert!(ch.transmit(3u32).is_empty());
+        assert_eq!(ch.stats().dropped, 3);
+    }
+
+    #[test]
+    fn jitter_never_shrinks_delay() {
+        let mut rng = SimRng::seed_from(7);
+        let mut ch = Channel::seeded(Adversary::Jitter { max_extra_ms: 40 }, &mut rng);
+        for i in 0..50u32 {
+            for a in ch.transmit(i) {
+                assert!(a.delay >= ch.latency);
+                assert!(a.delay <= ch.latency + SimDuration::from_millis(40));
+            }
+        }
+        assert_eq!(ch.stats().dropped, 0);
+    }
+
+    #[test]
+    fn reorderer_delays_but_never_loses() {
+        let mut ch = Channel::with_adversary(Adversary::Reorderer {
+            period: 2,
+            extra_ms: 500,
+        });
+        let on_time = ch.transmit(1u32);
+        let late = ch.transmit(2u32);
+        assert_eq!(on_time[0].delay, ch.latency);
+        assert_eq!(late[0].delay, ch.latency + SimDuration::from_millis(500));
+        let s = ch.stats();
+        assert_eq!((s.delivered, s.dropped, s.delayed), (2, 0, 1));
+    }
+
+    #[test]
+    fn corruptor_damages_periodically() {
+        let mut rng = SimRng::seed_from(9);
+        let mut ch = Channel::seeded(Adversary::Corruptor { period: 2 }, &mut rng);
+        assert_eq!(arrived(&ch.transmit(7u64)), vec![7]);
+        let damaged = ch.transmit(7u64);
+        assert_ne!(damaged[0].msg, 7, "corruptor must flip a bit");
+        assert_eq!(ch.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn composed_layers_apply_in_order() {
+        let mut ch = Channel::with_adversary(Adversary::Composed(vec![
+            Adversary::Replayer,
+            Adversary::Dropper { period: 2 },
+        ]));
+        assert_eq!(arrived(&ch.transmit(1u32)).len(), 2); // duplicated
+        assert!(ch.transmit(2u32).is_empty()); // both copies dropped
+        let s = ch.stats();
+        assert_eq!(s.delivered + s.dropped, s.sent + s.duplicated);
+    }
+
+    #[test]
+    fn seeded_channels_replay_identically() {
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed_from(seed);
+            let mut ch = Channel::seeded(
+                Adversary::Composed(vec![
+                    Adversary::RandomLoss { loss: 0.3 },
+                    Adversary::Jitter { max_extra_ms: 25 },
+                ]),
+                &mut rng,
+            );
+            let mut log = Vec::new();
+            for i in 0..100u32 {
+                for a in ch.transmit(i) {
+                    log.push((a.msg, a.delay));
+                }
+            }
+            (log, ch.stats())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
     }
 
     #[test]

@@ -69,6 +69,9 @@ struct DeviceSession {
     session_id: String,
     key: Vec<u8>,
     next_nonce: Nonce,
+    /// Sequence number the next interaction request must carry (echoed
+    /// from the last accepted content page).
+    next_seq: u64,
     current_page: Page,
 }
 
@@ -130,6 +133,17 @@ impl MobileDevice {
         let shown = self.spoofed_page.as_ref().unwrap_or(page);
         let frame = shown.render(view);
         self.flock.relay_frame(&frame).0
+    }
+
+    /// Validates a server hello inside FLock without acting on it — the
+    /// retry loop uses this to tell a damaged hello (retry) from a forged
+    /// one (abort).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the certificate or hello signature does not verify.
+    pub fn check_hello(&mut self, hello: &ServerHello) -> Result<(), DeviceError> {
+        self.validate_hello(hello)
     }
 
     /// Validates a server hello inside FLock: CA-chain the certificate,
@@ -294,6 +308,7 @@ impl MobileDevice {
                 session_id: String::new(),
                 key: session_key,
                 next_nonce: hello.nonce,
+                next_seq: 0,
                 current_page: hello.page.clone(),
             },
         );
@@ -310,7 +325,11 @@ impl MobileDevice {
 
     /// Accepts a content page from the server (login response or
     /// interaction response): verifies the session MAC, displays the page,
-    /// and arms the next nonce.
+    /// and arms the next nonce and sequence number.
+    ///
+    /// A duplicate or out-of-date page (sequence number behind the
+    /// device's) is verified but otherwise ignored, so adversarial
+    /// re-deliveries can never roll the session state backwards.
     ///
     /// # Errors
     ///
@@ -325,18 +344,96 @@ impl MobileDevice {
             &content.session_id,
             &content.account,
             &content.nonce,
+            content.seq,
             &content.page,
         );
         if !verify_hmac(&session.key, &bytes, &content.mac) {
             return Err(DeviceError::BadServerMac);
         }
+        if !session.session_id.is_empty() && content.seq < session.next_seq {
+            return Ok(()); // stale duplicate: authentic but already superseded
+        }
         let page = content.page.clone();
         let session = self.sessions.get_mut(domain).expect("session checked");
         session.session_id = content.session_id.clone();
         session.next_nonce = content.nonce;
+        session.next_seq = content.seq;
         session.current_page = page.clone();
         self.display(&page, View::default());
         Ok(())
+    }
+
+    /// Feeds one physical touch through the continuous-auth pipeline,
+    /// possibly triggering a re-authentication prompt, without building a
+    /// request. Split from [`MobileDevice::build_interaction`] so a retry
+    /// loop can rebuild a request after a resync without double-counting
+    /// the touch as fresh biometric evidence.
+    pub fn observe_touch(&mut self, touch: &TouchSample, rng: &mut SimRng) {
+        // The touch itself is opportunistic continuous authentication.
+        let processed = self.flock.process_touch(touch, rng);
+        if processed.action == btd_flock::risk::RiskAction::Reauthenticate {
+            // The k-of-n window ran dry: the system displays a verify
+            // button over a sensor region (paper §IV-A, preventive measure
+            // 1). Whoever is holding the phone must touch it; the attempt
+            // is processed through the same pipeline, so a genuine owner
+            // refreshes the window and an impostor adds mismatch evidence.
+            let _ = self.explicit_verified_touch(touch.user_id, touch.finger_index, rng);
+        }
+    }
+
+    /// Builds a post-login interaction request for `action` against the
+    /// session's *current* nonce and sequence number, attaching the
+    /// current risk window.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live session.
+    pub fn build_interaction(
+        &mut self,
+        domain: &str,
+        action: &str,
+    ) -> Result<InteractionRequest, DeviceError> {
+        let risk = RiskReport::from_tracker(self.flock.auth().risk());
+
+        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
+        if session.session_id.is_empty() {
+            return Err(DeviceError::NoSession);
+        }
+        let current_page = session.current_page.clone();
+        let session_id = session.session_id.clone();
+        let account = self
+            .flock
+            .domain_record(domain)
+            .ok_or(DeviceError::UnknownDomain)?
+            .account
+            .clone();
+        let nonce = self.sessions[domain].next_nonce;
+        let seq = self.sessions[domain].next_seq;
+
+        // The frame hash of what the user is currently looking at.
+        let frame_hash = self.display(&current_page, View::default());
+
+        let bytes = InteractionRequest::mac_bytes(
+            &session_id,
+            &account,
+            &nonce,
+            seq,
+            action,
+            &frame_hash,
+            &risk,
+        );
+        let key = &self.sessions[domain].key;
+        let mac = btd_crypto::hmac::hmac_sha256(key, &bytes);
+        Ok(InteractionRequest {
+            session_id,
+            account,
+            nonce,
+            seq,
+            action: action.to_owned(),
+            frame_hash,
+            risk,
+            mac,
+        })
     }
 
     /// Builds a post-login interaction request for `action`, driven by a
@@ -353,54 +450,8 @@ impl MobileDevice {
         touch: &TouchSample,
         rng: &mut SimRng,
     ) -> Result<InteractionRequest, DeviceError> {
-        // The touch itself is opportunistic continuous authentication.
-        let processed = self.flock.process_touch(touch, rng);
-        if processed.action == btd_flock::risk::RiskAction::Reauthenticate {
-            // The k-of-n window ran dry: the system displays a verify
-            // button over a sensor region (paper §IV-A, preventive measure
-            // 1). Whoever is holding the phone must touch it; the attempt
-            // is processed through the same pipeline, so a genuine owner
-            // refreshes the window and an impostor adds mismatch evidence.
-            let _ = self.explicit_verified_touch(touch.user_id, touch.finger_index, rng);
-        }
-        let risk = RiskReport::from_tracker(self.flock.auth().risk());
-
-        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
-        if session.session_id.is_empty() {
-            return Err(DeviceError::NoSession);
-        }
-        let current_page = session.current_page.clone();
-        let session_id = session.session_id.clone();
-        let account = self
-            .flock
-            .domain_record(domain)
-            .ok_or(DeviceError::UnknownDomain)?
-            .account
-            .clone();
-        let nonce = self.sessions[domain].next_nonce;
-
-        // The frame hash of what the user is currently looking at.
-        let frame_hash = self.display(&current_page, View::default());
-
-        let bytes = InteractionRequest::mac_bytes(
-            &session_id,
-            &account,
-            &nonce,
-            action,
-            &frame_hash,
-            &risk,
-        );
-        let key = &self.sessions[domain].key;
-        let mac = btd_crypto::hmac::hmac_sha256(key, &bytes);
-        Ok(InteractionRequest {
-            session_id,
-            account,
-            nonce,
-            action: action.to_owned(),
-            frame_hash,
-            risk,
-            mac,
-        })
+        self.observe_touch(touch, rng);
+        self.build_interaction(domain, action)
     }
 
     /// Malware-forged interaction: crafted entirely in the compromised
@@ -422,6 +473,7 @@ impl MobileDevice {
             session_id: session.session_id.clone(),
             account,
             nonce: session.next_nonce,
+            seq: session.next_seq,
             action: action.to_owned(),
             frame_hash: Digest([0xEE; 32]),
             risk: RiskReport {

@@ -28,8 +28,11 @@
 //!   protection, risk policy, audit log.
 //! * [`device`] — the mobile device: untrusted host stack in front of a
 //!   [`btd_flock::FlockModule`].
-//! * [`channel`] — the untrusted network with replay / man-in-the-middle
+//! * [`channel`] — the untrusted network: a seedable fault-injection
+//!   harness with replay, loss, jitter, reordering, and corruption
 //!   adversaries.
+//! * [`metrics`] — protocol robustness accounting (sends, retries,
+//!   duplicate classification, latency histograms) and the retry policy.
 //! * [`risk_policy`] — the "Risk: x out of the n touches authenticated"
 //!   report and the server-side policy on it.
 //! * [`registration`] — the Fig. 9 binding flow, end to end.
@@ -63,6 +66,7 @@ pub mod ca;
 pub mod channel;
 pub mod device;
 pub mod messages;
+pub mod metrics;
 pub mod pages;
 pub mod registration;
 pub mod reset;

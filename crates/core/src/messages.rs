@@ -11,9 +11,28 @@ use btd_crypto::nonce::Nonce;
 use btd_crypto::schnorr::Signature;
 use btd_crypto::sha256::Digest;
 
+use btd_sim::rng::SimRng;
+
+use crate::channel::{flip_random_bit, NetMessage};
 use crate::pages::Page;
 use crate::risk_policy::RiskReport;
 use crate::wire::signing_bytes;
+
+/// Whether the server answered a message by doing new work or from its
+/// idempotency cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Freshness {
+    /// First delivery: the server advanced state to serve it.
+    Fresh,
+    /// A byte-identical retransmit: the cached reply was resent and no
+    /// state advanced.
+    Resent,
+    /// A *newer* authentic request arrived while the server still expected
+    /// a retransmit of the previous one (the device lost our last reply
+    /// and moved on). The cached reply is resent so the device can
+    /// re-learn the current nonce/sequence, and no state advanced.
+    Resync,
+}
 
 /// Server → device: a served page with freshness and authenticity proof
 /// (both the registration page of Fig. 9 and the login page of Fig. 10).
@@ -141,6 +160,17 @@ impl LoginSubmit {
     }
 }
 
+/// Server → device: confirmation that a registration submission was
+/// bound (Fig. 9, step 5's response leg). Carries no secrets; the nonce
+/// echo lets the device match it to its submission.
+#[derive(Clone, Debug)]
+pub struct RegistrationAck {
+    /// Account that was bound.
+    pub account: String,
+    /// Echo of the submission nonce.
+    pub nonce: Nonce,
+}
+
 /// Server → device: a content page within a session (Fig. 10, steps 3/4).
 #[derive(Clone, Debug)]
 pub struct ContentPage {
@@ -150,6 +180,8 @@ pub struct ContentPage {
     pub account: String,
     /// Fresh nonce for the *next* request (`N_WS2`, `N_WS3`, …).
     pub nonce: Nonce,
+    /// Sequence number the *next* interaction must carry.
+    pub seq: u64,
     /// The page.
     pub page: Page,
     /// HMAC under the session key.
@@ -158,11 +190,18 @@ pub struct ContentPage {
 
 impl ContentPage {
     /// The bytes the session MAC covers.
-    pub fn mac_bytes(session_id: &str, account: &str, nonce: &Nonce, page: &Page) -> Vec<u8> {
+    pub fn mac_bytes(
+        session_id: &str,
+        account: &str,
+        nonce: &Nonce,
+        seq: u64,
+        page: &Page,
+    ) -> Vec<u8> {
         signing_bytes("trust-content-v1", |w| {
             w.str(session_id)
                 .str(account)
                 .bytes(nonce.as_bytes())
+                .u64(seq)
                 .str(&page.path)
                 .bytes(&page.body);
         })
@@ -180,6 +219,9 @@ pub struct InteractionRequest {
     pub account: String,
     /// Echo of the nonce from the last content page.
     pub nonce: Nonce,
+    /// Per-request sequence number (echo of the last content page's
+    /// `seq`); lets the server recognise retransmits idempotently.
+    pub seq: u64,
     /// The requested action (link/button identifier).
     pub action: String,
     /// Hash of the frame the user was looking at when they touched.
@@ -196,6 +238,7 @@ impl InteractionRequest {
         session_id: &str,
         account: &str,
         nonce: &Nonce,
+        seq: u64,
         action: &str,
         frame_hash: &Digest,
         risk: &RiskReport,
@@ -204,10 +247,54 @@ impl InteractionRequest {
             w.str(session_id)
                 .str(account)
                 .bytes(nonce.as_bytes())
+                .u64(seq)
                 .str(action)
                 .bytes(frame_hash.as_bytes())
                 .bytes(&risk_report_bytes(risk));
         })
+    }
+}
+
+// --- Fault-injection support -----------------------------------------------
+//
+// Every wire message can be damaged in transit. Corruption targets a field
+// the protocol integrity-protects (MAC, signature-covered nonce), so a
+// flipped bit always surfaces as a verification failure rather than as
+// silently altered content — which is the property the experiments measure.
+
+impl NetMessage for ServerHello {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.nonce.0, rng);
+    }
+}
+
+impl NetMessage for RegistrationSubmit {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.nonce.0, rng);
+    }
+}
+
+impl NetMessage for LoginSubmit {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.nonce.0, rng);
+    }
+}
+
+impl NetMessage for RegistrationAck {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.nonce.0, rng);
+    }
+}
+
+impl NetMessage for ContentPage {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.mac.0, rng);
+    }
+}
+
+impl NetMessage for InteractionRequest {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.mac.0, rng);
     }
 }
 
@@ -323,10 +410,15 @@ mod tests {
             verified: 2,
             mismatched: 0,
         };
-        let base = InteractionRequest::mac_bytes("s", "a", &nonce(1), "pay", &fh, &risk);
+        let base = InteractionRequest::mac_bytes("s", "a", &nonce(1), 3, "pay", &fh, &risk);
         assert_ne!(
             base,
-            InteractionRequest::mac_bytes("s", "a", &nonce(1), "pay-all", &fh, &risk)
+            InteractionRequest::mac_bytes("s", "a", &nonce(1), 3, "pay-all", &fh, &risk)
+        );
+        assert_ne!(
+            base,
+            InteractionRequest::mac_bytes("s", "a", &nonce(1), 4, "pay", &fh, &risk),
+            "the sequence number must be MAC-covered"
         );
         let worse = RiskReport {
             window: 12,
@@ -335,8 +427,28 @@ mod tests {
         };
         assert_ne!(
             base,
-            InteractionRequest::mac_bytes("s", "a", &nonce(1), "pay", &fh, &worse)
+            InteractionRequest::mac_bytes("s", "a", &nonce(1), 3, "pay", &fh, &worse)
         );
+    }
+
+    #[test]
+    fn corruption_is_detectable_and_deterministic() {
+        let mut rng_a = SimRng::seed_from(31);
+        let mut rng_b = SimRng::seed_from(31);
+        let clean = ContentPage {
+            session_id: "s".into(),
+            account: "a".into(),
+            nonce: nonce(1),
+            seq: 0,
+            page: Page::new("/home", b"hi".to_vec()),
+            mac: Digest([5; 32]),
+        };
+        let mut damaged_a = clean.clone();
+        damaged_a.corrupt(&mut rng_a);
+        let mut damaged_b = clean.clone();
+        damaged_b.corrupt(&mut rng_b);
+        assert_ne!(damaged_a.mac, clean.mac, "corruption must hit the MAC");
+        assert_eq!(damaged_a.mac, damaged_b.mac, "corruption must be seeded");
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Protocol robustness accounting and retry policy.
+//!
+//! [`ProtocolMetrics`] is threaded through the Fig. 9/10 flows so every
+//! report states exactly what the network did to it: how many sends,
+//! retries, and timeouts it took, how duplicates were classified (benign
+//! cache resends vs. actual replay-defense failures), and how round-trip
+//! latency distributed per protocol phase. [`RetryPolicy`] is the
+//! device-side liveness knob: per-attempt timeout, attempt cap, and
+//! exponential backoff.
+
+use btd_sim::time::SimDuration;
+
+/// Upper bounds (in milliseconds, inclusive) of the latency buckets; the
+/// final bucket is unbounded.
+pub const LATENCY_BUCKET_MS: [u64; 5] = [75, 150, 300, 600, 1200];
+
+/// A fixed-bucket histogram of round-trip latencies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencyHistogram {
+    /// Sample counts per bucket: one per [`LATENCY_BUCKET_MS`] bound plus
+    /// a final overflow bucket.
+    pub counts: [u64; 6],
+    /// Number of recorded samples.
+    pub samples: u64,
+    /// Sum of all recorded samples.
+    pub total: SimDuration,
+}
+
+impl LatencyHistogram {
+    /// Records one round-trip sample.
+    pub fn record(&mut self, rtt: SimDuration) {
+        let ms = rtt.as_millis();
+        let bucket = LATENCY_BUCKET_MS
+            .iter()
+            .position(|bound| ms <= *bound)
+            .unwrap_or(LATENCY_BUCKET_MS.len());
+        self.counts[bucket] += 1;
+        self.samples += 1;
+        self.total += rtt;
+    }
+
+    /// Mean recorded latency, or zero with no samples.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total.div_int(self.samples)
+        }
+    }
+
+    /// `(label, count)` rows for display, e.g. `("<=150ms", 3)`.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = LATENCY_BUCKET_MS
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(bound, count)| (format!("<={bound}ms"), *count))
+            .collect();
+        rows.push((
+            format!(">{}ms", LATENCY_BUCKET_MS[LATENCY_BUCKET_MS.len() - 1]),
+            self.counts[LATENCY_BUCKET_MS.len()],
+        ));
+        rows
+    }
+
+    /// Folds another histogram into this one.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.samples += other.samples;
+        self.total += other.total;
+    }
+}
+
+/// Which protocol phase a round trip belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Page fetch + server hello (Figs. 9/10, step 1).
+    Hello,
+    /// Registration or login submission (Fig. 9 step 4 / Fig. 10 step 2).
+    Submit,
+    /// Post-login interaction (Fig. 10, step 4).
+    Interaction,
+}
+
+/// What the network did to one protocol flow, and what the endpoints did
+/// about it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProtocolMetrics {
+    /// Request transmissions, including retries.
+    pub sends: u64,
+    /// Retransmissions after a timeout or a retryable reject.
+    pub retries: u64,
+    /// Attempts abandoned because no acceptable reply arrived in time.
+    pub timeouts: u64,
+    /// Duplicate deliveries the server answered from its idempotency
+    /// cache — benign: no server state advanced.
+    pub duplicates_resent: u64,
+    /// Duplicate deliveries the server *accepted as fresh*, advancing
+    /// state twice. This is a replay-defense failure and must stay zero.
+    pub replays_accepted: u64,
+    /// Duplicate deliveries the server rejected outright.
+    pub replays_rejected: u64,
+    /// Exchanges healed through the idempotency cache after a lost
+    /// response desynchronized device and server.
+    pub resyncs: u64,
+    /// Exchanges abandoned after exhausting every retry attempt.
+    pub giveups: u64,
+    /// Retries forced by a message damaged in transit (failed MAC,
+    /// signature, or nonce echo on an otherwise honest exchange).
+    pub corrupt_rejected: u64,
+    /// Duplicate or stale content pages the device discarded.
+    pub stale_content_ignored: u64,
+    /// Round-trip latency of served hello fetches.
+    pub hello: LatencyHistogram,
+    /// Round-trip latency of served registration/login submissions.
+    pub submit: LatencyHistogram,
+    /// Round-trip latency of served interactions.
+    pub interaction: LatencyHistogram,
+}
+
+impl ProtocolMetrics {
+    /// Records a served round trip under its phase.
+    pub fn record_latency(&mut self, phase: Phase, rtt: SimDuration) {
+        match phase {
+            Phase::Hello => self.hello.record(rtt),
+            Phase::Submit => self.submit.record(rtt),
+            Phase::Interaction => self.interaction.record(rtt),
+        }
+    }
+
+    /// Folds another flow's metrics into this one (for whole-scenario
+    /// summaries).
+    pub fn absorb(&mut self, other: &ProtocolMetrics) {
+        self.sends += other.sends;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.duplicates_resent += other.duplicates_resent;
+        self.replays_accepted += other.replays_accepted;
+        self.replays_rejected += other.replays_rejected;
+        self.resyncs += other.resyncs;
+        self.giveups += other.giveups;
+        self.corrupt_rejected += other.corrupt_rejected;
+        self.stale_content_ignored += other.stale_content_ignored;
+        self.hello.absorb(&other.hello);
+        self.submit.absorb(&other.submit);
+        self.interaction.absorb(&other.interaction);
+    }
+}
+
+/// Device-side retry/timeout/backoff policy for one protocol exchange.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Maximum transmissions per exchange (1 = no retries).
+    pub max_attempts: u32,
+    /// How long the device waits for an acceptable reply per attempt.
+    pub timeout: SimDuration,
+    /// Backoff before retry `k` is `backoff_base * 2^k`.
+    pub backoff_base: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            timeout: SimDuration::from_millis(250),
+            backoff_base: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to wait after failed attempt `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        self.backoff_base * (1u64 << attempt.min(16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let mut h = LatencyHistogram::default();
+        h.record(SimDuration::from_millis(70)); // <=75
+        h.record(SimDuration::from_millis(75)); // <=75 (inclusive)
+        h.record(SimDuration::from_millis(200)); // <=300
+        h.record(SimDuration::from_millis(5_000)); // overflow
+        assert_eq!(h.counts, [2, 0, 1, 0, 0, 1]);
+        assert_eq!(h.samples, 4);
+        assert_eq!(h.mean(), SimDuration::from_millis(5_345).div_int(4));
+    }
+
+    #[test]
+    fn histogram_rows_label_every_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(SimDuration::from_millis(100));
+        let rows = h.rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[1], ("<=150ms".to_owned(), 1));
+        assert_eq!(rows[5].0, ">1200ms");
+    }
+
+    #[test]
+    fn metrics_absorb_sums_everything() {
+        let mut a = ProtocolMetrics {
+            sends: 3,
+            retries: 1,
+            ..Default::default()
+        };
+        a.record_latency(Phase::Hello, SimDuration::from_millis(120));
+        let mut b = ProtocolMetrics {
+            sends: 2,
+            timeouts: 2,
+            ..Default::default()
+        };
+        b.record_latency(Phase::Hello, SimDuration::from_millis(130));
+        a.absorb(&b);
+        assert_eq!(a.sends, 5);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.timeouts, 2);
+        assert_eq!(a.hello.samples, 2);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), SimDuration::from_millis(50));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(400));
+    }
+}

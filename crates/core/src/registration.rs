@@ -3,9 +3,11 @@
 use btd_sim::rng::SimRng;
 use btd_sim::time::SimDuration;
 
+use crate::auth::{exchange, fetch_hello};
 use crate::channel::Channel;
 use crate::device::{DeviceError, MobileDevice};
-use crate::messages::Reject;
+use crate::messages::{RegistrationAck, Reject};
+use crate::metrics::{Phase, ProtocolMetrics, RetryPolicy};
 use crate::server::WebServer;
 
 /// Why an end-to-end flow failed.
@@ -44,60 +46,65 @@ impl From<Reject> for FlowError {
 }
 
 /// What happened during a registration run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RegistrationReport {
-    /// Adversarial duplicate deliveries the server rejected.
-    pub replays_rejected: u64,
-    /// End-to-end latency (network + device work).
+    /// End-to-end latency (network + device work), including retry
+    /// timeouts and backoff.
     pub latency: SimDuration,
+    /// Network/retry accounting for the whole flow.
+    pub metrics: ProtocolMetrics,
 }
 
-/// Runs the full Fig. 9 flow: hello → device submission → server binding.
+/// Runs the full Fig. 9 flow under the retry policy: hello → device
+/// submission → server binding → ack. A lost submission or ack is
+/// retransmitted; the server re-acks an already-bound retransmit from its
+/// idempotency cache instead of failing on `AccountExists`.
 ///
 /// # Errors
 ///
-/// Propagates device refusals, server rejections, or a dropped message.
+/// Propagates device refusals, conclusive server rejections, or exhausted
+/// retries ([`FlowError::NetworkDropped`]).
 pub fn register(
     device: &mut MobileDevice,
     owner_user: u64,
     server: &mut WebServer,
     channel: &mut Channel,
     account: &str,
+    policy: &RetryPolicy,
     rng: &mut SimRng,
 ) -> Result<RegistrationReport, FlowError> {
+    let mut metrics = ProtocolMetrics::default();
     let mut latency = SimDuration::ZERO;
 
     // Step 1: request + serve the registration page.
-    let hello = server.hello("/register");
-    latency += channel.round_trip();
-    let hello = channel
-        .deliver(hello)
-        .into_iter()
-        .next()
-        .ok_or(FlowError::NetworkDropped)?;
+    let hello = fetch_hello(
+        device,
+        server,
+        channel,
+        policy,
+        &mut metrics,
+        &mut latency,
+        "/register",
+    )
+    .map_err(FlowError::from)?;
 
     // Steps 2–4: device-side validation, display, touch, key generation.
     let submit = device.begin_registration(&hello, account, owner_user, rng)?;
-    latency += channel.latency;
 
-    // Step 5: server verification and binding (adversary may replay).
-    let copies = channel.deliver(submit);
-    if copies.is_empty() {
-        return Err(FlowError::NetworkDropped);
-    }
-    let mut replays_rejected = 0;
-    let mut outcome: Option<Result<(), Reject>> = None;
-    for (i, copy) in copies.into_iter().enumerate() {
-        let result = server.handle_registration(&copy);
-        if i == 0 {
-            outcome = Some(result);
-        } else if result.is_err() {
-            replays_rejected += 1;
-        }
-    }
-    outcome.expect("at least one delivery")?;
-    Ok(RegistrationReport {
-        replays_rejected,
-        latency,
-    })
+    // Step 5: server verification and binding, acked back to the device.
+    let expected_nonce = submit.nonce;
+    let expected_account = submit.account.clone();
+    exchange(
+        channel,
+        policy,
+        &mut metrics,
+        &mut latency,
+        Phase::Submit,
+        &submit,
+        |m| server.handle_registration(m),
+        |ack: &RegistrationAck| ack.nonce == expected_nonce && ack.account == expected_account,
+    )
+    .map_err(FlowError::from)?;
+
+    Ok(RegistrationReport { latency, metrics })
 }

@@ -12,6 +12,7 @@ use btd_sim::rng::SimRng;
 
 use crate::channel::Channel;
 use crate::device::MobileDevice;
+use crate::metrics::RetryPolicy;
 use crate::registration::{register, FlowError, RegistrationReport};
 use crate::server::WebServer;
 
@@ -33,5 +34,13 @@ pub fn reset_and_rebind(
     server
         .reset_identity(account, password)
         .map_err(FlowError::Server)?;
-    register(new_device, owner_user, server, channel, account, rng)
+    register(
+        new_device,
+        owner_user,
+        server,
+        channel,
+        account,
+        &RetryPolicy::default(),
+        rng,
+    )
 }

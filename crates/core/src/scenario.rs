@@ -14,6 +14,7 @@ use crate::auth::{login, run_session, LoginOutcome, SessionReport};
 use crate::ca::TrustAuthority;
 use crate::channel::{Adversary, Channel};
 use crate::device::MobileDevice;
+use crate::metrics::RetryPolicy;
 use crate::registration::{register, FlowError, RegistrationReport};
 use crate::server::WebServer;
 
@@ -27,6 +28,8 @@ pub struct World {
     pub ca: TrustAuthority,
     /// The network.
     pub channel: Channel,
+    /// The device-side retry/timeout/backoff policy for every flow.
+    pub policy: RetryPolicy,
     group: &'static DhGroup,
     servers: Vec<WebServer>,
     devices: Vec<(MobileDevice, u64)>,
@@ -38,12 +41,14 @@ impl World {
         World::with_adversary(Adversary::None, rng)
     }
 
-    /// Creates a world with an on-path adversary.
+    /// Creates a world with an on-path adversary whose stochastic faults
+    /// are seeded from `rng` (same seed → identical run).
     pub fn with_adversary(adversary: Adversary, rng: &mut SimRng) -> Self {
         let group = DhGroup::test_512();
         World {
             ca: TrustAuthority::new(group, rng),
-            channel: Channel::with_adversary(adversary),
+            channel: Channel::seeded(adversary, rng),
+            policy: RetryPolicy::default(),
             group,
             servers: Vec::new(),
             devices: Vec::new(),
@@ -139,6 +144,7 @@ impl World {
             &mut self.servers[sidx],
             &mut self.channel,
             account,
+            &self.policy,
             rng,
         )
     }
@@ -161,6 +167,7 @@ impl World {
             holder,
             &mut self.servers[sidx],
             &mut self.channel,
+            &self.policy,
             rng,
         )
     }
@@ -301,6 +308,7 @@ impl World {
             domain,
             &DEFAULT_ACTIONS,
             touches,
+            &self.policy,
             rng,
         )
     }
@@ -319,7 +327,8 @@ mod tests {
         let d = world.add_device("phone-1", 42, &mut rng);
 
         let reg = world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
-        assert_eq!(reg.replays_rejected, 0);
+        assert_eq!(reg.metrics.retries, 0);
+        assert_eq!(reg.metrics.replays_accepted, 0);
         assert!(world.server(0).has_account("alice"));
 
         let login = world.login(d, "www.xyz.com", &mut rng).unwrap();

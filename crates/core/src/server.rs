@@ -15,7 +15,7 @@ use btd_crypto::entropy::{ChaChaEntropy, EntropySource};
 use btd_crypto::group::DhGroup;
 use btd_crypto::hmac::{hmac_sha256, verify_hmac};
 use btd_crypto::nonce::{Nonce, NonceCheck, NonceGenerator, ReplayGuard};
-use btd_crypto::schnorr::{KeyPair, PublicKey};
+use btd_crypto::schnorr::{KeyPair, PublicKey, Signature};
 use btd_crypto::sha256::Digest;
 use btd_sim::rng::SimRng;
 use btd_sim::time::SimTime;
@@ -23,7 +23,8 @@ use btd_sim::trace::TraceLog;
 
 use crate::ca::TrustAuthority;
 use crate::messages::{
-    ContentPage, InteractionRequest, LoginSubmit, RegistrationSubmit, Reject, ServerHello,
+    ContentPage, Freshness, InteractionRequest, LoginSubmit, RegistrationAck, RegistrationSubmit,
+    Reject, ServerHello,
 };
 use crate::pages::Page;
 use crate::risk_policy::{RiskDecision, RiskReport, ServerRiskPolicy};
@@ -37,12 +38,28 @@ struct AccountRecord {
     reset_password: String,
 }
 
+/// The last reply served in a session, kept so a retransmitted request
+/// can be answered without advancing state (at-most-once semantics).
+#[derive(Clone, Debug)]
+struct CachedInteraction {
+    /// Sequence number of the request that produced the reply.
+    seq: u64,
+    /// MAC of that request — identifies a byte-identical retransmit.
+    request_mac: Digest,
+    /// The reply to resend.
+    reply: ContentPage,
+}
+
 /// A live session.
 #[derive(Clone, Debug)]
 struct Session {
     account: String,
     key: Vec<u8>,
     pending_nonce: Nonce,
+    /// Sequence number the next fresh interaction must carry.
+    expected_seq: u64,
+    /// Idempotency cache for the last served interaction.
+    cache: Option<CachedInteraction>,
     current_path: String,
     stepups: u32,
     terminated: bool,
@@ -77,6 +94,12 @@ pub struct WebServer {
     replay: ReplayGuard,
     accounts: HashMap<String, AccountRecord>,
     sessions: HashMap<String, Session>,
+    /// Idempotency cache for bound registrations, keyed by submission
+    /// nonce: an exact retransmit is re-acked without rebinding.
+    reg_cache: HashMap<Nonce, (Signature, RegistrationAck)>,
+    /// Idempotency cache for opened logins, keyed by submission nonce: an
+    /// exact retransmit gets the same first content page back.
+    login_cache: HashMap<Nonce, (Signature, ContentPage)>,
     pages: HashMap<String, Page>,
     policy: ServerRiskPolicy,
     audit_log: Vec<AuditEntry>,
@@ -124,6 +147,8 @@ impl WebServer {
             replay: ReplayGuard::new(),
             accounts: HashMap::new(),
             sessions: HashMap::new(),
+            reg_cache: HashMap::new(),
+            login_cache: HashMap::new(),
             pages,
             policy: ServerRiskPolicy::default(),
             audit_log: Vec::new(),
@@ -234,11 +259,23 @@ impl WebServer {
     /// nonce, the device certificate, and the device signature, then binds
     /// the account to the submitted public key.
     ///
+    /// A byte-identical retransmit of an already-bound submission is
+    /// re-acked as [`Freshness::Resent`] without touching state, so a
+    /// device that lost the ack can retry safely.
+    ///
     /// # Errors
     ///
     /// Rejects on replayed/unknown nonce, bad certificate, bad signature,
     /// an already-bound account name, or an invalid submitted key.
-    pub fn handle_registration(&mut self, msg: &RegistrationSubmit) -> Result<(), Reject> {
+    pub fn handle_registration(
+        &mut self,
+        msg: &RegistrationSubmit,
+    ) -> Result<(RegistrationAck, Freshness), Reject> {
+        if let Some((sig, ack)) = self.reg_cache.get(&msg.nonce) {
+            if *sig == msg.signature {
+                return Ok((ack.clone(), Freshness::Resent));
+            }
+        }
         self.consume_nonce(msg.nonce)?;
         if !msg.device_cert.verify(&self.ca_key) || msg.device_cert.role() != Role::FlockModule {
             return Err(self.reject(Reject::BadCertificate));
@@ -280,7 +317,13 @@ impl WebServer {
             action: "register".to_owned(),
             risk: RiskReport::fresh_login(),
         });
-        Ok(())
+        let ack = RegistrationAck {
+            account: msg.account.clone(),
+            nonce: msg.nonce,
+        };
+        self.reg_cache
+            .insert(msg.nonce, (msg.signature.clone(), ack.clone()));
+        Ok((ack, Freshness::Fresh))
     }
 
     /// The account's fallback reset password (out-of-band channel in the
@@ -295,11 +338,20 @@ impl WebServer {
     /// user-key signature, recovers the session key, evaluates risk, and
     /// opens a session whose first content page it returns.
     ///
+    /// A byte-identical retransmit of an already-processed submission gets
+    /// the same first page back as [`Freshness::Resent`] without opening a
+    /// second session; a replay with *different* bytes is rejected.
+    ///
     /// # Errors
     ///
     /// Rejects on nonce, account, signature, session-key, or risk-policy
     /// failures.
-    pub fn handle_login(&mut self, msg: &LoginSubmit) -> Result<ContentPage, Reject> {
+    pub fn handle_login(&mut self, msg: &LoginSubmit) -> Result<(ContentPage, Freshness), Reject> {
+        if let Some((sig, page)) = self.login_cache.get(&msg.nonce) {
+            if *sig == msg.signature {
+                return Ok((page.clone(), Freshness::Resent));
+            }
+        }
         self.consume_nonce(msg.nonce)?;
         let account_key = match self.accounts.get(&msg.account) {
             Some(record) => record.public_key.clone(),
@@ -342,7 +394,7 @@ impl WebServer {
         });
         let home = self.pages.get("/home").expect("home page").clone();
         let nonce = self.fresh_nonce();
-        let mac_bytes = ContentPage::mac_bytes(&session_id, &msg.account, &nonce, &home);
+        let mac_bytes = ContentPage::mac_bytes(&session_id, &msg.account, &nonce, 0, &home);
         let mac = hmac_sha256(&session_key, &mac_bytes);
         self.sessions.insert(
             session_id.clone(),
@@ -350,40 +402,108 @@ impl WebServer {
                 account: msg.account.clone(),
                 key: session_key,
                 pending_nonce: nonce,
+                expected_seq: 0,
+                cache: None,
                 current_path: "/home".to_owned(),
                 stepups: 0,
                 terminated: false,
                 interactions: 0,
             },
         );
-        Ok(ContentPage {
+        let page = ContentPage {
             session_id,
             account: msg.account.clone(),
             nonce,
+            seq: 0,
             page: home,
             mac,
-        })
+        };
+        self.login_cache
+            .insert(msg.nonce, (msg.signature.clone(), page.clone()));
+        Ok((page, Freshness::Fresh))
     }
 
     /// Handles a post-login interaction (Fig. 10, step 4).
     ///
+    /// Requests carry a sequence number in lockstep with the server's
+    /// per-session counter, which makes duplicate handling explicit:
+    ///
+    /// * `seq == expected` — fresh work: full nonce/MAC/risk checks, state
+    ///   advances, reply is cached, returned as [`Freshness::Fresh`].
+    /// * `seq == expected - 1`, byte-identical to the cached request — a
+    ///   retransmit (our reply was lost): the cached reply is resent as
+    ///   [`Freshness::Resent`] and *no state advances*.
+    /// * `seq == expected - 1`, different bytes but a valid session MAC —
+    ///   the genuine device lost our reply and built a new request against
+    ///   stale state: the cached reply is resent as [`Freshness::Resync`]
+    ///   so the device can catch up. No state advances.
+    /// * anything else — rejected ([`Reject::Replay`] for stale sequence
+    ///   numbers, [`Reject::UnknownNonce`] for future ones).
+    ///
     /// # Errors
     ///
-    /// Rejects on unknown/terminated session, nonce replay, MAC failure,
-    /// or risk-policy termination.
-    pub fn handle_interaction(&mut self, msg: &InteractionRequest) -> Result<ContentPage, Reject> {
-        let (terminated, account_matches, pending_nonce, key) =
+    /// Rejects on unknown/terminated session, stale/forged sequence
+    /// number, nonce replay, MAC failure, or risk-policy termination.
+    pub fn handle_interaction(
+        &mut self,
+        msg: &InteractionRequest,
+    ) -> Result<(ContentPage, Freshness), Reject> {
+        let (terminated, account_matches, pending_nonce, key, expected_seq) =
             match self.sessions.get(&msg.session_id) {
                 Some(s) => (
                     s.terminated,
                     s.account == msg.account,
                     s.pending_nonce,
                     s.key.clone(),
+                    s.expected_seq,
                 ),
                 None => return Err(self.reject(Reject::UnknownSession)),
             };
         if terminated || !account_matches {
             return Err(self.reject(Reject::UnknownSession));
+        }
+        if msg.seq.checked_add(1) == Some(expected_seq) {
+            if let Some(cache) = self
+                .sessions
+                .get(&msg.session_id)
+                .and_then(|s| s.cache.as_ref())
+            {
+                if cache.seq == msg.seq {
+                    // The MAC must verify over *this copy's* bytes before
+                    // the cache answers: equality with the cached MAC alone
+                    // would let a tampered copy (original MAC, rewritten
+                    // fields) pass as a benign retransmit.
+                    let mac_bytes = InteractionRequest::mac_bytes(
+                        &msg.session_id,
+                        &msg.account,
+                        &msg.nonce,
+                        msg.seq,
+                        &msg.action,
+                        &msg.frame_hash,
+                        &msg.risk,
+                    );
+                    if !verify_hmac(&key, &mac_bytes, &msg.mac) {
+                        // Damaged or tampered copy of an old request;
+                        // BadMac keeps an honest retransmit retryable.
+                        return Err(self.reject(Reject::BadMac));
+                    }
+                    let freshness = if cache.request_mac == msg.mac {
+                        Freshness::Resent
+                    } else {
+                        Freshness::Resync
+                    };
+                    return Ok((cache.reply.clone(), freshness));
+                }
+            }
+            // No cache entry: classify below as a replay.
+        }
+        if msg.seq != expected_seq {
+            let reason = if msg.seq < expected_seq {
+                Reject::Replay
+            } else {
+                Reject::UnknownNonce
+            };
+            return Err(self.reject(reason));
         }
         if msg.nonce != pending_nonce {
             // Either a replayed old nonce or a forged one.
@@ -398,6 +518,7 @@ impl WebServer {
             &msg.session_id,
             &msg.account,
             &msg.nonce,
+            msg.seq,
             &msg.action,
             &msg.frame_hash,
             &msg.risk,
@@ -436,23 +557,33 @@ impl WebServer {
             .expect("home page")
             .clone();
         let nonce = self.fresh_nonce();
-        let mac_bytes = ContentPage::mac_bytes(&msg.session_id, &msg.account, &nonce, &page);
+        let next_seq = msg.seq + 1;
+        let mac_bytes =
+            ContentPage::mac_bytes(&msg.session_id, &msg.account, &nonce, next_seq, &page);
         let mac = hmac_sha256(&key, &mac_bytes);
+        let reply = ContentPage {
+            session_id: msg.session_id.clone(),
+            account: msg.account.clone(),
+            nonce,
+            seq: next_seq,
+            page,
+            mac,
+        };
         let session = self.sessions.get_mut(&msg.session_id).expect("session");
         session.pending_nonce = nonce;
-        session.current_path = page.path.clone();
+        session.expected_seq = next_seq;
+        session.cache = Some(CachedInteraction {
+            seq: msg.seq,
+            request_mac: msg.mac,
+            reply: reply.clone(),
+        });
+        session.current_path = reply.page.path.clone();
         session.interactions += 1;
         session.stepups = match decision {
             RiskDecision::StepUp => session.stepups + 1,
             _ => 0,
         };
-        Ok(ContentPage {
-            session_id: msg.session_id.clone(),
-            account: msg.account.clone(),
-            nonce,
-            page,
-            mac,
-        })
+        Ok((reply, Freshness::Fresh))
     }
 
     /// Identity reset after device loss: the fallback password removes the

@@ -115,7 +115,7 @@ pub fn replay_session(
             Event::RequestArrives(request) => {
                 let arrival = now;
                 match server.handle_interaction(&request) {
-                    Ok(content) => {
+                    Ok((content, _freshness)) => {
                         trace.push(TraceEntry::Served {
                             at_ms: arrival.as_millis(),
                             path: content.page.path.clone(),

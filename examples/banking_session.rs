@@ -29,15 +29,24 @@ fn main() {
         .register(phone, "bank.com", "alice", &mut rng)
         .unwrap();
     println!("registration: bound key for 'alice' in {}", reg.latency);
-    println!("  replayed copies rejected: {}", reg.replays_rejected);
+    println!(
+        "  replayed copies: {} answered from the idempotency cache, {} rejected, \
+         {} accepted as fresh (must be 0)",
+        reg.metrics.duplicates_resent, reg.metrics.replays_rejected, reg.metrics.replays_accepted
+    );
 
     // --- Login + continuous session (Fig. 10) ---------------------------
     let login = world.login(phone, "bank.com", &mut rng).unwrap();
     println!("\nlogin: session {} in {}", login.session_id, login.latency);
     let session = world.run_session(phone, "bank.com", 30, &mut rng).unwrap();
     println!(
-        "browsing: {}/{} interactions served, {} network replays rejected",
-        session.served, session.attempted, session.replays_rejected
+        "browsing: {}/{} interactions served; replayed copies: {} cache-answered, \
+         {} rejected, {} accepted (must be 0)",
+        session.served,
+        session.attempted,
+        session.metrics.duplicates_resent,
+        session.metrics.replays_rejected,
+        session.metrics.replays_accepted
     );
 
     // --- Malware: forged request ----------------------------------------

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, tier-1 build + tests.
+#
+#   bash scripts/check.sh
+#
+# Mirrors what CI would run; every step must pass before a PR merges.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -14,27 +14,57 @@ use trust_core::pages::Page;
 use trust_core::scenario::World;
 
 #[test]
-fn network_replay_of_every_message_is_rejected() {
+fn network_replay_of_every_message_never_advances_state() {
     let mut rng = SimRng::seed_from(20);
     let mut world = World::with_adversary(Adversary::Replayer, &mut rng);
     world.add_server("www.xyz.com", &mut rng);
     let d = world.add_device("phone-1", 42, &mut rng);
 
+    // Every duplicate copy the replayer injects is byte-identical, so the
+    // server answers it from its idempotency cache without advancing state.
+    // The scoreboard that matters: replays_accepted must be zero.
     let reg = world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
-    assert_eq!(reg.replays_rejected, 1, "registration replay not rejected");
+    assert_eq!(
+        reg.metrics.replays_accepted, 0,
+        "registration replay accepted"
+    );
+    assert_eq!(
+        reg.metrics.duplicates_resent + reg.metrics.replays_rejected,
+        1,
+        "the duplicated submission must be classified"
+    );
+    assert_eq!(world.server(0).account_count(), 1, "exactly one binding");
 
     let login = world.login(d, "www.xyz.com", &mut rng).unwrap();
-    assert_eq!(login.replays_rejected, 1, "login replay not rejected");
+    assert_eq!(login.metrics.replays_accepted, 0, "login replay accepted");
+    assert_eq!(
+        login.metrics.duplicates_resent + login.metrics.replays_rejected,
+        1
+    );
 
     let session = world.run_session(d, "www.xyz.com", 20, &mut rng).unwrap();
     assert_eq!(session.served, 20, "legitimate traffic must still flow");
     assert_eq!(
-        session.replays_rejected, 20,
-        "every interaction replay must be rejected"
+        session.metrics.replays_accepted, 0,
+        "interaction replay accepted"
     );
-    // The server counted them as replays specifically.
-    let replays = world.server(0).reject_counts()[&Reject::Replay];
-    assert!(replays >= 22);
+    assert_eq!(
+        session.metrics.duplicates_resent + session.metrics.replays_rejected,
+        20,
+        "every duplicated interaction must be classified"
+    );
+
+    // Exactly-once server state: each interaction advanced the session
+    // counter and wrote one audit entry, replays added nothing.
+    assert_eq!(
+        world.server(0).session_interactions(&login.session_id),
+        Some(20)
+    );
+    assert_eq!(
+        world.server(0).audit_log().len() as u64,
+        2 + session.served,
+        "replays must not reach the audit log"
+    );
 }
 
 #[test]
@@ -60,8 +90,8 @@ fn tampered_registration_fields_are_rejected() {
     let mut t1 = submit.clone();
     t1.account = "mallory".to_owned();
     assert_eq!(
-        world.server_mut(0).handle_registration(&t1),
-        Err(Reject::BadSignature)
+        world.server_mut(0).handle_registration(&t1).unwrap_err(),
+        Reject::BadSignature
     );
 
     // MITM 2: substitute the public key (key-swap attack). The nonce was
@@ -75,8 +105,8 @@ fn tampered_registration_fields_are_rejected() {
     let mut t2 = submit2.clone();
     t2.user_public = vec![0x04; 256];
     assert_eq!(
-        world.server_mut(0).handle_registration(&t2),
-        Err(Reject::BadSignature)
+        world.server_mut(0).handle_registration(&t2).unwrap_err(),
+        Reject::BadSignature
     );
 
     // MITM 3: a stale (already consumed) nonce.
@@ -85,8 +115,8 @@ fn tampered_registration_fields_are_rejected() {
         ..submit2.clone()
     };
     assert_eq!(
-        world.server_mut(0).handle_registration(&t3),
-        Err(Reject::Replay)
+        world.server_mut(0).handle_registration(&t3).unwrap_err(),
+        Reject::Replay
     );
 
     // And the untampered message still works.
@@ -196,19 +226,42 @@ fn stolen_session_cookie_is_useless_without_flock() {
         .interact("www.xyz.com", "/inbox", &touches[0], &mut rng)
         .unwrap();
     // Deliver it legitimately once.
-    assert!(world.server_mut(0).handle_interaction(&request).is_ok());
+    let (first, freshness) = world.server_mut(0).handle_interaction(&request).unwrap();
+    assert_eq!(freshness, trust_core::messages::Freshness::Fresh);
+    let session_id = first.session_id.clone();
+    let served_once = world.server(0).session_interactions(&session_id);
+    let audit_len = world.server(0).audit_log().len();
 
-    // 1. Straight replay.
-    assert!(matches!(
-        world.server_mut(0).handle_interaction(&request),
-        Err(Reject::Replay) | Err(Reject::UnknownNonce)
-    ));
+    // 1. Straight replay: answered from the idempotency cache with the
+    // page the attacker already saw — no new nonce, no state advance, no
+    // audit entry. The "cookie" buys nothing.
+    let (resent, freshness) = world.server_mut(0).handle_interaction(&request).unwrap();
+    assert_eq!(freshness, trust_core::messages::Freshness::Resent);
+    assert_eq!(resent.nonce, first.nonce, "cache must not mint a new nonce");
+    assert_eq!(
+        world.server(0).session_interactions(&session_id),
+        served_once,
+        "a replay advanced the session"
+    );
+    assert_eq!(
+        world.server(0).audit_log().len(),
+        audit_len,
+        "a replay reached the audit log"
+    );
 
-    // 2. Replay with a modified action (attacker rewrites /inbox → /transfer).
+    // 2. Replay with a modified action (attacker rewrites /inbox →
+    // /transfer): the MAC no longer matches the cached request, and the
+    // nonce is consumed, so it is rejected outright.
     let mut rewritten = request.clone();
     rewritten.action = "/transfer".to_owned();
-    let result = world.server_mut(0).handle_interaction(&rewritten);
-    assert!(result.is_err());
+    assert!(matches!(
+        world.server_mut(0).handle_interaction(&rewritten),
+        Err(Reject::BadMac) | Err(Reject::Replay) | Err(Reject::UnknownNonce)
+    ));
+    assert_eq!(
+        world.server(0).session_interactions(&session_id),
+        served_once
+    );
 }
 
 #[test]
@@ -256,8 +309,11 @@ fn unknown_ca_device_cannot_register() {
         },
     };
     assert_eq!(
-        world.server_mut(0).handle_registration(&forged),
-        Err(Reject::BadCertificate)
+        world
+            .server_mut(0)
+            .handle_registration(&forged)
+            .unwrap_err(),
+        Reject::BadCertificate
     );
 }
 

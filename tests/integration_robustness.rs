@@ -1,0 +1,213 @@
+//! Integration: protocol robustness under injected network faults.
+//!
+//! The retry/timeout/backoff loop plus the server's idempotency caches
+//! must turn a faulty network into nothing worse than latency: every
+//! interaction is served exactly once, the metrics account for every
+//! retransmission, and a fixed seed reproduces the whole run byte for
+//! byte.
+
+use btd_sim::rng::SimRng;
+use trust_core::channel::Adversary;
+use trust_core::messages::Freshness;
+use trust_core::scenario::World;
+
+#[test]
+fn dropping_every_third_message_still_serves_all_100_interactions() {
+    let mut rng = SimRng::seed_from(97);
+    let mut world = World::with_adversary(Adversary::Dropper { period: 3 }, &mut rng);
+    world.add_server("www.xyz.com", &mut rng);
+    let d = world.add_device("phone-1", 42, &mut rng);
+
+    world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+    let login = world.login(d, "www.xyz.com", &mut rng).unwrap();
+    let session = world.run_session(d, "www.xyz.com", 100, &mut rng).unwrap();
+
+    assert_eq!(session.attempted, 100);
+    assert_eq!(
+        session.served, 100,
+        "retries must deliver every interaction"
+    );
+    assert!(!session.terminated);
+    assert!(session.rejects.is_empty(), "rejects: {:?}", session.rejects);
+
+    // The metrics must match: every dropped message cost a timeout, every
+    // timeout a retry, and nothing was abandoned or double-served.
+    assert!(
+        session.metrics.retries > 0,
+        "period-3 loss must force retries"
+    );
+    assert_eq!(session.metrics.timeouts, session.metrics.retries);
+    assert_eq!(session.metrics.sends, 100 + session.metrics.retries);
+    assert_eq!(session.metrics.giveups, 0);
+    assert_eq!(session.metrics.replays_accepted, 0);
+
+    // Exactly-once service on the server side.
+    assert_eq!(
+        world.server(0).session_interactions(&login.session_id),
+        Some(100)
+    );
+    assert_eq!(
+        world.server(0).audit_log().len() as u64,
+        2 + session.served,
+        "every served interaction audited exactly once"
+    );
+}
+
+#[test]
+fn same_seed_lossy_runs_produce_identical_reports() {
+    let run = |seed: u64| {
+        let mut rng = SimRng::seed_from(seed);
+        let mut world = World::with_adversary(
+            Adversary::Composed(vec![
+                Adversary::Dropper { period: 4 },
+                Adversary::Jitter { max_extra_ms: 30 },
+            ]),
+            &mut rng,
+        );
+        world.add_server("www.xyz.com", &mut rng);
+        let d = world.add_device("phone-1", 42, &mut rng);
+        let reg = world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+        let login = world.login(d, "www.xyz.com", &mut rng).unwrap();
+        let session = world.run_session(d, "www.xyz.com", 40, &mut rng).unwrap();
+        format!(
+            "{reg:?}\n{login:?}\n{session:?}\n{:?}",
+            world.channel.stats()
+        )
+    };
+    assert_eq!(run(55), run(55), "same seed must replay bit-for-bit");
+    assert_ne!(run(55), run(56), "different seeds must differ");
+}
+
+#[test]
+fn retransmitted_interaction_is_served_exactly_once() {
+    let mut rng = SimRng::seed_from(98);
+    let mut world = World::new(&mut rng);
+    world.add_server("www.xyz.com", &mut rng);
+    let d = world.add_device("phone-1", 42, &mut rng);
+    world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+    let login = world.login(d, "www.xyz.com", &mut rng).unwrap();
+    let sid = login.session_id;
+
+    let touches = world.touches_for_holder(d, 2, &mut rng);
+    let request = world
+        .device_mut(d)
+        .interact("www.xyz.com", "/inbox", &touches[0], &mut rng)
+        .unwrap();
+
+    // The first delivery is served fresh…
+    let (reply1, f1) = world.server_mut(0).handle_interaction(&request).unwrap();
+    assert_eq!(f1, Freshness::Fresh);
+    assert_eq!(world.server(0).session_interactions(&sid), Some(1));
+
+    // …the reply is lost, and the device retransmits the same bytes. The
+    // server answers from its cache without serving again.
+    let (reply2, f2) = world.server_mut(0).handle_interaction(&request).unwrap();
+    assert_eq!(f2, Freshness::Resent);
+    assert_eq!(reply2.nonce, reply1.nonce);
+    assert_eq!(reply2.seq, reply1.seq);
+    assert_eq!(world.server(0).session_interactions(&sid), Some(1));
+
+    // The retransmitted reply finally lands; the session continues.
+    world
+        .device_mut(d)
+        .accept_content("www.xyz.com", &reply2)
+        .unwrap();
+    let next = world
+        .device_mut(d)
+        .interact("www.xyz.com", "/home", &touches[1], &mut rng)
+        .unwrap();
+    let (_, f3) = world.server_mut(0).handle_interaction(&next).unwrap();
+    assert_eq!(f3, Freshness::Fresh);
+    assert_eq!(world.server(0).session_interactions(&sid), Some(2));
+}
+
+#[test]
+fn rebuilt_request_after_lost_reply_resyncs_from_cache() {
+    let mut rng = SimRng::seed_from(99);
+    let mut world = World::new(&mut rng);
+    world.add_server("www.xyz.com", &mut rng);
+    let d = world.add_device("phone-1", 42, &mut rng);
+    world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+    let login = world.login(d, "www.xyz.com", &mut rng).unwrap();
+    let sid = login.session_id;
+
+    let touches = world.touches_for_holder(d, 3, &mut rng);
+    let request = world
+        .device_mut(d)
+        .interact("www.xyz.com", "/inbox", &touches[0], &mut rng)
+        .unwrap();
+    let (_, f1) = world.server_mut(0).handle_interaction(&request).unwrap();
+    assert_eq!(f1, Freshness::Fresh);
+
+    // The reply never arrives and the exchange gives up. The device later
+    // builds a *new* request (fresh touches, fresh risk report) against its
+    // stale nonce/seq. The server recognizes the sequence number, verifies
+    // the MAC, and resends the cached reply so the device can catch up —
+    // without serving anything twice.
+    let stale = world
+        .device_mut(d)
+        .interact("www.xyz.com", "/transfer", &touches[1], &mut rng)
+        .unwrap();
+    assert_eq!(stale.seq, request.seq);
+    assert_ne!(stale.mac, request.mac, "new risk report, new MAC");
+    let (cached, f2) = world.server_mut(0).handle_interaction(&stale).unwrap();
+    assert_eq!(f2, Freshness::Resync);
+    assert_eq!(world.server(0).session_interactions(&sid), Some(1));
+
+    // Accepting the cached reply heals the device; the rebuilt request now
+    // goes through as fresh work.
+    world
+        .device_mut(d)
+        .accept_content("www.xyz.com", &cached)
+        .unwrap();
+    let healed = world
+        .device_mut(d)
+        .interact("www.xyz.com", "/transfer", &touches[2], &mut rng)
+        .unwrap();
+    assert_eq!(healed.seq, request.seq + 1);
+    let (_, f3) = world.server_mut(0).handle_interaction(&healed).unwrap();
+    assert_eq!(f3, Freshness::Fresh);
+    assert_eq!(world.server(0).session_interactions(&sid), Some(2));
+}
+
+#[test]
+fn jitter_within_timeout_needs_no_retries() {
+    let mut rng = SimRng::seed_from(100);
+    // Max jitter (40 ms) keeps every round trip under the 250 ms timeout.
+    let mut world = World::with_adversary(Adversary::Jitter { max_extra_ms: 40 }, &mut rng);
+    world.add_server("www.xyz.com", &mut rng);
+    let d = world.add_device("phone-1", 42, &mut rng);
+    world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+    world.login(d, "www.xyz.com", &mut rng).unwrap();
+    let session = world.run_session(d, "www.xyz.com", 25, &mut rng).unwrap();
+    assert_eq!(session.served, 25);
+    assert_eq!(session.metrics.retries, 0, "jitter under timeout is free");
+    // But it is visible in the histogram: not every round trip sits in the
+    // minimum-latency bucket.
+    assert_eq!(session.metrics.interaction.samples, 25);
+}
+
+#[test]
+fn corruption_is_detected_and_retried_not_accepted() {
+    let mut rng = SimRng::seed_from(101);
+    let mut world = World::with_adversary(Adversary::Corruptor { period: 5 }, &mut rng);
+    world.add_server("www.xyz.com", &mut rng);
+    let d = world.add_device("phone-1", 42, &mut rng);
+    world.register(d, "www.xyz.com", "alice", &mut rng).unwrap();
+    let login = world.login(d, "www.xyz.com", &mut rng).unwrap();
+    let session = world.run_session(d, "www.xyz.com", 30, &mut rng).unwrap();
+
+    assert_eq!(session.served, 30, "corruption must be healed by retries");
+    assert!(session.rejects.is_empty());
+    let mut net = login.metrics;
+    net.absorb(&session.metrics);
+    assert!(
+        net.corrupt_rejected > 0,
+        "period-5 corruption must be detected somewhere: {net:?}"
+    );
+    assert_eq!(net.replays_accepted, 0);
+    assert_eq!(
+        world.server(0).session_interactions(&login.session_id),
+        Some(30)
+    );
+}

@@ -1,0 +1,106 @@
+//! Property tests for the fault-injection channel.
+//!
+//! Three invariants over randomly generated adversaries and seeds:
+//!
+//! * **Determinism** — a channel seeded from the same value produces the
+//!   same arrivals and the same counters, message for message.
+//! * **Conservation** — no copy appears or vanishes unaccounted:
+//!   `delivered + dropped == sent + duplicated`.
+//! * **Reordering loses nothing** — the reorderer only delays; every
+//!   message still arrives exactly once.
+
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use proptest::prelude::*;
+use trust_core::channel::{Adversary, Channel, ChannelStats};
+
+/// Any single adversary layer (no composition).
+fn layer() -> impl Strategy<Value = Adversary> {
+    prop_oneof![
+        Just(Adversary::None),
+        Just(Adversary::Replayer),
+        (1u32..6).prop_map(|period| Adversary::Dropper { period }),
+        (0u64..60).prop_map(|p| Adversary::RandomLoss {
+            loss: p as f64 / 100.0,
+        }),
+        (0u64..30).prop_map(|p| Adversary::BurstLoss {
+            start: p as f64 / 100.0,
+            burst: 3,
+        }),
+        (0u64..80).prop_map(|max_extra_ms| Adversary::Jitter { max_extra_ms }),
+        (1u32..6).prop_map(|period| Adversary::Reorderer {
+            period,
+            extra_ms: 400,
+        }),
+        (1u32..6).prop_map(|period| Adversary::Corruptor { period }),
+    ]
+}
+
+/// Pushes `n` numbered messages through a freshly seeded channel and
+/// returns the arrival log plus final counters.
+fn drive(adversary: &Adversary, seed: u64, n: u32) -> (Vec<(u64, SimDuration)>, ChannelStats) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut ch = Channel::seeded(adversary.clone(), &mut rng);
+    let mut log = Vec::new();
+    for i in 0..n {
+        for a in ch.transmit(i as u64) {
+            log.push((a.msg, a.delay));
+        }
+    }
+    (log, ch.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_seed_same_faults(a in layer(), b in layer(), seed in any::<u64>()) {
+        let adversary = Adversary::Composed(vec![a, b]);
+        prop_assert_eq!(drive(&adversary, seed, 60), drive(&adversary, seed, 60));
+    }
+
+    #[test]
+    fn copies_are_conserved(a in layer(), b in layer(), seed in any::<u64>()) {
+        let adversary = Adversary::Composed(vec![a, b]);
+        let (_, s) = drive(&adversary, seed, 60);
+        prop_assert_eq!(s.sent, 60);
+        prop_assert!(
+            s.delivered + s.dropped == s.sent + s.duplicated,
+            "conservation violated: {s:?}"
+        );
+    }
+
+    #[test]
+    fn reorderer_never_loses(
+        period in 1u32..8,
+        extra_ms in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let (log, s) = drive(&Adversary::Reorderer { period, extra_ms }, seed, 60);
+        prop_assert_eq!(s.dropped, 0);
+        prop_assert_eq!(s.delivered, s.sent);
+        prop_assert_eq!(log.len(), 60);
+        // Every message arrives intact, merely late or on time.
+        for (i, (msg, delay)) in log.iter().enumerate() {
+            prop_assert_eq!(*msg, i as u64);
+            let base = SimDuration::from_millis(60);
+            prop_assert!(
+                *delay == base || *delay == base + SimDuration::from_millis(extra_ms),
+                "unexpected delay {:?}",
+                delay
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_only_adds_delay(max_extra_ms in 0u64..200, seed in any::<u64>()) {
+        let (log, s) = drive(&Adversary::Jitter { max_extra_ms }, seed, 40);
+        prop_assert_eq!(s.dropped, 0);
+        prop_assert_eq!(log.len(), 40);
+        let base = SimDuration::from_millis(60);
+        for (_, delay) in log {
+            prop_assert!(delay >= base);
+            prop_assert!(delay <= base + SimDuration::from_millis(max_extra_ms));
+        }
+    }
+}
