@@ -43,18 +43,32 @@ impl AuditReport {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// The log index of the *first* entry that diverged from every
+    /// legitimate view, if any — i.e. the exact frame where the user
+    /// started seeing tampered content.
+    pub fn first_divergence(&self) -> Option<usize> {
+        self.findings.first().map(|f| f.log_index)
+    }
 }
 
 /// Audits the server's entire frame-hash log against the finite view sets
 /// of its pages.
 pub fn audit_server(server: &WebServer) -> AuditReport {
+    audit_from(server, 0)
+}
+
+/// Audits the frame-hash log starting at `start` (a log index), so a
+/// caller can audit only the entries a particular session appended.
+/// Findings carry absolute log indices regardless of `start`.
+pub fn audit_from(server: &WebServer, start: usize) -> AuditReport {
     let mut view_cache: HashMap<String, Vec<Digest>> = HashMap::new();
     let mut report = AuditReport {
         total: 0,
         legitimate: 0,
         findings: Vec::new(),
     };
-    for (i, entry) in server.audit_log().iter().enumerate() {
+    for (i, entry) in server.audit_log().iter().enumerate().skip(start) {
         report.total += 1;
         let hashes = view_cache
             .entry(entry.expected_path.clone())

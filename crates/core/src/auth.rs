@@ -99,6 +99,9 @@ where
                     Ok((_, Freshness::Resent | Freshness::Resync)) => {
                         metrics.duplicates_resent += 1;
                     }
+                    // A dead server renders no verdict; the duplicate was
+                    // neither accepted nor rejected.
+                    Err(Reject::ServerCrashed) => {}
                     Err(_) => metrics.replays_rejected += 1,
                 }
             }
@@ -113,6 +116,14 @@ where
 
         let (reply, freshness) = match result {
             Ok(served) => served,
+            Err(Reject::ServerCrashed) => {
+                // The server died mid-exchange: no reply will ever arrive.
+                // From the device's clock this is indistinguishable from
+                // loss, so it burns the attempt as a timeout.
+                metrics.timeouts += 1;
+                *latency += policy.timeout + policy.backoff(attempt);
+                continue;
+            }
             Err(reject) if retryable(reject) => {
                 // In an honest flow this is a message damaged in transit;
                 // the undamaged original is worth resending. (A genuine
@@ -181,6 +192,12 @@ pub(crate) fn fetch_hello(
         metrics.sends += 1;
         if attempt > 0 {
             metrics.retries += 1;
+        }
+        if server.is_crashed() {
+            // A dead server answers nothing; the fetch simply times out.
+            metrics.timeouts += 1;
+            *latency += policy.timeout + policy.backoff(attempt);
+            continue;
         }
         let hello = server.hello(path);
         let mut arrivals = channel.transmit(hello).into_iter();
@@ -286,6 +303,9 @@ pub struct SessionReport {
     pub terminated: bool,
     /// Total protocol latency, including retry timeouts and backoff.
     pub latency: SimDuration,
+    /// Audit-log entries written during this session whose frame hash
+    /// matched no legitimate view of the served page (offline audit).
+    pub audit_mismatches: u64,
     /// Network/retry accounting for the whole session.
     pub metrics: ProtocolMetrics,
 }
@@ -313,6 +333,7 @@ pub fn run_session(
 ) -> Result<SessionReport, FlowError> {
     assert!(!actions.is_empty(), "need at least one action");
     let mut report = SessionReport::default();
+    let audit_start = server.audit_log().len();
 
     'touches: for (i, touch) in touches.iter().enumerate() {
         let action = actions[i % actions.len()];
@@ -351,5 +372,6 @@ pub fn run_session(
             }
         }
     }
+    report.audit_mismatches = crate::audit::audit_from(server, audit_start).findings.len() as u64;
     Ok(report)
 }

@@ -1,0 +1,265 @@
+//! Chaos harness: the full register → login → browse lifecycle under
+//! crash-fault injection composed with network faults.
+//!
+//! The server is armed with a seeded [`CrashSchedule`]; whenever a handler
+//! dies mid-exchange the device sees only silence, exhausts its retries,
+//! and the harness restarts the server from its journal
+//! ([`WebServer::recover_in_place`]) and re-arms the schedule. A live
+//! session is then re-joined through the [`Resume`](crate::messages::ResumeRequest)
+//! sub-protocol rather than a fresh login, so interactions continue from
+//! the last acknowledged sequence number and `replays_accepted` stays
+//! zero across every restart.
+
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
+use btd_workload::session::TouchSample;
+
+use crate::auth::{exchange, login, ExchangeFailure, Exchanged};
+use crate::channel::Channel;
+use crate::device::MobileDevice;
+use crate::messages::{ContentPage, Reject, ResumeAck};
+use crate::metrics::{Phase, ProtocolMetrics, RetryPolicy};
+use crate::registration::{register, FlowError};
+use crate::server::journal::{CrashProfile, CrashSchedule};
+use crate::server::WebServer;
+
+/// How many times a single touch (or a resume handshake) is re-driven
+/// through crashes and losses before the harness declares it stuck.
+const MAX_ROUNDS: usize = 32;
+
+/// Aggregate outcome of a chaos lifecycle run.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Interactions the device attempted.
+    pub attempted: u64,
+    /// Interactions the server served (each exactly once).
+    pub served: u64,
+    /// Server crashes observed (each followed by a recovery).
+    pub crashes: u64,
+    /// Successful session-resumption handshakes after a restart.
+    pub resumes: u64,
+    /// Recoveries that restored a snapshot before replaying the log.
+    pub snapshot_restores: u64,
+    /// Journal records replayed across all recoveries.
+    pub records_replayed: u64,
+    /// Journal records lost to torn writes or corruption across all
+    /// recoveries.
+    pub records_skipped: u64,
+    /// Conclusive server rejections, by reason.
+    pub rejects: Vec<Reject>,
+    /// Whether the server terminated the session on risk.
+    pub terminated: bool,
+    /// Whether every attempted interaction was eventually served.
+    pub completed: bool,
+    /// Frame-hash audit entries that matched no legitimate view.
+    pub audit_mismatches: u64,
+    /// Total protocol latency, including retry timeouts and backoff.
+    pub latency: SimDuration,
+    /// Network/retry accounting across the whole lifecycle.
+    pub metrics: ProtocolMetrics,
+}
+
+/// Restarts a crashed server from its journal and re-arms the schedule.
+fn recover(
+    server: &mut WebServer,
+    profile: CrashProfile,
+    report: &mut ChaosReport,
+    rng: &mut SimRng,
+) {
+    report.crashes += 1;
+    let rec = server.recover_in_place(rng);
+    if rec.snapshot_restored {
+        report.snapshot_restores += 1;
+    }
+    report.records_replayed += rec.records_replayed as u64;
+    report.records_skipped += rec.records_skipped as u64;
+    server.arm_crash_schedule(CrashSchedule::seeded(profile, rng.next_u64()));
+}
+
+/// Re-joins the device's live session after a server restart, surviving
+/// further crashes during the handshake itself.
+#[allow(clippy::too_many_arguments)]
+fn resume_session(
+    device: &mut MobileDevice,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    domain: &str,
+    policy: &RetryPolicy,
+    profile: CrashProfile,
+    report: &mut ChaosReport,
+    rng: &mut SimRng,
+) -> Result<(), FlowError> {
+    for _ in 0..MAX_ROUNDS {
+        let request = device.begin_resume(domain)?;
+        match exchange(
+            channel,
+            policy,
+            &mut report.metrics,
+            &mut report.latency,
+            Phase::Lifecycle,
+            &request,
+            |m| server.handle_resume(m),
+            |ack: &ResumeAck| device.accept_resume(domain, ack).is_ok(),
+        ) {
+            Ok(_) => {
+                report.resumes += 1;
+                return Ok(());
+            }
+            Err(ExchangeFailure::GaveUp) => {
+                if server.is_crashed() {
+                    recover(server, profile, report, rng);
+                }
+                // Pure loss: a fresh handshake (new device nonce) retries.
+            }
+            Err(ExchangeFailure::Rejected(reject)) => return Err(FlowError::Server(reject)),
+        }
+    }
+    Err(FlowError::NetworkDropped)
+}
+
+/// Runs register → login → `touches.len()` interactions with the server
+/// crashing per `profile` on top of whatever the channel's adversary does.
+///
+/// Registration and login retry across restarts (a bind or login journaled
+/// before the crash is detected as durable and not re-sent); a mid-session
+/// restart is healed through the resume sub-protocol, crediting a touch
+/// whose reply the journal preserved instead of re-sending it.
+///
+/// # Errors
+///
+/// Fails on setup problems (device refusals, conclusive rejections) or if
+/// a flow stays stuck for [`MAX_ROUNDS`] rounds; per-interaction
+/// rejections are recorded in the report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_lifecycle(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    domain: &str,
+    account: &str,
+    actions: &[&str],
+    touches: &[TouchSample],
+    policy: &RetryPolicy,
+    profile: CrashProfile,
+    rng: &mut SimRng,
+) -> Result<ChaosReport, FlowError> {
+    assert!(!actions.is_empty(), "need at least one action");
+    let mut report = ChaosReport::default();
+    server.arm_crash_schedule(CrashSchedule::seeded(profile, rng.next_u64()));
+
+    // Registration survives restarts: a crash after the journal append has
+    // durably bound the account, so the retry must not re-register (the
+    // device already holds the matching key record from the same attempt).
+    let mut rounds = 0;
+    while !server.has_account(account) {
+        match register(device, owner_user, server, channel, account, policy, rng) {
+            Ok(r) => {
+                report.latency += r.latency;
+                report.metrics.absorb(&r.metrics);
+            }
+            Err(FlowError::NetworkDropped) => {
+                if server.is_crashed() {
+                    recover(server, profile, &mut report, rng);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        rounds += 1;
+        if rounds > MAX_ROUNDS {
+            return Err(FlowError::NetworkDropped);
+        }
+    }
+
+    // Login: a half-open login lost to a crash is abandoned (the orphaned
+    // server session just idles); a fresh login opens a new session.
+    rounds = 0;
+    loop {
+        match login(device, owner_user, server, channel, policy, rng) {
+            Ok(out) => {
+                report.latency += out.latency;
+                report.metrics.absorb(&out.metrics);
+                break;
+            }
+            Err(FlowError::NetworkDropped) => {
+                if server.is_crashed() {
+                    recover(server, profile, &mut report, rng);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        rounds += 1;
+        if rounds > MAX_ROUNDS {
+            return Err(FlowError::NetworkDropped);
+        }
+    }
+
+    'touches: for (i, touch) in touches.iter().enumerate() {
+        let action = actions[i % actions.len()];
+        device.observe_touch(touch, rng);
+        report.attempted += 1;
+
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > MAX_ROUNDS {
+                break;
+            }
+            let pre_seq = device.session_seq(domain);
+            let request = device.build_interaction(domain, action)?;
+            match exchange(
+                channel,
+                policy,
+                &mut report.metrics,
+                &mut report.latency,
+                Phase::Interaction,
+                &request,
+                |m| server.handle_interaction(m),
+                |content: &ContentPage| device.accept_content(domain, content).is_ok(),
+            ) {
+                Ok(Exchanged::Served(_)) => {
+                    report.served += 1;
+                    break;
+                }
+                Ok(Exchanged::Resynced) => continue,
+                Err(ExchangeFailure::Rejected(reject)) => {
+                    report.rejects.push(reject);
+                    if reject == Reject::RiskTerminated {
+                        report.terminated = true;
+                        break 'touches;
+                    }
+                    break;
+                }
+                Err(ExchangeFailure::GaveUp) => {
+                    if server.is_crashed() {
+                        recover(server, profile, &mut report, rng);
+                        resume_session(
+                            device,
+                            server,
+                            channel,
+                            domain,
+                            policy,
+                            profile,
+                            &mut report,
+                            rng,
+                        )?;
+                        // If the interaction was journaled before the crash,
+                        // the resume ack replayed its reply into the device;
+                        // the touch is served, not re-sent.
+                        if device.session_seq(domain) > pre_seq {
+                            report.served += 1;
+                            break;
+                        }
+                    }
+                    // Pure loss (or a pre-journal crash): drive the same
+                    // touch again; the server's cache keeps it exactly-once.
+                    continue;
+                }
+            }
+        }
+    }
+
+    report.completed = !report.terminated && report.served == report.attempted;
+    report.audit_mismatches = crate::audit::audit_from(server, 0).findings.len() as u64;
+    Ok(report)
+}

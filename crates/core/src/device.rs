@@ -22,7 +22,8 @@ use btd_sim::time::SimDuration;
 use btd_workload::session::TouchSample;
 
 use crate::messages::{
-    ContentPage, InteractionRequest, LoginSubmit, RegistrationSubmit, ServerHello,
+    ContentPage, InteractionRequest, LoginSubmit, RegistrationSubmit, ResumeAck, ResumeRequest,
+    ServerHello,
 };
 use crate::pages::{Page, View};
 use crate::risk_policy::RiskReport;
@@ -73,6 +74,9 @@ struct DeviceSession {
     /// from the last accepted content page).
     next_seq: u64,
     current_page: Page,
+    /// The nonce of an in-flight resume request, so the matching ack can
+    /// be recognised (and a stale or unsolicited one rejected).
+    pending_resume: Option<Nonce>,
 }
 
 /// A mobile device.
@@ -310,6 +314,7 @@ impl MobileDevice {
                 next_nonce: hello.nonce,
                 next_seq: 0,
                 current_page: hello.page.clone(),
+                pending_resume: None,
             },
         );
         Ok(LoginSubmit {
@@ -483,6 +488,102 @@ impl MobileDevice {
             },
             mac: Digest([0xEE; 32]), // malware cannot compute the real MAC
         })
+    }
+
+    /// Builds a session-resumption request: a fresh FLock-chosen nonce
+    /// plus a MAC under the session key over the last acknowledged
+    /// sequence number. Used when every retry of an exchange timed out —
+    /// the likely cause is a server restart that lost the issued nonce.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live session.
+    pub fn begin_resume(&mut self, domain: &str) -> Result<ResumeRequest, DeviceError> {
+        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
+        if session.session_id.is_empty() {
+            return Err(DeviceError::NoSession);
+        }
+        let session_id = session.session_id.clone();
+        let last_seq = session.next_seq;
+        let key = session.key.clone();
+        let account = self
+            .flock
+            .domain_record(domain)
+            .ok_or(DeviceError::UnknownDomain)?
+            .account
+            .clone();
+        let nonce = Nonce(
+            self.flock
+                .crypto_mut()
+                .random_bytes(16)
+                .try_into()
+                .expect("16 bytes"),
+        );
+        let bytes = ResumeRequest::mac_bytes(&session_id, &account, &nonce, last_seq);
+        let mac = btd_crypto::hmac::hmac_sha256(&key, &bytes);
+        self.sessions
+            .get_mut(domain)
+            .expect("session checked")
+            .pending_resume = Some(nonce);
+        Ok(ResumeRequest {
+            session_id,
+            account,
+            nonce,
+            last_seq,
+            mac,
+        })
+    }
+
+    /// Accepts a resume acknowledgement: verifies the MAC and the echo of
+    /// the in-flight resume nonce, applies the healed reply if the server
+    /// included one (the device was one page behind), and re-arms the
+    /// session's nonce and sequence number from the ack.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live session, on MAC failure, or when the ack does
+    /// not answer the in-flight resume request.
+    pub fn accept_resume(&mut self, domain: &str, ack: &ResumeAck) -> Result<(), DeviceError> {
+        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
+        if session.session_id.is_empty() || ack.session_id != session.session_id {
+            return Err(DeviceError::NoSession);
+        }
+        let bytes = ResumeAck::mac_bytes(
+            &ack.session_id,
+            &ack.account,
+            &ack.device_nonce,
+            &ack.nonce,
+            ack.seq,
+            ack.last_reply.as_ref(),
+        );
+        if !verify_hmac(&session.key, &bytes, &ack.mac) {
+            return Err(DeviceError::BadServerMac);
+        }
+        if session.pending_resume != Some(ack.device_nonce) {
+            // Authentic but answering some other (stale) resume request.
+            return Err(DeviceError::BadServerMac);
+        }
+        // The healed reply first: it displays and advances state like any
+        // content page. Then adopt the ack's nonce/seq — the reply's own
+        // embedded nonce died with the old server process.
+        if let Some(reply) = &ack.last_reply {
+            let reply = reply.clone();
+            self.accept_content(domain, &reply)?;
+        }
+        let session = self.sessions.get_mut(domain).expect("session checked");
+        session.next_nonce = ack.nonce;
+        session.next_seq = ack.seq;
+        session.pending_resume = None;
+        Ok(())
+    }
+
+    /// The sequence number the device will put on its next interaction
+    /// request (its last acknowledged server sequence).
+    pub fn session_seq(&self, domain: &str) -> Option<u64> {
+        self.sessions
+            .get(domain)
+            .filter(|s| !s.session_id.is_empty())
+            .map(|s| s.next_seq)
     }
 
     /// The device-side session id for a domain, if logged in.

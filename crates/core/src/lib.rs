@@ -26,6 +26,9 @@
 //! * [`pages`] — hyper-text pages and their finite set of rendered views.
 //! * [`server`] — the web server: account binding, sessions, replay
 //!   protection, risk policy, audit log.
+//! * [`server::journal`] — the server's crash-fault-tolerance layer: a
+//!   CRC-framed write-ahead log with snapshot compaction, plus
+//!   deterministic crash-point injection.
 //! * [`device`] — the mobile device: untrusted host stack in front of a
 //!   [`btd_flock::FlockModule`].
 //! * [`channel`] — the untrusted network: a seedable fault-injection
@@ -39,8 +42,12 @@
 //! * [`auth`] — the Fig. 10 continuous-authentication flow.
 //! * [`audit`] — offline frame-hash verification against the finite view
 //!   set.
-//! * [`reset`] — identity reset after device loss.
-//! * [`transfer`] — identity transfer to a new device.
+//! * [`reset`] — identity reset after device loss, over the wire.
+//! * [`transfer`] — identity transfer to a new device over the faulty
+//!   local link.
+//! * [`chaos`] — the crash/loss chaos harness: the full lifecycle driven
+//!   through seeded server crashes, journal recoveries, and session
+//!   resumption.
 //! * [`timeline`] — a discrete-event replay of a session with true
 //!   timestamps (touches at workload time, messages after latency).
 //! * [`scenario`] — turnkey harnesses used by the examples, integration
@@ -64,6 +71,7 @@ pub mod audit;
 pub mod auth;
 pub mod ca;
 pub mod channel;
+pub mod chaos;
 pub mod device;
 pub mod messages;
 pub mod metrics;

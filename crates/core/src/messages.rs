@@ -9,7 +9,7 @@ use btd_crypto::cert::Certificate;
 use btd_crypto::elgamal::SealedBox;
 use btd_crypto::nonce::Nonce;
 use btd_crypto::schnorr::Signature;
-use btd_crypto::sha256::Digest;
+use btd_crypto::sha256::{sha256, Digest};
 
 use btd_sim::rng::SimRng;
 
@@ -172,7 +172,7 @@ pub struct RegistrationAck {
 }
 
 /// Server → device: a content page within a session (Fig. 10, steps 3/4).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ContentPage {
     /// Session identifier.
     pub session_id: String,
@@ -255,6 +255,136 @@ impl InteractionRequest {
     }
 }
 
+/// Device → server: re-attach to a session across a server restart. The
+/// device cannot echo a server nonce — the process that issued the last
+/// one is gone — so it proves liveness with a fresh nonce of its own and
+/// a MAC under the session key over its last acknowledged sequence
+/// number.
+#[derive(Clone, Debug)]
+pub struct ResumeRequest {
+    /// Session to resume.
+    pub session_id: String,
+    /// Account the session belongs to.
+    pub account: String,
+    /// Fresh device-chosen nonce (replay protection for the resume
+    /// itself).
+    pub nonce: Nonce,
+    /// Highest content-page sequence number the device has accepted.
+    pub last_seq: u64,
+    /// HMAC under the session key.
+    pub mac: Digest,
+}
+
+impl ResumeRequest {
+    /// The bytes the session MAC covers.
+    pub fn mac_bytes(session_id: &str, account: &str, nonce: &Nonce, last_seq: u64) -> Vec<u8> {
+        signing_bytes("trust-resume-v1", |w| {
+            w.str(session_id)
+                .str(account)
+                .bytes(nonce.as_bytes())
+                .u64(last_seq);
+        })
+    }
+}
+
+/// Server → device: resumption accepted. Re-issues the session's current
+/// challenge nonce and sequence number; if the device was one reply
+/// behind (the reply died with the crashed process), the cached reply
+/// rides along so the interaction is never served twice.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ResumeAck {
+    /// Session that was resumed.
+    pub session_id: String,
+    /// Account.
+    pub account: String,
+    /// Echo of the device's resume nonce (binds ack to request).
+    pub device_nonce: Nonce,
+    /// The current challenge nonce for the next interaction.
+    pub nonce: Nonce,
+    /// The sequence number the next fresh interaction must carry.
+    pub seq: u64,
+    /// The last served reply, when the device reported it never arrived.
+    pub last_reply: Option<ContentPage>,
+    /// HMAC under the session key.
+    pub mac: Digest,
+}
+
+impl ResumeAck {
+    /// The bytes the session MAC covers. The optional healed reply is
+    /// bound in full (its canonical bytes and its own MAC), so a relay
+    /// cannot strip or swap it.
+    pub fn mac_bytes(
+        session_id: &str,
+        account: &str,
+        device_nonce: &Nonce,
+        nonce: &Nonce,
+        seq: u64,
+        last_reply: Option<&ContentPage>,
+    ) -> Vec<u8> {
+        signing_bytes("trust-resume-ack-v1", |w| {
+            w.str(session_id)
+                .str(account)
+                .bytes(device_nonce.as_bytes())
+                .bytes(nonce.as_bytes())
+                .u64(seq);
+            match last_reply {
+                Some(r) => {
+                    w.u64(1)
+                        .bytes(&ContentPage::mac_bytes(
+                            &r.session_id,
+                            &r.account,
+                            &r.nonce,
+                            r.seq,
+                            &r.page,
+                        ))
+                        .bytes(r.mac.as_bytes());
+                }
+                None => {
+                    w.u64(0);
+                }
+            }
+        })
+    }
+}
+
+/// Device → server: the identity-reset request of §IV carried over the
+/// wire. Authenticated by the out-of-band fallback password (the device
+/// that held the key is lost), made idempotent by a fresh request nonce.
+#[derive(Clone, Debug)]
+pub struct ResetRequest {
+    /// Target domain.
+    pub domain: String,
+    /// Account whose binding should be removed.
+    pub account: String,
+    /// The fallback reset password.
+    pub password: String,
+    /// Fresh device-chosen nonce (idempotency key).
+    pub nonce: Nonce,
+}
+
+impl ResetRequest {
+    /// A digest of the full request, used by the server's idempotency
+    /// cache to tell a retransmit from a different request reusing the
+    /// nonce.
+    pub fn request_digest(&self) -> Digest {
+        sha256(&signing_bytes("trust-reset-v1", |w| {
+            w.str(&self.domain)
+                .str(&self.account)
+                .str(&self.password)
+                .bytes(self.nonce.as_bytes());
+        }))
+    }
+}
+
+/// Server → device: the identity binding was removed.
+#[derive(Clone, Debug)]
+pub struct ResetAck {
+    /// Account whose binding was removed.
+    pub account: String,
+    /// Echo of the request nonce.
+    pub nonce: Nonce,
+}
+
 // --- Fault-injection support -----------------------------------------------
 //
 // Every wire message can be damaged in transit. Corruption targets a field
@@ -298,6 +428,30 @@ impl NetMessage for InteractionRequest {
     }
 }
 
+impl NetMessage for ResumeRequest {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.mac.0, rng);
+    }
+}
+
+impl NetMessage for ResumeAck {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.mac.0, rng);
+    }
+}
+
+impl NetMessage for ResetRequest {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.nonce.0, rng);
+    }
+}
+
+impl NetMessage for ResetAck {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.nonce.0, rng);
+    }
+}
+
 /// Why a server rejected a message (each maps to a security property the
 /// paper's §IV-B analysis claims).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -324,6 +478,10 @@ pub enum Reject {
     RiskTerminated,
     /// Identity-reset credential (fallback password) was wrong.
     BadResetCredential,
+    /// The server process crashed before answering. Not a protocol
+    /// verdict: the request may or may not have been applied, and the
+    /// device should retry after the server recovers.
+    ServerCrashed,
 }
 
 impl std::fmt::Display for Reject {
@@ -340,6 +498,7 @@ impl std::fmt::Display for Reject {
             Reject::BadSessionKey => "bad session key",
             Reject::RiskTerminated => "risk policy terminated session",
             Reject::BadResetCredential => "bad reset credential",
+            Reject::ServerCrashed => "server crashed",
         };
         f.write_str(s)
     }

@@ -81,6 +81,9 @@ pub enum Phase {
     Submit,
     /// Post-login interaction (Fig. 10, step 4).
     Interaction,
+    /// Identity-lifecycle operations: wire identity reset and session
+    /// resumption after a server restart.
+    Lifecycle,
 }
 
 /// What the network did to one protocol flow, and what the endpoints did
@@ -117,6 +120,8 @@ pub struct ProtocolMetrics {
     pub submit: LatencyHistogram,
     /// Round-trip latency of served interactions.
     pub interaction: LatencyHistogram,
+    /// Round-trip latency of served lifecycle operations (reset, resume).
+    pub lifecycle: LatencyHistogram,
 }
 
 impl ProtocolMetrics {
@@ -126,6 +131,7 @@ impl ProtocolMetrics {
             Phase::Hello => self.hello.record(rtt),
             Phase::Submit => self.submit.record(rtt),
             Phase::Interaction => self.interaction.record(rtt),
+            Phase::Lifecycle => self.lifecycle.record(rtt),
         }
     }
 
@@ -145,6 +151,7 @@ impl ProtocolMetrics {
         self.hello.absorb(&other.hello);
         self.submit.absorb(&other.submit);
         self.interaction.absorb(&other.interaction);
+        self.lifecycle.absorb(&other.lifecycle);
     }
 }
 

@@ -207,8 +207,9 @@ impl World {
         self.run_session_with_touches(device_idx, domain, &touches, rng)
     }
 
-    /// Resets `account` at `domain` with the fallback password and
-    /// re-binds it to device `device_idx` (paper §IV, "Identity Reset").
+    /// Resets `account` at `domain` with the fallback password over the
+    /// wire and re-binds it to device `device_idx` (paper §IV, "Identity
+    /// Reset").
     ///
     /// # Errors
     ///
@@ -220,7 +221,7 @@ impl World {
         password: &str,
         device_idx: usize,
         rng: &mut SimRng,
-    ) -> Result<RegistrationReport, FlowError> {
+    ) -> Result<crate::reset::ResetReport, FlowError> {
         let sidx = self.server_index(domain);
         let holder = self.devices[device_idx].1;
         crate::reset::reset_and_rebind(
@@ -230,6 +231,7 @@ impl World {
             password,
             &mut self.devices[device_idx].0,
             holder,
+            &self.policy,
             rng,
         )
     }
@@ -251,13 +253,56 @@ impl World {
         new_idx: usize,
         authorizing_user: u64,
         rng: &mut SimRng,
-    ) -> Result<(), crate::transfer::TransferError> {
+    ) -> Result<crate::transfer::TransferReport, crate::transfer::TransferError> {
         assert_ne!(old_idx, new_idx, "cannot transfer a device to itself");
         let (lo, hi) = (old_idx.min(new_idx), old_idx.max(new_idx));
         let (head, tail) = self.devices.split_at_mut(hi);
         let (a, b) = (&mut head[lo].0, &mut tail[0].0);
         let (old_dev, new_dev) = if old_idx < new_idx { (a, b) } else { (b, a) };
-        crate::transfer::transfer_identity(old_dev, new_dev, authorizing_user, rng)
+        crate::transfer::transfer_identity(
+            old_dev,
+            new_dev,
+            authorizing_user,
+            &mut self.channel,
+            &self.policy,
+            rng,
+        )
+    }
+
+    /// Runs the full chaos lifecycle (register → login → `n` touches) at
+    /// `domain` from device `device_idx`, with the server crashing per
+    /// `profile` on top of the channel's adversary (see
+    /// [`crate::chaos::run_chaos_lifecycle`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow setup errors; per-interaction rejections are in the
+    /// report.
+    pub fn run_chaos_lifecycle(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        account: &str,
+        n: usize,
+        profile: crate::server::journal::CrashProfile,
+        rng: &mut SimRng,
+    ) -> Result<crate::chaos::ChaosReport, FlowError> {
+        let touches = self.touches_for_holder(device_idx, n, rng);
+        let sidx = self.server_index(domain);
+        let holder = self.devices[device_idx].1;
+        crate::chaos::run_chaos_lifecycle(
+            &mut self.devices[device_idx].0,
+            holder,
+            &mut self.servers[sidx],
+            &mut self.channel,
+            domain,
+            account,
+            &DEFAULT_ACTIONS,
+            &touches,
+            &self.policy,
+            profile,
+            rng,
+        )
     }
 
     /// Replays a session on the discrete-event timeline (see

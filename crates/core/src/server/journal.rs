@@ -1,0 +1,769 @@
+//! Write-ahead journal + snapshots for the TRUST web server.
+//!
+//! The server is the paper's long-lived trust anchor: it must be able to
+//! lose its process (power cut, OOM kill, deploy) without losing the
+//! account bindings, nonce-replay state, session sequence numbers, or
+//! frame-hash audit commitments that the security argument rests on. The
+//! journal records every state-advancing decision *before* the reply is
+//! sent, so [`super::WebServer::recover`] can rebuild exactly the
+//! acknowledged state.
+//!
+//! Layout: a snapshot (the full state as of some point) plus a log of
+//! CRC-framed records appended since. Each log frame is
+//! `[len: u32 BE][crc32: u32 BE][payload]`; recovery stops at a torn tail
+//! (incomplete frame) and skips a mid-log frame whose CRC or payload does
+//! not check out, counting every skip so operators can see data loss
+//! instead of silently absorbing it.
+
+use btd_crypto::nonce::Nonce;
+use btd_crypto::sha256::Digest;
+use btd_sim::rng::SimRng;
+
+use crate::messages::{ContentPage, ResumeAck};
+use crate::pages::Page;
+use crate::risk_policy::RiskReport;
+use crate::wire::{FieldReader, FieldWriter};
+
+/// IEEE CRC-32 (the Ethernet/zip polynomial), bitwise; fast enough for a
+/// simulation and dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Durable storage behind a [`Journal`]: one snapshot blob plus an
+/// append-only log. In-memory for tests; the trait is the seam where a
+/// file- or network-backed implementation would slot in.
+pub trait Storage: std::fmt::Debug {
+    /// Appends one framed record to the log.
+    fn append(&mut self, frame: &[u8]);
+    /// The raw log bytes.
+    fn log(&self) -> &[u8];
+    /// The raw log bytes, mutable — the fault-injection hook tests use to
+    /// tear or corrupt the tail.
+    fn log_mut(&mut self) -> &mut Vec<u8>;
+    /// Replaces the snapshot and truncates the log (compaction).
+    fn install_snapshot(&mut self, snapshot: &[u8]);
+    /// The current snapshot blob (empty if none).
+    fn snapshot(&self) -> &[u8];
+}
+
+/// The default in-memory storage.
+#[derive(Clone, Debug, Default)]
+pub struct MemStorage {
+    snapshot: Vec<u8>,
+    log: Vec<u8>,
+}
+
+impl Storage for MemStorage {
+    fn append(&mut self, frame: &[u8]) {
+        self.log.extend_from_slice(frame);
+    }
+    fn log(&self) -> &[u8] {
+        &self.log
+    }
+    fn log_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.log
+    }
+    fn install_snapshot(&mut self, snapshot: &[u8]) {
+        self.snapshot = snapshot.to_vec();
+        self.log.clear();
+    }
+    fn snapshot(&self) -> &[u8] {
+        &self.snapshot
+    }
+}
+
+/// Where in a handler a deterministic crash can be injected. Mirrors the
+/// channel's `Adversary` style: the interesting failures are the ones that
+/// straddle the durability boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashPoint {
+    /// The server dies before the record reaches the journal: the work is
+    /// lost and must be redone.
+    BeforeAppend,
+    /// The server dies after the append but before applying the record to
+    /// memory or replying: the work is durable but unacknowledged.
+    AfterAppend,
+    /// The server dies after applying the record, just before the reply
+    /// leaves: durable, applied, unacknowledged.
+    BeforeReply,
+}
+
+const CRASH_POINTS: [CrashPoint; 3] = [
+    CrashPoint::BeforeAppend,
+    CrashPoint::AfterAppend,
+    CrashPoint::BeforeReply,
+];
+
+fn point_index(p: CrashPoint) -> usize {
+    CRASH_POINTS
+        .iter()
+        .position(|c| *c == p)
+        .expect("known point")
+}
+
+/// Per-crash-point trip probabilities (a seedable schedule samples them).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct CrashProfile {
+    /// Probability of dying at [`CrashPoint::BeforeAppend`].
+    pub before_append: f64,
+    /// Probability of dying at [`CrashPoint::AfterAppend`].
+    pub after_append: f64,
+    /// Probability of dying at [`CrashPoint::BeforeReply`].
+    pub before_reply: f64,
+}
+
+impl CrashProfile {
+    /// The same probability at every crash point.
+    pub fn uniform(p: f64) -> Self {
+        CrashProfile {
+            before_append: p,
+            after_append: p,
+            before_reply: p,
+        }
+    }
+
+    fn prob(&self, p: CrashPoint) -> f64 {
+        match p {
+            CrashPoint::BeforeAppend => self.before_append,
+            CrashPoint::AfterAppend => self.after_append,
+            CrashPoint::BeforeReply => self.before_reply,
+        }
+    }
+}
+
+/// A deterministic crash schedule: either never, a scripted one-shot at
+/// the nth visit of one crash point, or seeded random sampling of a
+/// [`CrashProfile`] — same seed, same crashes.
+#[derive(Debug)]
+pub enum CrashSchedule {
+    /// Never crashes (production behaviour).
+    Never,
+    /// Crashes exactly once, at the nth (0-based) visit of `point`.
+    OnceAt {
+        /// The crash point to trip.
+        point: CrashPoint,
+        /// How many visits of `point` to let pass first.
+        nth: u64,
+        /// Visits seen so far, per crash point.
+        seen: [u64; 3],
+        /// Whether the one shot has fired.
+        fired: bool,
+    },
+    /// Samples each visit against the profile with a private RNG.
+    Seeded {
+        /// Trip probabilities.
+        profile: CrashProfile,
+        /// Private RNG (seeded, so runs replay bit-for-bit).
+        rng: SimRng,
+    },
+}
+
+impl CrashSchedule {
+    /// A schedule that crashes exactly once, at the `nth` (0-based) visit
+    /// of `point`.
+    pub fn once_at(point: CrashPoint, nth: u64) -> Self {
+        CrashSchedule::OnceAt {
+            point,
+            nth,
+            seen: [0; 3],
+            fired: false,
+        }
+    }
+
+    /// A seeded stochastic schedule over `profile`.
+    pub fn seeded(profile: CrashProfile, seed: u64) -> Self {
+        CrashSchedule::Seeded {
+            profile,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Visits `point`; true means the server dies here.
+    pub fn visit(&mut self, point: CrashPoint) -> bool {
+        match self {
+            CrashSchedule::Never => false,
+            CrashSchedule::OnceAt {
+                point: target,
+                nth,
+                seen,
+                fired,
+            } => {
+                let idx = point_index(point);
+                let hit = !*fired && point == *target && seen[idx] == *nth;
+                seen[idx] += 1;
+                if hit {
+                    *fired = true;
+                }
+                hit
+            }
+            CrashSchedule::Seeded { profile, rng } => rng.chance(profile.prob(point)),
+        }
+    }
+}
+
+// --- Records ----------------------------------------------------------------
+
+/// One durable state transition. Every variant carries enough to rebuild
+/// the in-memory effects of the handler that produced it, including the
+/// idempotency-cache entry and the consumed nonce — which is what keeps
+/// `replays_accepted == 0` across restarts.
+#[derive(Clone, PartialEq, Debug)]
+pub enum JournalRecord {
+    /// An account was bound (Fig. 9, step 5).
+    Registered {
+        /// Account name.
+        account: String,
+        /// The bound per-site public key (canonical bytes).
+        public_key: Vec<u8>,
+        /// The out-of-band fallback credential.
+        reset_password: String,
+        /// The consumed submission nonce.
+        nonce: Nonce,
+        /// The submission signature (keys the idempotency cache).
+        signature: Vec<u8>,
+        /// The registration frame hash (audit commitment).
+        frame_hash: Digest,
+    },
+    /// A login opened a session (Fig. 10, step 3).
+    LoginServed {
+        /// The consumed submission nonce.
+        nonce: Nonce,
+        /// The submission signature (keys the idempotency cache).
+        signature: Vec<u8>,
+        /// The unsealed session key.
+        session_key: Vec<u8>,
+        /// The first content page served (carries session id, nonce, seq).
+        reply: ContentPage,
+        /// The login frame hash (audit commitment).
+        frame_hash: Digest,
+        /// The risk report attached to the login.
+        risk: RiskReport,
+    },
+    /// An interaction advanced a session (Fig. 10, step 4).
+    InteractionServed {
+        /// The consumed request nonce.
+        request_nonce: Nonce,
+        /// MAC of the served request (identifies retransmits).
+        request_mac: Digest,
+        /// The requested action.
+        action: String,
+        /// The frame hash FLock reported (audit commitment).
+        frame_hash: Digest,
+        /// The attached risk report.
+        risk: RiskReport,
+        /// The page the server believed the user was seeing.
+        expected_path: String,
+        /// Step-up counter after the risk decision.
+        stepups: u64,
+        /// The reply served (carries session id, next nonce, next seq).
+        reply: ContentPage,
+    },
+    /// A session re-attached after a restart.
+    SessionResumed {
+        /// The device-chosen resume nonce (consumed).
+        device_nonce: Nonce,
+        /// MAC of the resume request (keys the idempotency cache).
+        request_mac: Digest,
+        /// The acknowledgement served.
+        ack: ResumeAck,
+    },
+    /// A session was terminated by the risk policy.
+    SessionTerminated {
+        /// The session that died.
+        session_id: String,
+    },
+    /// An account's key binding was removed (identity reset, local form).
+    IdentityReset {
+        /// The account whose binding was removed.
+        account: String,
+    },
+    /// An account's key binding was removed via the wire reset protocol.
+    ResetServed {
+        /// The account whose binding was removed.
+        account: String,
+        /// The consumed request nonce.
+        nonce: Nonce,
+        /// Digest of the request (keys the idempotency cache).
+        request_digest: Digest,
+    },
+}
+
+pub(super) fn put_risk(w: &mut FieldWriter, r: &RiskReport) {
+    w.u64(r.window as u64)
+        .u64(r.verified as u64)
+        .u64(r.mismatched as u64);
+}
+
+pub(super) fn get_risk(r: &mut FieldReader) -> Option<RiskReport> {
+    Some(RiskReport {
+        window: r.u64()? as u32,
+        verified: r.u64()? as u32,
+        mismatched: r.u64()? as u32,
+    })
+}
+
+/// Encodes a content page into `w` (shared by records and snapshots).
+pub(super) fn put_content_page(w: &mut FieldWriter, p: &ContentPage) {
+    w.str(&p.session_id)
+        .str(&p.account)
+        .bytes(p.nonce.as_bytes())
+        .u64(p.seq)
+        .str(&p.page.path)
+        .bytes(&p.page.body)
+        .bytes(p.mac.as_bytes());
+}
+
+/// Decodes a content page written by [`put_content_page`].
+pub(super) fn get_content_page(r: &mut FieldReader) -> Option<ContentPage> {
+    Some(ContentPage {
+        session_id: r.str()?.to_owned(),
+        account: r.str()?.to_owned(),
+        nonce: Nonce(r.array()?),
+        seq: r.u64()?,
+        page: Page::new(r.str()?, r.bytes()?.to_vec()),
+        mac: Digest(r.array()?),
+    })
+}
+
+pub(super) fn put_resume_ack(w: &mut FieldWriter, a: &ResumeAck) {
+    w.str(&a.session_id)
+        .str(&a.account)
+        .bytes(a.device_nonce.as_bytes())
+        .bytes(a.nonce.as_bytes())
+        .u64(a.seq)
+        .u64(a.last_reply.is_some() as u64);
+    if let Some(reply) = &a.last_reply {
+        put_content_page(w, reply);
+    }
+    w.bytes(a.mac.as_bytes());
+}
+
+pub(super) fn get_resume_ack(r: &mut FieldReader) -> Option<ResumeAck> {
+    let session_id = r.str()?.to_owned();
+    let account = r.str()?.to_owned();
+    let device_nonce = Nonce(r.array()?);
+    let nonce = Nonce(r.array()?);
+    let seq = r.u64()?;
+    let last_reply = if r.u64()? == 1 {
+        Some(get_content_page(r)?)
+    } else {
+        None
+    };
+    Some(ResumeAck {
+        session_id,
+        account,
+        device_nonce,
+        nonce,
+        seq,
+        last_reply,
+        mac: Digest(r.array()?),
+    })
+}
+
+impl JournalRecord {
+    /// Canonical payload bytes (tagged, length-prefixed fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FieldWriter::new();
+        match self {
+            JournalRecord::Registered {
+                account,
+                public_key,
+                reset_password,
+                nonce,
+                signature,
+                frame_hash,
+            } => {
+                w.str("reg")
+                    .str(account)
+                    .bytes(public_key)
+                    .str(reset_password)
+                    .bytes(nonce.as_bytes())
+                    .bytes(signature)
+                    .bytes(frame_hash.as_bytes());
+            }
+            JournalRecord::LoginServed {
+                nonce,
+                signature,
+                session_key,
+                reply,
+                frame_hash,
+                risk,
+            } => {
+                w.str("login")
+                    .bytes(nonce.as_bytes())
+                    .bytes(signature)
+                    .bytes(session_key)
+                    .bytes(frame_hash.as_bytes());
+                put_risk(&mut w, risk);
+                put_content_page(&mut w, reply);
+            }
+            JournalRecord::InteractionServed {
+                request_nonce,
+                request_mac,
+                action,
+                frame_hash,
+                risk,
+                expected_path,
+                stepups,
+                reply,
+            } => {
+                w.str("interact")
+                    .bytes(request_nonce.as_bytes())
+                    .bytes(request_mac.as_bytes())
+                    .str(action)
+                    .bytes(frame_hash.as_bytes())
+                    .str(expected_path)
+                    .u64(*stepups);
+                put_risk(&mut w, risk);
+                put_content_page(&mut w, reply);
+            }
+            JournalRecord::SessionResumed {
+                device_nonce,
+                request_mac,
+                ack,
+            } => {
+                w.str("resume")
+                    .bytes(device_nonce.as_bytes())
+                    .bytes(request_mac.as_bytes());
+                put_resume_ack(&mut w, ack);
+            }
+            JournalRecord::SessionTerminated { session_id } => {
+                w.str("terminate").str(session_id);
+            }
+            JournalRecord::IdentityReset { account } => {
+                w.str("ireset").str(account);
+            }
+            JournalRecord::ResetServed {
+                account,
+                nonce,
+                request_digest,
+            } => {
+                w.str("wreset")
+                    .str(account)
+                    .bytes(nonce.as_bytes())
+                    .bytes(request_digest.as_bytes());
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a payload written by [`JournalRecord::encode`]; `None` on
+    /// any truncation or malformation.
+    pub fn decode(payload: &[u8]) -> Option<JournalRecord> {
+        let mut r = FieldReader::new(payload);
+        let rec = match r.str()? {
+            "reg" => JournalRecord::Registered {
+                account: r.str()?.to_owned(),
+                public_key: r.bytes()?.to_vec(),
+                reset_password: r.str()?.to_owned(),
+                nonce: Nonce(r.array()?),
+                signature: r.bytes()?.to_vec(),
+                frame_hash: Digest(r.array()?),
+            },
+            "login" => {
+                let nonce = Nonce(r.array()?);
+                let signature = r.bytes()?.to_vec();
+                let session_key = r.bytes()?.to_vec();
+                let frame_hash = Digest(r.array()?);
+                let risk = get_risk(&mut r)?;
+                let reply = get_content_page(&mut r)?;
+                JournalRecord::LoginServed {
+                    nonce,
+                    signature,
+                    session_key,
+                    reply,
+                    frame_hash,
+                    risk,
+                }
+            }
+            "interact" => {
+                let request_nonce = Nonce(r.array()?);
+                let request_mac = Digest(r.array()?);
+                let action = r.str()?.to_owned();
+                let frame_hash = Digest(r.array()?);
+                let expected_path = r.str()?.to_owned();
+                let stepups = r.u64()?;
+                let risk = get_risk(&mut r)?;
+                let reply = get_content_page(&mut r)?;
+                JournalRecord::InteractionServed {
+                    request_nonce,
+                    request_mac,
+                    action,
+                    frame_hash,
+                    risk,
+                    expected_path,
+                    stepups,
+                    reply,
+                }
+            }
+            "resume" => JournalRecord::SessionResumed {
+                device_nonce: Nonce(r.array()?),
+                request_mac: Digest(r.array()?),
+                ack: get_resume_ack(&mut r)?,
+            },
+            "terminate" => JournalRecord::SessionTerminated {
+                session_id: r.str()?.to_owned(),
+            },
+            "ireset" => JournalRecord::IdentityReset {
+                account: r.str()?.to_owned(),
+            },
+            "wreset" => JournalRecord::ResetServed {
+                account: r.str()?.to_owned(),
+                nonce: Nonce(r.array()?),
+                request_digest: Digest(r.array()?),
+            },
+            _ => return None,
+        };
+        Some(rec)
+    }
+}
+
+// --- The journal ------------------------------------------------------------
+
+/// What a [`Journal::read`] recovered.
+#[derive(Clone, Debug, Default)]
+pub struct JournalContents {
+    /// The snapshot blob (empty if none was ever installed).
+    pub snapshot: Vec<u8>,
+    /// Every log record that decoded cleanly, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Frames lost to torn tails or CRC/decode failures.
+    pub skipped: usize,
+}
+
+/// A write-ahead log + snapshot over a [`Storage`] backend.
+#[derive(Debug)]
+pub struct Journal {
+    storage: Box<dyn Storage>,
+    /// Records appended since the last snapshot (drives auto-compaction).
+    pending_records: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::in_memory()
+    }
+}
+
+impl Journal {
+    /// A journal over fresh in-memory storage.
+    pub fn in_memory() -> Self {
+        Journal::new(Box::<MemStorage>::default())
+    }
+
+    /// A journal over caller-provided storage (e.g. one rescued from a
+    /// crashed server).
+    pub fn new(storage: Box<dyn Storage>) -> Self {
+        let mut j = Journal {
+            storage,
+            pending_records: 0,
+        };
+        j.pending_records = j.read().records.len();
+        j
+    }
+
+    /// Appends one record, CRC-framed.
+    pub fn append(&mut self, rec: &JournalRecord) {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        self.storage.append(&frame);
+        self.pending_records += 1;
+    }
+
+    /// Parses the snapshot + log.
+    ///
+    /// An incomplete frame at the end of the log (a torn write) stops the
+    /// scan and counts one skip; a complete frame whose CRC or payload
+    /// does not verify is skipped-and-counted and the scan continues.
+    pub fn read(&self) -> JournalContents {
+        let log = self.storage.log();
+        let mut contents = JournalContents {
+            snapshot: self.storage.snapshot().to_vec(),
+            ..Default::default()
+        };
+        let mut pos = 0usize;
+        while pos < log.len() {
+            let Some(header) = log.get(pos..pos + 8) else {
+                contents.skipped += 1; // torn header
+                break;
+            };
+            let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+            let Some(payload) = log.get(pos + 8..pos + 8 + len) else {
+                contents.skipped += 1; // torn payload
+                break;
+            };
+            pos += 8 + len;
+            if crc32(payload) != crc {
+                contents.skipped += 1; // bit rot mid-log
+                continue;
+            }
+            match JournalRecord::decode(payload) {
+                Some(rec) => contents.records.push(rec),
+                None => contents.skipped += 1,
+            }
+        }
+        contents
+    }
+
+    /// Replaces the snapshot with `snapshot` and truncates the log.
+    pub fn install_snapshot(&mut self, snapshot: &[u8]) {
+        self.storage.install_snapshot(snapshot);
+        self.pending_records = 0;
+    }
+
+    /// Records appended since the last snapshot.
+    pub fn pending_records(&self) -> usize {
+        self.pending_records
+    }
+
+    /// Raw log length in bytes.
+    pub fn log_len(&self) -> usize {
+        self.storage.log().len()
+    }
+
+    /// Tears `n` bytes off the log tail (simulates a torn final write).
+    pub fn tear_log_tail(&mut self, n: usize) {
+        let log = self.storage.log_mut();
+        let keep = log.len().saturating_sub(n);
+        log.truncate(keep);
+    }
+
+    /// Flips one bit in the log byte at `offset` (simulates bit rot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn flip_log_bit(&mut self, offset: usize, bit: u8) {
+        self.storage.log_mut()[offset] ^= 1 << (bit % 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(i: u8) -> JournalRecord {
+        JournalRecord::Registered {
+            account: format!("user-{i}"),
+            public_key: vec![i; 8],
+            reset_password: format!("pw-{i}"),
+            nonce: Nonce([i; 16]),
+            signature: vec![i, i + 1],
+            frame_hash: Digest([i; 32]),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let recs = [
+            sample_record(1),
+            JournalRecord::SessionTerminated {
+                session_id: "sess-1".into(),
+            },
+            JournalRecord::IdentityReset {
+                account: "alice".into(),
+            },
+            JournalRecord::ResetServed {
+                account: "bob".into(),
+                nonce: Nonce([9; 16]),
+                request_digest: Digest([8; 32]),
+            },
+        ];
+        for rec in &recs {
+            assert_eq!(JournalRecord::decode(&rec.encode()).as_ref(), Some(rec));
+        }
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let mut j = Journal::in_memory();
+        for i in 0..5 {
+            j.append(&sample_record(i));
+        }
+        let contents = j.read();
+        assert_eq!(contents.records.len(), 5);
+        assert_eq!(contents.skipped, 0);
+        assert_eq!(contents.records[3], sample_record(3));
+        assert_eq!(j.pending_records(), 5);
+    }
+
+    #[test]
+    fn torn_tail_skips_exactly_one() {
+        let mut j = Journal::in_memory();
+        for i in 0..3 {
+            j.append(&sample_record(i));
+        }
+        j.tear_log_tail(5);
+        let contents = j.read();
+        assert_eq!(contents.records.len(), 2, "complete prefix survives");
+        assert_eq!(contents.skipped, 1, "the torn record is counted once");
+    }
+
+    #[test]
+    fn mid_log_corruption_is_skipped_and_counted() {
+        let mut j = Journal::in_memory();
+        for i in 0..3 {
+            j.append(&sample_record(i));
+        }
+        // Flip a payload bit inside the *first* frame (past its 8-byte
+        // header) so later frames still parse.
+        j.flip_log_bit(12, 0);
+        let contents = j.read();
+        assert_eq!(contents.records.len(), 2, "later records still recover");
+        assert_eq!(contents.skipped, 1);
+        assert_eq!(contents.records[0], sample_record(1));
+    }
+
+    #[test]
+    fn snapshot_truncates_log() {
+        let mut j = Journal::in_memory();
+        j.append(&sample_record(0));
+        j.install_snapshot(b"state");
+        assert_eq!(j.log_len(), 0);
+        assert_eq!(j.pending_records(), 0);
+        j.append(&sample_record(1));
+        let contents = j.read();
+        assert_eq!(contents.snapshot, b"state");
+        assert_eq!(contents.records, vec![sample_record(1)]);
+    }
+
+    #[test]
+    fn scripted_crash_schedule_fires_once() {
+        let mut s = CrashSchedule::once_at(CrashPoint::AfterAppend, 1);
+        assert!(!s.visit(CrashPoint::AfterAppend)); // 0th visit
+        assert!(!s.visit(CrashPoint::BeforeAppend)); // other point
+        assert!(s.visit(CrashPoint::AfterAppend)); // 1st visit: fire
+        assert!(!s.visit(CrashPoint::AfterAppend)); // never again
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let visits: Vec<CrashPoint> = (0..60).map(|i| CRASH_POINTS[i % 3]).collect();
+        let run = |seed| {
+            let mut s = CrashSchedule::seeded(CrashProfile::uniform(0.3), seed);
+            visits.iter().map(|p| s.visit(*p)).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert!(run(7).iter().any(|b| *b), "p=0.3 over 60 visits must fire");
+    }
+}

@@ -1,0 +1,1498 @@
+//! The TRUST web server.
+//!
+//! Implements the server side of Figures 9 and 10: account ↔ public-key
+//! binding, nonce freshness with replay detection, session-key unsealing,
+//! per-interaction MAC verification, the risk policy, and the audit log of
+//! frame hashes ("the server can store it to a log file. During future
+//! audit event, the log can be investigated to discover how the user
+//! interacted with the service").
+//!
+//! The server is crash-fault tolerant: every state-advancing decision is
+//! written to a [`journal::Journal`] (write-ahead log + snapshot) before
+//! the reply leaves, deterministic [`journal::CrashPoint`]s can kill the
+//! process mid-handler, and [`WebServer::recover`] rebuilds exactly the
+//! acknowledged state — including the nonce and sequence caches that keep
+//! `replays_accepted == 0` across restarts.
+
+pub mod journal;
+
+use std::collections::HashMap;
+
+use btd_crypto::bignum::U2048;
+use btd_crypto::cert::{Certificate, Role};
+use btd_crypto::entropy::{ChaChaEntropy, EntropySource};
+use btd_crypto::group::DhGroup;
+use btd_crypto::hmac::{hmac_sha256, verify_hmac};
+use btd_crypto::nonce::{Nonce, NonceCheck, NonceGenerator, ReplayGuard};
+use btd_crypto::schnorr::{KeyPair, PublicKey, Signature};
+use btd_crypto::sha256::{sha256, Digest};
+use btd_sim::rng::SimRng;
+use btd_sim::time::SimTime;
+use btd_sim::trace::TraceLog;
+
+use crate::ca::TrustAuthority;
+use crate::messages::{
+    ContentPage, Freshness, InteractionRequest, LoginSubmit, RegistrationAck, RegistrationSubmit,
+    Reject, ResetAck, ResetRequest, ResumeAck, ResumeRequest, ServerHello,
+};
+use crate::pages::Page;
+use crate::risk_policy::{RiskDecision, RiskReport, ServerRiskPolicy};
+use crate::wire::{signing_bytes, FieldReader};
+
+use journal::{
+    get_content_page, get_resume_ack, get_risk, put_content_page, put_resume_ack, put_risk,
+    CrashPoint, CrashSchedule, Journal, JournalRecord,
+};
+
+/// Auto-compaction threshold: once this many records accumulate past the
+/// last snapshot, the next handled request folds them into a new snapshot.
+pub const DEFAULT_COMPACTION_THRESHOLD: usize = 256;
+
+/// A bound account.
+#[derive(Clone, Debug)]
+struct AccountRecord {
+    public_key: PublicKey,
+    /// Fallback credential for identity reset ("the user can rely on her
+    /// old passwords in order to … reset").
+    reset_password: String,
+}
+
+/// The last reply served in a session, kept so a retransmitted request
+/// can be answered without advancing state (at-most-once semantics).
+#[derive(Clone, Debug)]
+struct CachedInteraction {
+    /// Sequence number of the request that produced the reply.
+    seq: u64,
+    /// MAC of that request — identifies a byte-identical retransmit.
+    request_mac: Digest,
+    /// The reply to resend.
+    reply: ContentPage,
+}
+
+/// A live session.
+#[derive(Clone, Debug)]
+struct Session {
+    account: String,
+    key: Vec<u8>,
+    pending_nonce: Nonce,
+    /// Sequence number the next fresh interaction must carry.
+    expected_seq: u64,
+    /// Idempotency cache for the last served interaction.
+    cache: Option<CachedInteraction>,
+    current_path: String,
+    stepups: u32,
+    terminated: bool,
+    interactions: u64,
+}
+
+/// One audit-log entry: what page the server believes the user was seeing,
+/// and the frame hash FLock reported.
+#[derive(Clone, Debug)]
+pub struct AuditEntry {
+    /// Account that acted.
+    pub account: String,
+    /// Path of the page the server had served for this view.
+    pub expected_path: String,
+    /// The frame hash FLock attached to the request.
+    pub frame_hash: Digest,
+    /// The action requested.
+    pub action: String,
+    /// The risk report attached.
+    pub risk: RiskReport,
+}
+
+/// The durable, non-journaled part of a server: keys, certificate, page
+/// set, and policy. In a real deployment this is the config + key file
+/// that survives a crash alongside the journal; [`WebServer::recover`]
+/// combines the two.
+#[derive(Clone, Debug)]
+pub struct ServerIdentity {
+    domain: String,
+    keys: KeyPair,
+    cert: Certificate,
+    ca_key: PublicKey,
+    pages: HashMap<String, Page>,
+    policy: ServerRiskPolicy,
+}
+
+impl ServerIdentity {
+    /// The serving domain.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+}
+
+/// What a [`WebServer::recover`] pass found and rebuilt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was present and restored.
+    pub snapshot_restored: bool,
+    /// Journal records replayed on top of the snapshot.
+    pub records_replayed: usize,
+    /// Records lost to torn writes or corruption (counted, never silent).
+    pub records_skipped: usize,
+}
+
+/// The TRUST web server.
+#[derive(Debug)]
+pub struct WebServer {
+    domain: String,
+    keys: KeyPair,
+    cert: Certificate,
+    ca_key: PublicKey,
+    entropy: ChaChaEntropy,
+    nonces: NonceGenerator<ChaChaEntropy>,
+    replay: ReplayGuard,
+    accounts: HashMap<String, AccountRecord>,
+    sessions: HashMap<String, Session>,
+    /// Idempotency cache for bound registrations, keyed by submission
+    /// nonce: an exact retransmit is re-acked without rebinding.
+    reg_cache: HashMap<Nonce, (Signature, RegistrationAck)>,
+    /// Idempotency cache for opened logins, keyed by submission nonce: an
+    /// exact retransmit gets the same first content page back.
+    login_cache: HashMap<Nonce, (Signature, ContentPage)>,
+    /// Idempotency cache for served resumes, keyed by the device-chosen
+    /// resume nonce.
+    resume_cache: HashMap<Nonce, (Digest, ResumeAck)>,
+    /// Idempotency cache for served wire resets, keyed by request nonce.
+    reset_cache: HashMap<Nonce, (Digest, ResetAck)>,
+    pages: HashMap<String, Page>,
+    policy: ServerRiskPolicy,
+    audit_log: Vec<AuditEntry>,
+    reject_counts: HashMap<Reject, u64>,
+    session_counter: u64,
+    trace: TraceLog,
+    /// The write-ahead log + snapshot every state change goes through.
+    journal: Journal,
+    /// The active crash-injection schedule.
+    crash: CrashSchedule,
+    /// Set once a crash point fires: the process is "dead" until recovery.
+    crashed: bool,
+    compaction_threshold: usize,
+}
+
+impl WebServer {
+    /// Creates a server for `domain`, with a CA-issued certificate and a
+    /// default page set (registration, login, reset, home, and a few
+    /// content pages).
+    pub fn new(
+        domain: &str,
+        group: &'static DhGroup,
+        ca: &mut TrustAuthority,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        let mut entropy = ChaChaEntropy::from_seed(seed);
+        let keys = KeyPair::generate(group, &mut entropy);
+        let cert = ca.issue_server_cert(domain, keys.public_key());
+        let nonce_entropy = entropy.fork(b"nonces");
+
+        let mut pages = HashMap::new();
+        for (path, body) in [
+            ("/register", &b"create your account"[..]),
+            ("/login", &b"enter"[..]),
+            ("/reset", &b"identity reset"[..]),
+            ("/home", &b"welcome back"[..]),
+            ("/inbox", &b"3 unread messages"[..]),
+            ("/transfer", &b"transfer funds"[..]),
+            ("/settings", &b"account settings"[..]),
+        ] {
+            pages.insert(path.to_owned(), Page::new(path, body.to_vec()));
+        }
+
+        WebServer {
+            domain: domain.to_owned(),
+            keys,
+            cert,
+            ca_key: ca.public_key().clone(),
+            entropy,
+            nonces: NonceGenerator::new(nonce_entropy),
+            replay: ReplayGuard::new(),
+            accounts: HashMap::new(),
+            sessions: HashMap::new(),
+            reg_cache: HashMap::new(),
+            login_cache: HashMap::new(),
+            resume_cache: HashMap::new(),
+            reset_cache: HashMap::new(),
+            pages,
+            policy: ServerRiskPolicy::default(),
+            audit_log: Vec::new(),
+            reject_counts: HashMap::new(),
+            session_counter: 0,
+            trace: TraceLog::new(),
+            journal: Journal::in_memory(),
+            crash: CrashSchedule::Never,
+            crashed: false,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+        }
+    }
+
+    /// The serving domain.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The server's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public_key()
+    }
+
+    /// Overrides the risk policy (for the policy-sweep experiments).
+    pub fn set_risk_policy(&mut self, policy: ServerRiskPolicy) {
+        self.policy = policy;
+    }
+
+    /// The page at `path`, if served here.
+    pub fn page(&self, path: &str) -> Option<&Page> {
+        self.pages.get(path)
+    }
+
+    /// Adds (or replaces) a served page.
+    pub fn put_page(&mut self, page: Page) {
+        self.pages.insert(page.path.clone(), page);
+    }
+
+    /// Number of bound accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether `account` is bound.
+    pub fn has_account(&self, account: &str) -> bool {
+        self.accounts.contains_key(account)
+    }
+
+    /// The audit log.
+    pub fn audit_log(&self) -> &[AuditEntry] {
+        &self.audit_log
+    }
+
+    /// Rejection counters keyed by reason (the attack-matrix rows).
+    pub fn reject_counts(&self) -> &HashMap<Reject, u64> {
+        &self.reject_counts
+    }
+
+    fn reject(&mut self, reason: Reject) -> Reject {
+        *self.reject_counts.entry(reason).or_insert(0) += 1;
+        self.trace.security(
+            SimTime::ZERO,
+            "server",
+            format!("rejected request: {reason}"),
+        );
+        reason
+    }
+
+    /// The server's security-event trace (every rejection, in order).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    fn fresh_nonce(&mut self) -> Nonce {
+        let n = self.nonces.next_nonce();
+        self.replay.issue(n);
+        n
+    }
+
+    fn consume_nonce(&mut self, nonce: Nonce) -> Result<(), Reject> {
+        match self.replay.consume(nonce) {
+            NonceCheck::Fresh => Ok(()),
+            NonceCheck::Replayed => Err(self.reject(Reject::Replay)),
+            NonceCheck::Unknown => Err(self.reject(Reject::UnknownNonce)),
+        }
+    }
+
+    // --- Crash injection and journaling ----------------------------------
+
+    /// Arms a crash-injection schedule (the chaos harness's knob).
+    pub fn arm_crash_schedule(&mut self, schedule: CrashSchedule) {
+        self.crash = schedule;
+    }
+
+    /// Whether a crash point has fired: a crashed server answers nothing
+    /// until [`WebServer::recover_in_place`].
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The journal (tests read records and snapshots through it).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The journal, mutable (torn-tail / bit-flip fault injection in
+    /// tests).
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// Overrides the auto-compaction threshold (records per snapshot).
+    pub fn set_compaction_threshold(&mut self, records: usize) {
+        self.compaction_threshold = records.max(1);
+    }
+
+    fn check_up(&self) -> Result<(), Reject> {
+        if self.crashed {
+            // A dead process counts nothing and logs nothing: the reject
+            // counters deliberately stay untouched.
+            Err(Reject::ServerCrashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends `rec`, tripping the before/after-append crash points.
+    fn journal_append(&mut self, rec: &JournalRecord) -> Result<(), Reject> {
+        if self.crash.visit(CrashPoint::BeforeAppend) {
+            self.crashed = true;
+            return Err(Reject::ServerCrashed);
+        }
+        self.journal.append(rec);
+        if self.crash.visit(CrashPoint::AfterAppend) {
+            self.crashed = true;
+            return Err(Reject::ServerCrashed);
+        }
+        Ok(())
+    }
+
+    /// Trips the before-reply crash point (the decision is durable and
+    /// applied, but the caller never sees the reply).
+    fn pre_reply_crash(&mut self) -> Result<(), Reject> {
+        if self.crash.visit(CrashPoint::BeforeReply) {
+            self.crashed = true;
+            return Err(Reject::ServerCrashed);
+        }
+        Ok(())
+    }
+
+    /// Folds the journal's pending records into a fresh snapshot once the
+    /// threshold is reached.
+    fn maybe_compact(&mut self) {
+        if self.journal.pending_records() >= self.compaction_threshold {
+            self.compact_journal();
+        }
+    }
+
+    /// Installs a snapshot of the current state, truncating the log.
+    pub fn compact_journal(&mut self) {
+        let snapshot = self.snapshot_bytes();
+        self.journal.install_snapshot(&snapshot);
+    }
+
+    // --- Handlers ---------------------------------------------------------
+
+    /// Serves a page with freshness + authenticity (Figs. 9/10, step 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is not a served page.
+    pub fn hello(&mut self, path: &str) -> ServerHello {
+        let page = self
+            .pages
+            .get(path)
+            .unwrap_or_else(|| panic!("no page at {path}"))
+            .clone();
+        let nonce = self.fresh_nonce();
+        let bytes = ServerHello::signed_bytes(&self.domain, &page, &nonce);
+        let signature = self.keys.sign(&bytes, &mut self.entropy);
+        ServerHello {
+            domain: self.domain.clone(),
+            page,
+            nonce,
+            server_cert: self.cert.clone(),
+            signature,
+        }
+    }
+
+    /// Handles a registration submission (Fig. 9, step 5): verifies the
+    /// nonce, the device certificate, and the device signature, journals
+    /// the binding, then applies it.
+    ///
+    /// A byte-identical retransmit of an already-bound submission is
+    /// re-acked as [`Freshness::Resent`] without touching state, so a
+    /// device that lost the ack can retry safely.
+    ///
+    /// # Errors
+    ///
+    /// Rejects on replayed/unknown nonce, bad certificate, bad signature,
+    /// an already-bound account name, or an invalid submitted key; returns
+    /// [`Reject::ServerCrashed`] if a crash point fires.
+    pub fn handle_registration(
+        &mut self,
+        msg: &RegistrationSubmit,
+    ) -> Result<(RegistrationAck, Freshness), Reject> {
+        self.check_up()?;
+        self.maybe_compact();
+        if let Some((sig, ack)) = self.reg_cache.get(&msg.nonce) {
+            if *sig == msg.signature {
+                return Ok((ack.clone(), Freshness::Resent));
+            }
+        }
+        self.consume_nonce(msg.nonce)?;
+        if !msg.device_cert.verify(&self.ca_key) || msg.device_cert.role() != Role::FlockModule {
+            return Err(self.reject(Reject::BadCertificate));
+        }
+        let bytes = RegistrationSubmit::signed_bytes(
+            &msg.domain,
+            &msg.account,
+            &msg.nonce,
+            &msg.frame_hash,
+            &msg.user_public,
+        );
+        if msg.domain != self.domain || !msg.device_cert.public_key().verify(&bytes, &msg.signature)
+        {
+            return Err(self.reject(Reject::BadSignature));
+        }
+        if self.accounts.contains_key(&msg.account) {
+            return Err(self.reject(Reject::AccountExists));
+        }
+        let element = U2048::from_be_bytes(&msg.user_public);
+        let group = self.keys.public_key().group();
+        if !group.contains(&element) {
+            return Err(self.reject(Reject::BadSignature));
+        }
+        let public_key = PublicKey::from_element(group, element);
+        // Fallback password, deliverable out of band; derived here so the
+        // reset experiment has a stable credential.
+        let reset_password = format!("reset-{}-{}", msg.account, public_key.fingerprint());
+        let record = JournalRecord::Registered {
+            account: msg.account.clone(),
+            public_key: msg.user_public.clone(),
+            reset_password,
+            nonce: msg.nonce,
+            signature: msg.signature.to_bytes(),
+            frame_hash: msg.frame_hash,
+        };
+        self.journal_append(&record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        let ack = RegistrationAck {
+            account: msg.account.clone(),
+            nonce: msg.nonce,
+        };
+        Ok((ack, Freshness::Fresh))
+    }
+
+    /// The account's fallback reset password (out-of-band channel in the
+    /// real deployment; exposed for the reset experiment).
+    pub fn reset_password_for(&self, account: &str) -> Option<&str> {
+        self.accounts
+            .get(account)
+            .map(|a| a.reset_password.as_str())
+    }
+
+    /// Handles a login submission (Fig. 10, step 3): verifies nonce and
+    /// user-key signature, recovers the session key, evaluates risk,
+    /// journals the new session, and opens it, returning its first
+    /// content page.
+    ///
+    /// A byte-identical retransmit of an already-processed submission gets
+    /// the same first page back as [`Freshness::Resent`] without opening a
+    /// second session; a replay with *different* bytes is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Rejects on nonce, account, signature, session-key, or risk-policy
+    /// failures; returns [`Reject::ServerCrashed`] if a crash point fires.
+    pub fn handle_login(&mut self, msg: &LoginSubmit) -> Result<(ContentPage, Freshness), Reject> {
+        self.check_up()?;
+        self.maybe_compact();
+        if let Some((sig, page)) = self.login_cache.get(&msg.nonce) {
+            if *sig == msg.signature {
+                return Ok((page.clone(), Freshness::Resent));
+            }
+        }
+        self.consume_nonce(msg.nonce)?;
+        let account_key = match self.accounts.get(&msg.account) {
+            Some(record) => record.public_key.clone(),
+            None => return Err(self.reject(Reject::UnknownAccount)),
+        };
+        let bytes = LoginSubmit::signed_bytes(
+            &msg.domain,
+            &msg.account,
+            &msg.nonce,
+            &msg.sealed_session_key,
+            &msg.frame_hash,
+            &msg.risk,
+        );
+        if msg.domain != self.domain || !account_key.verify(&bytes, &msg.signature) {
+            return Err(self.reject(Reject::BadSignature));
+        }
+        let Ok(session_key) = btd_crypto::elgamal::open(&self.keys, &msg.sealed_session_key) else {
+            return Err(self.reject(Reject::BadSessionKey));
+        };
+        if self.policy.evaluate(&msg.risk, 0) == RiskDecision::Terminate {
+            return Err(self.reject(Reject::RiskTerminated));
+        }
+
+        // The counter itself only advances in apply_record, so the live
+        // path and journal replay agree on the session id.
+        let session_id = format!(
+            "sess-{}-{}",
+            self.session_counter + 1,
+            Nonce({
+                let mut b = [0u8; 16];
+                self.entropy.fill(&mut b);
+                b
+            })
+        );
+        let home = self.pages.get("/home").expect("home page").clone();
+        let nonce = self.fresh_nonce();
+        let mac_bytes = ContentPage::mac_bytes(&session_id, &msg.account, &nonce, 0, &home);
+        let mac = hmac_sha256(&session_key, &mac_bytes);
+        let page = ContentPage {
+            session_id,
+            account: msg.account.clone(),
+            nonce,
+            seq: 0,
+            page: home,
+            mac,
+        };
+        let record = JournalRecord::LoginServed {
+            nonce: msg.nonce,
+            signature: msg.signature.to_bytes(),
+            session_key,
+            reply: page.clone(),
+            frame_hash: msg.frame_hash,
+            risk: msg.risk,
+        };
+        self.journal_append(&record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok((page, Freshness::Fresh))
+    }
+
+    /// Handles a post-login interaction (Fig. 10, step 4).
+    ///
+    /// Requests carry a sequence number in lockstep with the server's
+    /// per-session counter, which makes duplicate handling explicit:
+    ///
+    /// * `seq == expected` — fresh work: full nonce/MAC/risk checks, the
+    ///   advance is journaled then applied, reply is cached, returned as
+    ///   [`Freshness::Fresh`].
+    /// * `seq == expected - 1`, byte-identical to the cached request — a
+    ///   retransmit (our reply was lost): the cached reply is resent as
+    ///   [`Freshness::Resent`] and *no state advances*.
+    /// * `seq == expected - 1`, different bytes but a valid session MAC —
+    ///   the genuine device lost our reply and built a new request against
+    ///   stale state: the cached reply is resent as [`Freshness::Resync`]
+    ///   so the device can catch up. No state advances.
+    /// * anything else — rejected ([`Reject::Replay`] for stale sequence
+    ///   numbers, [`Reject::UnknownNonce`] for future ones).
+    ///
+    /// # Errors
+    ///
+    /// Rejects on unknown/terminated session, stale/forged sequence
+    /// number, nonce replay, MAC failure, or risk-policy termination;
+    /// returns [`Reject::ServerCrashed`] if a crash point fires.
+    pub fn handle_interaction(
+        &mut self,
+        msg: &InteractionRequest,
+    ) -> Result<(ContentPage, Freshness), Reject> {
+        self.check_up()?;
+        self.maybe_compact();
+        let (terminated, account_matches, pending_nonce, key, expected_seq) =
+            match self.sessions.get(&msg.session_id) {
+                Some(s) => (
+                    s.terminated,
+                    s.account == msg.account,
+                    s.pending_nonce,
+                    s.key.clone(),
+                    s.expected_seq,
+                ),
+                None => return Err(self.reject(Reject::UnknownSession)),
+            };
+        if terminated || !account_matches {
+            return Err(self.reject(Reject::UnknownSession));
+        }
+        if msg.seq.checked_add(1) == Some(expected_seq) {
+            if let Some(cache) = self
+                .sessions
+                .get(&msg.session_id)
+                .and_then(|s| s.cache.as_ref())
+            {
+                if cache.seq == msg.seq {
+                    // The MAC must verify over *this copy's* bytes before
+                    // the cache answers: equality with the cached MAC alone
+                    // would let a tampered copy (original MAC, rewritten
+                    // fields) pass as a benign retransmit.
+                    let mac_bytes = InteractionRequest::mac_bytes(
+                        &msg.session_id,
+                        &msg.account,
+                        &msg.nonce,
+                        msg.seq,
+                        &msg.action,
+                        &msg.frame_hash,
+                        &msg.risk,
+                    );
+                    if !verify_hmac(&key, &mac_bytes, &msg.mac) {
+                        // Damaged or tampered copy of an old request;
+                        // BadMac keeps an honest retransmit retryable.
+                        return Err(self.reject(Reject::BadMac));
+                    }
+                    let freshness = if cache.request_mac == msg.mac {
+                        Freshness::Resent
+                    } else {
+                        Freshness::Resync
+                    };
+                    return Ok((cache.reply.clone(), freshness));
+                }
+            }
+            // No cache entry: classify below as a replay.
+        }
+        if msg.seq != expected_seq {
+            let reason = if msg.seq < expected_seq {
+                Reject::Replay
+            } else {
+                Reject::UnknownNonce
+            };
+            return Err(self.reject(reason));
+        }
+        if msg.nonce != pending_nonce {
+            // Either a replayed old nonce or a forged one.
+            let reason = if self.replay.consume(msg.nonce) == NonceCheck::Replayed {
+                Reject::Replay
+            } else {
+                Reject::UnknownNonce
+            };
+            return Err(self.reject(reason));
+        }
+        let mac_bytes = InteractionRequest::mac_bytes(
+            &msg.session_id,
+            &msg.account,
+            &msg.nonce,
+            msg.seq,
+            &msg.action,
+            &msg.frame_hash,
+            &msg.risk,
+        );
+        if !verify_hmac(&key, &mac_bytes, &msg.mac) {
+            return Err(self.reject(Reject::BadMac));
+        }
+
+        // Risk policy. A termination is itself a durable state change.
+        let stepups = self.sessions[&msg.session_id].stepups;
+        let decision = self.policy.evaluate(&msg.risk, stepups);
+        if decision == RiskDecision::Terminate {
+            let record = JournalRecord::SessionTerminated {
+                session_id: msg.session_id.clone(),
+            };
+            self.journal_append(&record)?;
+            self.apply_record(&record);
+            return Err(self.reject(Reject::RiskTerminated));
+        }
+        let next_stepups = match decision {
+            RiskDecision::StepUp => stepups + 1,
+            _ => 0,
+        };
+
+        // The page the server believed the user was seeing when they
+        // acted (the audit commitment), and the page to serve next
+        // (unknown actions bounce to home).
+        let expected_path = self.sessions[&msg.session_id].current_path.clone();
+        let page = self
+            .pages
+            .get(&msg.action)
+            .or_else(|| self.pages.get("/home"))
+            .expect("home page")
+            .clone();
+        let nonce = self.fresh_nonce();
+        let next_seq = msg.seq + 1;
+        let mac_bytes =
+            ContentPage::mac_bytes(&msg.session_id, &msg.account, &nonce, next_seq, &page);
+        let mac = hmac_sha256(&key, &mac_bytes);
+        let reply = ContentPage {
+            session_id: msg.session_id.clone(),
+            account: msg.account.clone(),
+            nonce,
+            seq: next_seq,
+            page,
+            mac,
+        };
+        let record = JournalRecord::InteractionServed {
+            request_nonce: msg.nonce,
+            request_mac: msg.mac,
+            action: msg.action.clone(),
+            frame_hash: msg.frame_hash,
+            risk: msg.risk,
+            expected_path,
+            stepups: next_stepups as u64,
+            reply: reply.clone(),
+        };
+        self.journal_append(&record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok((reply, Freshness::Fresh))
+    }
+
+    /// Handles a session-resumption request: a device whose exchange timed
+    /// out across a server restart proves possession of the session key
+    /// (MAC over a fresh device nonce and its last acknowledged sequence
+    /// number) and re-learns the current challenge nonce. If the device is
+    /// one reply behind — the server served an interaction whose reply
+    /// died with the old process — the cached reply rides along in the ack
+    /// so the device catches up without the interaction running twice.
+    ///
+    /// Idempotent per resume nonce: a retransmitted request is re-answered
+    /// from the resume cache as [`Freshness::Resent`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects on unknown/terminated session, MAC failure, a replayed
+    /// resume nonce, or an implausible sequence number; returns
+    /// [`Reject::ServerCrashed`] if a crash point fires.
+    pub fn handle_resume(&mut self, msg: &ResumeRequest) -> Result<(ResumeAck, Freshness), Reject> {
+        self.check_up()?;
+        self.maybe_compact();
+        if let Some((mac, ack)) = self.resume_cache.get(&msg.nonce) {
+            if *mac == msg.mac {
+                return Ok((ack.clone(), Freshness::Resent));
+            }
+        }
+        let (terminated, account_matches, key, expected_seq) =
+            match self.sessions.get(&msg.session_id) {
+                Some(s) => (
+                    s.terminated,
+                    s.account == msg.account,
+                    s.key.clone(),
+                    s.expected_seq,
+                ),
+                None => return Err(self.reject(Reject::UnknownSession)),
+            };
+        if terminated || !account_matches {
+            return Err(self.reject(Reject::UnknownSession));
+        }
+        let bytes =
+            ResumeRequest::mac_bytes(&msg.session_id, &msg.account, &msg.nonce, msg.last_seq);
+        if !verify_hmac(&key, &bytes, &msg.mac) {
+            return Err(self.reject(Reject::BadMac));
+        }
+        if self.replay.is_consumed(msg.nonce) {
+            // Same nonce, different MAC: a tampered replay of an old
+            // resume. The byte-identical case was answered from the cache.
+            return Err(self.reject(Reject::Replay));
+        }
+        let last_reply = if msg.last_seq == expected_seq {
+            // Fully in sync; the device just needs the current nonce.
+            None
+        } else if msg.last_seq.checked_add(1) == Some(expected_seq) {
+            match self
+                .sessions
+                .get(&msg.session_id)
+                .and_then(|s| s.cache.as_ref())
+            {
+                Some(cache) => Some(cache.reply.clone()),
+                // Behind by one with no cached reply: nothing to heal
+                // with, the device must treat the session as lost.
+                None => return Err(self.reject(Reject::UnknownSession)),
+            }
+        } else if msg.last_seq < expected_seq {
+            return Err(self.reject(Reject::Replay));
+        } else {
+            // The device claims acks from the future.
+            return Err(self.reject(Reject::UnknownNonce));
+        };
+        let nonce = self.fresh_nonce();
+        let ack_bytes = ResumeAck::mac_bytes(
+            &msg.session_id,
+            &msg.account,
+            &msg.nonce,
+            &nonce,
+            expected_seq,
+            last_reply.as_ref(),
+        );
+        let mac = hmac_sha256(&key, &ack_bytes);
+        let ack = ResumeAck {
+            session_id: msg.session_id.clone(),
+            account: msg.account.clone(),
+            device_nonce: msg.nonce,
+            nonce,
+            seq: expected_seq,
+            last_reply,
+            mac,
+        };
+        let record = JournalRecord::SessionResumed {
+            device_nonce: msg.nonce,
+            request_mac: msg.mac,
+            ack: ack.clone(),
+        };
+        self.journal_append(&record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok((ack, Freshness::Fresh))
+    }
+
+    /// Handles a wire identity-reset request (paper §IV, "Identity
+    /// Reset", carried over the network instead of a branch visit): the
+    /// fallback password removes the old key binding so the user can
+    /// re-register from a new device.
+    ///
+    /// Idempotent per request nonce: a retransmit of a served reset is
+    /// re-acked without touching state.
+    ///
+    /// # Errors
+    ///
+    /// Rejects on nonce, domain, account, or credential failures; returns
+    /// [`Reject::ServerCrashed`] if a crash point fires.
+    pub fn handle_reset(&mut self, msg: &ResetRequest) -> Result<(ResetAck, Freshness), Reject> {
+        self.check_up()?;
+        self.maybe_compact();
+        let digest = msg.request_digest();
+        if let Some((d, ack)) = self.reset_cache.get(&msg.nonce) {
+            if *d == digest {
+                return Ok((ack.clone(), Freshness::Resent));
+            }
+        }
+        self.consume_nonce(msg.nonce)?;
+        if msg.domain != self.domain {
+            return Err(self.reject(Reject::BadSignature));
+        }
+        let Some(record) = self.accounts.get(&msg.account) else {
+            return Err(self.reject(Reject::UnknownAccount));
+        };
+        if record.reset_password != msg.password {
+            return Err(self.reject(Reject::BadResetCredential));
+        }
+        let record = JournalRecord::ResetServed {
+            account: msg.account.clone(),
+            nonce: msg.nonce,
+            request_digest: digest,
+        };
+        self.journal_append(&record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok((
+            ResetAck {
+                account: msg.account.clone(),
+                nonce: msg.nonce,
+            },
+            Freshness::Fresh,
+        ))
+    }
+
+    /// Identity reset after device loss, local form (a trusted side
+    /// channel such as a branch visit): the fallback password removes the
+    /// old key binding so the user can re-register from a new device
+    /// (paper §IV, "Identity Reset").
+    ///
+    /// # Errors
+    ///
+    /// Rejects on unknown account or wrong credential; returns
+    /// [`Reject::ServerCrashed`] if a crash point fires.
+    pub fn reset_identity(&mut self, account: &str, password: &str) -> Result<(), Reject> {
+        self.check_up()?;
+        let Some(record) = self.accounts.get(account) else {
+            return Err(self.reject(Reject::UnknownAccount));
+        };
+        if record.reset_password != password {
+            return Err(self.reject(Reject::BadResetCredential));
+        }
+        let record = JournalRecord::IdentityReset {
+            account: account.to_owned(),
+        };
+        self.journal_append(&record)?;
+        self.apply_record(&record);
+        Ok(())
+    }
+
+    /// Interactions served in a session (testing/metrics).
+    pub fn session_interactions(&self, session_id: &str) -> Option<u64> {
+        self.sessions.get(session_id).map(|s| s.interactions)
+    }
+
+    /// Whether the session has been terminated.
+    pub fn session_terminated(&self, session_id: &str) -> Option<bool> {
+        self.sessions.get(session_id).map(|s| s.terminated)
+    }
+
+    /// The sequence number the session's next fresh interaction must
+    /// carry (testing).
+    pub fn session_expected_seq(&self, session_id: &str) -> Option<u64> {
+        self.sessions.get(session_id).map(|s| s.expected_seq)
+    }
+
+    // --- Recovery ---------------------------------------------------------
+
+    /// The durable identity (keys, certificate, pages, policy) that pairs
+    /// with the journal to fully describe this server.
+    pub fn identity(&self) -> ServerIdentity {
+        ServerIdentity {
+            domain: self.domain.clone(),
+            keys: self.keys.clone(),
+            cert: self.cert.clone(),
+            ca_key: self.ca_key.clone(),
+            pages: self.pages.clone(),
+            policy: self.policy,
+        }
+    }
+
+    /// Rebuilds a server from its durable identity and a journal: restore
+    /// the snapshot, replay every decodable record, and re-issue the
+    /// challenge nonces embedded in the restored sessions. Fresh entropy
+    /// comes from `rng` — a restarted process never reuses its old
+    /// randomness.
+    ///
+    /// Observability state (reject counters, trace) restarts empty; only
+    /// protocol state is durable.
+    pub fn recover(
+        identity: ServerIdentity,
+        journal: Journal,
+        rng: &mut SimRng,
+    ) -> (WebServer, RecoveryReport) {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        let mut entropy = ChaChaEntropy::from_seed(seed);
+        let nonce_entropy = entropy.fork(b"nonces");
+        let mut server = WebServer {
+            domain: identity.domain,
+            keys: identity.keys,
+            cert: identity.cert,
+            ca_key: identity.ca_key,
+            entropy,
+            nonces: NonceGenerator::new(nonce_entropy),
+            replay: ReplayGuard::new(),
+            accounts: HashMap::new(),
+            sessions: HashMap::new(),
+            reg_cache: HashMap::new(),
+            login_cache: HashMap::new(),
+            resume_cache: HashMap::new(),
+            reset_cache: HashMap::new(),
+            pages: identity.pages,
+            policy: identity.policy,
+            audit_log: Vec::new(),
+            reject_counts: HashMap::new(),
+            session_counter: 0,
+            trace: TraceLog::new(),
+            journal,
+            crash: CrashSchedule::Never,
+            crashed: false,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+        };
+        let contents = server.journal.read();
+        let mut report = RecoveryReport {
+            snapshot_restored: false,
+            records_replayed: contents.records.len(),
+            records_skipped: contents.skipped,
+        };
+        if !contents.snapshot.is_empty() {
+            report.snapshot_restored = server.restore_snapshot(&contents.snapshot);
+        }
+        for rec in &contents.records {
+            server.apply_record(rec);
+        }
+        // Challenge nonces are ephemeral: re-issue the one each live
+        // session is waiting on so the device's next request verifies.
+        let pending: Vec<Nonce> = server
+            .sessions
+            .values()
+            .filter(|s| !s.terminated)
+            .map(|s| s.pending_nonce)
+            .collect();
+        for n in pending {
+            server.replay.issue(n);
+        }
+        (server, report)
+    }
+
+    /// Crash-restarts this server in place: the journal is salvaged from
+    /// the dead process, everything else is rebuilt from it.
+    pub fn recover_in_place(&mut self, rng: &mut SimRng) -> RecoveryReport {
+        let journal = std::mem::take(&mut self.journal);
+        let identity = self.identity();
+        let (server, report) = WebServer::recover(identity, journal, rng);
+        *self = server;
+        report
+    }
+
+    /// Applies one journal record to in-memory state. This is the *only*
+    /// mutation path for durable state: live handlers journal a record
+    /// and then apply it through here, so recovery replay is reuse, not
+    /// reimplementation.
+    pub fn apply_record(&mut self, rec: &JournalRecord) {
+        match rec {
+            JournalRecord::Registered {
+                account,
+                public_key,
+                reset_password,
+                nonce,
+                signature,
+                frame_hash,
+            } => {
+                let group = self.keys.public_key().group();
+                let element = U2048::from_be_bytes(public_key);
+                let key = PublicKey::from_element(group, element);
+                self.accounts.insert(
+                    account.clone(),
+                    AccountRecord {
+                        public_key: key,
+                        reset_password: reset_password.clone(),
+                    },
+                );
+                self.replay.mark_consumed(*nonce);
+                self.audit_log.push(AuditEntry {
+                    account: account.clone(),
+                    expected_path: "/register".to_owned(),
+                    frame_hash: *frame_hash,
+                    action: "register".to_owned(),
+                    risk: RiskReport::fresh_login(),
+                });
+                if let Some(sig) = Signature::from_bytes(signature) {
+                    self.reg_cache.insert(
+                        *nonce,
+                        (
+                            sig,
+                            RegistrationAck {
+                                account: account.clone(),
+                                nonce: *nonce,
+                            },
+                        ),
+                    );
+                }
+            }
+            JournalRecord::LoginServed {
+                nonce,
+                signature,
+                session_key,
+                reply,
+                frame_hash,
+                risk,
+            } => {
+                self.session_counter += 1;
+                self.replay.mark_consumed(*nonce);
+                self.audit_log.push(AuditEntry {
+                    account: reply.account.clone(),
+                    expected_path: "/login".to_owned(),
+                    frame_hash: *frame_hash,
+                    action: "login".to_owned(),
+                    risk: *risk,
+                });
+                self.sessions.insert(
+                    reply.session_id.clone(),
+                    Session {
+                        account: reply.account.clone(),
+                        key: session_key.clone(),
+                        pending_nonce: reply.nonce,
+                        expected_seq: reply.seq,
+                        cache: None,
+                        current_path: reply.page.path.clone(),
+                        stepups: 0,
+                        terminated: false,
+                        interactions: 0,
+                    },
+                );
+                if let Some(sig) = Signature::from_bytes(signature) {
+                    self.login_cache.insert(*nonce, (sig, reply.clone()));
+                }
+            }
+            JournalRecord::InteractionServed {
+                request_nonce,
+                request_mac,
+                action,
+                frame_hash,
+                risk,
+                expected_path,
+                stepups,
+                reply,
+            } => {
+                self.replay.mark_consumed(*request_nonce);
+                self.audit_log.push(AuditEntry {
+                    account: reply.account.clone(),
+                    expected_path: expected_path.clone(),
+                    frame_hash: *frame_hash,
+                    action: action.clone(),
+                    risk: *risk,
+                });
+                if let Some(session) = self.sessions.get_mut(&reply.session_id) {
+                    session.pending_nonce = reply.nonce;
+                    session.expected_seq = reply.seq;
+                    session.cache = Some(CachedInteraction {
+                        seq: reply.seq.saturating_sub(1),
+                        request_mac: *request_mac,
+                        reply: reply.clone(),
+                    });
+                    session.current_path = reply.page.path.clone();
+                    session.interactions += 1;
+                    session.stepups = *stepups as u32;
+                }
+            }
+            JournalRecord::SessionResumed {
+                device_nonce,
+                request_mac,
+                ack,
+            } => {
+                self.replay.mark_consumed(*device_nonce);
+                if let Some(session) = self.sessions.get_mut(&ack.session_id) {
+                    session.pending_nonce = ack.nonce;
+                }
+                self.resume_cache
+                    .insert(*device_nonce, (*request_mac, ack.clone()));
+            }
+            JournalRecord::SessionTerminated { session_id } => {
+                if let Some(session) = self.sessions.get_mut(session_id) {
+                    session.terminated = true;
+                }
+            }
+            JournalRecord::IdentityReset { account } => {
+                self.remove_binding(account);
+            }
+            JournalRecord::ResetServed {
+                account,
+                nonce,
+                request_digest,
+            } => {
+                self.remove_binding(account);
+                self.replay.mark_consumed(*nonce);
+                self.reset_cache.insert(
+                    *nonce,
+                    (
+                        *request_digest,
+                        ResetAck {
+                            account: account.clone(),
+                            nonce: *nonce,
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    fn remove_binding(&mut self, account: &str) {
+        self.accounts.remove(account);
+        // Kill any live sessions for the account.
+        for s in self.sessions.values_mut() {
+            if s.account == account {
+                s.terminated = true;
+            }
+        }
+    }
+
+    // --- Snapshots --------------------------------------------------------
+
+    /// Canonical bytes of the full durable state (maps serialized in
+    /// sorted order, so two servers in the same state encode
+    /// identically). Excludes observability state (reject counters,
+    /// trace) and the outstanding-nonce set, which recovery re-issues.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        signing_bytes("trust-server-snapshot-v1", |w| {
+            w.u64(self.session_counter);
+
+            let mut accounts: Vec<_> = self.accounts.iter().collect();
+            accounts.sort_by(|a, b| a.0.cmp(b.0));
+            w.u64(accounts.len() as u64);
+            for (name, rec) in accounts {
+                w.str(name)
+                    .bytes(&rec.public_key.to_bytes())
+                    .str(&rec.reset_password);
+            }
+
+            let mut sessions: Vec<_> = self.sessions.iter().collect();
+            sessions.sort_by(|a, b| a.0.cmp(b.0));
+            w.u64(sessions.len() as u64);
+            for (sid, s) in sessions {
+                w.str(sid)
+                    .str(&s.account)
+                    .bytes(&s.key)
+                    .bytes(s.pending_nonce.as_bytes())
+                    .u64(s.expected_seq)
+                    .u64(s.cache.is_some() as u64);
+                if let Some(cache) = &s.cache {
+                    w.u64(cache.seq).bytes(cache.request_mac.as_bytes());
+                    put_content_page(w, &cache.reply);
+                }
+                w.str(&s.current_path)
+                    .u64(s.stepups as u64)
+                    .u64(s.terminated as u64)
+                    .u64(s.interactions);
+            }
+
+            let mut regs: Vec<_> = self.reg_cache.iter().collect();
+            regs.sort_by_key(|(n, _)| n.0);
+            w.u64(regs.len() as u64);
+            for (n, (sig, ack)) in regs {
+                w.bytes(n.as_bytes())
+                    .bytes(&sig.to_bytes())
+                    .str(&ack.account);
+            }
+
+            let mut logins: Vec<_> = self.login_cache.iter().collect();
+            logins.sort_by_key(|(n, _)| n.0);
+            w.u64(logins.len() as u64);
+            for (n, (sig, page)) in logins {
+                w.bytes(n.as_bytes()).bytes(&sig.to_bytes());
+                put_content_page(w, page);
+            }
+
+            let mut resumes: Vec<_> = self.resume_cache.iter().collect();
+            resumes.sort_by_key(|(n, _)| n.0);
+            w.u64(resumes.len() as u64);
+            for (n, (mac, ack)) in resumes {
+                w.bytes(n.as_bytes()).bytes(mac.as_bytes());
+                put_resume_ack(w, ack);
+            }
+
+            let mut resets: Vec<_> = self.reset_cache.iter().collect();
+            resets.sort_by_key(|(n, _)| n.0);
+            w.u64(resets.len() as u64);
+            for (n, (digest, ack)) in resets {
+                w.bytes(n.as_bytes())
+                    .bytes(digest.as_bytes())
+                    .str(&ack.account);
+            }
+
+            let consumed = self.replay.consumed_sorted();
+            w.u64(consumed.len() as u64);
+            for n in consumed {
+                w.bytes(n.as_bytes());
+            }
+
+            w.u64(self.audit_log.len() as u64);
+            for entry in &self.audit_log {
+                w.str(&entry.account)
+                    .str(&entry.expected_path)
+                    .bytes(entry.frame_hash.as_bytes())
+                    .str(&entry.action);
+                put_risk(w, &entry.risk);
+            }
+        })
+    }
+
+    /// A digest of [`WebServer::snapshot_bytes`]: two servers with equal
+    /// digests hold identical durable state.
+    pub fn state_digest(&self) -> Digest {
+        sha256(&self.snapshot_bytes())
+    }
+
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> bool {
+        self.try_restore_snapshot(bytes).is_some()
+    }
+
+    fn try_restore_snapshot(&mut self, bytes: &[u8]) -> Option<()> {
+        let mut r = FieldReader::new(bytes);
+        if r.str()? != "trust-server-snapshot-v1" {
+            return None;
+        }
+        self.session_counter = r.u64()?;
+
+        let group = self.keys.public_key().group();
+        for _ in 0..r.u64()? {
+            let name = r.str()?.to_owned();
+            let key = PublicKey::from_element(group, U2048::from_be_bytes(r.bytes()?));
+            let reset_password = r.str()?.to_owned();
+            self.accounts.insert(
+                name,
+                AccountRecord {
+                    public_key: key,
+                    reset_password,
+                },
+            );
+        }
+
+        for _ in 0..r.u64()? {
+            let sid = r.str()?.to_owned();
+            let account = r.str()?.to_owned();
+            let key = r.bytes()?.to_vec();
+            let pending_nonce = Nonce(r.array()?);
+            let expected_seq = r.u64()?;
+            let cache = if r.u64()? == 1 {
+                let seq = r.u64()?;
+                let request_mac = Digest(r.array()?);
+                let reply = get_content_page(&mut r)?;
+                Some(CachedInteraction {
+                    seq,
+                    request_mac,
+                    reply,
+                })
+            } else {
+                None
+            };
+            let current_path = r.str()?.to_owned();
+            let stepups = r.u64()? as u32;
+            let terminated = r.u64()? == 1;
+            let interactions = r.u64()?;
+            self.sessions.insert(
+                sid,
+                Session {
+                    account,
+                    key,
+                    pending_nonce,
+                    expected_seq,
+                    cache,
+                    current_path,
+                    stepups,
+                    terminated,
+                    interactions,
+                },
+            );
+        }
+
+        for _ in 0..r.u64()? {
+            let nonce = Nonce(r.array()?);
+            let sig = Signature::from_bytes(r.bytes()?)?;
+            let account = r.str()?.to_owned();
+            self.reg_cache
+                .insert(nonce, (sig, RegistrationAck { account, nonce }));
+        }
+
+        for _ in 0..r.u64()? {
+            let nonce = Nonce(r.array()?);
+            let sig = Signature::from_bytes(r.bytes()?)?;
+            let page = get_content_page(&mut r)?;
+            self.login_cache.insert(nonce, (sig, page));
+        }
+
+        for _ in 0..r.u64()? {
+            let nonce = Nonce(r.array()?);
+            let mac = Digest(r.array()?);
+            let ack = get_resume_ack(&mut r)?;
+            self.resume_cache.insert(nonce, (mac, ack));
+        }
+
+        for _ in 0..r.u64()? {
+            let nonce = Nonce(r.array()?);
+            let digest = Digest(r.array()?);
+            let account = r.str()?.to_owned();
+            self.reset_cache
+                .insert(nonce, (digest, ResetAck { account, nonce }));
+        }
+
+        let mut consumed = Vec::new();
+        for _ in 0..r.u64()? {
+            consumed.push(Nonce(r.array()?));
+        }
+        self.replay = ReplayGuard::from_consumed(consumed);
+
+        for _ in 0..r.u64()? {
+            self.audit_log.push(AuditEntry {
+                account: r.str()?.to_owned(),
+                expected_path: r.str()?.to_owned(),
+                frame_hash: Digest(r.array()?),
+                action: r.str()?.to_owned(),
+                risk: get_risk(&mut r)?,
+            });
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use btd_sim::trace::Severity;
+
+    fn setup() -> (WebServer, TrustAuthority, SimRng) {
+        let mut rng = SimRng::seed_from(11);
+        let mut ca = TrustAuthority::new(DhGroup::test_512(), &mut rng);
+        let server = WebServer::new("www.xyz.com", DhGroup::test_512(), &mut ca, &mut rng);
+        (server, ca, rng)
+    }
+
+    #[test]
+    fn hello_is_signed_and_fresh() {
+        let (mut server, ca, _) = setup();
+        let h1 = server.hello("/register");
+        let h2 = server.hello("/register");
+        assert_ne!(h1.nonce, h2.nonce, "nonces must be fresh");
+        assert!(h1.server_cert.verify(ca.public_key()));
+        let bytes = ServerHello::signed_bytes(&h1.domain, &h1.page, &h1.nonce);
+        assert!(server.public_key().verify(&bytes, &h1.signature));
+    }
+
+    #[test]
+    #[should_panic(expected = "no page")]
+    fn hello_for_missing_page_panics() {
+        let (mut server, _, _) = setup();
+        let _ = server.hello("/nope");
+    }
+
+    #[test]
+    fn reset_requires_correct_password() {
+        let (mut server, _, _) = setup();
+        // No account yet.
+        assert_eq!(
+            server.reset_identity("alice", "pw"),
+            Err(Reject::UnknownAccount)
+        );
+        // Insert an account directly for this unit test.
+        let key = server.public_key().clone();
+        server.accounts.insert(
+            "alice".into(),
+            AccountRecord {
+                public_key: key,
+                reset_password: "correct".into(),
+            },
+        );
+        assert_eq!(
+            server.reset_identity("alice", "wrong"),
+            Err(Reject::BadResetCredential)
+        );
+        assert!(server.reset_identity("alice", "correct").is_ok());
+        assert!(!server.has_account("alice"));
+    }
+
+    #[test]
+    fn reject_counters_accumulate() {
+        let (mut server, _, _) = setup();
+        let _ = server.reset_identity("ghost", "pw");
+        let _ = server.reset_identity("ghost", "pw");
+        assert_eq!(server.reject_counts()[&Reject::UnknownAccount], 2);
+        // The security trace mirrors the counters.
+        assert_eq!(server.trace().count_severity(Severity::Security), 2);
+        assert_eq!(server.trace().matching("unknown account").count(), 2);
+    }
+
+    #[test]
+    fn pages_can_be_added() {
+        let (mut server, _, _) = setup();
+        assert!(server.page("/promo").is_none());
+        server.put_page(Page::new("/promo", b"sale".to_vec()));
+        assert!(server.page("/promo").is_some());
+    }
+
+    #[test]
+    fn crashed_server_answers_nothing_until_recovered() {
+        let (mut server, _, mut rng) = setup();
+        let key = server.public_key().clone();
+        server.accounts.insert(
+            "alice".into(),
+            AccountRecord {
+                public_key: key,
+                reset_password: "correct".into(),
+            },
+        );
+        server.arm_crash_schedule(CrashSchedule::once_at(CrashPoint::BeforeAppend, 0));
+        assert_eq!(
+            server.reset_identity("alice", "correct"),
+            Err(Reject::ServerCrashed)
+        );
+        assert!(server.is_crashed());
+        assert_eq!(
+            server.reset_identity("alice", "correct"),
+            Err(Reject::ServerCrashed),
+            "a dead process stays dead"
+        );
+        let report = server.recover_in_place(&mut rng);
+        assert!(!server.is_crashed());
+        assert_eq!(report.records_skipped, 0);
+        // The crash fired before the append: the reset never happened, and
+        // the directly-inserted account (never journaled) is gone too —
+        // recovery trusts the journal, not the dead heap.
+        assert!(!server.has_account("alice"));
+    }
+
+    #[test]
+    fn empty_server_recovery_is_identity() {
+        let (mut server, _, mut rng) = setup();
+        let digest = server.state_digest();
+        let report = server.recover_in_place(&mut rng);
+        assert_eq!(report.records_replayed, 0);
+        assert!(!report.snapshot_restored);
+        assert_eq!(server.state_digest(), digest);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let (server, _, _) = setup();
+        assert_eq!(server.snapshot_bytes(), server.snapshot_bytes());
+    }
+}

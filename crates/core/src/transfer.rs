@@ -8,10 +8,25 @@
 //! web service information and the corresponding (public, private) key
 //! pairs along with the user's biometric identity, and transfers the
 //! resulting information to the new mobile device."
+//!
+//! The two legs — the new device's [`TransferOffer`] and the old device's
+//! sealed [`TransferPayload`] — cross the same fault-injecting
+//! [`Channel`] as every other flow, under the [`RetryPolicy`]. Transit
+//! damage is detectable on both legs (a digest over the offered
+//! certificate; the sealed box's authentication tag), so a lossy or
+//! corrupting link costs retries, never a wrong import.
 
+use btd_crypto::cert::Certificate;
+use btd_crypto::elgamal::SealedBox;
+use btd_crypto::sha256::{sha256, Digest};
+use btd_flock::module::ImportError;
 use btd_sim::rng::SimRng;
+use btd_sim::time::SimDuration;
 
+use crate::channel::{flip_random_bit, Channel, NetMessage};
 use crate::device::{DeviceError, MobileDevice};
+use crate::metrics::{Phase, ProtocolMetrics, RetryPolicy};
+use crate::wire::signing_bytes;
 
 /// Why an identity transfer failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -22,6 +37,8 @@ pub enum TransferError {
     AuthorizationFailed,
     /// The sealed payload could not be imported on the new device.
     ImportFailed,
+    /// The local link defeated every retry attempt.
+    ChannelFailed,
 }
 
 impl std::fmt::Display for TransferError {
@@ -30,6 +47,7 @@ impl std::fmt::Display for TransferError {
             TransferError::UntrustedNewDevice => "new device certificate untrusted",
             TransferError::AuthorizationFailed => "owner fingerprint authorization failed",
             TransferError::ImportFailed => "identity import failed on new device",
+            TransferError::ChannelFailed => "transfer link defeated every retry",
         };
         f.write_str(s)
     }
@@ -37,38 +55,195 @@ impl std::fmt::Display for TransferError {
 
 impl std::error::Error for TransferError {}
 
-/// Runs the full transfer: certificate check, fingerprint authorization on
-/// the old device, sealed export, and import on the new device.
+/// The new device's opening message: its certificate plus an integrity
+/// digest so transit damage is distinguishable from a genuinely untrusted
+/// certificate.
+#[derive(Clone, Debug)]
+pub struct TransferOffer {
+    /// The new device's CA-signed certificate.
+    pub cert: Certificate,
+    /// Digest over the certificate's certified fields.
+    pub digest: Digest,
+}
+
+/// Digest binding a [`TransferOffer`] to the certificate it carries.
+fn offer_digest(cert: &Certificate) -> Digest {
+    sha256(&signing_bytes("trust-transfer-offer-v1", |w| {
+        w.str(cert.subject())
+            .str(&cert.role().to_string())
+            .bytes(&cert.public_key().to_bytes())
+            .u64(cert.serial());
+    }))
+}
+
+impl TransferOffer {
+    /// Builds an offer for `cert`.
+    pub fn new(cert: Certificate) -> Self {
+        let digest = offer_digest(&cert);
+        TransferOffer { cert, digest }
+    }
+
+    /// Whether the digest still matches the carried certificate.
+    pub fn intact(&self) -> bool {
+        self.digest == offer_digest(&self.cert)
+    }
+}
+
+impl NetMessage for TransferOffer {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        flip_random_bit(&mut self.digest.0, rng);
+    }
+}
+
+/// The old device's sealed identity export in transit.
+#[derive(Clone, Debug)]
+pub struct TransferPayload {
+    /// The identity sealed to the new device's built-in key.
+    pub sealed: SealedBox,
+}
+
+impl NetMessage for TransferPayload {
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        // Damage the authentication tag: the import detects it and the
+        // sender re-exports.
+        flip_random_bit(&mut self.sealed.tag, rng);
+    }
+}
+
+/// What happened during a transfer run.
+#[derive(Clone, Debug, Default)]
+pub struct TransferReport {
+    /// Total link latency, including retry timeouts and backoff.
+    pub latency: SimDuration,
+    /// Link/retry accounting for both transfer legs.
+    pub metrics: ProtocolMetrics,
+}
+
+/// Runs the full transfer over the channel: certificate offer, fingerprint
+/// authorization on the old device, sealed export, and import on the new
+/// device, retrying either leg under the policy.
 ///
 /// # Errors
 ///
-/// [`TransferError`] at whichever step fails; on failure no state is
-/// changed on the new device.
+/// [`TransferError`] at whichever step fails conclusively; on failure no
+/// state is changed on the new device.
 pub fn transfer_identity(
     old: &mut MobileDevice,
     new: &mut MobileDevice,
     owner_user: u64,
+    channel: &mut Channel,
+    policy: &RetryPolicy,
     rng: &mut SimRng,
-) -> Result<(), TransferError> {
-    // The new device presents its certificate over the local channel.
-    let new_cert = new
-        .flock()
-        .certificate()
-        .cloned()
-        .ok_or(TransferError::UntrustedNewDevice)?;
-    if !old.flock_mut().verify_certificate(&new_cert) {
-        return Err(TransferError::UntrustedNewDevice);
-    }
+) -> Result<TransferReport, TransferError> {
+    let mut report = TransferReport::default();
 
-    // The owner authorizes with a fingerprint on the old device.
+    let offer = TransferOffer::new(
+        new.flock()
+            .certificate()
+            .cloned()
+            .ok_or(TransferError::UntrustedNewDevice)?,
+    );
+    let cert = deliver_offer(old, channel, policy, &offer, &mut report)?;
+
+    // The owner authorizes with a fingerprint on the old device — once,
+    // regardless of how many link retries either leg needs.
     authorize_with_fingerprint(old, owner_user, rng)
         .map_err(|_| TransferError::AuthorizationFailed)?;
 
-    // Export sealed to the new device's built-in key; import there.
-    let sealed = old.flock_mut().export_identity(new_cert.public_key());
-    new.flock_mut()
-        .import_identity(&sealed)
-        .map_err(|_| TransferError::ImportFailed)
+    deliver_payload(old, new, channel, policy, &cert, &mut report)?;
+    Ok(report)
+}
+
+/// Leg 1: the new device presents its certificate. A damaged offer
+/// (digest mismatch) burns a retry; a verifying digest over a
+/// non-verifying certificate is conclusive distrust.
+fn deliver_offer(
+    old: &mut MobileDevice,
+    channel: &mut Channel,
+    policy: &RetryPolicy,
+    offer: &TransferOffer,
+    report: &mut TransferReport,
+) -> Result<Certificate, TransferError> {
+    for attempt in 0..policy.max_attempts {
+        report.metrics.sends += 1;
+        if attempt > 0 {
+            report.metrics.retries += 1;
+        }
+        let mut arrivals = channel.transmit(offer.clone()).into_iter();
+        let Some(first) = arrivals.next() else {
+            report.metrics.timeouts += 1;
+            report.latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        };
+        report.metrics.stale_content_ignored += arrivals.count() as u64;
+        if first.delay > policy.timeout {
+            report.metrics.timeouts += 1;
+            report.latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        }
+        if !first.msg.intact() {
+            report.metrics.corrupt_rejected += 1;
+            report.latency += first.delay + policy.backoff(attempt);
+            continue;
+        }
+        report.latency += first.delay;
+        if !old.flock_mut().verify_certificate(&first.msg.cert) {
+            return Err(TransferError::UntrustedNewDevice);
+        }
+        report.metrics.record_latency(Phase::Lifecycle, first.delay);
+        return Ok(first.msg.cert);
+    }
+    report.metrics.giveups += 1;
+    Err(TransferError::ChannelFailed)
+}
+
+/// Leg 2: sealed export to the new device's built-in key. Each retry
+/// re-exports fresh (sealing is cheap; the payload never crosses the
+/// link unauthenticated).
+fn deliver_payload(
+    old: &mut MobileDevice,
+    new: &mut MobileDevice,
+    channel: &mut Channel,
+    policy: &RetryPolicy,
+    cert: &Certificate,
+    report: &mut TransferReport,
+) -> Result<(), TransferError> {
+    for attempt in 0..policy.max_attempts {
+        report.metrics.sends += 1;
+        if attempt > 0 {
+            report.metrics.retries += 1;
+        }
+        let payload = TransferPayload {
+            sealed: old.flock_mut().export_identity(cert.public_key()),
+        };
+        let mut arrivals = channel.transmit(payload).into_iter();
+        let Some(first) = arrivals.next() else {
+            report.metrics.timeouts += 1;
+            report.latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        };
+        report.metrics.stale_content_ignored += arrivals.count() as u64;
+        if first.delay > policy.timeout {
+            report.metrics.timeouts += 1;
+            report.latency += policy.timeout + policy.backoff(attempt);
+            continue;
+        }
+        match new.flock_mut().import_identity(&first.msg.sealed) {
+            Ok(()) => {
+                report.latency += first.delay;
+                report.metrics.record_latency(Phase::Lifecycle, first.delay);
+                return Ok(());
+            }
+            Err(ImportError::Unsealable) => {
+                // Tampered or damaged in transit; the re-export heals it.
+                report.metrics.corrupt_rejected += 1;
+                report.latency += first.delay + policy.backoff(attempt);
+            }
+            Err(_) => return Err(TransferError::ImportFailed),
+        }
+    }
+    report.metrics.giveups += 1;
+    Err(TransferError::ChannelFailed)
 }
 
 /// An explicit verified touch on the old device.

@@ -68,6 +68,63 @@ pub fn signing_bytes(label: &str, fill: impl FnOnce(&mut FieldWriter)) -> Vec<u8
     w.finish()
 }
 
+/// Reads back a sequence of length-prefixed fields written by
+/// [`FieldWriter`].
+///
+/// Every accessor returns `None` on truncated or malformed input instead
+/// of panicking, so journal recovery can treat a torn record as "not a
+/// record" rather than a crash.
+#[derive(Debug)]
+pub struct FieldReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FieldReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FieldReader { buf, pos: 0 }
+    }
+
+    /// Reads the next byte-string field.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len_end = self.pos.checked_add(4)?;
+        let len_bytes = self.buf.get(self.pos..len_end)?;
+        let len = u32::from_be_bytes(len_bytes.try_into().ok()?) as usize;
+        let end = len_end.checked_add(len)?;
+        let data = self.buf.get(len_end..end)?;
+        self.pos = end;
+        Some(data)
+    }
+
+    /// Reads the next field as a UTF-8 string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+
+    /// Reads the next field as a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let b = self.bytes()?;
+        Some(u64::from_be_bytes(b.try_into().ok()?))
+    }
+
+    /// Reads the next field as an `f64`.
+    pub fn f64(&mut self) -> Option<f64> {
+        let b = self.bytes()?;
+        Some(f64::from_be_bytes(b.try_into().ok()?))
+    }
+
+    /// Reads a fixed-size byte array field.
+    pub fn array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        self.bytes()?.try_into().ok()
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod proptests {
     use super::*;

@@ -123,6 +123,40 @@ impl ReplayGuard {
     pub fn consumed_len(&self) -> usize {
         self.consumed.len()
     }
+
+    /// Whether `nonce` has already been consumed.
+    pub fn is_consumed(&self, nonce: Nonce) -> bool {
+        self.consumed.contains(&nonce)
+    }
+
+    /// Forcibly records `nonce` as consumed, regardless of whether this
+    /// guard issued it. Used when replaying a journal: an applied record
+    /// proves its nonce was accepted, even though the restarted guard
+    /// never issued it. Returns false if it was already consumed.
+    pub fn mark_consumed(&mut self, nonce: Nonce) -> bool {
+        self.outstanding.remove(&nonce);
+        self.consumed.insert(nonce)
+    }
+
+    /// The consumed-nonce set in sorted (deterministic) order.
+    ///
+    /// Used to persist replay state: only *consumed* nonces matter for
+    /// safety. Outstanding nonces are ephemeral challenges that a restarted
+    /// server simply re-issues.
+    pub fn consumed_sorted(&self) -> Vec<Nonce> {
+        let mut v: Vec<Nonce> = self.consumed.iter().copied().collect();
+        v.sort_by_key(|n| n.0);
+        v
+    }
+
+    /// Rebuilds a guard from a persisted consumed set (no outstanding
+    /// nonces — the owner re-issues challenges after restoring).
+    pub fn from_consumed(consumed: impl IntoIterator<Item = Nonce>) -> Self {
+        ReplayGuard {
+            outstanding: HashSet::new(),
+            consumed: consumed.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,12 +4,15 @@
 //! vendors the small slice of proptest's API its test suites actually use:
 //! the [`proptest!`] macro, `prop_assert*` / `prop_assume!`, range and
 //! `any::<T>()` strategies, `collection::vec`, `Just`, `prop_oneof!`, and
-//! `prop_map`. Semantics differ from real proptest in two deliberate ways:
+//! `prop_map`. Semantics differ from real proptest in one deliberate way:
+//! cases are generated from a fixed per-case seed, so every run of every
+//! test is bit-for-bit reproducible (there is no persistence file).
 //!
-//! * Cases are generated from a fixed per-case seed, so every run of every
-//!   test is bit-for-bit reproducible (there is no persistence file).
-//! * There is no shrinking: a failure reports the case index, which is
-//!   enough to replay it deterministically under a debugger.
+//! Failures shrink: integer strategies walk toward their lower bound,
+//! vector strategies drop and simplify elements, and the harness greedily
+//! re-runs smaller candidates (coordinate-wise across the test's
+//! arguments) until no candidate still fails, then reports the minimal
+//! failing input alongside the original assertion message.
 
 use std::fmt;
 
@@ -89,6 +92,12 @@ pub mod strategy {
         /// Produces one value for the current case.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Candidate simplifications of a failing `value`, simplest first.
+        /// The default is no shrinking.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         /// Maps generated values through `f`.
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
@@ -111,6 +120,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             (**self).generate(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
         }
     }
 
@@ -144,6 +156,11 @@ pub mod strategy {
             let idx = rng.below(self.options.len() as u64) as usize;
             self.options[idx].generate(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            // The producing arm is unknown; offer every arm's candidates
+            // (arms that cannot have produced `value` simply offer none).
+            self.options.iter().flat_map(|o| o.shrink(value)).collect()
+        }
     }
 
     /// The result of [`Strategy::prop_map`].
@@ -162,6 +179,7 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> U {
             (self.f)(self.inner.generate(rng))
         }
+        // No shrink: `f` is not invertible.
     }
 
     /// `any::<T>()` marker strategy.
@@ -172,6 +190,14 @@ pub mod strategy {
     pub trait Arbitrary {
         /// One uniform value over the type's whole domain.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Candidate simplifications of `self`, simplest first.
+        fn shrink(&self) -> Vec<Self>
+        where
+            Self: Sized,
+        {
+            Vec::new()
+        }
     }
 
     /// Uniform values over the whole domain of `T`.
@@ -184,6 +210,9 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink()
+        }
     }
 
     macro_rules! impl_arbitrary_uint {
@@ -191,6 +220,22 @@ pub mod strategy {
             impl Arbitrary for $ty {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     rng.next_u64() as $ty
+                }
+                fn shrink(&self) -> Vec<Self> {
+                    let zero: $ty = 0;
+                    if *self == zero {
+                        return Vec::new();
+                    }
+                    let mut out = vec![zero];
+                    let half = *self / 2;
+                    if half != zero {
+                        out.push(half);
+                    }
+                    let step = if *self > zero { *self - 1 } else { *self + 1 };
+                    if step != zero && step != half {
+                        out.push(step);
+                    }
+                    out
                 }
             }
         )*};
@@ -200,6 +245,13 @@ pub mod strategy {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -212,6 +264,9 @@ pub mod strategy {
                     let span = (self.end - self.start) as u64;
                     self.start + rng.below(span) as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_toward(self.start, *value)
+                }
             }
             impl Strategy for RangeInclusive<$ty> {
                 type Value = $ty;
@@ -221,10 +276,40 @@ pub mod strategy {
                     let span = (hi - lo) as u64 + 1;
                     lo + rng.below(span) as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_toward(*self.start(), *value)
+                }
+            }
+
+            impl ShrinkToward for $ty {
+                fn shrink_toward(lo: $ty, value: $ty) -> Vec<$ty> {
+                    if value <= lo {
+                        return Vec::new();
+                    }
+                    let mut out = vec![lo];
+                    let mid = lo + (value - lo) / 2;
+                    if mid != lo && mid != value {
+                        out.push(mid);
+                    }
+                    let dec = value - 1;
+                    if dec != lo && dec != mid {
+                        out.push(dec);
+                    }
+                    out
+                }
             }
         )*};
     }
     impl_range_strategy_int!(u8, u16, u32, u64, usize);
+
+    /// Integer shrinking toward a lower bound (bisect, then decrement).
+    trait ShrinkToward: Sized {
+        fn shrink_toward(lo: Self, value: Self) -> Vec<Self>;
+    }
+
+    fn shrink_toward<T: ShrinkToward>(lo: T, value: T) -> Vec<T> {
+        T::shrink_toward(lo, value)
+    }
 
     impl Strategy for Range<f64> {
         type Value = f64;
@@ -232,6 +317,50 @@ pub mod strategy {
             assert!(self.start < self.end, "empty range strategy");
             self.start + rng.next_f64() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            if *value <= self.start {
+                return Vec::new();
+            }
+            let mid = self.start + (*value - self.start) / 2.0;
+            let mut out = vec![self.start];
+            if mid != self.start && mid != *value {
+                out.push(mid);
+            }
+            out
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($S:ident . $idx:tt),+))+) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone),+
+            {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )+};
+    }
+    impl_strategy_tuple! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
     }
 }
 
@@ -266,12 +395,38 @@ pub mod collection {
         VecStrategy { elem, min, max }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.max - self.min) as u64 + 1;
             let len = self.min + rng.below(span) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks first (shorter is simpler), never below
+            // the strategy's minimum length.
+            if value.len() > self.min {
+                let half = value.len() / 2;
+                if half >= self.min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+                out.push(value[1..].to_vec());
+            }
+            // Then elementwise shrinks, bounded to keep candidate lists
+            // small on long vectors.
+            for (i, v) in value.iter().enumerate().take(8) {
+                for cand in self.elem.shrink(v).into_iter().take(2) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -288,6 +443,52 @@ pub mod prelude {
 #[doc(hidden)]
 pub fn __panic_on_failure(test: &str, case: u32, msg: &str) -> ! {
     panic!("proptest '{test}' failed at case {case}: {msg}")
+}
+
+/// Ties a case-runner closure's argument type to its strategy's `Value`
+/// so the macro-generated closure body type-checks without annotations.
+#[doc(hidden)]
+pub fn __checked_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    run
+}
+
+/// Greedily shrinks a failing input: whenever any candidate still fails,
+/// adopt it and restart, until no candidate fails or the budget runs out.
+#[doc(hidden)]
+pub fn __shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    run: &F,
+) -> (S::Value, String)
+where
+    S: strategy::Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut budget = 512usize;
+    'outer: loop {
+        for cand in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            match run(cand.clone()) {
+                Err(m) if m != ASSUME_REJECTED => {
+                    value = cand;
+                    msg = m;
+                    continue 'outer;
+                }
+                _ => {}
+            }
+        }
+        break;
+    }
+    (value, msg)
 }
 
 #[doc(hidden)]
@@ -318,18 +519,25 @@ macro_rules! __proptest_body {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($( $strat, )+);
+                let run = $crate::__checked_runner(&strategy, |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 for case in 0..config.cases {
                     let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    let outcome: ::std::result::Result<(), ::std::string::String> = (move || {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    match outcome {
+                    let value = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    match run(::std::clone::Clone::clone(&value)) {
                         ::std::result::Result::Ok(()) => {}
                         ::std::result::Result::Err(msg) if msg == $crate::ASSUME_REJECTED => {}
                         ::std::result::Result::Err(msg) => {
-                            $crate::__panic_on_failure(stringify!($name), case, &msg)
+                            let (value, msg) =
+                                $crate::__shrink_failure(&strategy, value, msg, &run);
+                            $crate::__panic_on_failure(
+                                stringify!($name),
+                                case,
+                                &::std::format!("{msg}\n  minimal failing input: {value:?}"),
+                            )
                         }
                     }
                 }
@@ -449,5 +657,52 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn integer_shrink_moves_toward_range_start() {
+        let strat = 3u64..100;
+        let candidates = strat.shrink(&90);
+        assert!(candidates.contains(&3), "lower bound offered first");
+        assert!(candidates.iter().all(|c| *c >= 3 && *c < 90));
+        assert!(strat.shrink(&3).is_empty(), "minimum cannot shrink");
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_simplifies_elements() {
+        let strat = crate::collection::vec(0u8..50, 2..6);
+        let candidates = strat.shrink(&vec![9, 9, 9, 9]);
+        assert!(candidates.iter().all(|c| c.len() >= 2));
+        assert!(candidates.iter().any(|c| c.len() < 4), "drops elements");
+        assert!(
+            candidates.iter().any(|c| c.len() == 4 && c.contains(&0)),
+            "shrinks an element toward its bound"
+        );
+    }
+
+    #[test]
+    fn greedy_shrink_finds_minimal_counterexample() {
+        // Fails iff x >= 17: the shrinker must land exactly on 17.
+        let strat = (0u64..1000,);
+        let run = |(x,): (u64,)| {
+            if x >= 17 {
+                Err("too big".to_owned())
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg) = crate::__shrink_failure(&strat, (900,), "too big".to_owned(), &run);
+        assert_eq!(min.0, 17);
+        assert_eq!(msg, "too big");
+    }
+
+    #[test]
+    fn any_shrink_halves_toward_zero() {
+        use crate::strategy::Arbitrary;
+        let candidates = 64u32.shrink();
+        assert_eq!(candidates, vec![0, 32, 63]);
+        let signed = (-8i32).shrink();
+        assert!(signed.contains(&0) && signed.contains(&-4));
+        assert!(0u8.shrink().is_empty());
     }
 }

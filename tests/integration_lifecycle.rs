@@ -187,3 +187,103 @@ fn storage_capacity_bounds_registered_domains() {
     assert!(stored >= 4, "only {stored} records fit");
     assert_eq!(flock.domain_count(), stored);
 }
+
+#[test]
+fn reset_and_rebind_is_exactly_once_under_a_dropping_channel() {
+    use trust_core::channel::Adversary;
+    let mut rng = SimRng::seed_from(40);
+    let mut world = World::with_adversary(Adversary::Dropper { period: 3 }, &mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+
+    let new = world.add_device("new-phone", 42, &mut rng);
+    let password = world
+        .server(0)
+        .reset_password_for("alice")
+        .unwrap()
+        .to_owned();
+    let report = world
+        .reset_and_rebind("bank.com", "alice", &password, new, &mut rng)
+        .unwrap();
+
+    // The dropper cost retries, never correctness: the reset applied
+    // exactly once and the rebind holds.
+    assert!(
+        report.metrics.timeouts > 0,
+        "dropper never bit; weaken the adversary or reseed"
+    );
+    assert_eq!(report.metrics.replays_accepted, 0);
+    assert!(world.server(0).has_account("alice"));
+    world.login(new, "bank.com", &mut rng).unwrap();
+    let err = world.login(old, "bank.com", &mut rng).unwrap_err();
+    assert_eq!(err, FlowError::Server(Reject::BadSignature));
+}
+
+#[test]
+fn reset_and_rebind_survives_a_corrupting_channel() {
+    use trust_core::channel::Adversary;
+    let mut rng = SimRng::seed_from(41);
+    let mut world = World::with_adversary(Adversary::Corruptor { period: 3 }, &mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+
+    let new = world.add_device("new-phone", 42, &mut rng);
+    let password = world
+        .server(0)
+        .reset_password_for("alice")
+        .unwrap()
+        .to_owned();
+    world
+        .reset_and_rebind("bank.com", "alice", &password, new, &mut rng)
+        .unwrap();
+    assert!(
+        world.channel.stats().corrupted > 0,
+        "corruptor never bit; weaken the adversary or reseed"
+    );
+
+    // Damaged frames were rejected, not acted on: the new binding works
+    // end to end.
+    world.login(new, "bank.com", &mut rng).unwrap();
+    let session = world.run_session(new, "bank.com", 6, &mut rng).unwrap();
+    assert_eq!(session.served, 6);
+}
+
+#[test]
+fn transfer_completes_exactly_once_under_a_corrupting_link() {
+    use trust_core::channel::Adversary;
+    let mut rng = SimRng::seed_from(43);
+    let mut world = World::with_adversary(Adversary::Corruptor { period: 3 }, &mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    world.register(old, "bank.com", "alice", &mut rng).unwrap();
+
+    let new = world.add_device("new-phone", 42, &mut rng);
+    let report = world.transfer(old, new, 42, &mut rng).unwrap();
+
+    // Corrupted offers/payloads were detected (digest, sealed-box tag)
+    // and re-sent; the identity landed intact exactly once.
+    assert!(
+        report.metrics.corrupt_rejected > 0,
+        "corruptor never hit a transfer leg; reseed"
+    );
+    assert_eq!(world.device(new).flock().domain_count(), 1);
+    world.login(new, "bank.com", &mut rng).unwrap();
+}
+
+#[test]
+fn transfer_over_a_dead_link_aborts_cleanly() {
+    use trust_core::channel::Adversary;
+    let mut rng = SimRng::seed_from(44);
+    // Period 1: every message dropped — a dead local link.
+    let mut world = World::with_adversary(Adversary::Dropper { period: 1 }, &mut rng);
+    world.add_server("bank.com", &mut rng);
+    let old = world.add_device("old-phone", 42, &mut rng);
+    let new = world.add_device("new-phone", 42, &mut rng);
+
+    let err = world.transfer(old, new, 42, &mut rng).unwrap_err();
+    assert_eq!(err, TransferError::ChannelFailed);
+    // Clean abort: nothing moved onto the new device.
+    assert_eq!(world.device(new).flock().domain_count(), 0);
+}
