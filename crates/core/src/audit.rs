@@ -5,8 +5,15 @@
 //! process." For every audit entry, the frame hash FLock reported must
 //! belong to the finite set of legitimate views of the page the server
 //! had served; anything else means the user was shown tampered content.
+//!
+//! Verification is *batched*: the audit log is stored per account, and an
+//! audit pass checks a whole window of an account's entries in one sweep
+//! against a shared page→view-hash-set cache, instead of re-deriving the
+//! legitimate views entry at a time. One full-server pass builds each
+//! page's hash set exactly once no matter how many accounts or entries
+//! reference it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use btd_crypto::sha256::Digest;
 
@@ -15,7 +22,7 @@ use crate::server::WebServer;
 /// One flagged audit entry.
 #[derive(Clone, Debug)]
 pub struct AuditFinding {
-    /// Index into the server's audit log.
+    /// Index into the *account's* audit window (append order).
     pub log_index: usize,
     /// The account affected.
     pub account: String,
@@ -34,7 +41,8 @@ pub struct AuditReport {
     pub total: usize,
     /// Entries whose frame hash matched a legitimate view.
     pub legitimate: usize,
-    /// Entries that did not match any legitimate view.
+    /// Entries that did not match any legitimate view, in account order
+    /// then window order.
     pub findings: Vec<AuditFinding>,
 }
 
@@ -44,41 +52,55 @@ impl AuditReport {
         self.findings.is_empty()
     }
 
-    /// The log index of the *first* entry that diverged from every
-    /// legitimate view, if any — i.e. the exact frame where the user
-    /// started seeing tampered content.
+    /// The per-account log index of the *first* entry that diverged from
+    /// every legitimate view, if any — i.e. the exact frame where the
+    /// user started seeing tampered content.
     pub fn first_divergence(&self) -> Option<usize> {
         self.findings.first().map(|f| f.log_index)
     }
+
+    fn merge(&mut self, other: AuditReport) {
+        self.total += other.total;
+        self.legitimate += other.legitimate;
+        self.findings.extend(other.findings);
+    }
 }
 
-/// Audits the server's entire frame-hash log against the finite view sets
-/// of its pages.
-pub fn audit_server(server: &WebServer) -> AuditReport {
-    audit_from(server, 0)
+/// The shared page → legitimate-view-hash cache one audit sweep builds
+/// lazily and every account window reuses.
+#[derive(Default)]
+struct ViewCache {
+    views: HashMap<String, HashSet<Digest>>,
 }
 
-/// Audits the frame-hash log starting at `start` (a log index), so a
-/// caller can audit only the entries a particular session appended.
-/// Findings carry absolute log indices regardless of `start`.
-pub fn audit_from(server: &WebServer, start: usize) -> AuditReport {
-    let mut view_cache: HashMap<String, Vec<Digest>> = HashMap::new();
+impl ViewCache {
+    fn matches(&mut self, server: &WebServer, path: &str, hash: &Digest) -> bool {
+        if !self.views.contains_key(path) {
+            let hashes: HashSet<Digest> = server
+                .page(path)
+                .map(|p| p.all_view_hashes().into_iter().collect())
+                .unwrap_or_default();
+            self.views.insert(path.to_owned(), hashes);
+        }
+        self.views[path].contains(hash)
+    }
+}
+
+fn audit_window(
+    server: &WebServer,
+    account: &str,
+    start: usize,
+    cache: &mut ViewCache,
+) -> AuditReport {
     let mut report = AuditReport {
         total: 0,
         legitimate: 0,
         findings: Vec::new(),
     };
-    for (i, entry) in server.audit_log().iter().enumerate().skip(start) {
+    let window = server.audit_log_for(account);
+    for (i, entry) in window.iter().enumerate().skip(start) {
         report.total += 1;
-        let hashes = view_cache
-            .entry(entry.expected_path.clone())
-            .or_insert_with(|| {
-                server
-                    .page(&entry.expected_path)
-                    .map(|p| p.all_view_hashes())
-                    .unwrap_or_default()
-            });
-        if hashes.contains(&entry.frame_hash) {
+        if cache.matches(server, &entry.expected_path, &entry.frame_hash) {
             report.legitimate += 1;
         } else {
             report.findings.push(AuditFinding {
@@ -91,4 +113,29 @@ pub fn audit_from(server: &WebServer, start: usize) -> AuditReport {
         }
     }
     report
+}
+
+/// Audits the server's entire frame-hash log: every account's whole
+/// window, batched over one shared view cache. Findings are ordered by
+/// account, then by position in that account's window.
+pub fn audit_server(server: &WebServer) -> AuditReport {
+    let mut cache = ViewCache::default();
+    let mut report = AuditReport {
+        total: 0,
+        legitimate: 0,
+        findings: Vec::new(),
+    };
+    for account in server.audit_accounts() {
+        report.merge(audit_window(server, account, 0, &mut cache));
+    }
+    report
+}
+
+/// Audits one account's frame-hash window starting at `start` (an index
+/// into that account's entries), so a caller can audit only the entries
+/// a particular session appended. Findings carry absolute window indices
+/// regardless of `start`.
+pub fn audit_account_from(server: &WebServer, account: &str, start: usize) -> AuditReport {
+    let mut cache = ViewCache::default();
+    audit_window(server, account, start, &mut cache)
 }

@@ -333,7 +333,11 @@ pub fn run_session(
 ) -> Result<SessionReport, FlowError> {
     assert!(!actions.is_empty(), "need at least one action");
     let mut report = SessionReport::default();
-    let audit_start = server.audit_log().len();
+    let account = device.account_for(domain).map(str::to_owned);
+    let audit_start = account
+        .as_deref()
+        .map(|a| server.audit_log_for(a).len())
+        .unwrap_or(0);
 
     'touches: for (i, touch) in touches.iter().enumerate() {
         let action = actions[i % actions.len()];
@@ -372,6 +376,13 @@ pub fn run_session(
             }
         }
     }
-    report.audit_mismatches = crate::audit::audit_from(server, audit_start).findings.len() as u64;
+    report.audit_mismatches = account
+        .as_deref()
+        .map(|a| {
+            crate::audit::audit_account_from(server, a, audit_start)
+                .findings
+                .len() as u64
+        })
+        .unwrap_or(0);
     Ok(report)
 }

@@ -593,4 +593,16 @@ impl MobileDevice {
             .filter(|s| !s.session_id.is_empty())
             .map(|s| s.session_id.as_str())
     }
+
+    /// The account registered for a domain, if any.
+    pub fn account_for(&self, domain: &str) -> Option<&str> {
+        self.flock.domain_record(domain).map(|r| r.account.as_str())
+    }
+
+    /// Drops the device-side session state for a domain (logout). Returns
+    /// whether a session was present. The server-side twin is
+    /// [`WebServer::close_session`](crate::server::WebServer::close_session).
+    pub fn end_session(&mut self, domain: &str) -> bool {
+        self.sessions.remove(domain).is_some()
+    }
 }

@@ -280,6 +280,18 @@ pub enum JournalRecord {
     SessionTerminated {
         /// The session that died.
         session_id: String,
+        /// The account that owned it (routes the record to its shard).
+        account: String,
+    },
+    /// A session was closed cleanly (logout / end of lifecycle). Applying
+    /// this record *evicts*: the session entry, its idempotency-cache
+    /// entries, and the nonces it consumed are all released, so resident
+    /// server state stays bounded across lifecycles.
+    SessionClosed {
+        /// The session being torn down.
+        session_id: String,
+        /// The account that owned it (routes the record to its shard).
+        account: String,
     },
     /// An account's key binding was removed (identity reset, local form).
     IdentityReset {
@@ -370,6 +382,24 @@ pub(super) fn get_resume_ack(r: &mut FieldReader) -> Option<ResumeAck> {
 }
 
 impl JournalRecord {
+    /// The account this record belongs to — the shard-routing key. Every
+    /// durable transition is scoped to exactly one account, which is what
+    /// makes per-account sharding of the journal sound: replaying each
+    /// shard's segment independently reproduces exactly that shard's
+    /// state, in order, regardless of how segments interleaved in time.
+    pub fn shard_account(&self) -> &str {
+        match self {
+            JournalRecord::Registered { account, .. } => account,
+            JournalRecord::LoginServed { reply, .. } => &reply.account,
+            JournalRecord::InteractionServed { reply, .. } => &reply.account,
+            JournalRecord::SessionResumed { ack, .. } => &ack.account,
+            JournalRecord::SessionTerminated { account, .. } => account,
+            JournalRecord::SessionClosed { account, .. } => account,
+            JournalRecord::IdentityReset { account } => account,
+            JournalRecord::ResetServed { account, .. } => account,
+        }
+    }
+
     /// Canonical payload bytes (tagged, length-prefixed fields).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = FieldWriter::new();
@@ -436,8 +466,17 @@ impl JournalRecord {
                     .bytes(request_mac.as_bytes());
                 put_resume_ack(&mut w, ack);
             }
-            JournalRecord::SessionTerminated { session_id } => {
-                w.str("terminate").str(session_id);
+            JournalRecord::SessionTerminated {
+                session_id,
+                account,
+            } => {
+                w.str("terminate").str(session_id).str(account);
+            }
+            JournalRecord::SessionClosed {
+                session_id,
+                account,
+            } => {
+                w.str("close").str(session_id).str(account);
             }
             JournalRecord::IdentityReset { account } => {
                 w.str("ireset").str(account);
@@ -512,6 +551,11 @@ impl JournalRecord {
             },
             "terminate" => JournalRecord::SessionTerminated {
                 session_id: r.str()?.to_owned(),
+                account: r.str()?.to_owned(),
+            },
+            "close" => JournalRecord::SessionClosed {
+                session_id: r.str()?.to_owned(),
+                account: r.str()?.to_owned(),
             },
             "ireset" => JournalRecord::IdentityReset {
                 account: r.str()?.to_owned(),
@@ -618,6 +662,21 @@ impl Journal {
         contents
     }
 
+    /// An independent copy of this journal's raw bytes (snapshot + log)
+    /// over fresh in-memory storage. Used to recover a second server
+    /// instance from a live one's segments without disturbing the
+    /// original — e.g. the cross-instance digest-equality checks.
+    pub fn duplicate(&self) -> Journal {
+        let storage = MemStorage {
+            snapshot: self.storage.snapshot().to_vec(),
+            log: self.storage.log().to_vec(),
+        };
+        Journal {
+            storage: Box::new(storage),
+            pending_records: self.pending_records,
+        }
+    }
+
     /// Replaces the snapshot with `snapshot` and truncates the log.
     pub fn install_snapshot(&mut self, snapshot: &[u8]) {
         self.storage.install_snapshot(snapshot);
@@ -632,6 +691,11 @@ impl Journal {
     /// Raw log length in bytes.
     pub fn log_len(&self) -> usize {
         self.storage.log().len()
+    }
+
+    /// Raw snapshot length in bytes (0 if none was installed).
+    pub fn snapshot_len(&self) -> usize {
+        self.storage.snapshot().len()
     }
 
     /// Tears `n` bytes off the log tail (simulates a torn final write).
@@ -679,6 +743,11 @@ mod tests {
             sample_record(1),
             JournalRecord::SessionTerminated {
                 session_id: "sess-1".into(),
+                account: "alice".into(),
+            },
+            JournalRecord::SessionClosed {
+                session_id: "sess-2".into(),
+                account: "bob".into(),
             },
             JournalRecord::IdentityReset {
                 account: "alice".into(),
@@ -692,6 +761,29 @@ mod tests {
         for rec in &recs {
             assert_eq!(JournalRecord::decode(&rec.encode()).as_ref(), Some(rec));
         }
+    }
+
+    #[test]
+    fn every_record_routes_to_an_account() {
+        assert_eq!(sample_record(2).shard_account(), "user-2");
+        let close = JournalRecord::SessionClosed {
+            session_id: "sess-9".into(),
+            account: "carol".into(),
+        };
+        assert_eq!(close.shard_account(), "carol");
+    }
+
+    #[test]
+    fn duplicate_preserves_snapshot_and_log() {
+        let mut j = Journal::in_memory();
+        j.append(&sample_record(0));
+        j.install_snapshot(b"state");
+        j.append(&sample_record(1));
+        let copy = j.duplicate();
+        let (a, b) = (j.read(), copy.read());
+        assert_eq!(a.snapshot, b.snapshot);
+        assert_eq!(a.records, b.records);
+        assert_eq!(copy.pending_records(), j.pending_records());
     }
 
     #[test]

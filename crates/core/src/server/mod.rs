@@ -13,17 +13,37 @@
 //! process mid-handler, and [`WebServer::recover`] rebuilds exactly the
 //! acknowledged state — including the nonce and sequence caches that keep
 //! `replays_accepted == 0` across restarts.
+//!
+//! # Sharding
+//!
+//! Durable state is partitioned by account into [`WebServer::shard_count`]
+//! shards. The shard key is `fnv1a(account) % shards`; every
+//! [`JournalRecord`] names exactly one account
+//! ([`JournalRecord::shard_account`]), so each shard owns an independent
+//! journal segment and [`WebServer::recover`] replays the segments
+//! independently — a torn tail in one shard's log cannot block the
+//! others. `apply_record` remains the single mutation path: it routes the
+//! record to its shard, so live handling and per-shard replay share one
+//! implementation.
+//!
+//! Resident state is bounded. Closing a session
+//! ([`WebServer::close_session`]) journals a `SessionClosed` record whose
+//! application evicts the session entry, its login/resume idempotency
+//! cache entries, and every nonce the session consumed; the
+//! registration/reset caches are bounded by a journal-deterministic LRU
+//! watermark ([`WebServer::set_cache_watermark`]); and the set of issued
+//! but unconsumed challenge nonces is capped at [`ISSUED_NONCE_CAP`].
 
 pub mod journal;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use btd_crypto::bignum::U2048;
 use btd_crypto::cert::{Certificate, Role};
 use btd_crypto::entropy::{ChaChaEntropy, EntropySource};
 use btd_crypto::group::DhGroup;
 use btd_crypto::hmac::{hmac_sha256, verify_hmac};
-use btd_crypto::nonce::{Nonce, NonceCheck, NonceGenerator, ReplayGuard};
+use btd_crypto::nonce::{Nonce, NonceGenerator, ReplayGuard};
 use btd_crypto::schnorr::{KeyPair, PublicKey, Signature};
 use btd_crypto::sha256::{sha256, Digest};
 use btd_sim::rng::SimRng;
@@ -45,8 +65,33 @@ use journal::{
 };
 
 /// Auto-compaction threshold: once this many records accumulate past the
-/// last snapshot, the next handled request folds them into a new snapshot.
+/// last snapshot in a shard, the next request touching that shard folds
+/// them into a new snapshot.
 pub const DEFAULT_COMPACTION_THRESHOLD: usize = 256;
+
+/// Default number of account shards.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Default LRU watermark for the registration/reset idempotency caches
+/// (entries per shard). Eviction happens inside `apply_record`, so replay
+/// reproduces it deterministically without explicit eviction records.
+pub const DEFAULT_CACHE_WATERMARK: usize = 64;
+
+/// Cap on the server-wide set of issued-but-unconsumed challenge nonces.
+/// Challenges are ephemeral (never journaled); the oldest are dropped past
+/// the cap, which bounds resident state against hello floods.
+pub const ISSUED_NONCE_CAP: usize = 4096;
+
+/// FNV-1a, the shard-routing hash: stable, dependency-free, and uniform
+/// enough for account names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A bound account.
 #[derive(Clone, Debug)]
@@ -70,6 +115,11 @@ struct CachedInteraction {
 }
 
 /// A live session.
+///
+/// Besides protocol state, a session tracks every nonce it has consumed
+/// (`login_nonce`, `resume_nonces`, `consumed_nonces`) so that closing it
+/// can evict the matching idempotency-cache entries and replay-guard
+/// entries in one pass.
 #[derive(Clone, Debug)]
 struct Session {
     account: String,
@@ -83,6 +133,13 @@ struct Session {
     stepups: u32,
     terminated: bool,
     interactions: u64,
+    /// The login nonce that opened this session (keys the login cache).
+    login_nonce: Nonce,
+    /// Resume nonces served for this session (key the resume cache).
+    resume_nonces: Vec<Nonce>,
+    /// Every nonce this session consumed, in consumption order; forgotten
+    /// from the replay guard when the session closes.
+    consumed_nonces: Vec<Nonce>,
 }
 
 /// One audit-log entry: what page the server believes the user was seeing,
@@ -101,10 +158,96 @@ pub struct AuditEntry {
     pub risk: RiskReport,
 }
 
+/// The server-wide set of issued-but-unconsumed challenge nonces.
+///
+/// Never journaled: a challenge is ephemeral, and recovery re-issues the
+/// pending nonce of every live session. Insertion order is kept so the
+/// set can be capped at [`ISSUED_NONCE_CAP`] by evicting the oldest.
+#[derive(Debug, Default)]
+struct IssuedNonces {
+    set: HashSet<Nonce>,
+    order: VecDeque<Nonce>,
+}
+
+impl IssuedNonces {
+    fn issue(&mut self, n: Nonce) {
+        if self.set.insert(n) {
+            self.order.push_back(n);
+        }
+        // The order deque keeps tombstones for consumed nonces until they
+        // reach the front; bound it so it cannot outgrow the cap either.
+        while self.order.len() > 2 * ISSUED_NONCE_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        while self.set.len() > ISSUED_NONCE_CAP {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.set.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Consumes `n` from the issued set; false means it was never issued
+    /// (or already consumed, or evicted past the cap).
+    fn remove(&mut self, n: Nonce) -> bool {
+        self.set.remove(&n)
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+}
+
+/// One account shard: the partition of durable state owned by the
+/// accounts that hash here, plus its own journal segment.
+#[derive(Debug, Default)]
+struct Shard {
+    accounts: HashMap<String, AccountRecord>,
+    /// Live sessions, keyed by session id (an account's sessions live in
+    /// its shard).
+    sessions: HashMap<String, Session>,
+    /// Idempotency cache for bound registrations, keyed by submission
+    /// nonce, bounded by the LRU watermark (`reg_order` is eviction
+    /// order).
+    reg_cache: HashMap<Nonce, (Signature, RegistrationAck)>,
+    reg_order: VecDeque<Nonce>,
+    /// Idempotency cache for opened logins, keyed by submission nonce;
+    /// evicted when the session closes.
+    login_cache: HashMap<Nonce, (Signature, ContentPage)>,
+    /// Idempotency cache for served resumes, keyed by the device-chosen
+    /// resume nonce; evicted when the session closes.
+    resume_cache: HashMap<Nonce, (Digest, ResumeAck)>,
+    /// Idempotency cache for served wire resets, keyed by request nonce,
+    /// bounded by the LRU watermark (`reset_order` is eviction order).
+    reset_cache: HashMap<Nonce, (Digest, ResetAck)>,
+    reset_order: VecDeque<Nonce>,
+    /// Consumed-nonce registry for this shard's accounts.
+    consumed: ReplayGuard,
+    /// Audit log, per account (batch audit verifies whole windows).
+    audit: HashMap<String, Vec<AuditEntry>>,
+    /// Sessions ever opened in this shard (drives globally unique ids).
+    session_counter: u64,
+    /// This shard's journal segment.
+    journal: Journal,
+}
+
+impl Shard {
+    fn over(journal: Journal) -> Shard {
+        Shard {
+            journal,
+            ..Shard::default()
+        }
+    }
+}
+
 /// The durable, non-journaled part of a server: keys, certificate, page
-/// set, and policy. In a real deployment this is the config + key file
-/// that survives a crash alongside the journal; [`WebServer::recover`]
-/// combines the two.
+/// set, policy, and shard layout. In a real deployment this is the
+/// config + key file that survives a crash alongside the journal
+/// segments; [`WebServer::recover`] combines the two.
 #[derive(Clone, Debug)]
 pub struct ServerIdentity {
     domain: String,
@@ -113,6 +256,8 @@ pub struct ServerIdentity {
     ca_key: PublicKey,
     pages: HashMap<String, Page>,
     policy: ServerRiskPolicy,
+    shard_count: usize,
+    cache_watermark: usize,
 }
 
 impl ServerIdentity {
@@ -120,17 +265,74 @@ impl ServerIdentity {
     pub fn domain(&self) -> &str {
         &self.domain
     }
+
+    /// How many shards the journal segments are laid out over.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
 }
 
-/// What a [`WebServer::recover`] pass found and rebuilt.
+/// What recovering one shard found and rebuilt.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct RecoveryReport {
+pub struct ShardRecovery {
     /// Whether a snapshot was present and restored.
     pub snapshot_restored: bool,
     /// Journal records replayed on top of the snapshot.
     pub records_replayed: usize,
     /// Records lost to torn writes or corruption (counted, never silent).
     pub records_skipped: usize,
+}
+
+/// What a [`WebServer::recover`] pass found and rebuilt, per shard.
+/// Shards recover independently: a torn tail in one shard shows up as
+/// that shard's `records_skipped` without affecting the others.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryReport {
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl RecoveryReport {
+    /// Total records replayed across all shards.
+    pub fn records_replayed(&self) -> usize {
+        self.shards.iter().map(|s| s.records_replayed).sum()
+    }
+
+    /// Total records lost to torn writes or corruption, across shards.
+    pub fn records_skipped(&self) -> usize {
+        self.shards.iter().map(|s| s.records_skipped).sum()
+    }
+
+    /// How many shards restored from a snapshot.
+    pub fn snapshots_restored(&self) -> usize {
+        self.shards.iter().filter(|s| s.snapshot_restored).count()
+    }
+
+    /// Indices of shards that skipped at least one record.
+    pub fn shards_with_skips(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.records_skipped > 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Resident (evictable) server state, for boundedness assertions: these
+/// numbers must not grow linearly with *completed* lifecycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResidentStats {
+    /// Live (unclosed) sessions across all shards.
+    pub sessions: usize,
+    /// Idempotency-cache entries (reg + login + resume + reset).
+    pub cache_entries: usize,
+    /// Consumed nonces still held by the replay guards.
+    pub consumed_nonces: usize,
+    /// Issued-but-unconsumed challenge nonces.
+    pub issued_nonces: usize,
+    /// Audit-log entries (the one legitimately append-only series).
+    pub audit_entries: usize,
 }
 
 /// The TRUST web server.
@@ -142,44 +344,42 @@ pub struct WebServer {
     ca_key: PublicKey,
     entropy: ChaChaEntropy,
     nonces: NonceGenerator<ChaChaEntropy>,
-    replay: ReplayGuard,
-    accounts: HashMap<String, AccountRecord>,
-    sessions: HashMap<String, Session>,
-    /// Idempotency cache for bound registrations, keyed by submission
-    /// nonce: an exact retransmit is re-acked without rebinding.
-    reg_cache: HashMap<Nonce, (Signature, RegistrationAck)>,
-    /// Idempotency cache for opened logins, keyed by submission nonce: an
-    /// exact retransmit gets the same first content page back.
-    login_cache: HashMap<Nonce, (Signature, ContentPage)>,
-    /// Idempotency cache for served resumes, keyed by the device-chosen
-    /// resume nonce.
-    resume_cache: HashMap<Nonce, (Digest, ResumeAck)>,
-    /// Idempotency cache for served wire resets, keyed by request nonce.
-    reset_cache: HashMap<Nonce, (Digest, ResetAck)>,
+    /// Issued, unconsumed challenge nonces (server-wide, ephemeral).
+    issued: IssuedNonces,
+    /// The account shards (durable state + journal segment each).
+    shards: Vec<Shard>,
     pages: HashMap<String, Page>,
     policy: ServerRiskPolicy,
-    audit_log: Vec<AuditEntry>,
     reject_counts: HashMap<Reject, u64>,
-    session_counter: u64,
     trace: TraceLog,
-    /// The write-ahead log + snapshot every state change goes through.
-    journal: Journal,
     /// The active crash-injection schedule.
     crash: CrashSchedule,
     /// Set once a crash point fires: the process is "dead" until recovery.
     crashed: bool,
     compaction_threshold: usize,
+    cache_watermark: usize,
 }
 
 impl WebServer {
-    /// Creates a server for `domain`, with a CA-issued certificate and a
-    /// default page set (registration, login, reset, home, and a few
-    /// content pages).
+    /// Creates a server for `domain` with [`DEFAULT_SHARDS`] shards, a
+    /// CA-issued certificate, and a default page set (registration,
+    /// login, reset, home, and a few content pages).
     pub fn new(
         domain: &str,
         group: &'static DhGroup,
         ca: &mut TrustAuthority,
         rng: &mut SimRng,
+    ) -> Self {
+        WebServer::with_shards(domain, group, ca, rng, DEFAULT_SHARDS)
+    }
+
+    /// Creates a server with an explicit shard count (≥ 1).
+    pub fn with_shards(
+        domain: &str,
+        group: &'static DhGroup,
+        ca: &mut TrustAuthority,
+        rng: &mut SimRng,
+        shard_count: usize,
     ) -> Self {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
@@ -208,23 +408,16 @@ impl WebServer {
             ca_key: ca.public_key().clone(),
             entropy,
             nonces: NonceGenerator::new(nonce_entropy),
-            replay: ReplayGuard::new(),
-            accounts: HashMap::new(),
-            sessions: HashMap::new(),
-            reg_cache: HashMap::new(),
-            login_cache: HashMap::new(),
-            resume_cache: HashMap::new(),
-            reset_cache: HashMap::new(),
+            issued: IssuedNonces::default(),
+            shards: (0..shard_count.max(1)).map(|_| Shard::default()).collect(),
             pages,
             policy: ServerRiskPolicy::default(),
-            audit_log: Vec::new(),
             reject_counts: HashMap::new(),
-            session_counter: 0,
             trace: TraceLog::new(),
-            journal: Journal::in_memory(),
             crash: CrashSchedule::Never,
             crashed: false,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            cache_watermark: DEFAULT_CACHE_WATERMARK,
         }
     }
 
@@ -253,19 +446,78 @@ impl WebServer {
         self.pages.insert(page.path.clone(), page);
     }
 
-    /// Number of bound accounts.
+    /// Number of account shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `account`.
+    pub fn shard_for(&self, account: &str) -> usize {
+        (fnv1a(account.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of bound accounts, across shards.
     pub fn account_count(&self) -> usize {
-        self.accounts.len()
+        self.shards.iter().map(|s| s.accounts.len()).sum()
     }
 
     /// Whether `account` is bound.
     pub fn has_account(&self, account: &str) -> bool {
-        self.accounts.contains_key(account)
+        self.shards[self.shard_for(account)]
+            .accounts
+            .contains_key(account)
     }
 
-    /// The audit log.
-    pub fn audit_log(&self) -> &[AuditEntry] {
-        &self.audit_log
+    /// The audit log, flattened across shards: accounts in sorted order,
+    /// each account's entries in append order.
+    pub fn audit_log(&self) -> Vec<AuditEntry> {
+        let mut per_account: Vec<(&String, &Vec<AuditEntry>)> =
+            self.shards.iter().flat_map(|s| s.audit.iter()).collect();
+        per_account.sort_by(|a, b| a.0.cmp(b.0));
+        per_account
+            .into_iter()
+            .flat_map(|(_, entries)| entries.iter().cloned())
+            .collect()
+    }
+
+    /// Accounts that have audit entries, in sorted order (the batch-audit
+    /// iteration order).
+    pub fn audit_accounts(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.audit.keys().map(|k| k.as_str()))
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// One account's audit entries, in append order (the batch-audit
+    /// window).
+    pub fn audit_log_for(&self, account: &str) -> &[AuditEntry] {
+        self.shards[self.shard_for(account)]
+            .audit
+            .get(account)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Resident (evictable) state counts, for boundedness assertions.
+    pub fn resident_stats(&self) -> ResidentStats {
+        let mut st = ResidentStats {
+            issued_nonces: self.issued.len(),
+            ..ResidentStats::default()
+        };
+        for sh in &self.shards {
+            st.sessions += sh.sessions.len();
+            st.cache_entries += sh.reg_cache.len()
+                + sh.login_cache.len()
+                + sh.resume_cache.len()
+                + sh.reset_cache.len();
+            st.consumed_nonces += sh.consumed.consumed_len();
+            st.audit_entries += sh.audit.values().map(|v| v.len()).sum::<usize>();
+        }
+        st
     }
 
     /// Rejection counters keyed by reason (the attack-matrix rows).
@@ -290,15 +542,22 @@ impl WebServer {
 
     fn fresh_nonce(&mut self) -> Nonce {
         let n = self.nonces.next_nonce();
-        self.replay.issue(n);
+        self.issued.issue(n);
         n
     }
 
-    fn consume_nonce(&mut self, nonce: Nonce) -> Result<(), Reject> {
-        match self.replay.consume(nonce) {
-            NonceCheck::Fresh => Ok(()),
-            NonceCheck::Replayed => Err(self.reject(Reject::Replay)),
-            NonceCheck::Unknown => Err(self.reject(Reject::UnknownNonce)),
+    /// Consumes `nonce` against shard `idx`: rejects a nonce the shard
+    /// already consumed as a replay, and one this server never issued as
+    /// unknown. The durable consumed-marking happens in `apply_record`,
+    /// so live state and journal replay agree exactly.
+    fn consume_nonce(&mut self, idx: usize, nonce: Nonce) -> Result<(), Reject> {
+        if self.shards[idx].consumed.is_consumed(nonce) {
+            return Err(self.reject(Reject::Replay));
+        }
+        if self.issued.remove(nonce) {
+            Ok(())
+        } else {
+            Err(self.reject(Reject::UnknownNonce))
         }
     }
 
@@ -315,20 +574,45 @@ impl WebServer {
         self.crashed
     }
 
-    /// The journal (tests read records and snapshots through it).
-    pub fn journal(&self) -> &Journal {
-        &self.journal
+    /// Shard `idx`'s journal segment (tests read records and snapshots
+    /// through it).
+    pub fn journal(&self, idx: usize) -> &Journal {
+        &self.shards[idx].journal
     }
 
-    /// The journal, mutable (torn-tail / bit-flip fault injection in
-    /// tests).
-    pub fn journal_mut(&mut self) -> &mut Journal {
-        &mut self.journal
+    /// Shard `idx`'s journal segment, mutable (torn-tail / bit-flip fault
+    /// injection in tests).
+    pub fn journal_mut(&mut self, idx: usize) -> &mut Journal {
+        &mut self.shards[idx].journal
     }
 
-    /// Overrides the auto-compaction threshold (records per snapshot).
+    /// Independent copies of every shard's journal segment (snapshot +
+    /// log bytes), e.g. to recover a second instance for cross-instance
+    /// digest checks.
+    pub fn fork_journals(&self) -> Vec<Journal> {
+        self.shards.iter().map(|s| s.journal.duplicate()).collect()
+    }
+
+    /// Total journal footprint in bytes (logs + snapshots, all shards).
+    pub fn journal_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.journal.log_len() + s.journal.snapshot_len())
+            .sum()
+    }
+
+    /// Overrides the auto-compaction threshold (records per shard
+    /// snapshot).
     pub fn set_compaction_threshold(&mut self, records: usize) {
         self.compaction_threshold = records.max(1);
+    }
+
+    /// Overrides the LRU watermark bounding the registration/reset
+    /// caches (entries per shard). Takes effect on subsequent applies;
+    /// part of [`ServerIdentity`], so recovery reproduces the same
+    /// evictions.
+    pub fn set_cache_watermark(&mut self, entries: usize) {
+        self.cache_watermark = entries.max(1);
     }
 
     fn check_up(&self) -> Result<(), Reject> {
@@ -341,13 +625,14 @@ impl WebServer {
         }
     }
 
-    /// Appends `rec`, tripping the before/after-append crash points.
-    fn journal_append(&mut self, rec: &JournalRecord) -> Result<(), Reject> {
+    /// Appends `rec` to shard `idx`'s segment, tripping the
+    /// before/after-append crash points.
+    fn journal_append(&mut self, idx: usize, rec: &JournalRecord) -> Result<(), Reject> {
         if self.crash.visit(CrashPoint::BeforeAppend) {
             self.crashed = true;
             return Err(Reject::ServerCrashed);
         }
-        self.journal.append(rec);
+        self.shards[idx].journal.append(rec);
         if self.crash.visit(CrashPoint::AfterAppend) {
             self.crashed = true;
             return Err(Reject::ServerCrashed);
@@ -365,18 +650,25 @@ impl WebServer {
         Ok(())
     }
 
-    /// Folds the journal's pending records into a fresh snapshot once the
+    /// Folds shard `idx`'s pending records into a fresh snapshot once the
     /// threshold is reached.
-    fn maybe_compact(&mut self) {
-        if self.journal.pending_records() >= self.compaction_threshold {
-            self.compact_journal();
+    fn maybe_compact(&mut self, idx: usize) {
+        if self.shards[idx].journal.pending_records() >= self.compaction_threshold {
+            self.compact_shard(idx);
         }
     }
 
-    /// Installs a snapshot of the current state, truncating the log.
+    /// Installs a snapshot of shard `idx`'s state, truncating its log.
+    pub fn compact_shard(&mut self, idx: usize) {
+        let snapshot = self.shard_snapshot_bytes(idx);
+        self.shards[idx].journal.install_snapshot(&snapshot);
+    }
+
+    /// Compacts every shard.
     pub fn compact_journal(&mut self) {
-        let snapshot = self.snapshot_bytes();
-        self.journal.install_snapshot(&snapshot);
+        for idx in 0..self.shards.len() {
+            self.compact_shard(idx);
+        }
     }
 
     // --- Handlers ---------------------------------------------------------
@@ -422,13 +714,14 @@ impl WebServer {
         msg: &RegistrationSubmit,
     ) -> Result<(RegistrationAck, Freshness), Reject> {
         self.check_up()?;
-        self.maybe_compact();
-        if let Some((sig, ack)) = self.reg_cache.get(&msg.nonce) {
+        let idx = self.shard_for(&msg.account);
+        self.maybe_compact(idx);
+        if let Some((sig, ack)) = self.shards[idx].reg_cache.get(&msg.nonce) {
             if *sig == msg.signature {
                 return Ok((ack.clone(), Freshness::Resent));
             }
         }
-        self.consume_nonce(msg.nonce)?;
+        self.consume_nonce(idx, msg.nonce)?;
         if !msg.device_cert.verify(&self.ca_key) || msg.device_cert.role() != Role::FlockModule {
             return Err(self.reject(Reject::BadCertificate));
         }
@@ -443,7 +736,7 @@ impl WebServer {
         {
             return Err(self.reject(Reject::BadSignature));
         }
-        if self.accounts.contains_key(&msg.account) {
+        if self.shards[idx].accounts.contains_key(&msg.account) {
             return Err(self.reject(Reject::AccountExists));
         }
         let element = U2048::from_be_bytes(&msg.user_public);
@@ -463,7 +756,7 @@ impl WebServer {
             signature: msg.signature.to_bytes(),
             frame_hash: msg.frame_hash,
         };
-        self.journal_append(&record)?;
+        self.journal_append(idx, &record)?;
         self.apply_record(&record);
         self.pre_reply_crash()?;
         let ack = RegistrationAck {
@@ -476,7 +769,8 @@ impl WebServer {
     /// The account's fallback reset password (out-of-band channel in the
     /// real deployment; exposed for the reset experiment).
     pub fn reset_password_for(&self, account: &str) -> Option<&str> {
-        self.accounts
+        self.shards[self.shard_for(account)]
+            .accounts
             .get(account)
             .map(|a| a.reset_password.as_str())
     }
@@ -496,14 +790,15 @@ impl WebServer {
     /// failures; returns [`Reject::ServerCrashed`] if a crash point fires.
     pub fn handle_login(&mut self, msg: &LoginSubmit) -> Result<(ContentPage, Freshness), Reject> {
         self.check_up()?;
-        self.maybe_compact();
-        if let Some((sig, page)) = self.login_cache.get(&msg.nonce) {
+        let idx = self.shard_for(&msg.account);
+        self.maybe_compact(idx);
+        if let Some((sig, page)) = self.shards[idx].login_cache.get(&msg.nonce) {
             if *sig == msg.signature {
                 return Ok((page.clone(), Freshness::Resent));
             }
         }
-        self.consume_nonce(msg.nonce)?;
-        let account_key = match self.accounts.get(&msg.account) {
+        self.consume_nonce(idx, msg.nonce)?;
+        let account_key = match self.shards[idx].accounts.get(&msg.account) {
             Some(record) => record.public_key.clone(),
             None => return Err(self.reject(Reject::UnknownAccount)),
         };
@@ -525,11 +820,11 @@ impl WebServer {
             return Err(self.reject(Reject::RiskTerminated));
         }
 
-        // The counter itself only advances in apply_record, so the live
-        // path and journal replay agree on the session id.
+        // The counters themselves only advance in apply_record, so the
+        // live path and journal replay agree on the session id.
         let session_id = format!(
             "sess-{}-{}",
-            self.session_counter + 1,
+            self.total_sessions() + 1,
             Nonce({
                 let mut b = [0u8; 16];
                 self.entropy.fill(&mut b);
@@ -556,7 +851,7 @@ impl WebServer {
             frame_hash: msg.frame_hash,
             risk: msg.risk,
         };
-        self.journal_append(&record)?;
+        self.journal_append(idx, &record)?;
         self.apply_record(&record);
         self.pre_reply_crash()?;
         Ok((page, Freshness::Fresh))
@@ -590,9 +885,10 @@ impl WebServer {
         msg: &InteractionRequest,
     ) -> Result<(ContentPage, Freshness), Reject> {
         self.check_up()?;
-        self.maybe_compact();
+        let idx = self.shard_for(&msg.account);
+        self.maybe_compact(idx);
         let (terminated, account_matches, pending_nonce, key, expected_seq) =
-            match self.sessions.get(&msg.session_id) {
+            match self.shards[idx].sessions.get(&msg.session_id) {
                 Some(s) => (
                     s.terminated,
                     s.account == msg.account,
@@ -606,7 +902,7 @@ impl WebServer {
             return Err(self.reject(Reject::UnknownSession));
         }
         if msg.seq.checked_add(1) == Some(expected_seq) {
-            if let Some(cache) = self
+            if let Some(cache) = self.shards[idx]
                 .sessions
                 .get(&msg.session_id)
                 .and_then(|s| s.cache.as_ref())
@@ -650,7 +946,7 @@ impl WebServer {
         }
         if msg.nonce != pending_nonce {
             // Either a replayed old nonce or a forged one.
-            let reason = if self.replay.consume(msg.nonce) == NonceCheck::Replayed {
+            let reason = if self.shards[idx].consumed.is_consumed(msg.nonce) {
                 Reject::Replay
             } else {
                 Reject::UnknownNonce
@@ -671,13 +967,14 @@ impl WebServer {
         }
 
         // Risk policy. A termination is itself a durable state change.
-        let stepups = self.sessions[&msg.session_id].stepups;
+        let stepups = self.shards[idx].sessions[&msg.session_id].stepups;
         let decision = self.policy.evaluate(&msg.risk, stepups);
         if decision == RiskDecision::Terminate {
             let record = JournalRecord::SessionTerminated {
                 session_id: msg.session_id.clone(),
+                account: msg.account.clone(),
             };
-            self.journal_append(&record)?;
+            self.journal_append(idx, &record)?;
             self.apply_record(&record);
             return Err(self.reject(Reject::RiskTerminated));
         }
@@ -689,7 +986,9 @@ impl WebServer {
         // The page the server believed the user was seeing when they
         // acted (the audit commitment), and the page to serve next
         // (unknown actions bounce to home).
-        let expected_path = self.sessions[&msg.session_id].current_path.clone();
+        let expected_path = self.shards[idx].sessions[&msg.session_id]
+            .current_path
+            .clone();
         let page = self
             .pages
             .get(&msg.action)
@@ -719,7 +1018,7 @@ impl WebServer {
             stepups: next_stepups as u64,
             reply: reply.clone(),
         };
-        self.journal_append(&record)?;
+        self.journal_append(idx, &record)?;
         self.apply_record(&record);
         self.pre_reply_crash()?;
         Ok((reply, Freshness::Fresh))
@@ -743,14 +1042,15 @@ impl WebServer {
     /// [`Reject::ServerCrashed`] if a crash point fires.
     pub fn handle_resume(&mut self, msg: &ResumeRequest) -> Result<(ResumeAck, Freshness), Reject> {
         self.check_up()?;
-        self.maybe_compact();
-        if let Some((mac, ack)) = self.resume_cache.get(&msg.nonce) {
+        let idx = self.shard_for(&msg.account);
+        self.maybe_compact(idx);
+        if let Some((mac, ack)) = self.shards[idx].resume_cache.get(&msg.nonce) {
             if *mac == msg.mac {
                 return Ok((ack.clone(), Freshness::Resent));
             }
         }
         let (terminated, account_matches, key, expected_seq) =
-            match self.sessions.get(&msg.session_id) {
+            match self.shards[idx].sessions.get(&msg.session_id) {
                 Some(s) => (
                     s.terminated,
                     s.account == msg.account,
@@ -767,7 +1067,7 @@ impl WebServer {
         if !verify_hmac(&key, &bytes, &msg.mac) {
             return Err(self.reject(Reject::BadMac));
         }
-        if self.replay.is_consumed(msg.nonce) {
+        if self.shards[idx].consumed.is_consumed(msg.nonce) {
             // Same nonce, different MAC: a tampered replay of an old
             // resume. The byte-identical case was answered from the cache.
             return Err(self.reject(Reject::Replay));
@@ -776,7 +1076,7 @@ impl WebServer {
             // Fully in sync; the device just needs the current nonce.
             None
         } else if msg.last_seq.checked_add(1) == Some(expected_seq) {
-            match self
+            match self.shards[idx]
                 .sessions
                 .get(&msg.session_id)
                 .and_then(|s| s.cache.as_ref())
@@ -816,7 +1116,7 @@ impl WebServer {
             request_mac: msg.mac,
             ack: ack.clone(),
         };
-        self.journal_append(&record)?;
+        self.journal_append(idx, &record)?;
         self.apply_record(&record);
         self.pre_reply_crash()?;
         Ok((ack, Freshness::Fresh))
@@ -836,18 +1136,19 @@ impl WebServer {
     /// [`Reject::ServerCrashed`] if a crash point fires.
     pub fn handle_reset(&mut self, msg: &ResetRequest) -> Result<(ResetAck, Freshness), Reject> {
         self.check_up()?;
-        self.maybe_compact();
+        let idx = self.shard_for(&msg.account);
+        self.maybe_compact(idx);
         let digest = msg.request_digest();
-        if let Some((d, ack)) = self.reset_cache.get(&msg.nonce) {
+        if let Some((d, ack)) = self.shards[idx].reset_cache.get(&msg.nonce) {
             if *d == digest {
                 return Ok((ack.clone(), Freshness::Resent));
             }
         }
-        self.consume_nonce(msg.nonce)?;
+        self.consume_nonce(idx, msg.nonce)?;
         if msg.domain != self.domain {
             return Err(self.reject(Reject::BadSignature));
         }
-        let Some(record) = self.accounts.get(&msg.account) else {
+        let Some(record) = self.shards[idx].accounts.get(&msg.account) else {
             return Err(self.reject(Reject::UnknownAccount));
         };
         if record.reset_password != msg.password {
@@ -858,7 +1159,7 @@ impl WebServer {
             nonce: msg.nonce,
             request_digest: digest,
         };
-        self.journal_append(&record)?;
+        self.journal_append(idx, &record)?;
         self.apply_record(&record);
         self.pre_reply_crash()?;
         Ok((
@@ -881,7 +1182,8 @@ impl WebServer {
     /// [`Reject::ServerCrashed`] if a crash point fires.
     pub fn reset_identity(&mut self, account: &str, password: &str) -> Result<(), Reject> {
         self.check_up()?;
-        let Some(record) = self.accounts.get(account) else {
+        let idx = self.shard_for(account);
+        let Some(record) = self.shards[idx].accounts.get(account) else {
             return Err(self.reject(Reject::UnknownAccount));
         };
         if record.reset_password != password {
@@ -890,31 +1192,75 @@ impl WebServer {
         let record = JournalRecord::IdentityReset {
             account: account.to_owned(),
         };
-        self.journal_append(&record)?;
+        self.journal_append(idx, &record)?;
         self.apply_record(&record);
         Ok(())
     }
 
+    /// Closes `session_id` cleanly (logout / end of lifecycle),
+    /// journaling a `SessionClosed` record whose application evicts the
+    /// session, its idempotency-cache entries, and the nonces it
+    /// consumed — the release valve that keeps resident state bounded.
+    ///
+    /// Idempotent: closing an unknown or already-closed session returns
+    /// `Ok(false)` without touching state, so a caller that lost the
+    /// first acknowledgement can simply retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Reject::ServerCrashed`] if a crash point fires.
+    pub fn close_session(&mut self, account: &str, session_id: &str) -> Result<bool, Reject> {
+        self.check_up()?;
+        let idx = self.shard_for(account);
+        self.maybe_compact(idx);
+        let owned = self.shards[idx]
+            .sessions
+            .get(session_id)
+            .map(|s| s.account == account)
+            .unwrap_or(false);
+        if !owned {
+            return Ok(false);
+        }
+        let record = JournalRecord::SessionClosed {
+            session_id: session_id.to_owned(),
+            account: account.to_owned(),
+        };
+        self.journal_append(idx, &record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok(true)
+    }
+
+    fn find_session(&self, session_id: &str) -> Option<&Session> {
+        self.shards.iter().find_map(|s| s.sessions.get(session_id))
+    }
+
     /// Interactions served in a session (testing/metrics).
     pub fn session_interactions(&self, session_id: &str) -> Option<u64> {
-        self.sessions.get(session_id).map(|s| s.interactions)
+        self.find_session(session_id).map(|s| s.interactions)
     }
 
     /// Whether the session has been terminated.
     pub fn session_terminated(&self, session_id: &str) -> Option<bool> {
-        self.sessions.get(session_id).map(|s| s.terminated)
+        self.find_session(session_id).map(|s| s.terminated)
     }
 
     /// The sequence number the session's next fresh interaction must
     /// carry (testing).
     pub fn session_expected_seq(&self, session_id: &str) -> Option<u64> {
-        self.sessions.get(session_id).map(|s| s.expected_seq)
+        self.find_session(session_id).map(|s| s.expected_seq)
+    }
+
+    /// Sessions ever opened, across shards (drives unique session ids).
+    fn total_sessions(&self) -> u64 {
+        self.shards.iter().map(|s| s.session_counter).sum()
     }
 
     // --- Recovery ---------------------------------------------------------
 
-    /// The durable identity (keys, certificate, pages, policy) that pairs
-    /// with the journal to fully describe this server.
+    /// The durable identity (keys, certificate, pages, policy, shard
+    /// layout) that pairs with the journal segments to fully describe
+    /// this server.
     pub fn identity(&self) -> ServerIdentity {
         ServerIdentity {
             domain: self.domain.clone(),
@@ -923,26 +1269,35 @@ impl WebServer {
             ca_key: self.ca_key.clone(),
             pages: self.pages.clone(),
             policy: self.policy,
+            shard_count: self.shards.len(),
+            cache_watermark: self.cache_watermark,
         }
     }
 
-    /// Rebuilds a server from its durable identity and a journal: restore
-    /// the snapshot, replay every decodable record, and re-issue the
-    /// challenge nonces embedded in the restored sessions. Fresh entropy
-    /// comes from `rng` — a restarted process never reuses its old
-    /// randomness.
+    /// Rebuilds a server from its durable identity and one journal
+    /// segment per shard: each shard independently restores its
+    /// snapshot, replays every decodable record, and reports what it
+    /// salvaged — a torn tail in one segment is that shard's skip count,
+    /// not a global failure. Afterwards the challenge nonces embedded in
+    /// the restored sessions are re-issued. Fresh entropy comes from
+    /// `rng` — a restarted process never reuses its old randomness.
     ///
     /// Observability state (reject counters, trace) restarts empty; only
     /// protocol state is durable.
     pub fn recover(
         identity: ServerIdentity,
-        journal: Journal,
+        journals: Vec<Journal>,
         rng: &mut SimRng,
     ) -> (WebServer, RecoveryReport) {
+        debug_assert_eq!(identity.shard_count, journals.len().max(1));
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
         let mut entropy = ChaChaEntropy::from_seed(seed);
         let nonce_entropy = entropy.fork(b"nonces");
+        let mut shards: Vec<Shard> = journals.into_iter().map(Shard::over).collect();
+        if shards.is_empty() {
+            shards.push(Shard::default());
+        }
         let mut server = WebServer {
             domain: identity.domain,
             keys: identity.keys,
@@ -950,56 +1305,68 @@ impl WebServer {
             ca_key: identity.ca_key,
             entropy,
             nonces: NonceGenerator::new(nonce_entropy),
-            replay: ReplayGuard::new(),
-            accounts: HashMap::new(),
-            sessions: HashMap::new(),
-            reg_cache: HashMap::new(),
-            login_cache: HashMap::new(),
-            resume_cache: HashMap::new(),
-            reset_cache: HashMap::new(),
+            issued: IssuedNonces::default(),
+            shards,
             pages: identity.pages,
             policy: identity.policy,
-            audit_log: Vec::new(),
             reject_counts: HashMap::new(),
-            session_counter: 0,
             trace: TraceLog::new(),
-            journal,
             crash: CrashSchedule::Never,
             crashed: false,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            cache_watermark: identity.cache_watermark,
         };
-        let contents = server.journal.read();
-        let mut report = RecoveryReport {
-            snapshot_restored: false,
-            records_replayed: contents.records.len(),
-            records_skipped: contents.skipped,
-        };
-        if !contents.snapshot.is_empty() {
-            report.snapshot_restored = server.restore_snapshot(&contents.snapshot);
-        }
-        for rec in &contents.records {
-            server.apply_record(rec);
+        let mut report = RecoveryReport::default();
+        for idx in 0..server.shards.len() {
+            let contents = server.shards[idx].journal.read();
+            let mut shard_report = ShardRecovery {
+                snapshot_restored: false,
+                records_replayed: contents.records.len(),
+                records_skipped: contents.skipped,
+            };
+            if !contents.snapshot.is_empty() {
+                shard_report.snapshot_restored =
+                    server.restore_shard_snapshot(idx, &contents.snapshot);
+            }
+            for rec in &contents.records {
+                debug_assert_eq!(
+                    server.shard_for(rec.shard_account()),
+                    idx,
+                    "record in the wrong shard segment"
+                );
+                server.apply_record(rec);
+            }
+            report.shards.push(shard_report);
         }
         // Challenge nonces are ephemeral: re-issue the one each live
         // session is waiting on so the device's next request verifies.
         let pending: Vec<Nonce> = server
-            .sessions
-            .values()
-            .filter(|s| !s.terminated)
-            .map(|s| s.pending_nonce)
+            .shards
+            .iter()
+            .flat_map(|sh| {
+                sh.sessions
+                    .values()
+                    .filter(|s| !s.terminated)
+                    .map(|s| s.pending_nonce)
+            })
             .collect();
         for n in pending {
-            server.replay.issue(n);
+            server.issued.issue(n);
         }
         (server, report)
     }
 
-    /// Crash-restarts this server in place: the journal is salvaged from
-    /// the dead process, everything else is rebuilt from it.
+    /// Crash-restarts this server in place: the journal segments are
+    /// salvaged from the dead process, everything else is rebuilt from
+    /// them.
     pub fn recover_in_place(&mut self, rng: &mut SimRng) -> RecoveryReport {
-        let journal = std::mem::take(&mut self.journal);
+        let journals: Vec<Journal> = self
+            .shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.journal))
+            .collect();
         let identity = self.identity();
-        let (server, report) = WebServer::recover(identity, journal, rng);
+        let (server, report) = WebServer::recover(identity, journals, rng);
         *self = server;
         report
     }
@@ -1007,8 +1374,12 @@ impl WebServer {
     /// Applies one journal record to in-memory state. This is the *only*
     /// mutation path for durable state: live handlers journal a record
     /// and then apply it through here, so recovery replay is reuse, not
-    /// reimplementation.
+    /// reimplementation. The record routes to its shard via
+    /// [`JournalRecord::shard_account`]; cache evictions (session close,
+    /// LRU watermark) also happen here, so replay reproduces them.
     pub fn apply_record(&mut self, rec: &JournalRecord) {
+        let idx = self.shard_for(rec.shard_account());
+        let watermark = self.cache_watermark;
         match rec {
             JournalRecord::Registered {
                 account,
@@ -1021,23 +1392,28 @@ impl WebServer {
                 let group = self.keys.public_key().group();
                 let element = U2048::from_be_bytes(public_key);
                 let key = PublicKey::from_element(group, element);
-                self.accounts.insert(
+                let shard = &mut self.shards[idx];
+                shard.accounts.insert(
                     account.clone(),
                     AccountRecord {
                         public_key: key,
                         reset_password: reset_password.clone(),
                     },
                 );
-                self.replay.mark_consumed(*nonce);
-                self.audit_log.push(AuditEntry {
-                    account: account.clone(),
-                    expected_path: "/register".to_owned(),
-                    frame_hash: *frame_hash,
-                    action: "register".to_owned(),
-                    risk: RiskReport::fresh_login(),
-                });
+                shard.consumed.mark_consumed(*nonce);
+                shard
+                    .audit
+                    .entry(account.clone())
+                    .or_default()
+                    .push(AuditEntry {
+                        account: account.clone(),
+                        expected_path: "/register".to_owned(),
+                        frame_hash: *frame_hash,
+                        action: "register".to_owned(),
+                        risk: RiskReport::fresh_login(),
+                    });
                 if let Some(sig) = Signature::from_bytes(signature) {
-                    self.reg_cache.insert(
+                    shard.reg_cache.insert(
                         *nonce,
                         (
                             sig,
@@ -1047,6 +1423,16 @@ impl WebServer {
                             },
                         ),
                     );
+                    shard.reg_order.push_back(*nonce);
+                    while shard.reg_cache.len() > watermark {
+                        match shard.reg_order.pop_front() {
+                            Some(old) => {
+                                shard.reg_cache.remove(&old);
+                                shard.consumed.forget_consumed(old);
+                            }
+                            None => break,
+                        }
+                    }
                 }
             }
             JournalRecord::LoginServed {
@@ -1057,16 +1443,21 @@ impl WebServer {
                 frame_hash,
                 risk,
             } => {
-                self.session_counter += 1;
-                self.replay.mark_consumed(*nonce);
-                self.audit_log.push(AuditEntry {
-                    account: reply.account.clone(),
-                    expected_path: "/login".to_owned(),
-                    frame_hash: *frame_hash,
-                    action: "login".to_owned(),
-                    risk: *risk,
-                });
-                self.sessions.insert(
+                let shard = &mut self.shards[idx];
+                shard.session_counter += 1;
+                shard.consumed.mark_consumed(*nonce);
+                shard
+                    .audit
+                    .entry(reply.account.clone())
+                    .or_default()
+                    .push(AuditEntry {
+                        account: reply.account.clone(),
+                        expected_path: "/login".to_owned(),
+                        frame_hash: *frame_hash,
+                        action: "login".to_owned(),
+                        risk: *risk,
+                    });
+                shard.sessions.insert(
                     reply.session_id.clone(),
                     Session {
                         account: reply.account.clone(),
@@ -1078,10 +1469,13 @@ impl WebServer {
                         stepups: 0,
                         terminated: false,
                         interactions: 0,
+                        login_nonce: *nonce,
+                        resume_nonces: Vec::new(),
+                        consumed_nonces: vec![*nonce],
                     },
                 );
                 if let Some(sig) = Signature::from_bytes(signature) {
-                    self.login_cache.insert(*nonce, (sig, reply.clone()));
+                    shard.login_cache.insert(*nonce, (sig, reply.clone()));
                 }
             }
             JournalRecord::InteractionServed {
@@ -1094,15 +1488,20 @@ impl WebServer {
                 stepups,
                 reply,
             } => {
-                self.replay.mark_consumed(*request_nonce);
-                self.audit_log.push(AuditEntry {
-                    account: reply.account.clone(),
-                    expected_path: expected_path.clone(),
-                    frame_hash: *frame_hash,
-                    action: action.clone(),
-                    risk: *risk,
-                });
-                if let Some(session) = self.sessions.get_mut(&reply.session_id) {
+                let shard = &mut self.shards[idx];
+                shard.consumed.mark_consumed(*request_nonce);
+                shard
+                    .audit
+                    .entry(reply.account.clone())
+                    .or_default()
+                    .push(AuditEntry {
+                        account: reply.account.clone(),
+                        expected_path: expected_path.clone(),
+                        frame_hash: *frame_hash,
+                        action: action.clone(),
+                        risk: *risk,
+                    });
+                if let Some(session) = shard.sessions.get_mut(&reply.session_id) {
                     session.pending_nonce = reply.nonce;
                     session.expected_seq = reply.seq;
                     session.cache = Some(CachedInteraction {
@@ -1113,6 +1512,7 @@ impl WebServer {
                     session.current_path = reply.page.path.clone();
                     session.interactions += 1;
                     session.stepups = *stepups as u32;
+                    session.consumed_nonces.push(*request_nonce);
                 }
             }
             JournalRecord::SessionResumed {
@@ -1120,29 +1520,47 @@ impl WebServer {
                 request_mac,
                 ack,
             } => {
-                self.replay.mark_consumed(*device_nonce);
-                if let Some(session) = self.sessions.get_mut(&ack.session_id) {
+                let shard = &mut self.shards[idx];
+                shard.consumed.mark_consumed(*device_nonce);
+                if let Some(session) = shard.sessions.get_mut(&ack.session_id) {
                     session.pending_nonce = ack.nonce;
+                    session.resume_nonces.push(*device_nonce);
+                    session.consumed_nonces.push(*device_nonce);
                 }
-                self.resume_cache
+                shard
+                    .resume_cache
                     .insert(*device_nonce, (*request_mac, ack.clone()));
             }
-            JournalRecord::SessionTerminated { session_id } => {
-                if let Some(session) = self.sessions.get_mut(session_id) {
+            JournalRecord::SessionTerminated { session_id, .. } => {
+                if let Some(session) = self.shards[idx].sessions.get_mut(session_id) {
                     session.terminated = true;
                 }
             }
+            JournalRecord::SessionClosed { session_id, .. } => {
+                let shard = &mut self.shards[idx];
+                if let Some(sess) = shard.sessions.remove(session_id) {
+                    shard.login_cache.remove(&sess.login_nonce);
+                    for n in &sess.resume_nonces {
+                        shard.resume_cache.remove(n);
+                    }
+                    for n in &sess.consumed_nonces {
+                        shard.consumed.forget_consumed(*n);
+                    }
+                    self.issued.remove(sess.pending_nonce);
+                }
+            }
             JournalRecord::IdentityReset { account } => {
-                self.remove_binding(account);
+                self.remove_binding(idx, account);
             }
             JournalRecord::ResetServed {
                 account,
                 nonce,
                 request_digest,
             } => {
-                self.remove_binding(account);
-                self.replay.mark_consumed(*nonce);
-                self.reset_cache.insert(
+                self.remove_binding(idx, account);
+                let shard = &mut self.shards[idx];
+                shard.consumed.mark_consumed(*nonce);
+                shard.reset_cache.insert(
                     *nonce,
                     (
                         *request_digest,
@@ -1152,14 +1570,25 @@ impl WebServer {
                         },
                     ),
                 );
+                shard.reset_order.push_back(*nonce);
+                while shard.reset_cache.len() > watermark {
+                    match shard.reset_order.pop_front() {
+                        Some(old) => {
+                            shard.reset_cache.remove(&old);
+                            shard.consumed.forget_consumed(old);
+                        }
+                        None => break,
+                    }
+                }
             }
         }
     }
 
-    fn remove_binding(&mut self, account: &str) {
-        self.accounts.remove(account);
+    fn remove_binding(&mut self, idx: usize, account: &str) {
+        let shard = &mut self.shards[idx];
+        shard.accounts.remove(account);
         // Kill any live sessions for the account.
-        for s in self.sessions.values_mut() {
+        for s in shard.sessions.values_mut() {
             if s.account == account {
                 s.terminated = true;
             }
@@ -1168,15 +1597,17 @@ impl WebServer {
 
     // --- Snapshots --------------------------------------------------------
 
-    /// Canonical bytes of the full durable state (maps serialized in
-    /// sorted order, so two servers in the same state encode
+    /// Canonical bytes of one shard's durable state (maps serialized in
+    /// sorted order, LRU caches in eviction order — both deterministic
+    /// under replay — so two shards in the same state encode
     /// identically). Excludes observability state (reject counters,
-    /// trace) and the outstanding-nonce set, which recovery re-issues.
-    pub fn snapshot_bytes(&self) -> Vec<u8> {
-        signing_bytes("trust-server-snapshot-v1", |w| {
-            w.u64(self.session_counter);
+    /// trace) and the issued-nonce set, which recovery re-issues.
+    pub fn shard_snapshot_bytes(&self, idx: usize) -> Vec<u8> {
+        let shard = &self.shards[idx];
+        signing_bytes("trust-shard-snapshot-v1", |w| {
+            w.u64(shard.session_counter);
 
-            let mut accounts: Vec<_> = self.accounts.iter().collect();
+            let mut accounts: Vec<_> = shard.accounts.iter().collect();
             accounts.sort_by(|a, b| a.0.cmp(b.0));
             w.u64(accounts.len() as u64);
             for (name, rec) in accounts {
@@ -1185,7 +1616,7 @@ impl WebServer {
                     .str(&rec.reset_password);
             }
 
-            let mut sessions: Vec<_> = self.sessions.iter().collect();
+            let mut sessions: Vec<_> = shard.sessions.iter().collect();
             sessions.sort_by(|a, b| a.0.cmp(b.0));
             w.u64(sessions.len() as u64);
             for (sid, s) in sessions {
@@ -1202,19 +1633,29 @@ impl WebServer {
                 w.str(&s.current_path)
                     .u64(s.stepups as u64)
                     .u64(s.terminated as u64)
-                    .u64(s.interactions);
+                    .u64(s.interactions)
+                    .bytes(s.login_nonce.as_bytes());
+                w.u64(s.resume_nonces.len() as u64);
+                for n in &s.resume_nonces {
+                    w.bytes(n.as_bytes());
+                }
+                w.u64(s.consumed_nonces.len() as u64);
+                for n in &s.consumed_nonces {
+                    w.bytes(n.as_bytes());
+                }
             }
 
-            let mut regs: Vec<_> = self.reg_cache.iter().collect();
-            regs.sort_by_key(|(n, _)| n.0);
-            w.u64(regs.len() as u64);
-            for (n, (sig, ack)) in regs {
+            // The LRU caches serialize in eviction (insertion) order so a
+            // restored shard evicts in exactly the same order.
+            w.u64(shard.reg_order.len() as u64);
+            for n in &shard.reg_order {
+                let (sig, ack) = &shard.reg_cache[n];
                 w.bytes(n.as_bytes())
                     .bytes(&sig.to_bytes())
                     .str(&ack.account);
             }
 
-            let mut logins: Vec<_> = self.login_cache.iter().collect();
+            let mut logins: Vec<_> = shard.login_cache.iter().collect();
             logins.sort_by_key(|(n, _)| n.0);
             w.u64(logins.len() as u64);
             for (n, (sig, page)) in logins {
@@ -1222,7 +1663,7 @@ impl WebServer {
                 put_content_page(w, page);
             }
 
-            let mut resumes: Vec<_> = self.resume_cache.iter().collect();
+            let mut resumes: Vec<_> = shard.resume_cache.iter().collect();
             resumes.sort_by_key(|(n, _)| n.0);
             w.u64(resumes.len() as u64);
             for (n, (mac, ack)) in resumes {
@@ -1230,28 +1671,43 @@ impl WebServer {
                 put_resume_ack(w, ack);
             }
 
-            let mut resets: Vec<_> = self.reset_cache.iter().collect();
-            resets.sort_by_key(|(n, _)| n.0);
-            w.u64(resets.len() as u64);
-            for (n, (digest, ack)) in resets {
+            w.u64(shard.reset_order.len() as u64);
+            for n in &shard.reset_order {
+                let (digest, ack) = &shard.reset_cache[n];
                 w.bytes(n.as_bytes())
                     .bytes(digest.as_bytes())
                     .str(&ack.account);
             }
 
-            let consumed = self.replay.consumed_sorted();
+            let consumed = shard.consumed.consumed_sorted();
             w.u64(consumed.len() as u64);
             for n in consumed {
                 w.bytes(n.as_bytes());
             }
 
-            w.u64(self.audit_log.len() as u64);
-            for entry in &self.audit_log {
-                w.str(&entry.account)
-                    .str(&entry.expected_path)
-                    .bytes(entry.frame_hash.as_bytes())
-                    .str(&entry.action);
-                put_risk(w, &entry.risk);
+            let mut audit_accounts: Vec<_> = shard.audit.iter().collect();
+            audit_accounts.sort_by(|a, b| a.0.cmp(b.0));
+            w.u64(audit_accounts.len() as u64);
+            for (account, entries) in audit_accounts {
+                w.str(account).u64(entries.len() as u64);
+                for entry in entries {
+                    w.str(&entry.account)
+                        .str(&entry.expected_path)
+                        .bytes(entry.frame_hash.as_bytes())
+                        .str(&entry.action);
+                    put_risk(w, &entry.risk);
+                }
+            }
+        })
+    }
+
+    /// Canonical bytes of the full durable state: the shard count plus
+    /// every shard's snapshot, in shard order.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        signing_bytes("trust-server-snapshot-v2", |w| {
+            w.u32(self.shards.len() as u32);
+            for idx in 0..self.shards.len() {
+                w.bytes(&self.shard_snapshot_bytes(idx));
             }
         })
     }
@@ -1262,23 +1718,24 @@ impl WebServer {
         sha256(&self.snapshot_bytes())
     }
 
-    fn restore_snapshot(&mut self, bytes: &[u8]) -> bool {
-        self.try_restore_snapshot(bytes).is_some()
+    fn restore_shard_snapshot(&mut self, idx: usize, bytes: &[u8]) -> bool {
+        self.try_restore_shard_snapshot(idx, bytes).is_some()
     }
 
-    fn try_restore_snapshot(&mut self, bytes: &[u8]) -> Option<()> {
+    fn try_restore_shard_snapshot(&mut self, idx: usize, bytes: &[u8]) -> Option<()> {
         let mut r = FieldReader::new(bytes);
-        if r.str()? != "trust-server-snapshot-v1" {
+        if r.str()? != "trust-shard-snapshot-v1" {
             return None;
         }
-        self.session_counter = r.u64()?;
-
         let group = self.keys.public_key().group();
+        let shard = &mut self.shards[idx];
+        shard.session_counter = r.u64()?;
+
         for _ in 0..r.u64()? {
             let name = r.str()?.to_owned();
             let key = PublicKey::from_element(group, U2048::from_be_bytes(r.bytes()?));
             let reset_password = r.str()?.to_owned();
-            self.accounts.insert(
+            shard.accounts.insert(
                 name,
                 AccountRecord {
                     public_key: key,
@@ -1309,7 +1766,16 @@ impl WebServer {
             let stepups = r.u64()? as u32;
             let terminated = r.u64()? == 1;
             let interactions = r.u64()?;
-            self.sessions.insert(
+            let login_nonce = Nonce(r.array()?);
+            let mut resume_nonces = Vec::new();
+            for _ in 0..r.u64()? {
+                resume_nonces.push(Nonce(r.array()?));
+            }
+            let mut consumed_nonces = Vec::new();
+            for _ in 0..r.u64()? {
+                consumed_nonces.push(Nonce(r.array()?));
+            }
+            shard.sessions.insert(
                 sid,
                 Session {
                     account,
@@ -1321,6 +1787,9 @@ impl WebServer {
                     stepups,
                     terminated,
                     interactions,
+                    login_nonce,
+                    resume_nonces,
+                    consumed_nonces,
                 },
             );
         }
@@ -1329,46 +1798,55 @@ impl WebServer {
             let nonce = Nonce(r.array()?);
             let sig = Signature::from_bytes(r.bytes()?)?;
             let account = r.str()?.to_owned();
-            self.reg_cache
+            shard
+                .reg_cache
                 .insert(nonce, (sig, RegistrationAck { account, nonce }));
+            shard.reg_order.push_back(nonce);
         }
 
         for _ in 0..r.u64()? {
             let nonce = Nonce(r.array()?);
             let sig = Signature::from_bytes(r.bytes()?)?;
             let page = get_content_page(&mut r)?;
-            self.login_cache.insert(nonce, (sig, page));
+            shard.login_cache.insert(nonce, (sig, page));
         }
 
         for _ in 0..r.u64()? {
             let nonce = Nonce(r.array()?);
             let mac = Digest(r.array()?);
             let ack = get_resume_ack(&mut r)?;
-            self.resume_cache.insert(nonce, (mac, ack));
+            shard.resume_cache.insert(nonce, (mac, ack));
         }
 
         for _ in 0..r.u64()? {
             let nonce = Nonce(r.array()?);
             let digest = Digest(r.array()?);
             let account = r.str()?.to_owned();
-            self.reset_cache
+            shard
+                .reset_cache
                 .insert(nonce, (digest, ResetAck { account, nonce }));
+            shard.reset_order.push_back(nonce);
         }
 
         let mut consumed = Vec::new();
         for _ in 0..r.u64()? {
             consumed.push(Nonce(r.array()?));
         }
-        self.replay = ReplayGuard::from_consumed(consumed);
+        shard.consumed = ReplayGuard::from_consumed(consumed);
 
         for _ in 0..r.u64()? {
-            self.audit_log.push(AuditEntry {
-                account: r.str()?.to_owned(),
-                expected_path: r.str()?.to_owned(),
-                frame_hash: Digest(r.array()?),
-                action: r.str()?.to_owned(),
-                risk: get_risk(&mut r)?,
-            });
+            let account = r.str()?.to_owned();
+            let count = r.u64()?;
+            let entries = shard.audit.entry(account).or_default();
+            for _ in 0..count {
+                entries.push(AuditEntry {
+                    account: r.str()?.to_owned(),
+                    expected_path: r.str()?.to_owned(),
+                    frame_hash: Digest(r.array()?),
+                    action: r.str()?.to_owned(),
+                    risk: get_risk(&mut r)?,
+                });
+            }
         }
         Some(())
     }
@@ -1385,6 +1863,18 @@ mod tests {
         let mut ca = TrustAuthority::new(DhGroup::test_512(), &mut rng);
         let server = WebServer::new("www.xyz.com", DhGroup::test_512(), &mut ca, &mut rng);
         (server, ca, rng)
+    }
+
+    fn insert_account(server: &mut WebServer, name: &str, password: &str) {
+        let key = server.public_key().clone();
+        let idx = server.shard_for(name);
+        server.shards[idx].accounts.insert(
+            name.to_owned(),
+            AccountRecord {
+                public_key: key,
+                reset_password: password.to_owned(),
+            },
+        );
     }
 
     #[test]
@@ -1406,6 +1896,18 @@ mod tests {
     }
 
     #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let (server, _, _) = setup();
+        assert_eq!(server.shard_count(), DEFAULT_SHARDS);
+        for i in 0..100 {
+            let account = format!("user-{i}");
+            let idx = server.shard_for(&account);
+            assert!(idx < server.shard_count());
+            assert_eq!(idx, server.shard_for(&account), "routing must be stable");
+        }
+    }
+
+    #[test]
     fn reset_requires_correct_password() {
         let (mut server, _, _) = setup();
         // No account yet.
@@ -1414,14 +1916,7 @@ mod tests {
             Err(Reject::UnknownAccount)
         );
         // Insert an account directly for this unit test.
-        let key = server.public_key().clone();
-        server.accounts.insert(
-            "alice".into(),
-            AccountRecord {
-                public_key: key,
-                reset_password: "correct".into(),
-            },
-        );
+        insert_account(&mut server, "alice", "correct");
         assert_eq!(
             server.reset_identity("alice", "wrong"),
             Err(Reject::BadResetCredential)
@@ -1452,14 +1947,7 @@ mod tests {
     #[test]
     fn crashed_server_answers_nothing_until_recovered() {
         let (mut server, _, mut rng) = setup();
-        let key = server.public_key().clone();
-        server.accounts.insert(
-            "alice".into(),
-            AccountRecord {
-                public_key: key,
-                reset_password: "correct".into(),
-            },
-        );
+        insert_account(&mut server, "alice", "correct");
         server.arm_crash_schedule(CrashSchedule::once_at(CrashPoint::BeforeAppend, 0));
         assert_eq!(
             server.reset_identity("alice", "correct"),
@@ -1473,7 +1961,7 @@ mod tests {
         );
         let report = server.recover_in_place(&mut rng);
         assert!(!server.is_crashed());
-        assert_eq!(report.records_skipped, 0);
+        assert_eq!(report.records_skipped(), 0);
         // The crash fired before the append: the reset never happened, and
         // the directly-inserted account (never journaled) is gone too —
         // recovery trusts the journal, not the dead heap.
@@ -1485,8 +1973,9 @@ mod tests {
         let (mut server, _, mut rng) = setup();
         let digest = server.state_digest();
         let report = server.recover_in_place(&mut rng);
-        assert_eq!(report.records_replayed, 0);
-        assert!(!report.snapshot_restored);
+        assert_eq!(report.records_replayed(), 0);
+        assert_eq!(report.snapshots_restored(), 0);
+        assert_eq!(report.shards.len(), server.shard_count());
         assert_eq!(server.state_digest(), digest);
     }
 
@@ -1494,5 +1983,14 @@ mod tests {
     fn snapshot_bytes_are_deterministic() {
         let (server, _, _) = setup();
         assert_eq!(server.snapshot_bytes(), server.snapshot_bytes());
+    }
+
+    #[test]
+    fn issued_nonce_set_is_capped() {
+        let (mut server, _, _) = setup();
+        for _ in 0..(ISSUED_NONCE_CAP + 500) {
+            let _ = server.fresh_nonce();
+        }
+        assert!(server.resident_stats().issued_nonces <= ISSUED_NONCE_CAP);
     }
 }

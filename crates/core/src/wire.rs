@@ -35,6 +35,11 @@ impl FieldWriter {
         self.bytes(&v.to_be_bytes())
     }
 
+    /// Appends a `u32` field.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_be_bytes())
+    }
+
     /// Appends an `f64` field (IEEE-754 big-endian bits).
     pub fn f64(&mut self, v: f64) -> &mut Self {
         self.bytes(&v.to_be_bytes())
@@ -112,6 +117,12 @@ impl<'a> FieldReader<'a> {
     pub fn f64(&mut self) -> Option<f64> {
         let b = self.bytes()?;
         Some(f64::from_be_bytes(b.try_into().ok()?))
+    }
+
+    /// Reads the next field as a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let b = self.bytes()?;
+        Some(u32::from_be_bytes(b.try_into().ok()?))
     }
 
     /// Reads a fixed-size byte array field.
@@ -204,6 +215,20 @@ mod tests {
             })
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn u32_round_trips_and_differs_from_u64() {
+        let mut w = FieldWriter::new();
+        w.u32(0xDEAD_BEEF).u64(0xDEAD_BEEF);
+        let bytes = w.finish();
+        let mut r = FieldReader::new(&bytes);
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(0xDEAD_BEEF));
+        assert!(r.is_empty());
+        // A u32 field cannot be misread as a u64 field (length framing).
+        let mut r = FieldReader::new(&bytes);
+        assert_eq!(r.u64(), None);
     }
 
     #[test]

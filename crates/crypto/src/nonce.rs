@@ -138,6 +138,18 @@ impl ReplayGuard {
         self.consumed.insert(nonce)
     }
 
+    /// Forgets that `nonce` was consumed (prunes it from the replay set).
+    ///
+    /// Used when the session that consumed the nonce is torn down: the
+    /// nonce's validity window is over, so the guard no longer needs to
+    /// remember it. A pruned nonce presented again is *still* rejected —
+    /// it is no longer outstanding either, so it reads as never-issued
+    /// ([`NonceCheck::Unknown`]) rather than replayed. Returns whether the
+    /// nonce was present.
+    pub fn forget_consumed(&mut self, nonce: Nonce) -> bool {
+        self.consumed.remove(&nonce)
+    }
+
     /// The consumed-nonce set in sorted (deterministic) order.
     ///
     /// Used to persist replay state: only *consumed* nonces matter for
@@ -197,6 +209,19 @@ mod tests {
         assert_eq!(guard.consume(n), NonceCheck::Fresh);
         guard.issue(n);
         assert_eq!(guard.consume(n), NonceCheck::Replayed);
+    }
+
+    #[test]
+    fn forgotten_nonce_reads_as_unknown_not_fresh() {
+        let mut guard = ReplayGuard::new();
+        let n = Nonce([4; 16]);
+        guard.issue(n);
+        assert_eq!(guard.consume(n), NonceCheck::Fresh);
+        assert!(guard.forget_consumed(n));
+        assert!(!guard.forget_consumed(n), "already pruned");
+        // Pruning must never re-open the validity window.
+        assert_eq!(guard.consume(n), NonceCheck::Unknown);
+        assert_eq!(guard.consumed_len(), 0);
     }
 
     #[test]

@@ -109,14 +109,16 @@ fn tampered_registration_fields_are_rejected() {
         Reject::BadSignature
     );
 
-    // MITM 3: a stale (already consumed) nonce.
+    // MITM 3: a stale nonce from a *failed* attempt. It was retired from
+    // the issued set by MITM 1 but never durably consumed (the submission
+    // was rejected), so it now reads as unknown — still rejected.
     let t3 = RegistrationSubmit {
         nonce: submit.nonce,
         ..submit2.clone()
     };
     assert_eq!(
         world.server_mut(0).handle_registration(&t3).unwrap_err(),
-        Reject::Replay
+        Reject::UnknownNonce
     );
 
     // And the untampered message still works.
@@ -126,6 +128,18 @@ fn tampered_registration_fields_are_rejected() {
         .begin_registration(&hello3, "alice3", holder, &mut rng)
         .unwrap();
     assert!(world.server_mut(0).handle_registration(&submit3).is_ok());
+
+    // MITM 4: a *successfully consumed* nonce re-presented for the same
+    // account with a swapped signature (so the idempotency cache does not
+    // resend) is classified as a true replay.
+    let t4 = RegistrationSubmit {
+        signature: submit2.signature.clone(),
+        ..submit3.clone()
+    };
+    assert_eq!(
+        world.server_mut(0).handle_registration(&t4).unwrap_err(),
+        Reject::Replay
+    );
 }
 
 #[test]

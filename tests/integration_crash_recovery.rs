@@ -129,14 +129,16 @@ fn lifecycle_world(seed: u64) -> (World, usize) {
 fn torn_final_record_restores_last_acked_state_and_counts_one_skip() {
     let (mut world, sidx) = lifecycle_world(11);
     let server = world.server_mut(sidx);
-    let contents = server.journal().read();
+    let shard = server.shard_for("alice");
+    let contents = server.journal(shard).read();
     assert_eq!(contents.skipped, 0);
     assert!(
         contents.records.len() >= 2,
         "lifecycle journaled several records"
     );
 
-    // Expected state: everything except the final record.
+    // Expected state: everything except the final record in alice's
+    // shard; the other shards' (empty) segments are carried unchanged.
     let mut expected_journal = Journal::in_memory();
     if !contents.snapshot.is_empty() {
         expected_journal.install_snapshot(&contents.snapshot);
@@ -144,15 +146,27 @@ fn torn_final_record_restores_last_acked_state_and_counts_one_skip() {
     for rec in &contents.records[..contents.records.len() - 1] {
         expected_journal.append(rec);
     }
+    let mut expected_journals = server.fork_journals();
+    expected_journals[shard] = expected_journal;
     let mut rng = SimRng::seed_from(99);
-    let (expected, _) = WebServer::recover(server.identity(), expected_journal, &mut rng);
+    let (expected, _) = WebServer::recover(server.identity(), expected_journals, &mut rng);
 
-    // Tear one byte off the log tail: the final frame no longer parses.
-    server.journal_mut().tear_log_tail(1);
+    // Tear one byte off the shard's log tail: the final frame no longer
+    // parses.
+    server.journal_mut(shard).tear_log_tail(1);
     let report = server.recover_in_place(&mut rng);
 
-    assert_eq!(report.records_skipped, 1, "exactly the torn record is lost");
-    assert_eq!(report.records_replayed, contents.records.len() - 1);
+    assert_eq!(
+        report.records_skipped(),
+        1,
+        "exactly the torn record is lost"
+    );
+    assert_eq!(report.records_replayed(), contents.records.len() - 1);
+    assert_eq!(
+        report.shards_with_skips(),
+        vec![shard],
+        "only the torn shard reports a skip"
+    );
     assert_eq!(
         server.state_digest(),
         expected.state_digest(),
@@ -163,7 +177,8 @@ fn torn_final_record_restores_last_acked_state_and_counts_one_skip() {
 #[test]
 fn mid_log_bit_rot_skips_one_record_and_keeps_reading() {
     let (world, sidx) = lifecycle_world(13);
-    let contents = world.server(sidx).journal().read();
+    let server = world.server(sidx);
+    let contents = server.journal(server.shard_for("alice")).read();
     assert!(contents.records.len() >= 3);
 
     // Rebuild the log, then flip a bit inside the *first* record's payload:

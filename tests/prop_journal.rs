@@ -1,11 +1,11 @@
-//! Property tests for the server's write-ahead journal: recovery from any
-//! prefix of a journal yields a valid server state which, after applying
-//! the remaining record suffix, is byte-identical (by state digest) to a
-//! recovery from the full journal.
+//! Property tests for the server's sharded write-ahead journal: recovery
+//! from any per-shard prefix of the journal segments yields a valid server
+//! state which, after applying the remaining record suffixes, is
+//! byte-identical (by state digest) to a recovery from the full journals.
 //!
 //! This is the core crash-safety contract: a crash can land between any
-//! two appends, and wherever it lands, replaying the rest of the history
-//! converges on the same state.
+//! two appends in any shard, and wherever it lands, replaying the rest of
+//! the history converges on the same state.
 
 use btd_sim::rng::SimRng;
 use proptest::prelude::*;
@@ -16,8 +16,8 @@ use trust_core::World;
 const DOMAIN: &str = "www.xyz.com";
 
 /// Runs a register → login → browse lifecycle and returns the server's
-/// durable identity plus everything its journal recorded.
-fn journaled_lifecycle(seed: u64, touches: usize) -> (ServerIdentity, JournalContents) {
+/// durable identity plus everything each shard's journal recorded.
+fn journaled_lifecycle(seed: u64, touches: usize) -> (ServerIdentity, Vec<JournalContents>) {
     let mut rng = SimRng::seed_from(seed);
     let mut world = World::new(&mut rng);
     let sidx = world.add_server(DOMAIN, &mut rng);
@@ -32,7 +32,10 @@ fn journaled_lifecycle(seed: u64, touches: usize) -> (ServerIdentity, JournalCon
         .run_session(device, DOMAIN, touches, &mut rng)
         .expect("session on an honest channel");
     let server = world.server(sidx);
-    (server.identity(), server.journal().read())
+    let contents = (0..server.shard_count())
+        .map(|i| server.journal(i).read())
+        .collect();
+    (server.identity(), contents)
 }
 
 /// Rebuilds a journal holding `contents`' snapshot plus `records`.
@@ -60,25 +63,41 @@ proptest! {
         cut_percent in 0u64..=100,
     ) {
         let (identity, contents) = journaled_lifecycle(seed, touches);
-        prop_assert_eq!(contents.skipped, 0);
-        prop_assert!(!contents.records.is_empty());
-        let cut = (contents.records.len() as u64 * cut_percent / 100) as usize;
+        let total: usize = contents.iter().map(|c| c.records.len()).sum();
+        for c in &contents {
+            prop_assert_eq!(c.skipped, 0);
+        }
+        prop_assert!(total > 0);
 
-        // Reference: recover from the complete journal.
-        let full = journal_with(&contents, &contents.records);
+        // Reference: recover from the complete journal segments.
+        let full = contents
+            .iter()
+            .map(|c| journal_with(c, &c.records))
+            .collect();
         let mut rng_a = SimRng::seed_from(seed ^ 0xF00D);
         let (reference, report) = WebServer::recover(identity.clone(), full, &mut rng_a);
-        prop_assert_eq!(report.records_skipped, 0);
-        prop_assert_eq!(report.records_replayed, contents.records.len());
+        prop_assert_eq!(report.records_skipped(), 0);
+        prop_assert_eq!(report.records_replayed(), total);
 
-        // Candidate: recover from the prefix, then apply the suffix as a
-        // live server would have. Recovery entropy deliberately differs —
-        // durable state must not depend on the restarted process's RNG.
-        let prefix = journal_with(&contents, &contents.records[..cut]);
+        // Candidate: cut every shard's log at the same fraction, recover
+        // from the prefixes, then apply the suffixes as a live server
+        // would have. Recovery entropy deliberately differs — durable
+        // state must not depend on the restarted process's RNG.
+        let cuts: Vec<usize> = contents
+            .iter()
+            .map(|c| (c.records.len() as u64 * cut_percent / 100) as usize)
+            .collect();
+        let prefixes = contents
+            .iter()
+            .zip(&cuts)
+            .map(|(c, &cut)| journal_with(c, &c.records[..cut]))
+            .collect();
         let mut rng_b = SimRng::seed_from(seed ^ 0xBEEF);
-        let (mut candidate, _) = WebServer::recover(identity, prefix, &mut rng_b);
-        for rec in &contents.records[cut..] {
-            candidate.apply_record(rec);
+        let (mut candidate, _) = WebServer::recover(identity, prefixes, &mut rng_b);
+        for (c, &cut) in contents.iter().zip(&cuts) {
+            for rec in &c.records[cut..] {
+                candidate.apply_record(rec);
+            }
         }
 
         prop_assert_eq!(candidate.state_digest(), reference.state_digest());
@@ -87,13 +106,19 @@ proptest! {
     #[test]
     fn recovery_is_idempotent(seed in 1u64..10_000) {
         let (identity, contents) = journaled_lifecycle(seed, 3);
-        let first = journal_with(&contents, &contents.records);
+        let first = contents
+            .iter()
+            .map(|c| journal_with(c, &c.records))
+            .collect();
         let mut rng = SimRng::seed_from(seed);
         let (server_a, _) = WebServer::recover(identity.clone(), first, &mut rng);
 
-        // Recovering the recovered server's own journal (same contents)
+        // Recovering the recovered server's own journals (same contents)
         // converges on the same digest.
-        let again = journal_with(&contents, &contents.records);
+        let again = contents
+            .iter()
+            .map(|c| journal_with(c, &c.records))
+            .collect();
         let (server_b, _) = WebServer::recover(identity, again, &mut rng);
         prop_assert_eq!(server_a.state_digest(), server_b.state_digest());
     }
