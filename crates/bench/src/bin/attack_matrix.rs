@@ -139,7 +139,9 @@ fn main() {
         .iter()
         .map(|(k, v)| (*k, *v))
         .collect();
-    rows.sort_by_key(|(_, v)| std::cmp::Reverse(*v));
+    // Tie-break by reason name: equal counts would otherwise surface the
+    // HashMap's per-process iteration order and break run-to-run diffs.
+    rows.sort_by_key(|(k, v)| (std::cmp::Reverse(*v), k.to_string()));
     let mut t = Table::new(["reason", "count"]);
     for (reason, count) in rows {
         t.row([reason.to_string(), count.to_string()]);

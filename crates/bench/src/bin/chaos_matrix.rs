@@ -13,6 +13,7 @@
 use btd_bench::report::{banner, Table};
 use btd_sim::rng::SimRng;
 use trust_core::channel::Adversary;
+use trust_core::metrics::LatencyHistogram;
 use trust_core::scenario::World;
 use trust_core::server::journal::CrashProfile;
 
@@ -32,6 +33,9 @@ fn main() {
         "replayed",
         "skipped",
         "replays accepted",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
     ]);
 
     for crash_prob in [0.0, 0.05, 0.10, 0.20] {
@@ -42,6 +46,7 @@ fn main() {
             let mut replayed = 0u64;
             let mut skipped = 0u64;
             let mut replays_accepted = 0u64;
+            let mut latency = LatencyHistogram::default();
 
             for session in 0..SESSIONS {
                 let seed =
@@ -66,7 +71,15 @@ fn main() {
                 replayed += report.records_replayed;
                 skipped += report.records_skipped;
                 replays_accepted += report.metrics.replays_accepted;
+                latency.merge(&report.metrics.interaction);
             }
+
+            let q = |q: f64| {
+                latency
+                    .quantile(q)
+                    .map(|d| format!("{}", d.as_millis()))
+                    .unwrap_or_else(|| "-".into())
+            };
 
             table.row([
                 format!("{crash_prob:.2}"),
@@ -77,6 +90,9 @@ fn main() {
                 replayed.to_string(),
                 skipped.to_string(),
                 replays_accepted.to_string(),
+                q(0.50),
+                q(0.95),
+                q(0.99),
             ]);
 
             assert_eq!(

@@ -17,6 +17,7 @@ use std::time::Instant;
 use btd_bench::report::{banner, Table};
 use btd_sim::rng::SimRng;
 use trust_core::channel::Adversary;
+use trust_core::metrics::LatencyHistogram;
 use trust_core::scenario::World;
 use trust_core::server::journal::CrashProfile;
 
@@ -77,6 +78,7 @@ fn run_cell(devices: usize, shards: usize, seed: u64) -> Row {
         journal_bytes,
         recovery_micros: recovery_time.as_micros(),
         records_replayed: recovery.records_replayed(),
+        latency: report.fleet_interaction_latency(),
     }
 }
 
@@ -90,6 +92,14 @@ struct Row {
     journal_bytes: usize,
     recovery_micros: u128,
     records_replayed: usize,
+    latency: LatencyHistogram,
+}
+
+/// Formats a fleet quantile as simulated milliseconds ("-" when empty).
+fn quantile_ms(hist: &LatencyHistogram, q: f64) -> String {
+    hist.quantile(q)
+        .map(|d| format!("{}", d.as_millis()))
+        .unwrap_or_else(|| "-".into())
 }
 
 /// Demonstrates per-shard recovery isolation: a torn tail in one shard's
@@ -150,6 +160,9 @@ fn main() {
         "journal KiB",
         "recovery us",
         "replayed",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
     ]);
 
     for devices in [1usize, 4, 8, 16] {
@@ -166,6 +179,9 @@ fn main() {
                 format!("{:.1}", row.journal_bytes as f64 / 1024.0),
                 row.recovery_micros.to_string(),
                 row.records_replayed.to_string(),
+                quantile_ms(&row.latency, 0.50),
+                quantile_ms(&row.latency, 0.95),
+                quantile_ms(&row.latency, 0.99),
             ]);
         }
     }

@@ -18,6 +18,7 @@ use crate::messages::{ContentPage, Freshness, Reject, ServerHello};
 use crate::metrics::{Phase, ProtocolMetrics, RetryPolicy};
 use crate::registration::FlowError;
 use crate::server::WebServer;
+use crate::trace::{CtxArgs, DuplicateVerdict, EventKind, Outcome, SpanKind};
 
 /// Why a retried exchange ultimately did not get its reply applied.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -81,11 +82,13 @@ where
     S: FnMut(&Req) -> Result<(Resp, Freshness), Reject>,
     A: FnMut(&Resp) -> bool,
 {
+    let tracer = channel.tracer().clone();
     for attempt in 0..policy.max_attempts {
         metrics.sends += 1;
         if attempt > 0 {
             metrics.retries += 1;
         }
+        tracer.record(EventKind::Send { attempt });
 
         let mut primary = None;
         for (i, arrival) in channel.transmit(request.clone()).into_iter().enumerate() {
@@ -95,14 +98,27 @@ where
                 // Adversary-injected duplicate: the server's verdict on it
                 // is the replay-defense scoreboard.
                 match serve(&arrival.msg) {
-                    Ok((_, Freshness::Fresh)) => metrics.replays_accepted += 1,
+                    Ok((_, Freshness::Fresh)) => {
+                        metrics.replays_accepted += 1;
+                        tracer.record(EventKind::Duplicate {
+                            verdict: DuplicateVerdict::AcceptedFresh,
+                        });
+                    }
                     Ok((_, Freshness::Resent | Freshness::Resync)) => {
                         metrics.duplicates_resent += 1;
+                        tracer.record(EventKind::Duplicate {
+                            verdict: DuplicateVerdict::Resent,
+                        });
                     }
                     // A dead server renders no verdict; the duplicate was
                     // neither accepted nor rejected.
                     Err(Reject::ServerCrashed) => {}
-                    Err(_) => metrics.replays_rejected += 1,
+                    Err(_) => {
+                        metrics.replays_rejected += 1;
+                        tracer.record(EventKind::Duplicate {
+                            verdict: DuplicateVerdict::Rejected,
+                        });
+                    }
                 }
             }
         }
@@ -110,6 +126,10 @@ where
         let Some((request_delay, result)) = primary else {
             // Every copy of the request was destroyed in transit.
             metrics.timeouts += 1;
+            tracer.record(EventKind::Timeout {
+                attempt,
+                backoff_ms: policy.backoff(attempt).as_millis(),
+            });
             *latency += policy.timeout + policy.backoff(attempt);
             continue;
         };
@@ -121,6 +141,10 @@ where
                 // From the device's clock this is indistinguishable from
                 // loss, so it burns the attempt as a timeout.
                 metrics.timeouts += 1;
+                tracer.record(EventKind::Timeout {
+                    attempt,
+                    backoff_ms: policy.backoff(attempt).as_millis(),
+                });
                 *latency += policy.timeout + policy.backoff(attempt);
                 continue;
             }
@@ -129,6 +153,11 @@ where
                 // the undamaged original is worth resending. (A genuine
                 // forgery also lands here, and simply bounces again.)
                 metrics.corrupt_rejected += 1;
+                tracer.record(EventKind::CorruptReject {
+                    attempt,
+                    reason: reject,
+                    backoff_ms: policy.backoff(attempt).as_millis(),
+                });
                 *latency += request_delay + channel.latency + policy.backoff(attempt);
                 continue;
             }
@@ -139,6 +168,7 @@ where
         };
         if freshness != Freshness::Fresh {
             metrics.resyncs += 1;
+            tracer.record(EventKind::Resync);
         }
 
         let mut arrivals = channel.transmit(reply).into_iter();
@@ -146,32 +176,50 @@ where
             // The reply was destroyed; the server has already advanced, so
             // the retransmit will be answered from the idempotency cache.
             metrics.timeouts += 1;
+            tracer.record(EventKind::Timeout {
+                attempt,
+                backoff_ms: policy.backoff(attempt).as_millis(),
+            });
             *latency += policy.timeout + policy.backoff(attempt);
             continue;
         };
-        metrics.stale_content_ignored += arrivals.count() as u64;
+        let stale = arrivals.count() as u64;
+        metrics.stale_content_ignored += stale;
+        if stale > 0 {
+            tracer.record(EventKind::StaleContent { copies: stale });
+        }
 
         let rtt = request_delay + first.delay;
         if rtt > policy.timeout {
             // The reply exists but arrived after the device stopped
             // waiting — indistinguishable from loss on this attempt.
             metrics.timeouts += 1;
+            tracer.record(EventKind::Timeout {
+                attempt,
+                backoff_ms: policy.backoff(attempt).as_millis(),
+            });
             *latency += policy.timeout + policy.backoff(attempt);
             continue;
         }
         if !accept(&first.msg) {
             metrics.corrupt_rejected += 1;
+            tracer.record(EventKind::ReplyRejected { attempt });
             *latency += rtt + policy.backoff(attempt);
             continue;
         }
         *latency += rtt;
         metrics.record_latency(phase, rtt);
+        tracer.record(EventKind::Served {
+            phase,
+            rtt_nanos: rtt.as_nanos(),
+        });
         return Ok(match freshness {
             Freshness::Resync => Exchanged::Resynced,
             _ => Exchanged::Served(first.msg),
         });
     }
     metrics.giveups += 1;
+    tracer.record(EventKind::GiveUp);
     Err(ExchangeFailure::GaveUp)
 }
 
@@ -188,14 +236,20 @@ pub(crate) fn fetch_hello(
     latency: &mut SimDuration,
     path: &str,
 ) -> Result<ServerHello, ExchangeFailure> {
+    let tracer = channel.tracer().clone();
     for attempt in 0..policy.max_attempts {
         metrics.sends += 1;
         if attempt > 0 {
             metrics.retries += 1;
         }
+        tracer.record(EventKind::Send { attempt });
         if server.is_crashed() {
             // A dead server answers nothing; the fetch simply times out.
             metrics.timeouts += 1;
+            tracer.record(EventKind::Timeout {
+                attempt,
+                backoff_ms: policy.backoff(attempt).as_millis(),
+            });
             *latency += policy.timeout + policy.backoff(attempt);
             continue;
         }
@@ -203,6 +257,10 @@ pub(crate) fn fetch_hello(
         let mut arrivals = channel.transmit(hello).into_iter();
         let Some(first) = arrivals.next() else {
             metrics.timeouts += 1;
+            tracer.record(EventKind::Timeout {
+                attempt,
+                backoff_ms: policy.backoff(attempt).as_millis(),
+            });
             *latency += policy.timeout + policy.backoff(attempt);
             continue;
         };
@@ -210,19 +268,29 @@ pub(crate) fn fetch_hello(
         let rtt = channel.latency + first.delay;
         if rtt > policy.timeout {
             metrics.timeouts += 1;
+            tracer.record(EventKind::Timeout {
+                attempt,
+                backoff_ms: policy.backoff(attempt).as_millis(),
+            });
             *latency += policy.timeout + policy.backoff(attempt);
             continue;
         }
         if device.check_hello(&first.msg).is_err() {
             metrics.corrupt_rejected += 1;
+            tracer.record(EventKind::ReplyRejected { attempt });
             *latency += rtt + policy.backoff(attempt);
             continue;
         }
         *latency += rtt;
         metrics.record_latency(Phase::Hello, rtt);
+        tracer.record(EventKind::Served {
+            phase: Phase::Hello,
+            rtt_nanos: rtt.as_nanos(),
+        });
         return Ok(first.msg);
     }
     metrics.giveups += 1;
+    tracer.record(EventKind::GiveUp);
     Err(ExchangeFailure::GaveUp)
 }
 
@@ -253,25 +321,81 @@ pub fn login(
 ) -> Result<LoginOutcome, FlowError> {
     let mut metrics = ProtocolMetrics::default();
     let mut latency = SimDuration::ZERO;
-
-    let hello = fetch_hello(
+    let session_id = login_collect(
         device,
+        owner_user,
         server,
         channel,
         policy,
+        rng,
         &mut metrics,
         &mut latency,
-        "/login",
-    )
-    .map_err(FlowError::from)?;
+    )?;
+    Ok(LoginOutcome {
+        session_id,
+        latency,
+        metrics,
+    })
+}
+
+/// [`login`], but accumulating metrics and latency into the caller's
+/// counters so a failed attempt's accounting is not lost with the error.
+/// Returns the opened session id.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn login_collect(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    policy: &RetryPolicy,
+    rng: &mut SimRng,
+    metrics: &mut ProtocolMetrics,
+    latency: &mut SimDuration,
+) -> Result<String, FlowError> {
+    let tracer = channel.tracer().clone();
+    tracer.open(
+        SpanKind::SessionEstablish,
+        CtxArgs {
+            account: device.account_for(server.domain()),
+            ..CtxArgs::default()
+        },
+    );
+    let result = login_inner(
+        device, owner_user, server, channel, policy, rng, metrics, latency,
+    );
+    tracer.close(
+        SpanKind::SessionEstablish,
+        match &result {
+            Ok(_) => Outcome::Success,
+            Err(FlowError::Server(r)) => Outcome::Rejected(*r),
+            Err(FlowError::NetworkDropped) => Outcome::GaveUp,
+            Err(FlowError::Device(_)) => Outcome::DeviceRefused,
+        },
+    );
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn login_inner(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    policy: &RetryPolicy,
+    rng: &mut SimRng,
+    metrics: &mut ProtocolMetrics,
+    latency: &mut SimDuration,
+) -> Result<String, FlowError> {
+    let hello = fetch_hello(device, server, channel, policy, metrics, latency, "/login")
+        .map_err(FlowError::from)?;
     let domain = hello.domain.clone();
 
     let submit = device.begin_login(&hello, owner_user, rng)?;
     exchange(
         channel,
         policy,
-        &mut metrics,
-        &mut latency,
+        metrics,
+        latency,
         Phase::Submit,
         &submit,
         |m| server.handle_login(m),
@@ -279,15 +403,10 @@ pub fn login(
     )
     .map_err(FlowError::from)?;
 
-    let session_id = device
+    Ok(device
         .session_id(&domain)
         .expect("session established")
-        .to_owned();
-    Ok(LoginOutcome {
-        session_id,
-        latency,
-        metrics,
-    })
+        .to_owned())
 }
 
 /// Aggregate outcome of a post-login browsing session.
@@ -333,6 +452,7 @@ pub fn run_session(
 ) -> Result<SessionReport, FlowError> {
     assert!(!actions.is_empty(), "need at least one action");
     let mut report = SessionReport::default();
+    let tracer = channel.tracer().clone();
     let account = device.account_for(domain).map(str::to_owned);
     let audit_start = account
         .as_deref()
@@ -344,11 +464,29 @@ pub fn run_session(
         device.observe_touch(touch, rng);
         report.attempted += 1;
 
+        let pre_seq = device.session_seq(domain).unwrap_or(0);
+        tracer.open(
+            SpanKind::Interact(pre_seq),
+            CtxArgs {
+                account: account.as_deref(),
+                session: device.session_id(domain),
+                shard: None,
+                seq: Some(pre_seq),
+            },
+        );
+
         // One resync round: if the exchange reports the device was a
         // reply behind, the request is rebuilt against the healed state
         // and sent once more.
+        let mut outcome = Outcome::GaveUp;
         for _round in 0..2 {
-            let request = device.build_interaction(domain, action)?;
+            let request = match device.build_interaction(domain, action) {
+                Ok(request) => request,
+                Err(err) => {
+                    tracer.close(SpanKind::Interact(pre_seq), Outcome::DeviceRefused);
+                    return Err(err.into());
+                }
+            };
             match exchange(
                 channel,
                 policy,
@@ -361,13 +499,16 @@ pub fn run_session(
             ) {
                 Ok(Exchanged::Served(_)) => {
                     report.served += 1;
+                    outcome = Outcome::Success;
                     break;
                 }
                 Ok(Exchanged::Resynced) => continue,
                 Err(ExchangeFailure::Rejected(reject)) => {
                     report.rejects.push(reject);
+                    outcome = Outcome::Rejected(reject);
                     if reject == Reject::RiskTerminated {
                         report.terminated = true;
+                        tracer.close(SpanKind::Interact(pre_seq), outcome);
                         break 'touches;
                     }
                     break;
@@ -375,6 +516,7 @@ pub fn run_session(
                 Err(ExchangeFailure::GaveUp) => break,
             }
         }
+        tracer.close(SpanKind::Interact(pre_seq), outcome);
     }
     report.audit_mismatches = account
         .as_deref()

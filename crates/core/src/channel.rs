@@ -13,6 +13,8 @@
 use btd_sim::rng::SimRng;
 use btd_sim::time::SimDuration;
 
+use crate::trace::{EventKind, FaultKind, Tracer};
+
 /// A message type that can cross the [`Channel`].
 ///
 /// `corrupt` flips bits the way an on-path attacker or a noisy link would;
@@ -124,6 +126,30 @@ pub struct Arrival<T> {
     pub delay: SimDuration,
 }
 
+/// Per-adversary-kind fault breakdown. The aggregate [`ChannelStats`]
+/// counters lose which adversary layer fired — under a `Composed` stack,
+/// `dropped` can't say whether the dropper or a loss burst destroyed a
+/// message. These counters attribute every fault to its layer; the
+/// conservation invariants tying them to the aggregates are pinned in
+/// `prop_channel.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultCounts {
+    /// Extra copies injected by the replayer.
+    pub replay_duplicates: u64,
+    /// Copies destroyed by the periodic dropper.
+    pub dropper_drops: u64,
+    /// Copies destroyed by independent random loss.
+    pub random_loss_drops: u64,
+    /// Copies destroyed inside a loss burst.
+    pub burst_loss_drops: u64,
+    /// Copies delayed by congestion jitter.
+    pub jitter_delays: u64,
+    /// Copies delayed by the reorderer.
+    pub reorder_delays: u64,
+    /// Copies damaged by the corruptor.
+    pub corruptions: u64,
+}
+
 /// Channel counters. Conservation invariant:
 /// `delivered + dropped == sent + duplicated`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -140,6 +166,9 @@ pub struct ChannelStats {
     pub corrupted: u64,
     /// Copies that arrived later than the base latency.
     pub delayed: u64,
+    /// Which adversary layer each fault came from: `duplicated`,
+    /// `dropped`, `corrupted`, and `delayed` broken down by kind.
+    pub faults: FaultCounts,
 }
 
 /// Extra delay between an original and its adversarial replay copy.
@@ -155,6 +184,7 @@ pub struct Channel {
     /// Remaining messages to destroy in the current loss burst.
     burst_left: u32,
     stats: ChannelStats,
+    tracer: Tracer,
 }
 
 impl Channel {
@@ -181,12 +211,32 @@ impl Channel {
             rng: rng.fork(0xC4A7),
             burst_left: 0,
             stats: ChannelStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The configured adversary.
     pub fn adversary(&self) -> &Adversary {
         &self.adversary
+    }
+
+    /// Installs a tracer; injected faults are recorded as
+    /// [`EventKind::Fault`] events as they fire.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The channel's tracer handle (disabled unless installed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn fault(&mut self, fault: FaultKind, copies: u64) {
+        if self.tracer.is_enabled() {
+            for _ in 0..copies {
+                self.tracer.record(EventKind::Fault { fault });
+            }
+        }
     }
 
     /// Transmits a message, returning the copies that arrive, earliest
@@ -222,12 +272,16 @@ impl Channel {
                     })
                     .collect();
                 self.stats.duplicated += copies.len() as u64;
+                self.stats.faults.replay_duplicates += copies.len() as u64;
+                self.fault(FaultKind::ReplayDuplicate, copies.len() as u64);
                 arrivals.extend(copies);
                 arrivals
             }
             Adversary::Dropper { period } => {
                 if *period > 0 && seq.is_multiple_of(*period as u64) {
                     self.stats.dropped += arrivals.len() as u64;
+                    self.stats.faults.dropper_drops += arrivals.len() as u64;
+                    self.fault(FaultKind::DropperDrop, arrivals.len() as u64);
                     Vec::new()
                 } else {
                     arrivals
@@ -238,6 +292,8 @@ impl Channel {
                 for a in arrivals {
                     if self.rng.chance(*loss) {
                         self.stats.dropped += 1;
+                        self.stats.faults.random_loss_drops += 1;
+                        self.fault(FaultKind::RandomLossDrop, 1);
                     } else {
                         kept.push(a);
                     }
@@ -248,10 +304,14 @@ impl Channel {
                 if self.burst_left > 0 {
                     self.burst_left -= 1;
                     self.stats.dropped += arrivals.len() as u64;
+                    self.stats.faults.burst_loss_drops += arrivals.len() as u64;
+                    self.fault(FaultKind::BurstLossDrop, arrivals.len() as u64);
                     Vec::new()
                 } else if self.rng.chance(*start) {
                     self.burst_left = burst.saturating_sub(1);
                     self.stats.dropped += arrivals.len() as u64;
+                    self.stats.faults.burst_loss_drops += arrivals.len() as u64;
+                    self.fault(FaultKind::BurstLossDrop, arrivals.len() as u64);
                     Vec::new()
                 } else {
                     arrivals
@@ -263,6 +323,8 @@ impl Channel {
                     if extra > 0 {
                         a.delay += SimDuration::from_millis(extra);
                         self.stats.delayed += 1;
+                        self.stats.faults.jitter_delays += 1;
+                        self.fault(FaultKind::JitterDelay { extra_ms: extra }, 1);
                     }
                 }
                 arrivals
@@ -272,6 +334,13 @@ impl Channel {
                     for a in arrivals.iter_mut() {
                         a.delay += SimDuration::from_millis(*extra_ms);
                         self.stats.delayed += 1;
+                        self.stats.faults.reorder_delays += 1;
+                        self.fault(
+                            FaultKind::ReorderDelay {
+                                extra_ms: *extra_ms,
+                            },
+                            1,
+                        );
                     }
                 }
                 arrivals
@@ -281,6 +350,8 @@ impl Channel {
                     for a in arrivals.iter_mut() {
                         a.msg.corrupt(&mut self.rng);
                         self.stats.corrupted += 1;
+                        self.stats.faults.corruptions += 1;
+                        self.fault(FaultKind::Corruption, 1);
                     }
                 }
                 arrivals

@@ -22,14 +22,16 @@ use btd_sim::rng::SimRng;
 use btd_sim::time::SimDuration;
 use btd_workload::session::TouchSample;
 
-use crate::auth::{exchange, login, ExchangeFailure, Exchanged};
+use crate::auth::{exchange, login_collect, ExchangeFailure, Exchanged};
 use crate::channel::Channel;
 use crate::device::MobileDevice;
 use crate::messages::{ContentPage, Reject, ResumeAck};
+use crate::metrics::LatencyHistogram;
 use crate::metrics::{Phase, ProtocolMetrics, RetryPolicy};
-use crate::registration::{register, FlowError};
+use crate::registration::{register_collect, FlowError};
 use crate::server::journal::{CrashProfile, CrashSchedule};
 use crate::server::WebServer;
+use crate::trace::{CtxArgs, EventKind, Outcome, SpanKind, Tracer};
 
 /// How many times a single lifecycle stage (a touch, a handshake, a
 /// close) is re-driven through crashes and losses before the harness
@@ -100,8 +102,18 @@ fn resume_session(
     report: &mut ChaosReport,
     rng: &mut SimRng,
 ) -> Result<(), FlowError> {
+    let tracer = channel.tracer().clone();
     for _ in 0..MAX_ROUNDS {
         let request = device.begin_resume(domain)?;
+        tracer.open(
+            SpanKind::Resume,
+            CtxArgs {
+                account: device.account_for(domain),
+                session: device.session_id(domain),
+                shard: None,
+                seq: None,
+            },
+        );
         match exchange(
             channel,
             policy,
@@ -113,16 +125,21 @@ fn resume_session(
             |ack: &ResumeAck| device.accept_resume(domain, ack).is_ok(),
         ) {
             Ok(_) => {
+                tracer.close(SpanKind::Resume, Outcome::Success);
                 report.resumes += 1;
                 return Ok(());
             }
             Err(ExchangeFailure::GaveUp) => {
+                tracer.close(SpanKind::Resume, Outcome::GaveUp);
                 if server.is_crashed() {
                     recover(server, profile, report, rng);
                 }
                 // Pure loss: a fresh handshake (new device nonce) retries.
             }
-            Err(ExchangeFailure::Rejected(reject)) => return Err(FlowError::Server(reject)),
+            Err(ExchangeFailure::Rejected(reject)) => {
+                tracer.close(SpanKind::Resume, Outcome::Rejected(reject));
+                return Err(FlowError::Server(reject));
+            }
         }
     }
     Err(FlowError::NetworkDropped)
@@ -158,6 +175,10 @@ pub struct DeviceLifecycle {
     /// Index into the account's audit window where this lifecycle began.
     audit_start: usize,
     failure: Option<FlowError>,
+    /// Shared trace handle (cloned from the server at construction).
+    tracer: Tracer,
+    /// Whether the lifecycle span has been closed (finish is re-entrant).
+    span_closed: bool,
     /// The running per-device report.
     pub report: ChaosReport,
 }
@@ -174,6 +195,16 @@ impl DeviceLifecycle {
         server: &WebServer,
     ) -> Self {
         assert!(!actions.is_empty(), "need at least one action");
+        let tracer = server.tracer().clone();
+        // The lifecycle span covers many interleaved `step` calls, so it
+        // cannot use the tracer's nesting stack: open/close are recorded
+        // with an explicit context instead.
+        tracer.record_with(
+            CtxArgs::account(account),
+            EventKind::SpanOpen {
+                span: SpanKind::Lifecycle,
+            },
+        );
         DeviceLifecycle {
             domain: domain.to_owned(),
             account: account.to_owned(),
@@ -186,6 +217,8 @@ impl DeviceLifecycle {
             rounds: 0,
             audit_start: server.audit_log_for(account).len(),
             failure: None,
+            tracer,
+            span_closed: false,
             report: ChaosReport::default(),
         }
     }
@@ -237,6 +270,22 @@ impl DeviceLifecycle {
             crate::audit::audit_account_from(server, &self.account, self.audit_start)
                 .findings
                 .len() as u64;
+        if !self.span_closed {
+            self.span_closed = true;
+            let outcome = match self.failure {
+                None => Outcome::Success,
+                Some(FlowError::Server(r)) => Outcome::Rejected(r),
+                Some(FlowError::NetworkDropped) => Outcome::GaveUp,
+                Some(FlowError::Device(_)) => Outcome::DeviceRefused,
+            };
+            self.tracer.record_with(
+                CtxArgs::account(&self.account),
+                EventKind::SpanClose {
+                    span: SpanKind::Lifecycle,
+                    outcome,
+                },
+            );
+        }
     }
 
     /// Advances the lifecycle by one unit of work. Returns `true` while
@@ -287,7 +336,7 @@ impl DeviceLifecycle {
             self.enter(LifecycleState::Login);
             return;
         }
-        match register(
+        match register_collect(
             device,
             self.owner_user,
             server,
@@ -295,10 +344,10 @@ impl DeviceLifecycle {
             &self.account,
             policy,
             rng,
+            &mut self.report.metrics,
+            &mut self.report.latency,
         ) {
-            Ok(r) => {
-                self.report.latency += r.latency;
-                self.report.metrics.absorb(&r.metrics);
+            Ok(()) => {
                 self.enter(LifecycleState::Login);
             }
             Err(FlowError::NetworkDropped) => {
@@ -327,10 +376,17 @@ impl DeviceLifecycle {
         profile: CrashProfile,
         rng: &mut SimRng,
     ) {
-        match login(device, self.owner_user, server, channel, policy, rng) {
-            Ok(out) => {
-                self.report.latency += out.latency;
-                self.report.metrics.absorb(&out.metrics);
+        match login_collect(
+            device,
+            self.owner_user,
+            server,
+            channel,
+            policy,
+            rng,
+            &mut self.report.metrics,
+            &mut self.report.latency,
+        ) {
+            Ok(_session_id) => {
                 let next = if self.touches.is_empty() {
                     LifecycleState::Close
                 } else {
@@ -371,9 +427,22 @@ impl DeviceLifecycle {
             return;
         }
         let pre_seq = device.session_seq(&self.domain);
+        let span = SpanKind::Interact(pre_seq.unwrap_or(0));
+        self.tracer.open(
+            span,
+            CtxArgs {
+                account: Some(&self.account),
+                session: device.session_id(&self.domain),
+                shard: None,
+                seq: Some(pre_seq.unwrap_or(0)),
+            },
+        );
         let request = match device.build_interaction(&self.domain, &action) {
             Ok(r) => r,
-            Err(e) => return self.fail(e.into()),
+            Err(e) => {
+                self.tracer.close(span, Outcome::DeviceRefused);
+                return self.fail(e.into());
+            }
         };
         let domain = self.domain.clone();
         match exchange(
@@ -387,11 +456,15 @@ impl DeviceLifecycle {
             |content: &ContentPage| device.accept_content(&domain, content).is_ok(),
         ) {
             Ok(Exchanged::Served(_)) => {
+                self.tracer.close(span, Outcome::Success);
                 self.report.served += 1;
                 self.next_touch();
             }
-            Ok(Exchanged::Resynced) => {}
+            Ok(Exchanged::Resynced) => {
+                self.tracer.close(span, Outcome::Resynced);
+            }
             Err(ExchangeFailure::Rejected(reject)) => {
+                self.tracer.close(span, Outcome::Rejected(reject));
                 self.report.rejects.push(reject);
                 if reject == Reject::RiskTerminated {
                     self.report.terminated = true;
@@ -413,18 +486,22 @@ impl DeviceLifecycle {
                         &mut self.report,
                         rng,
                     ) {
+                        self.tracer.close(span, Outcome::GaveUp);
                         return self.fail(e);
                     }
                     // If the interaction was journaled before the crash,
                     // the resume ack replayed its reply into the device;
                     // the touch is served, not re-sent.
                     if device.session_seq(&self.domain) > pre_seq {
+                        self.tracer.close(span, Outcome::Success);
                         self.report.served += 1;
                         self.next_touch();
+                        return;
                     }
                 }
                 // Pure loss (or a pre-journal crash): drive the same
                 // touch again; the server's cache keeps it exactly-once.
+                self.tracer.close(span, Outcome::GaveUp);
             }
         }
     }
@@ -457,18 +534,32 @@ impl DeviceLifecycle {
         if self.stuck() {
             return;
         }
+        self.tracer.open(
+            SpanKind::Close,
+            CtxArgs {
+                account: Some(&self.account),
+                session: Some(&session_id),
+                shard: None,
+                seq: None,
+            },
+        );
         match server.close_session(&self.account, &session_id) {
             Ok(_) => {
+                self.tracer.close(SpanKind::Close, Outcome::Success);
                 device.end_session(&self.domain);
                 self.report.closed = true;
                 self.enter(LifecycleState::Done);
             }
             Err(Reject::ServerCrashed) => {
+                self.tracer.close(SpanKind::Close, Outcome::GaveUp);
                 if server.is_crashed() {
                     recover(server, profile, &mut self.report, rng);
                 }
             }
-            Err(e) => self.fail(FlowError::Server(e)),
+            Err(e) => {
+                self.tracer.close(SpanKind::Close, Outcome::Rejected(e));
+                self.fail(FlowError::Server(e));
+            }
         }
     }
 }
@@ -520,6 +611,25 @@ impl MultiChaosReport {
     /// Journal records lost across all recoveries.
     pub fn records_skipped(&self) -> u64 {
         self.per_device.iter().map(|r| r.records_skipped).sum()
+    }
+
+    /// Every device's interaction-latency histogram merged into one
+    /// fleet-level distribution (for p50/p95/p99 summaries).
+    pub fn fleet_interaction_latency(&self) -> LatencyHistogram {
+        let mut fleet = LatencyHistogram::default();
+        for r in &self.per_device {
+            fleet.merge(&r.metrics.interaction);
+        }
+        fleet
+    }
+
+    /// The whole run's metrics summed across devices.
+    pub fn fleet_metrics(&self) -> ProtocolMetrics {
+        let mut fleet = ProtocolMetrics::default();
+        for r in &self.per_device {
+            fleet.absorb(&r.metrics);
+        }
+        fleet
     }
 }
 

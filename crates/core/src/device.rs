@@ -27,6 +27,7 @@ use crate::messages::{
 };
 use crate::pages::{Page, View};
 use crate::risk_policy::RiskReport;
+use crate::trace::{EventKind, Tracer};
 
 /// Why a device-side protocol step failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -87,6 +88,7 @@ pub struct MobileDevice {
     sessions: HashMap<String, DeviceSession>,
     /// Set when malware controls the browser's display path.
     spoofed_page: Option<Page>,
+    tracer: Tracer,
 }
 
 /// Maximum owner-touch retries for explicit (register/login) verification.
@@ -100,12 +102,24 @@ impl MobileDevice {
             flock,
             sessions: HashMap::new(),
             spoofed_page: None,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The device name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Installs a tracer; content acceptances and session re-joins are
+    /// recorded as device-side point events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The device's tracer handle (disabled unless installed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The FLock module.
@@ -364,6 +378,8 @@ impl MobileDevice {
         session.next_nonce = content.nonce;
         session.next_seq = content.seq;
         session.current_page = page.clone();
+        self.tracer
+            .record(EventKind::ContentAccepted { seq: content.seq });
         self.display(&page, View::default());
         Ok(())
     }
@@ -574,6 +590,9 @@ impl MobileDevice {
         session.next_nonce = ack.nonce;
         session.next_seq = ack.seq;
         session.pending_resume = None;
+        self.tracer.record(EventKind::ResumeAccepted {
+            healed_reply: ack.last_reply.is_some(),
+        });
         Ok(())
     }
 

@@ -48,6 +48,9 @@
 //! * [`chaos`] — the crash/loss chaos harness: the full lifecycle driven
 //!   through seeded server crashes, journal recoveries, and session
 //!   resumption.
+//! * [`trace`] — deterministic protocol tracing: typed spans and point
+//!   events across every layer, with JSONL export, queries, trace diff,
+//!   and metrics derivation.
 //! * [`timeline`] — a discrete-event replay of a session with true
 //!   timestamps (touches at workload time, messages after latency).
 //! * [`scenario`] — turnkey harnesses used by the examples, integration
@@ -82,6 +85,7 @@ pub mod risk_policy;
 pub mod scenario;
 pub mod server;
 pub mod timeline;
+pub mod trace;
 pub mod transfer;
 pub mod wire;
 

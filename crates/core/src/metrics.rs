@@ -24,6 +24,9 @@ pub struct LatencyHistogram {
     pub samples: u64,
     /// Sum of all recorded samples.
     pub total: SimDuration,
+    /// Largest recorded sample (zero with no samples). Gives the
+    /// overflow bucket a true upper bound for [`LatencyHistogram::quantile`].
+    pub max: SimDuration,
 }
 
 impl LatencyHistogram {
@@ -37,6 +40,9 @@ impl LatencyHistogram {
         self.counts[bucket] += 1;
         self.samples += 1;
         self.total += rtt;
+        if rtt > self.max {
+            self.max = rtt;
+        }
     }
 
     /// Mean recorded latency, or zero with no samples.
@@ -64,11 +70,45 @@ impl LatencyHistogram {
 
     /// Folds another histogram into this one.
     pub fn absorb(&mut self, other: &LatencyHistogram) {
+        self.merge(other);
+    }
+
+    /// Merges another histogram into this one: bucket-wise counts, sample
+    /// and total sums, max of maxes. Used to roll per-device chaos
+    /// reports up into fleet-level summaries.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
             *mine += theirs;
         }
         self.samples += other.samples;
         self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Latency at quantile `q` in `[0, 1]`, or `None` with no samples.
+    ///
+    /// Buckets only bound samples, so this returns the *upper bound* of
+    /// the bucket holding the rank-`ceil(q * samples)` sample — a
+    /// conservative (pessimistic) estimate. For the unbounded overflow
+    /// bucket it returns the true recorded [`LatencyHistogram::max`].
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.samples == 0 {
+            return None;
+        }
+        let rank = ((q * self.samples as f64).ceil() as u64).clamp(1, self.samples);
+        let mut seen = 0u64;
+        for (bucket, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(match LATENCY_BUCKET_MS.get(bucket) {
+                    Some(bound) => SimDuration::from_millis(*bound),
+                    None => self.max,
+                });
+            }
+        }
+        Some(self.max)
     }
 }
 
@@ -207,6 +247,41 @@ mod tests {
         assert_eq!(rows.len(), 6);
         assert_eq!(rows[1], ("<=150ms".to_owned(), 1));
         assert_eq!(rows[5].0, ">1200ms");
+    }
+
+    #[test]
+    fn merge_sums_counts_and_takes_max_of_maxes() {
+        let mut a = LatencyHistogram::default();
+        a.record(SimDuration::from_millis(100));
+        a.record(SimDuration::from_millis(2_000));
+        let mut b = LatencyHistogram::default();
+        b.record(SimDuration::from_millis(400));
+        b.record(SimDuration::from_millis(9_000));
+        a.merge(&b);
+        assert_eq!(a.samples, 4);
+        assert_eq!(a.counts, [0, 1, 0, 1, 0, 2]);
+        assert_eq!(a.total, SimDuration::from_millis(11_500));
+        assert_eq!(a.max, SimDuration::from_millis(9_000));
+    }
+
+    #[test]
+    fn quantile_returns_bucket_bound_or_true_max() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..90 {
+            h.record(SimDuration::from_millis(100));
+        }
+        for _ in 0..9 {
+            h.record(SimDuration::from_millis(500));
+        }
+        h.record(SimDuration::from_millis(3_000));
+        // p50 and p95 land in bounded buckets: upper bound is returned.
+        assert_eq!(h.quantile(0.50), Some(SimDuration::from_millis(150)));
+        assert_eq!(h.quantile(0.95), Some(SimDuration::from_millis(600)));
+        // p100 lands in the overflow bucket: the true max is returned.
+        assert_eq!(h.quantile(1.0), Some(SimDuration::from_millis(3_000)));
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.99) <= h.quantile(1.0));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::device::{DeviceError, MobileDevice};
 use crate::messages::{RegistrationAck, Reject};
 use crate::metrics::{Phase, ProtocolMetrics, RetryPolicy};
 use crate::server::WebServer;
+use crate::trace::{CtxArgs, Outcome, SpanKind};
 
 /// Why an end-to-end flow failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,15 +76,73 @@ pub fn register(
 ) -> Result<RegistrationReport, FlowError> {
     let mut metrics = ProtocolMetrics::default();
     let mut latency = SimDuration::ZERO;
+    register_collect(
+        device,
+        owner_user,
+        server,
+        channel,
+        account,
+        policy,
+        rng,
+        &mut metrics,
+        &mut latency,
+    )?;
+    Ok(RegistrationReport { latency, metrics })
+}
 
+/// [`register`], but accumulating metrics and latency into the caller's
+/// counters so a failed attempt's accounting is not lost with the error.
+/// The chaos harness uses this to keep the live counters consistent with
+/// the trace even when a flow gives up mid-way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn register_collect(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    account: &str,
+    policy: &RetryPolicy,
+    rng: &mut SimRng,
+    metrics: &mut ProtocolMetrics,
+    latency: &mut SimDuration,
+) -> Result<(), FlowError> {
+    let tracer = channel.tracer().clone();
+    tracer.open(SpanKind::Register, CtxArgs::account(account));
+    let result = register_inner(
+        device, owner_user, server, channel, account, policy, rng, metrics, latency,
+    );
+    tracer.close(
+        SpanKind::Register,
+        match &result {
+            Ok(_) => Outcome::Success,
+            Err(FlowError::Server(r)) => Outcome::Rejected(*r),
+            Err(FlowError::NetworkDropped) => Outcome::GaveUp,
+            Err(FlowError::Device(_)) => Outcome::DeviceRefused,
+        },
+    );
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn register_inner(
+    device: &mut MobileDevice,
+    owner_user: u64,
+    server: &mut WebServer,
+    channel: &mut Channel,
+    account: &str,
+    policy: &RetryPolicy,
+    rng: &mut SimRng,
+    metrics: &mut ProtocolMetrics,
+    latency: &mut SimDuration,
+) -> Result<(), FlowError> {
     // Step 1: request + serve the registration page.
     let hello = fetch_hello(
         device,
         server,
         channel,
         policy,
-        &mut metrics,
-        &mut latency,
+        metrics,
+        latency,
         "/register",
     )
     .map_err(FlowError::from)?;
@@ -97,8 +156,8 @@ pub fn register(
     exchange(
         channel,
         policy,
-        &mut metrics,
-        &mut latency,
+        metrics,
+        latency,
         Phase::Submit,
         &submit,
         |m| server.handle_registration(m),
@@ -106,5 +165,5 @@ pub fn register(
     )
     .map_err(FlowError::from)?;
 
-    Ok(RegistrationReport { latency, metrics })
+    Ok(())
 }

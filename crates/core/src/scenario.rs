@@ -17,6 +17,7 @@ use crate::device::MobileDevice;
 use crate::metrics::RetryPolicy;
 use crate::registration::{register, FlowError, RegistrationReport};
 use crate::server::WebServer;
+use crate::trace::Tracer;
 
 /// Default post-login actions a session cycles through.
 pub const DEFAULT_ACTIONS: [&str; 4] = ["/inbox", "/transfer", "/settings", "/home"];
@@ -33,6 +34,7 @@ pub struct World {
     group: &'static DhGroup,
     servers: Vec<WebServer>,
     devices: Vec<(MobileDevice, u64)>,
+    tracer: Tracer,
 }
 
 impl World {
@@ -52,12 +54,41 @@ impl World {
             group,
             servers: Vec::new(),
             devices: Vec::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Turns on deterministic protocol tracing for the whole world.
+    ///
+    /// One shared [`Tracer`] is installed into the channel, every server,
+    /// and every device (including ones added later), so all layers append
+    /// to a single totally-ordered event buffer. Returns a handle to that
+    /// buffer; clones share it.
+    pub fn enable_tracing(&mut self) -> Tracer {
+        if !self.tracer.is_enabled() {
+            self.tracer = Tracer::enabled();
+        }
+        self.channel.set_tracer(self.tracer.clone());
+        for server in self.servers.iter_mut() {
+            server.set_tracer(self.tracer.clone());
+        }
+        for (device, _) in self.devices.iter_mut() {
+            device.set_tracer(self.tracer.clone());
+        }
+        self.tracer.clone()
+    }
+
+    /// The world's tracer (disabled unless [`World::enable_tracing`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Adds a web server for `domain`; returns its index.
     pub fn add_server(&mut self, domain: &str, rng: &mut SimRng) -> usize {
-        let server = WebServer::new(domain, self.group, &mut self.ca, rng);
+        let mut server = WebServer::new(domain, self.group, &mut self.ca, rng);
+        if self.tracer.is_enabled() {
+            server.set_tracer(self.tracer.clone());
+        }
         self.servers.push(server);
         self.servers.len() - 1
     }
@@ -70,7 +101,10 @@ impl World {
         shards: usize,
         rng: &mut SimRng,
     ) -> usize {
-        let server = WebServer::with_shards(domain, self.group, &mut self.ca, rng, shards);
+        let mut server = WebServer::with_shards(domain, self.group, &mut self.ca, rng, shards);
+        if self.tracer.is_enabled() {
+            server.set_tracer(self.tracer.clone());
+        }
         self.servers.push(server);
         self.servers.len() - 1
     }
@@ -81,8 +115,11 @@ impl World {
         let mut flock = FlockModule::new(name, FlockConfig::fast_test(), rng);
         self.ca.provision_device(&mut flock);
         flock.enroll_owner(owner_user, 3, rng);
-        self.devices
-            .push((MobileDevice::new(name, flock), owner_user));
+        let mut device = MobileDevice::new(name, flock);
+        if self.tracer.is_enabled() {
+            device.set_tracer(self.tracer.clone());
+        }
+        self.devices.push((device, owner_user));
         self.devices.len() - 1
     }
 

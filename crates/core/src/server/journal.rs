@@ -615,8 +615,9 @@ impl Journal {
         j
     }
 
-    /// Appends one record, CRC-framed.
-    pub fn append(&mut self, rec: &JournalRecord) {
+    /// Appends one record, CRC-framed; returns the framed bytes written
+    /// (header + payload), so callers can account journal growth.
+    pub fn append(&mut self, rec: &JournalRecord) -> usize {
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
@@ -624,6 +625,7 @@ impl Journal {
         frame.extend_from_slice(&payload);
         self.storage.append(&frame);
         self.pending_records += 1;
+        frame.len()
     }
 
     /// Parses the snapshot + log.

@@ -57,6 +57,7 @@ use crate::messages::{
 };
 use crate::pages::Page;
 use crate::risk_policy::{RiskDecision, RiskReport, ServerRiskPolicy};
+use crate::trace::{CacheKind, CtxArgs, EventKind, Outcome, SpanKind, Tracer};
 use crate::wire::{signing_bytes, FieldReader};
 
 use journal::{
@@ -352,6 +353,10 @@ pub struct WebServer {
     policy: ServerRiskPolicy,
     reject_counts: HashMap<Reject, u64>,
     trace: TraceLog,
+    /// Structured protocol tracer (disabled unless installed); survives
+    /// in-place recovery but, like all observability state, is not
+    /// durable — a server recovered from journals alone starts disabled.
+    tracer: Tracer,
     /// The active crash-injection schedule.
     crash: CrashSchedule,
     /// Set once a crash point fires: the process is "dead" until recovery.
@@ -414,6 +419,7 @@ impl WebServer {
             policy: ServerRiskPolicy::default(),
             reject_counts: HashMap::new(),
             trace: TraceLog::new(),
+            tracer: Tracer::disabled(),
             crash: CrashSchedule::Never,
             crashed: false,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
@@ -532,12 +538,25 @@ impl WebServer {
             "server",
             format!("rejected request: {reason}"),
         );
+        self.tracer.record(EventKind::ServerReject { reason });
         reason
     }
 
     /// The server's security-event trace (every rejection, in order).
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// Installs a structured protocol tracer; rejects, journal appends,
+    /// compactions, cache evictions, crash injections, and recoveries
+    /// are recorded as typed events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The server's structured tracer handle (disabled unless installed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     fn fresh_nonce(&mut self) -> Nonce {
@@ -630,11 +649,19 @@ impl WebServer {
     fn journal_append(&mut self, idx: usize, rec: &JournalRecord) -> Result<(), Reject> {
         if self.crash.visit(CrashPoint::BeforeAppend) {
             self.crashed = true;
+            self.tracer.record(EventKind::CrashInjected {
+                point: CrashPoint::BeforeAppend,
+            });
             return Err(Reject::ServerCrashed);
         }
-        self.shards[idx].journal.append(rec);
+        let bytes = self.shards[idx].journal.append(rec);
+        self.tracer
+            .record(EventKind::JournalAppend { shard: idx, bytes });
         if self.crash.visit(CrashPoint::AfterAppend) {
             self.crashed = true;
+            self.tracer.record(EventKind::CrashInjected {
+                point: CrashPoint::AfterAppend,
+            });
             return Err(Reject::ServerCrashed);
         }
         Ok(())
@@ -645,6 +672,9 @@ impl WebServer {
     fn pre_reply_crash(&mut self) -> Result<(), Reject> {
         if self.crash.visit(CrashPoint::BeforeReply) {
             self.crashed = true;
+            self.tracer.record(EventKind::CrashInjected {
+                point: CrashPoint::BeforeReply,
+            });
             return Err(Reject::ServerCrashed);
         }
         Ok(())
@@ -661,6 +691,10 @@ impl WebServer {
     /// Installs a snapshot of shard `idx`'s state, truncating its log.
     pub fn compact_shard(&mut self, idx: usize) {
         let snapshot = self.shard_snapshot_bytes(idx);
+        self.tracer.record(EventKind::Compaction {
+            shard: idx,
+            bytes: snapshot.len(),
+        });
         self.shards[idx].journal.install_snapshot(&snapshot);
     }
 
@@ -1311,6 +1345,7 @@ impl WebServer {
             policy: identity.policy,
             reject_counts: HashMap::new(),
             trace: TraceLog::new(),
+            tracer: Tracer::disabled(),
             crash: CrashSchedule::Never,
             crashed: false,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
@@ -1366,8 +1401,24 @@ impl WebServer {
             .map(|s| std::mem::take(&mut s.journal))
             .collect();
         let identity = self.identity();
+        // The tracer outlives the process: journal replay inside
+        // `recover` runs with a disabled tracer (replayed records re-emit
+        // nothing), then the live handle is reinstalled and the recovery
+        // itself is recorded as per-shard spans.
+        let tracer = self.tracer.clone();
         let (server, report) = WebServer::recover(identity, journals, rng);
         *self = server;
+        self.tracer = tracer;
+        for (i, sh) in report.shards.iter().enumerate() {
+            self.tracer.open(SpanKind::Recover(i), CtxArgs::shard(i));
+            self.tracer.record(EventKind::Recovered {
+                shard: i,
+                snapshot_restored: sh.snapshot_restored,
+                replayed: sh.records_replayed,
+                skipped: sh.records_skipped,
+            });
+            self.tracer.close(SpanKind::Recover(i), Outcome::Success);
+        }
         report
     }
 
@@ -1424,14 +1475,22 @@ impl WebServer {
                         ),
                     );
                     shard.reg_order.push_back(*nonce);
+                    let mut evicted = 0u64;
                     while shard.reg_cache.len() > watermark {
                         match shard.reg_order.pop_front() {
                             Some(old) => {
                                 shard.reg_cache.remove(&old);
                                 shard.consumed.forget_consumed(old);
+                                evicted += 1;
                             }
                             None => break,
                         }
+                    }
+                    if evicted > 0 {
+                        self.tracer.record(EventKind::CacheEviction {
+                            cache: CacheKind::Registration,
+                            evicted,
+                        });
                     }
                 }
             }
@@ -1547,6 +1606,12 @@ impl WebServer {
                         shard.consumed.forget_consumed(*n);
                     }
                     self.issued.remove(sess.pending_nonce);
+                    // The session entry plus its login/resume cache
+                    // entries all left resident state.
+                    self.tracer.record(EventKind::CacheEviction {
+                        cache: CacheKind::Session,
+                        evicted: 1 + 1 + sess.resume_nonces.len() as u64,
+                    });
                 }
             }
             JournalRecord::IdentityReset { account } => {
@@ -1571,14 +1636,22 @@ impl WebServer {
                     ),
                 );
                 shard.reset_order.push_back(*nonce);
+                let mut evicted = 0u64;
                 while shard.reset_cache.len() > watermark {
                     match shard.reset_order.pop_front() {
                         Some(old) => {
                             shard.reset_cache.remove(&old);
                             shard.consumed.forget_consumed(old);
+                            evicted += 1;
                         }
                         None => break,
                     }
+                }
+                if evicted > 0 {
+                    self.tracer.record(EventKind::CacheEviction {
+                        cache: CacheKind::Reset,
+                        evicted,
+                    });
                 }
             }
         }

@@ -6,6 +6,7 @@ use btd_sim::rng::SimRng;
 use trust_core::channel::Adversary;
 use trust_core::server::journal::CrashProfile;
 use trust_core::server::WebServer;
+use trust_core::trace::{TraceEvent, TraceQuery};
 use trust_core::World;
 
 const DOMAIN: &str = "www.xyz.com";
@@ -35,9 +36,11 @@ fn concurrent_chaos_run(
 ) -> (
     trust_core::chaos::MultiChaosReport,
     btd_crypto::sha256::Digest,
+    Vec<TraceEvent>,
 ) {
     let mut rng = SimRng::seed_from(seed);
     let (mut world, sidx, devices) = sharded_world(Adversary::RandomLoss { loss }, &mut rng);
+    let tracer = world.enable_tracing();
     let accounts: Vec<String> = (0..DEVICES).map(account).collect();
     let pairs: Vec<(usize, &str)> = devices
         .iter()
@@ -53,7 +56,25 @@ fn concurrent_chaos_run(
             &mut rng,
         )
         .expect("concurrent chaos sweep completes");
-    (report, world.server(sidx).state_digest())
+    (report, world.server(sidx).state_digest(), tracer.events())
+}
+
+/// Renders the timelines of the devices `pick` selects — the trace slice
+/// a failed assertion dumps so the postmortem starts with the evidence.
+fn timelines_where(
+    events: &[TraceEvent],
+    report: &trust_core::chaos::MultiChaosReport,
+    pick: impl Fn(&trust_core::chaos::ChaosReport) -> bool,
+) -> String {
+    let q = TraceQuery::new(events);
+    report
+        .per_device
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| pick(r))
+        .map(|(i, _)| q.render_timeline(&account(i)))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[test]
@@ -87,28 +108,28 @@ fn concurrent_chaos_sweep_all_lifecycles_complete_with_zero_replays() {
     let mut total_crashes = 0;
     for (i, crash_prob) in [0.1, 0.2].into_iter().enumerate() {
         for seed in 1..=4u64 {
-            let (report, _) = concurrent_chaos_run(seed * 131 + i as u64, crash_prob, 0.10);
+            let (report, _, events) = concurrent_chaos_run(seed * 131 + i as u64, crash_prob, 0.10);
             assert_eq!(report.per_device.len(), DEVICES);
             assert!(
                 report.all_completed(),
-                "crash {crash_prob} seed {seed}: every device's lifecycle completes: {:?}",
-                report
-                    .per_device
-                    .iter()
-                    .map(|r| (r.served, r.attempted, r.rejects.clone()))
-                    .collect::<Vec<_>>()
+                "crash {crash_prob} seed {seed}: every device's lifecycle completes; \
+                 timelines of the stuck devices:\n{}",
+                timelines_where(&events, &report, |r| !r.completed)
             );
             assert!(report.all_closed(), "every session was closed");
             assert_eq!(
                 report.replays_accepted(),
                 0,
-                "crash {crash_prob} seed {seed}: replay protection holds across restarts"
+                "crash {crash_prob} seed {seed}: replay protection holds across restarts; \
+                 timelines of the affected devices:\n{}",
+                timelines_where(&events, &report, |r| r.metrics.replays_accepted > 0)
             );
             assert_eq!(report.audit_mismatches(), 0);
             assert_eq!(
                 report.total_served(),
                 (DEVICES * TOUCHES) as u64,
-                "every touch served exactly once"
+                "every touch served exactly once; timelines of the short devices:\n{}",
+                timelines_where(&events, &report, |r| r.served != TOUCHES as u64)
             );
             total_crashes += report.crashes();
         }
@@ -121,13 +142,16 @@ fn concurrent_chaos_sweep_all_lifecycles_complete_with_zero_replays() {
 
 #[test]
 fn same_seed_concurrent_runs_are_byte_identical_per_device() {
-    let (a, digest_a) = concurrent_chaos_run(42, 0.2, 0.10);
-    let (b, digest_b) = concurrent_chaos_run(42, 0.2, 0.10);
+    let (a, digest_a, events_a) = concurrent_chaos_run(42, 0.2, 0.10);
+    let (b, digest_b, events_b) = concurrent_chaos_run(42, 0.2, 0.10);
     assert_eq!(
         digest_a, digest_b,
         "durable sharded state is bit-for-bit reproducible"
     );
     assert_eq!(a, b, "per-device reports are identical field for field");
+    if let Some(d) = trust_core::trace::first_divergence(&events_a, &events_b) {
+        panic!("same-seed traces must be identical, but:\n{d}");
+    }
 }
 
 #[test]

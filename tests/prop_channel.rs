@@ -8,11 +8,15 @@
 //!   `delivered + dropped == sent + duplicated`.
 //! * **Reordering loses nothing** — the reorderer only delays; every
 //!   message still arrives exactly once.
+//! * **Attribution** — the per-fault-kind breakdown sums back to every
+//!   aggregate counter, and with tracing on, the emitted fault events
+//!   agree with the breakdown one for one.
 
 use btd_sim::rng::SimRng;
 use btd_sim::time::SimDuration;
 use proptest::prelude::*;
 use trust_core::channel::{Adversary, Channel, ChannelStats};
+use trust_core::trace::{EventKind, FaultKind, TraceEvent, Tracer};
 
 /// Any single adversary layer (no composition).
 fn layer() -> impl Strategy<Value = Adversary> {
@@ -48,6 +52,27 @@ fn drive(adversary: &Adversary, seed: u64, n: u32) -> (Vec<(u64, SimDuration)>, 
         }
     }
     (log, ch.stats())
+}
+
+/// Like [`drive`], but with a live tracer attached; returns the final
+/// counters plus every recorded trace event.
+fn drive_traced(adversary: &Adversary, seed: u64, n: u32) -> (ChannelStats, Vec<TraceEvent>) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut ch = Channel::seeded(adversary.clone(), &mut rng);
+    let tracer = Tracer::enabled();
+    ch.set_tracer(tracer.clone());
+    for i in 0..n {
+        let _ = ch.transmit(i as u64);
+    }
+    (ch.stats(), tracer.events())
+}
+
+/// Counts recorded fault events matching `pred`.
+fn fault_events(events: &[TraceEvent], pred: impl Fn(&FaultKind) -> bool) -> u64 {
+    events
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::Fault { fault } if pred(fault)))
+        .count() as u64
 }
 
 proptest! {
@@ -90,6 +115,55 @@ proptest! {
                 delay
             );
         }
+    }
+
+    #[test]
+    fn fault_breakdown_sums_to_aggregates(a in layer(), b in layer(), seed in any::<u64>()) {
+        let adversary = Adversary::Composed(vec![a, b]);
+        let (_, s) = drive(&adversary, seed, 60);
+        let f = s.faults;
+        prop_assert!(
+            s.dropped == f.dropper_drops + f.random_loss_drops + f.burst_loss_drops,
+            "drop attribution must cover every dropped copy: {s:?}"
+        );
+        prop_assert_eq!(s.duplicated, f.replay_duplicates);
+        prop_assert_eq!(s.corrupted, f.corruptions);
+        prop_assert_eq!(s.delayed, f.jitter_delays + f.reorder_delays);
+    }
+
+    #[test]
+    fn trace_fault_events_match_breakdown(a in layer(), b in layer(), seed in any::<u64>()) {
+        let adversary = Adversary::Composed(vec![a, b]);
+        let (s, events) = drive_traced(&adversary, seed, 60);
+        let f = s.faults;
+        prop_assert_eq!(
+            fault_events(&events, |k| matches!(k, FaultKind::ReplayDuplicate)),
+            f.replay_duplicates
+        );
+        prop_assert_eq!(
+            fault_events(&events, |k| matches!(k, FaultKind::DropperDrop)),
+            f.dropper_drops
+        );
+        prop_assert_eq!(
+            fault_events(&events, |k| matches!(k, FaultKind::RandomLossDrop)),
+            f.random_loss_drops
+        );
+        prop_assert_eq!(
+            fault_events(&events, |k| matches!(k, FaultKind::BurstLossDrop)),
+            f.burst_loss_drops
+        );
+        prop_assert_eq!(
+            fault_events(&events, |k| matches!(k, FaultKind::JitterDelay { .. })),
+            f.jitter_delays
+        );
+        prop_assert_eq!(
+            fault_events(&events, |k| matches!(k, FaultKind::ReorderDelay { .. })),
+            f.reorder_delays
+        );
+        prop_assert_eq!(
+            fault_events(&events, |k| matches!(k, FaultKind::Corruption)),
+            f.corruptions
+        );
     }
 
     #[test]
