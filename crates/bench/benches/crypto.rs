@@ -1,6 +1,8 @@
 //! Criterion: cryptographic primitive costs (the FLock crypto processor's
 //! real workload).
 
+// trust-lint: allow-file(secret-outside-trust) -- this bench times the crypto primitives themselves, so it must construct key pairs directly; nothing here crosses a protocol boundary
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

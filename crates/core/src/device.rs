@@ -66,7 +66,6 @@ impl std::fmt::Display for DeviceError {
 impl std::error::Error for DeviceError {}
 
 /// FLock-held session state for one domain.
-#[derive(Debug)]
 struct DeviceSession {
     session_id: String,
     key: Vec<u8>,
@@ -78,6 +77,21 @@ struct DeviceSession {
     /// The nonce of an in-flight resume request, so the matching ack can
     /// be recognised (and a stale or unsolicited one rejected).
     pending_resume: Option<Nonce>,
+}
+
+// `key` is the FLock-side session MAC key and must never appear in logs,
+// even on a debug build of the device model.
+impl std::fmt::Debug for DeviceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceSession")
+            .field("session_id", &self.session_id)
+            .field(
+                "key",
+                &format_args!("<{}-byte key redacted>", self.key.len()),
+            )
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
 }
 
 /// A mobile device.

@@ -563,6 +563,8 @@ mod tests {
         let flock = world.device(d).flock();
         let r1 = flock.domain_record("bank.com").unwrap();
         let r2 = flock.domain_record("mail.com").unwrap();
-        assert_ne!(r1.user_secret, r2.user_secret, "per-site keys must differ");
+        // Not assert_ne!: on failure it would print both secret scalars.
+        let keys_differ = r1.user_secret != r2.user_secret;
+        assert!(keys_differ, "per-site keys must differ");
     }
 }

@@ -240,6 +240,7 @@ pub enum JournalRecord {
         /// The submission signature (keys the idempotency cache).
         signature: Vec<u8>,
         /// The unsealed session key.
+        // trust-lint: allow(secret-payload-field) -- the journal is server-local durable state, never sent over the channel; sealing it under a recovery key is tracked in ROADMAP
         session_key: Vec<u8>,
         /// The first content page served (carries session id, nonce, seq).
         reply: ContentPage,

@@ -121,7 +121,7 @@ struct CachedInteraction {
 /// (`login_nonce`, `resume_nonces`, `consumed_nonces`) so that closing it
 /// can evict the matching idempotency-cache entries and replay-guard
 /// entries in one pass.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 struct Session {
     account: String,
     key: Vec<u8>,
@@ -141,6 +141,25 @@ struct Session {
     /// Every nonce this session consumed, in consumption order; forgotten
     /// from the replay guard when the session closes.
     consumed_nonces: Vec<Nonce>,
+}
+
+// `key` is the live session MAC key; a derived Debug would copy it into
+// any `{:?}` of the server. Everything else here is safe to show.
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("account", &self.account)
+            .field(
+                "key",
+                &format_args!("<{}-byte key redacted>", self.key.len()),
+            )
+            .field("expected_seq", &self.expected_seq)
+            .field("current_path", &self.current_path)
+            .field("stepups", &self.stepups)
+            .field("terminated", &self.terminated)
+            .field("interactions", &self.interactions)
+            .finish_non_exhaustive()
+    }
 }
 
 /// One audit-log entry: what page the server believes the user was seeing,
@@ -1941,6 +1960,7 @@ mod tests {
     fn insert_account(server: &mut WebServer, name: &str, password: &str) {
         let key = server.public_key().clone();
         let idx = server.shard_for(name);
+        // trust-lint: allow(journal-discipline) -- test fixture: seeds an account behind the journal's back precisely to exercise recovery from a state the journal never saw
         server.shards[idx].accounts.insert(
             name.to_owned(),
             AccountRecord {

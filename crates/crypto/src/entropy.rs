@@ -32,13 +32,26 @@ pub trait EntropySource {
 /// let mut b = ChaChaEntropy::from_seed([1u8; 32]);
 /// assert_eq!(a.bytes(16), b.bytes(16));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ChaChaEntropy {
     key: [u8; KEY_LEN],
     nonce: [u8; NONCE_LEN],
     counter: u32,
     block: [u8; 64],
     used: usize,
+}
+
+// The key/block state determines every byte this source will ever emit —
+// printing it is equivalent to publishing all future keys and nonces
+// drawn from it. Debug shows only the stream position.
+impl std::fmt::Debug for ChaChaEntropy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChaChaEntropy(counter {}, used {}, state <redacted>)",
+            self.counter, self.used
+        )
+    }
 }
 
 impl ChaChaEntropy {

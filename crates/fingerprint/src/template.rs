@@ -6,14 +6,31 @@
 //! minutiae constellation in the fingertip frame, produced by the
 //! enrollment procedure in [`crate::enroll`].
 
+use std::fmt;
+
 use crate::minutiae::Minutia;
 
 /// An enrolled reference template.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Template {
     user_id: u64,
     finger_index: u8,
     minutiae: Vec<Minutia>,
+}
+
+// The minutiae constellation IS the credential: printing it hands an
+// attacker everything needed to synthesize a matching fingertip. Debug
+// output carries only sizes and indices.
+impl fmt::Debug for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Template(user {}, finger {}, {} minutiae <redacted>)",
+            self.user_id,
+            self.finger_index,
+            self.minutiae.len()
+        )
+    }
 }
 
 impl Template {

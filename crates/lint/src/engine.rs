@@ -1,0 +1,118 @@
+//! Workspace walking and the waiver-applying engine.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::findings::{Finding, Report, RULES};
+use crate::model::SourceFile;
+use crate::rules;
+
+/// Directory-name / path-fragment exclusions. Shim crates stand in for
+/// unreachable registry dependencies (not our code), and the lint's own
+/// fixtures are violations *on purpose*.
+const EXCLUDED_FRAGMENTS: &[&str] = &[
+    "/target/",
+    "proptest-shim",
+    "criterion-shim",
+    "crates/lint/tests/fixtures",
+];
+
+/// Lints every `.rs` file under `root` with the default workspace config.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let cfg = Config::default();
+    let mut files = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        sources.push((rel, src));
+    }
+    Ok(lint_sources(
+        sources.iter().map(|(p, s)| (p.as_str(), s.as_str())),
+        &cfg,
+    ))
+}
+
+/// Lints in-memory sources: `(workspace-relative path, contents)` pairs.
+/// The path drives rule scoping, so tests can stage any classification.
+pub fn lint_sources<'a, I>(sources: I, cfg: &Config) -> Report
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut report = Report::default();
+    for (rel, src) in sources {
+        report.files_scanned += 1;
+        let file = SourceFile::parse(rel, src, RULES);
+
+        // Malformed waivers are findings themselves and never waivable:
+        // a waiver that cannot be trusted must not silence anything.
+        for (comment, why) in &file.bad_waivers {
+            report.findings.push(Finding::new(
+                "waiver-syntax",
+                rel,
+                comment.line,
+                why.clone(),
+            ));
+        }
+
+        let mut findings = Vec::new();
+        rules::run_all(&file, cfg, &mut findings);
+        // One finding per (rule, line): several hits on one line need one
+        // waiver, so they should read as one diagnostic too.
+        findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+        for mut f in findings {
+            f.waived = file.waived(f.rule, f.line);
+            report.findings.push(f);
+        }
+    }
+    report
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rel_slashed = format!("/{rel}/");
+        if EXCLUDED_FRAGMENTS
+            .iter()
+            .any(|f| rel_slashed.contains(f) || rel.contains(f))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            collect(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: `--root` wins, else walk up from `start`
+/// looking for a `Cargo.toml` declaring `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

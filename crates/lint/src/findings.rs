@@ -1,0 +1,99 @@
+//! Findings and their rendering.
+
+use std::fmt;
+
+/// Every rule id the engine can emit. Waivers are validated against this
+/// list so a typo in `allow(...)` is caught instead of silently waiving
+/// nothing.
+pub const RULES: &[&str] = &[
+    "secret-debug-derive",
+    "secret-outside-trust",
+    "secret-format-leak",
+    "secret-payload-field",
+    "wall-clock",
+    "os-thread",
+    "os-random",
+    "unordered-iteration",
+    "journal-discipline",
+    "metrics-trace-parity",
+    "waiver-syntax",
+];
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    /// Set when a valid waiver covers this finding; waived findings are
+    /// reported in the summary but do not fail the run.
+    pub waived: bool,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            message,
+            waived: false,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.waived { "waived" } else { "error" };
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.path, self.line, tag, self.rule, self.message
+        )
+    }
+}
+
+/// A whole run's outcome.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    pub fn unwaived_count(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    /// Renders the report: unwaived findings first (sorted by path/line),
+    /// then a one-line summary. This exact format is pinned by a golden
+    /// test; change both together.
+    pub fn render(&self, show_waived: bool) -> String {
+        let mut out = String::new();
+        let mut sorted: Vec<&Finding> = self.findings.iter().collect();
+        sorted.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        for f in &sorted {
+            if !f.waived || show_waived {
+                out.push_str(&f.to_string());
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "trust-lint: {} files scanned, {} finding(s): {} unwaived, {} waived\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.unwaived_count(),
+            self.waived_count(),
+        ));
+        out
+    }
+}

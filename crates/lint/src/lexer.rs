@@ -1,0 +1,404 @@
+//! A hand-rolled Rust lexer.
+//!
+//! `trust-lint` must run in an offline build environment where `syn` and
+//! friends are unreachable, so the rules operate on a token stream produced
+//! here. The lexer is deliberately simple: it distinguishes identifiers,
+//! literals, punctuation, and comments with line numbers, which is exactly
+//! the granularity the rules need. It does not build an AST; structural
+//! questions (function extents, struct bodies, macro argument groups) are
+//! answered by brace matching over the token stream in [`crate::model`].
+//!
+//! Correctness cases covered because real workspace code hits them:
+//! strings with escapes, raw strings (`r"…"`, `r#"…"#`), byte strings,
+//! char literals vs. lifetimes (`'a'` vs `'a`), nested block comments, and
+//! doc comments (which are ordinary comments to the rules, but are scanned
+//! for waivers).
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `struct`, `HashMap`, …).
+    Ident(String),
+    /// A lifetime such as `'a` (kept distinct so `'a` never looks like an
+    /// unterminated char literal).
+    Lifetime(String),
+    /// A numeric literal (value irrelevant to every rule).
+    Num,
+    /// A string or byte-string literal (contents never participate in
+    /// rules, so forbidden names inside strings do not fire).
+    Str,
+    /// A char literal.
+    Char,
+    /// A single punctuation character. Multi-character operators appear
+    /// as adjacent tokens (`+=` is `+`, `=`), which pattern matching over
+    /// slices handles naturally.
+    Punct(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment (line or block) with the line it starts on. Comments are kept
+/// out of the rule token stream but scanned for waivers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexer output: code tokens and comments, both in source order.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Invalid input never panics: the
+/// lexer skips anything it cannot classify one byte at a time, because a
+/// linter must degrade gracefully on code mid-edit.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_owned(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+            }
+            // Raw strings and raw identifiers: r"…", r#"…"#, br"…", r#ident.
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (ni, is_str) = skip_raw_or_byte(b, i, &mut line);
+                i = ni;
+                if is_str {
+                    out.tokens.push(Token {
+                        tok: Tok::Str,
+                        line,
+                    });
+                }
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a'` (closing quote after one
+                // char or escape) is a char; `'a` followed by non-quote is
+                // a lifetime.
+                if let Some(ni) = try_char_literal(b, i) {
+                    i = ni;
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime(src[start..j].to_owned()),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_owned()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Stop a float scan from eating `..` or a method call.
+                    if b[i] == b'.' && i + 1 < b.len() && !b[i + 1].is_ascii_digit() {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote and bumps `line` for embedded newlines.
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// True if position `i` begins `r"`, `r#"`, `r#ident`, `b"`, `br"`, `b'`,
+/// or `br#"` — anything needing non-default handling after `r`/`b`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let after = |k: usize| rest.get(k).copied();
+    match rest[0] {
+        b'r' => matches!(after(1), Some(b'"') | Some(b'#')),
+        b'b' => match after(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(after(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a raw string / byte string / raw identifier beginning at `i`.
+/// Returns (index past it, whether it was a string-like literal).
+fn skip_raw_or_byte(b: &[u8], i: usize, line: &mut u32) -> (usize, bool) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    match b.get(j) {
+        Some(b'"') if raw => {
+            // Raw string: ends at `"` followed by `hashes` hashes.
+            j += 1;
+            while j < b.len() {
+                if b[j] == b'\n' {
+                    *line += 1;
+                    j += 1;
+                } else if b[j] == b'"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == b'#')
+                        .count()
+                        == hashes
+                {
+                    return (j + 1 + hashes, true);
+                } else {
+                    j += 1;
+                }
+            }
+            (j, true)
+        }
+        Some(b'"') => (skip_string(b, j, line), true),
+        Some(b'\'') => {
+            // Byte char literal b'x'.
+            let end = try_char_literal(b, j).unwrap_or(j + 1);
+            (end, true)
+        }
+        // `r#ident` raw identifier (or a stray `r#`): let the main loop
+        // re-lex from the identifier start.
+        _ => (j, false),
+    }
+}
+
+/// If a char literal starts at `i` (the `'`), returns the index past its
+/// closing quote; `None` means this is a lifetime.
+fn try_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        j += 2;
+        // Escapes like \u{1F600} and \x7f.
+        if j <= b.len() && b.get(j - 1) == Some(&b'u') && b.get(j) == Some(&b'{') {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        } else if b.get(j - 1) == Some(&b'x') {
+            j += 2;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    // One (possibly multi-byte UTF-8) character then a quote.
+    let mut k = j + 1;
+    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+        k += 1;
+    }
+    (b.get(k) == Some(&b'\'')).then(|| k + 1)
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+
+    /// True if this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.tok, Tok::Punct(p) if *p == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let l = lex("fn main() { let x = 1; }");
+        assert_eq!(
+            idents("fn main() { let x = 1; }"),
+            ["fn", "main", "let", "x"]
+        );
+        assert!(l.tokens.iter().any(|t| t.is_punct('{')));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // A forbidden name inside a string must not appear as an ident.
+        assert_eq!(idents(r#"let s = "Instant KeyPair";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        assert_eq!(
+            idents(r###"let s = r#"KeyPair "quoted" inside"#;"###),
+            ["let", "s"]
+        );
+        assert_eq!(idents(r#"let s = r"no hashes";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        assert_eq!(
+            idents(r#"let s = b"bytes"; let c = 'x'; let e = '\n';"#),
+            ["let", "s", "let", "c", "let", "e"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) {}");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Lifetime(s) if s == "a")));
+        assert!(!l.tokens.iter().any(|t| t.tok == Tok::Char));
+    }
+
+    #[test]
+    fn comments_collected_with_lines() {
+        let l = lex("let a = 1;\n// trust-lint: allow(wall-clock) -- bench\nlet b = 2;\n/* block\ncomment */ let c = 3;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("trust-lint"));
+        assert_eq!(l.comments[1].line, 4);
+        // Line numbers survive multi-line block comments.
+        let c_tok = l.tokens.iter().rev().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c_tok.line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), ["fn", "f"]);
+    }
+
+    #[test]
+    fn line_numbers_track_strings() {
+        let l = lex("let a = \"line\nbreak\";\nlet b = 2;");
+        let b_tok = l.tokens.iter().rev().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! The `trust_lint` binary: lints the workspace, prints diagnostics, and
+//! exits non-zero on any unwaived finding.
+//!
+//! ```text
+//! cargo run --release --bin trust_lint            # lint this workspace
+//! cargo run --release --bin trust_lint -- --root <dir>
+//! cargo run --release --bin trust_lint -- --show-waived
+//! cargo run --release --bin trust_lint -- --list-rules
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use trust_lint::{find_root, lint_workspace, RULES};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut show_waived = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("trust-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--show-waived" => show_waived = true,
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("trust-lint: unknown argument `{other}`");
+                eprintln!("usage: trust_lint [--root <dir>] [--show-waived] [--list-rules]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "trust-lint: no workspace Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "trust-lint: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render(show_waived));
+    if report.unwaived_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

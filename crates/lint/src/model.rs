@@ -1,0 +1,452 @@
+//! Source-file model: classification, waivers, and structural views
+//! (function extents, struct bodies, derive lists) recovered from the
+//! token stream by brace matching.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, Token};
+
+/// A waiver comment: `// trust-lint: allow(rule-a, rule-b) -- reason`.
+///
+/// A line waiver covers findings on its own line (trailing comment) and on
+/// the line immediately below (standalone comment above the offending
+/// line). The `allow-file` form covers the whole file — for files that are
+/// wholesale outside a rule's intent (a benchmark that *is* about wall
+/// clocks). The reason after `--` is mandatory either way; a reasonless
+/// waiver is itself a finding and suppresses nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    pub rules: Vec<String>,
+    pub reason: String,
+    pub line: u32,
+    /// True for `allow-file(...)`: covers every line of the file.
+    pub file_scope: bool,
+}
+
+/// One lexed + classified source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (what diagnostics print
+    /// and what rule scoping matches on).
+    pub rel_path: String,
+    pub lexed: Lexed,
+    pub waivers: Vec<Waiver>,
+    /// Waivers that fail validation (missing reason / unknown rule); these
+    /// become findings of their own.
+    pub bad_waivers: Vec<(Comment, String)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and extracts waivers. `known_rules` validates waiver
+    /// rule names so a typo cannot silently waive nothing.
+    pub fn parse(rel_path: &str, src: &str, known_rules: &[&str]) -> SourceFile {
+        let lexed = lex(src);
+        let mut waivers = Vec::new();
+        let mut bad_waivers = Vec::new();
+        for c in &lexed.comments {
+            // Doc comments never carry waivers — they *document* the
+            // waiver syntax (this file does), so examples in them must
+            // not parse as waivers.
+            if c.text.starts_with("///")
+                || c.text.starts_with("//!")
+                || c.text.starts_with("/**")
+                || c.text.starts_with("/*!")
+            {
+                continue;
+            }
+            let Some(rest) = c.text.split("trust-lint:").nth(1) else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let (args, file_scope) = if let Some(a) = rest.strip_prefix("allow-file") {
+                (a, true)
+            } else if let Some(a) = rest.strip_prefix("allow") {
+                (a, false)
+            } else {
+                bad_waivers.push((
+                    c.clone(),
+                    "expected `allow(<rule>)` or `allow-file(<rule>)` after `trust-lint:`"
+                        .to_owned(),
+                ));
+                continue;
+            };
+            let Some(open) = args.find('(') else {
+                bad_waivers.push((c.clone(), "missing `(` after `allow`".to_owned()));
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                bad_waivers.push((c.clone(), "missing `)` in waiver".to_owned()));
+                continue;
+            };
+            let rules: Vec<String> = args[open + 1..close]
+                .split(',')
+                .map(|r| r.trim().to_owned())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if rules.is_empty() {
+                bad_waivers.push((c.clone(), "waiver names no rules".to_owned()));
+                continue;
+            }
+            if let Some(unknown) = rules.iter().find(|r| !known_rules.contains(&r.as_str())) {
+                bad_waivers.push((c.clone(), format!("unknown rule `{unknown}` in waiver")));
+                continue;
+            }
+            let after = &args[close + 1..];
+            let reason = after
+                .split("--")
+                .nth(1)
+                .map(|r| r.trim().trim_end_matches("*/").trim().to_owned())
+                .unwrap_or_default();
+            if reason.is_empty() {
+                bad_waivers.push((
+                    c.clone(),
+                    "waiver has no reason; write `-- <why this is safe>`".to_owned(),
+                ));
+                continue;
+            }
+            waivers.push(Waiver {
+                rules,
+                reason,
+                line: c.line,
+                file_scope,
+            });
+        }
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            lexed,
+            waivers,
+            bad_waivers,
+        }
+    }
+
+    /// True if a valid waiver for `rule` covers `line`.
+    pub fn waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers.iter().any(|w| {
+            (w.file_scope || w.line == line || w.line + 1 == line)
+                && w.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// True if this file lives under any of the given path fragments.
+    pub fn under_any(&self, fragments: &[&str]) -> bool {
+        fragments.iter().any(|f| self.rel_path.contains(f))
+    }
+}
+
+/// The extent of one `fn` item: `[start, end)` token indices, where
+/// `start` is the `fn` keyword and `end` is one past the closing brace.
+/// Nested fns produce nested spans; attribute a token to the innermost
+/// span containing it. Closures do not open spans (their bodies belong to
+/// the enclosing fn, which is what the per-function rules want).
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub start: usize,
+    pub body_start: usize,
+    pub end: usize,
+}
+
+/// Extracts function extents by scanning for `fn <name>` and matching the
+/// body braces. Functions without bodies (trait methods, extern decls)
+/// are skipped.
+pub fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            if let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) {
+                // Find the body `{`, skipping the signature. Angle-bracket
+                // depth is tracked loosely (`->` contains `>`; compensate
+                // by ignoring `>` right after `-`).
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut body = None;
+                while j < tokens.len() {
+                    match &tokens[j].tok {
+                        Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+                        Tok::Punct(';') if paren == 0 => break, // bodyless
+                        Tok::Punct('{') if paren == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(b) = body {
+                    if let Some(end) = match_brace(tokens, b) {
+                        spans.push(FnSpan {
+                            name: name.clone(),
+                            start: i,
+                            body_start: b,
+                            end,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Given the index of a `{`/`(`/`[`, returns one past its matching closer.
+pub fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match tokens[open].tok {
+        Tok::Punct('{') => ('{', '}'),
+        Tok::Punct('(') => ('(', ')'),
+        Tok::Punct('[') => ('[', ']'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+/// The innermost fn span containing token index `i`, if any.
+pub fn enclosing_fn(spans: &[FnSpan], i: usize) -> Option<&FnSpan> {
+    spans
+        .iter()
+        .filter(|s| s.start <= i && i < s.end)
+        .min_by_key(|s| s.end - s.start)
+}
+
+/// A struct (or enum) item: its name, the derives attached to it, and the
+/// token range of its body braces (None for tuple/unit structs and for
+/// enums, where field scanning does not apply).
+#[derive(Clone, Debug)]
+pub struct TypeItem {
+    pub name: String,
+    pub is_struct: bool,
+    pub derives: Vec<String>,
+    /// Line of the `#[derive(...)]` attribute (for diagnostics), else the
+    /// item line.
+    pub derive_line: u32,
+    pub item_line: u32,
+    /// `[open, close)` token range of the `{ … }` body (brace structs and
+    /// enums; `None` for tuple/unit structs).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Scans for `struct`/`enum` items and their derive lists. Attributes
+/// between the derive and the item (doc comments are already stripped;
+/// `#[cfg(...)]` etc. are skipped) are handled.
+pub fn type_items(tokens: &[Token]) -> Vec<TypeItem> {
+    let mut items = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Collect a run of attributes, remembering any derive list.
+        let mut derives = Vec::new();
+        let mut derive_line = None;
+        let attr_start = i;
+        while i + 1 < tokens.len() && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+            let Some(end) = match_brace(tokens, i + 1) else {
+                break;
+            };
+            if tokens.get(i + 2).is_some_and(|t| t.is_ident("derive")) {
+                derive_line = Some(tokens[i].line);
+                for t in &tokens[i + 3..end] {
+                    if let Tok::Ident(d) = &t.tok {
+                        derives.push(d.clone());
+                    }
+                }
+            }
+            i = end;
+        }
+        // Skip visibility.
+        let mut j = i;
+        if tokens.get(j).is_some_and(|t| t.is_ident("pub")) {
+            j += 1;
+            if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                j = match_brace(tokens, j).unwrap_or(j + 1);
+            }
+        }
+        let kw = tokens.get(j).and_then(|t| t.ident());
+        if matches!(kw, Some("struct") | Some("enum")) {
+            let is_struct = kw == Some("struct");
+            if let Some(Tok::Ident(name)) = tokens.get(j + 1).map(|t| &t.tok) {
+                let item_line = tokens[j].line;
+                // Find the body brace (skip generics / where clauses).
+                let mut k = j + 2;
+                let mut body = None;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Tok::Punct('{') => {
+                            body = match_brace(tokens, k).map(|e| (k, e));
+                            break;
+                        }
+                        Tok::Punct(';') => break, // unit/tuple struct
+                        Tok::Punct('(') => {
+                            k = match_brace(tokens, k).unwrap_or(k + 1);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                items.push(TypeItem {
+                    name: name.clone(),
+                    is_struct,
+                    derives,
+                    derive_line: derive_line.unwrap_or(item_line),
+                    item_line,
+                    body,
+                });
+            }
+            i = j + 1;
+        } else if i == attr_start {
+            i += 1;
+        }
+        // else: attributes consumed, re-examine from the item keyword.
+    }
+    items
+}
+
+/// A struct field: name, line, and the tokens of its type annotation (up
+/// to the following comma at depth 0).
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: String,
+    pub line: u32,
+    pub ty: Vec<String>,
+}
+
+/// Extracts named fields from a brace-struct body range.
+pub fn struct_fields(tokens: &[Token], body: (usize, usize)) -> Vec<Field> {
+    let (open, close) = body;
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    while i + 1 < close {
+        // Skip attributes on the field.
+        while i + 1 < close && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+            i = match_brace(tokens, i + 1).unwrap_or(i + 2);
+        }
+        if tokens.get(i).is_some_and(|t| t.is_ident("pub")) {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+                i = match_brace(tokens, i).unwrap_or(i + 1);
+            }
+        }
+        let (name, line) = match tokens.get(i).map(|t| (&t.tok, t.line)) {
+            Some((Tok::Ident(n), l)) => (n.clone(), l),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            i += 1;
+            continue;
+        }
+        // Type tokens run to the next comma at bracket depth 0.
+        let mut j = i + 2;
+        let mut ty = Vec::new();
+        let mut depth = 0i32;
+        while j < close {
+            match &tokens[j].tok {
+                Tok::Punct(',') if depth == 0 => break,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                // Angle brackets: track them too, loosely (no shift
+                // operators appear in type position).
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth -= 1,
+                Tok::Ident(t) => ty.push(t.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        fields.push(Field { name, line, ty });
+        i = j + 1;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["wall-clock", "secret-debug-derive"];
+
+    #[test]
+    fn waiver_parsing_and_coverage() {
+        let src = "\
+let a = 1; // trust-lint: allow(wall-clock) -- bench timing is the product\n\
+// trust-lint: allow(wall-clock, secret-debug-derive) -- two rules\n\
+let b = 2;\n";
+        let f = SourceFile::parse("x.rs", src, RULES);
+        assert_eq!(f.waivers.len(), 2);
+        assert!(f.waived("wall-clock", 1)); // same line
+        assert!(f.waived("wall-clock", 3)); // line below standalone comment
+        assert!(f.waived("secret-debug-derive", 3));
+        assert!(!f.waived("wall-clock", 4));
+        assert!(f.bad_waivers.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_bad() {
+        let f = SourceFile::parse("x.rs", "// trust-lint: allow(wall-clock)\n", RULES);
+        assert!(f.waivers.is_empty());
+        assert_eq!(f.bad_waivers.len(), 1);
+        assert!(f.bad_waivers[0].1.contains("no reason"));
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_bad() {
+        let f = SourceFile::parse("x.rs", "// trust-lint: allow(wall-cluck) -- typo\n", RULES);
+        assert!(f.waivers.is_empty());
+        assert!(f.bad_waivers[0].1.contains("unknown rule"));
+    }
+
+    #[test]
+    fn fn_spans_and_nesting() {
+        let src = "fn outer() { fn inner() { let x = 1; } let y = 2; }\nfn plain() {}";
+        let f = SourceFile::parse("x.rs", src, RULES);
+        let spans = fn_spans(f.tokens());
+        assert_eq!(
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["outer", "inner", "plain"]
+        );
+        let x_idx = f.tokens().iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(enclosing_fn(&spans, x_idx).unwrap().name, "inner");
+        let y_idx = f.tokens().iter().position(|t| t.is_ident("y")).unwrap();
+        assert_eq!(enclosing_fn(&spans, y_idx).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn type_items_and_derives() {
+        let src = "#[derive(Clone, Debug)]\npub struct Secret { key: Vec<u8>, pub id: u64 }\nenum E { A, B }\nstruct Unit;";
+        let f = SourceFile::parse("x.rs", src, RULES);
+        let items = type_items(f.tokens());
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].name, "Secret");
+        assert_eq!(items[0].derives, ["Clone", "Debug"]);
+        assert_eq!(items[0].derive_line, 1);
+        let fields = struct_fields(f.tokens(), items[0].body.unwrap());
+        assert_eq!(fields[0].name, "key");
+        assert_eq!(fields[0].ty, ["Vec", "u8"]);
+        assert_eq!(fields[1].name, "id");
+        assert_eq!(items[1].name, "E");
+        assert_eq!(items[2].name, "Unit");
+    }
+
+    #[test]
+    fn cfg_attr_between_derive_and_item() {
+        let src = "#[derive(Debug)]\n#[cfg(test)]\nstruct S { a: u8 }";
+        let items = type_items(SourceFile::parse("x.rs", src, RULES).tokens());
+        assert_eq!(items[0].name, "S");
+        assert_eq!(items[0].derives, ["Debug"]);
+    }
+}

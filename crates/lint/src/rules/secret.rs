@@ -1,0 +1,255 @@
+//! Family 1 — secret containment.
+//!
+//! TRUST's security argument is that key material, session keys, and
+//! biometric templates never leave the FLock module / server internals
+//! even though the host stack and network are untrusted. The type system
+//! does not enforce that, so these rules do:
+//!
+//! * `secret-debug-derive` — a manifest type may not derive `Debug` (or
+//!   implement `Display`): one stray `{:?}` would put the secret into a
+//!   trace, journal, or panic message. Redacting manual impls are the fix.
+//! * `secret-outside-trust` — globally unique secret types may only be
+//!   named inside the trusted modules; anywhere else is a boundary crossing
+//!   that must carry a waiver spelling out the threat model.
+//! * `secret-format-leak` — identifiers that name raw secret values may
+//!   not appear inside format-family macro arguments or trace-event
+//!   payloads, in *any* module: trusted code is exactly where a stray
+//!   `format!` does the most damage.
+//! * `secret-payload-field` — wire-message and journal-record definitions
+//!   may not carry secret-named fields or secret types unless the field is
+//!   `sealed_`-prefixed (i.e. encrypted to a key that never left FLock).
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::model::{struct_fields, type_items, SourceFile};
+
+/// Format-family macros whose arguments must never see a secret.
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Trace-recording methods whose payloads must never see a secret.
+const TRACE_METHODS: &[&str] = &["record", "open", "close"];
+
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let tokens = file.tokens();
+    let items = type_items(tokens);
+    let trusted = file.under_any(&cfg.trusted);
+
+    // --- secret-debug-derive: on definitions of manifest types ----------
+    for item in &items {
+        let Some(secret) = cfg
+            .secret_types
+            .iter()
+            .find(|s| s.name == item.name && file.rel_path.contains(s.defined_in))
+        else {
+            continue;
+        };
+        for bad in ["Debug", "Display"] {
+            if item.derives.iter().any(|d| d == bad) {
+                out.push(Finding::new(
+                    "secret-debug-derive",
+                    &file.rel_path,
+                    item.derive_line,
+                    format!(
+                        "deriving `{bad}` on `{}` would print the secret ({}); \
+                         write a redacting manual impl instead",
+                        item.name, secret.why
+                    ),
+                ));
+            }
+        }
+    }
+
+    // `impl Display for <SecretType>` in the defining crate is the same
+    // leak with extra steps (Display feeds `{}` and `.to_string()`).
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("Display") {
+            continue;
+        }
+        // Look backwards a few tokens for `impl` and forwards for
+        // `for <Name>` (allowing `fmt :: Display`).
+        let back = tokens[i.saturating_sub(4)..i]
+            .iter()
+            .any(|t| t.is_ident("impl"));
+        let (fore_for, name_tok) = match (tokens.get(i + 1), tokens.get(i + 2)) {
+            (Some(f), Some(n)) if f.is_ident("for") => (true, n.ident()),
+            _ => (false, None),
+        };
+        if back && fore_for {
+            if let Some(name) = name_tok {
+                if let Some(secret) = cfg
+                    .secret_types
+                    .iter()
+                    .find(|s| s.name == name && crate_of(&file.rel_path) == crate_of(s.defined_in))
+                {
+                    out.push(Finding::new(
+                        "secret-debug-derive",
+                        &file.rel_path,
+                        t.line,
+                        format!(
+                            "`impl Display for {name}` — {}; Display output \
+                             ends up in logs and wire errors",
+                            secret.why
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- secret-outside-trust: naming containment types ------------------
+    if !trusted {
+        let mut last_line = 0u32;
+        for t in tokens {
+            let Some(id) = t.ident() else { continue };
+            let Some(secret) = cfg
+                .secret_types
+                .iter()
+                .find(|s| s.containment && s.name == id)
+            else {
+                continue;
+            };
+            // One finding per line keeps a multi-use line to one waiver.
+            if t.line == last_line {
+                continue;
+            }
+            last_line = t.line;
+            out.push(Finding::new(
+                "secret-outside-trust",
+                &file.rel_path,
+                t.line,
+                format!(
+                    "`{id}` named outside the trusted modules ({}); secrets \
+                     must stay behind the FLock boundary",
+                    secret.why
+                ),
+            ));
+        }
+    }
+
+    // --- secret-format-leak: secrets in format/trace argument positions --
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let group = format_group(tokens, i).or_else(|| trace_group(tokens, i));
+        if let Some((open, close, what)) = group {
+            let Some(end) = crate::model::match_brace(tokens, open) else {
+                i += 1;
+                continue;
+            };
+            let end = end.min(close);
+            for t in &tokens[open + 1..end] {
+                if let Tok::Ident(id) = &t.tok {
+                    if cfg.secret_idents.contains(&id.as_str()) {
+                        out.push(Finding::new(
+                            "secret-format-leak",
+                            &file.rel_path,
+                            t.line,
+                            format!("`{id}` passed to {what} — secret values must never reach formatted or traced output"),
+                        ));
+                    }
+                }
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+
+    // --- secret-payload-field: wire/journal definitions ------------------
+    if file.under_any(&cfg.payload_files) {
+        for item in &items {
+            let Some(body) = item.body else { continue };
+            if item.is_struct {
+                for field in struct_fields(tokens, body) {
+                    let named_secret = cfg.secret_idents.contains(&field.name.as_str())
+                        && !field.name.starts_with("sealed_");
+                    let typed_secret = field.ty.iter().any(|t| {
+                        cfg.secret_types
+                            .iter()
+                            .any(|s| s.containment && s.name == *t)
+                    });
+                    if named_secret || typed_secret {
+                        out.push(payload_finding(file, field.line, &item.name, &field.name));
+                    }
+                }
+            } else {
+                // Enum variants: scan the body for `name :` field patterns.
+                for (k, t) in tokens[body.0..body.1].iter().enumerate() {
+                    let k = k + body.0;
+                    if let Tok::Ident(id) = &t.tok {
+                        if cfg.secret_idents.contains(&id.as_str())
+                            && !id.starts_with("sealed_")
+                            && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                            && !tokens.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                        {
+                            out.push(payload_finding(file, t.line, &item.name, id));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn payload_finding(file: &SourceFile, line: u32, item: &str, field: &str) -> Finding {
+    Finding::new(
+        "secret-payload-field",
+        &file.rel_path,
+        line,
+        format!(
+            "`{item}` carries secret field `{field}` in a serialized payload; \
+             seal it (`sealed_*`) or keep it out of wire/journal records"
+        ),
+    )
+}
+
+/// If tokens at `i` start a format-family macro call (`name !` followed by
+/// a delimiter), returns (delimiter index, hard stop, description).
+fn format_group(tokens: &[Token], i: usize) -> Option<(usize, usize, String)> {
+    let id = tokens[i].ident()?;
+    if !FORMAT_MACROS.contains(&id) || !tokens.get(i + 1)?.is_punct('!') {
+        return None;
+    }
+    let open = i + 2;
+    matches!(
+        tokens.get(open)?.tok,
+        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{')
+    )
+    .then(|| (open, tokens.len(), format!("`{id}!`")))
+}
+
+/// If tokens at `i` start a trace-event call (`. record (` etc.), returns
+/// the argument group.
+fn trace_group(tokens: &[Token], i: usize) -> Option<(usize, usize, String)> {
+    if !tokens[i].is_punct('.') {
+        return None;
+    }
+    let id = tokens.get(i + 1)?.ident()?;
+    if !TRACE_METHODS.contains(&id) || !tokens.get(i + 2)?.is_punct('(') {
+        return None;
+    }
+    Some((i + 2, tokens.len(), format!("trace `.{id}(...)`")))
+}
+
+/// First two path segments (`crates/<name>`) — the crate a file lives in.
+fn crate_of(path: &str) -> String {
+    path.split('/').take(2).collect::<Vec<_>>().join("/")
+}

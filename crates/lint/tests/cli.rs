@@ -1,0 +1,95 @@
+//! End-to-end tests of the `trust_lint` binary: exit codes are the CI
+//! contract (0 = clean or fully waived, 1 = unwaived findings, 2 = usage
+//! or I/O error).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Stages a throwaway workspace containing one core source file.
+fn stage(tag: &str, core_src: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trust-lint-cli-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+    fs::write(dir.join("crates/core/src/lib.rs"), core_src).unwrap();
+    dir
+}
+
+fn run(root: &PathBuf, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_trust_lint"));
+    cmd.arg("--root").arg(root);
+    cmd.args(extra);
+    cmd.output().expect("spawn trust_lint")
+}
+
+#[test]
+fn unwaived_findings_fail_the_run() {
+    let root = stage("bad", "use std::time::Instant;\n");
+    let out = run(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[wall-clock]"), "{stdout}");
+    assert!(stdout.contains("1 unwaived, 0 waived"), "{stdout}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn waived_findings_pass_the_run() {
+    let root = stage(
+        "waived",
+        "// trust-lint: allow(wall-clock) -- cli test fixture justifying itself\n\
+         use std::time::Instant;\n",
+    );
+    let out = run(&root, &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 unwaived, 1 waived"), "{stdout}");
+    // The waived finding is hidden by default, shown with --show-waived.
+    assert!(!stdout.contains("waived[wall-clock]"), "{stdout}");
+    let shown = run(&root, &["--show-waived"]);
+    assert!(
+        String::from_utf8_lossy(&shown.stdout).contains("waived[wall-clock]"),
+        "{shown:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_reasonless_waiver_cannot_waive_itself() {
+    // The malformed waiver both fails to suppress the wall-clock finding
+    // and adds a waiver-syntax finding of its own.
+    let root = stage(
+        "reasonless",
+        "// trust-lint: allow(wall-clock)\nuse std::time::Instant;\n",
+    );
+    let out = run(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[waiver-syntax]"), "{stdout}");
+    assert!(stdout.contains("error[wall-clock]"), "{stdout}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn list_rules_prints_every_rule_id() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trust_lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("spawn trust_lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in trust_lint::RULES {
+        assert!(stdout.lines().any(|l| l == *rule), "missing {rule}");
+    }
+}
+
+#[test]
+fn unknown_arguments_are_usage_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trust_lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn trust_lint");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

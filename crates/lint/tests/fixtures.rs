@@ -1,0 +1,323 @@
+//! Self-tests: every rule family proves it fires on its `bad.rs` fixture
+//! and stays quiet on the matching `good.rs`. The staged path is part of
+//! each case — rules scope by workspace-relative path, so the same bytes
+//! can be a violation in one crate and fine in another.
+
+use trust_lint::{lint_sources, Config, Report};
+
+fn lint(rel: &str, src: &str) -> Report {
+    lint_sources([(rel, src)], &Config::default())
+}
+
+/// Unwaived rule ids, in emission order.
+fn fired(report: &Report) -> Vec<&'static str> {
+    report.unwaived().map(|f| f.rule).collect()
+}
+
+/// Asserts `bad` fires `rule` exactly `expect` times and `good` is silent.
+fn check_pair(rel: &str, bad: &str, good: &str, rule: &str, expect: usize) {
+    let bad_report = lint(rel, bad);
+    let hits = fired(&bad_report).iter().filter(|r| **r == rule).count();
+    assert_eq!(
+        hits,
+        expect,
+        "{rule} on bad fixture at {rel}: wanted {expect} findings, got:\n{}",
+        bad_report.render(true)
+    );
+    assert_eq!(
+        bad_report.unwaived_count(),
+        expect,
+        "bad fixture at {rel} fired rules besides {rule}:\n{}",
+        bad_report.render(true)
+    );
+
+    let good_report = lint(rel, good);
+    assert_eq!(
+        good_report.unwaived_count(),
+        0,
+        "good fixture at {rel} should be clean, got:\n{}",
+        good_report.render(true)
+    );
+}
+
+#[test]
+fn secret_debug_derive() {
+    // Two findings: the derive and the Display impl.
+    check_pair(
+        "crates/crypto/src/schnorr.rs",
+        include_str!("fixtures/secret_debug_derive/bad.rs"),
+        include_str!("fixtures/secret_debug_derive/good.rs"),
+        "secret-debug-derive",
+        2,
+    );
+}
+
+#[test]
+fn secret_debug_derive_only_fires_on_the_definition() {
+    // An unrelated `KeyPair` in another crate deriving Debug is someone
+    // else's type; the manifest scopes by defining file.
+    let report = lint(
+        "crates/sim/src/geom.rs",
+        include_str!("fixtures/secret_debug_derive/bad.rs"),
+    );
+    assert!(
+        !fired(&report).contains(&"secret-debug-derive"),
+        "defined_in scoping failed:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn secret_outside_trust() {
+    check_pair(
+        "crates/bench/src/rogue.rs",
+        include_str!("fixtures/secret_outside_trust/bad.rs"),
+        include_str!("fixtures/secret_outside_trust/good.rs"),
+        "secret-outside-trust",
+        2,
+    );
+}
+
+#[test]
+fn secret_outside_trust_is_quiet_inside_the_boundary() {
+    // The exact bytes that fire in `crates/bench` are fine in the crypto
+    // crate: containment is about *where*, not *what*.
+    let report = lint(
+        "crates/crypto/src/keys.rs",
+        include_str!("fixtures/secret_outside_trust/bad.rs"),
+    );
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "trusted path should not fire:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn secret_format_leak() {
+    // One via `println!`, one via `tracer.record(...)`.
+    check_pair(
+        "crates/core/src/anywhere.rs",
+        include_str!("fixtures/secret_format_leak/bad.rs"),
+        include_str!("fixtures/secret_format_leak/good.rs"),
+        "secret-format-leak",
+        2,
+    );
+}
+
+#[test]
+fn secret_format_leak_fires_even_in_trusted_modules() {
+    // Trusted code is exactly where a stray `format!` does the most
+    // damage; this rule has no safe harbour.
+    let report = lint(
+        "crates/crypto/src/debugging.rs",
+        include_str!("fixtures/secret_format_leak/bad.rs"),
+    );
+    assert!(
+        fired(&report).contains(&"secret-format-leak"),
+        "leak rule must apply inside the boundary too:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn secret_payload_field() {
+    // One struct field, one enum-variant field.
+    check_pair(
+        "crates/core/src/messages.rs",
+        include_str!("fixtures/secret_payload_field/bad.rs"),
+        include_str!("fixtures/secret_payload_field/good.rs"),
+        "secret-payload-field",
+        2,
+    );
+}
+
+#[test]
+fn secret_payload_field_only_applies_to_payload_files() {
+    let report = lint(
+        "crates/core/src/pages.rs",
+        include_str!("fixtures/secret_payload_field/bad.rs"),
+    );
+    assert!(
+        !fired(&report).contains(&"secret-payload-field"),
+        "non-payload files may hold session keys in memory:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn wall_clock() {
+    // The `use` line and the `Instant::now()` line.
+    check_pair(
+        "crates/core/src/timing.rs",
+        include_str!("fixtures/wall_clock/bad.rs"),
+        include_str!("fixtures/wall_clock/good.rs"),
+        "wall-clock",
+        2,
+    );
+}
+
+#[test]
+fn os_thread() {
+    check_pair(
+        "crates/core/src/workers.rs",
+        include_str!("fixtures/os_thread/bad.rs"),
+        include_str!("fixtures/os_thread/good.rs"),
+        "os-thread",
+        1,
+    );
+}
+
+#[test]
+fn os_random() {
+    // `OsRng` in the use, `thread_rng` in the body.
+    check_pair(
+        "crates/core/src/noise.rs",
+        include_str!("fixtures/os_random/bad.rs"),
+        include_str!("fixtures/os_random/good.rs"),
+        "os-random",
+        2,
+    );
+}
+
+#[test]
+fn unordered_iteration() {
+    check_pair(
+        "crates/core/src/snap.rs",
+        include_str!("fixtures/unordered_iteration/bad.rs"),
+        include_str!("fixtures/unordered_iteration/good.rs"),
+        "unordered-iteration",
+        1,
+    );
+}
+
+#[test]
+fn unordered_iteration_ignores_non_canonical_functions() {
+    // The same hash-order loop in a fn whose output is not canonical
+    // (no snapshot/digest/export/canonical marker) is fine.
+    let renamed = include_str!("fixtures/unordered_iteration/bad.rs").replace("snapshot", "tally");
+    let report = lint("crates/core/src/snap.rs", &renamed);
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "marker scoping failed:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn journal_discipline() {
+    check_pair(
+        "crates/core/src/server/mod.rs",
+        include_str!("fixtures/journal_discipline/bad.rs"),
+        include_str!("fixtures/journal_discipline/good.rs"),
+        "journal-discipline",
+        1,
+    );
+}
+
+#[test]
+fn journal_discipline_only_applies_to_the_durable_file() {
+    let report = lint(
+        "crates/core/src/device.rs",
+        include_str!("fixtures/journal_discipline/bad.rs"),
+    );
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "durable-file scoping failed:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn metrics_trace_parity() {
+    // Two bump sites, one finding per offending function.
+    let rel = "crates/core/src/flow.rs";
+    let bad = include_str!("fixtures/metrics_trace_parity/bad.rs");
+    check_pair(
+        rel,
+        bad,
+        include_str!("fixtures/metrics_trace_parity/good.rs"),
+        "metrics-trace-parity",
+        1,
+    );
+    let report = lint(rel, bad);
+    let f = report.unwaived().next().unwrap();
+    assert!(
+        f.message.contains("2 site(s)"),
+        "per-fn finding should count its bump sites: {}",
+        f.message
+    );
+}
+
+#[test]
+fn waiver_syntax() {
+    // One reasonless waiver, one unknown rule id.
+    check_pair(
+        "crates/core/src/waved.rs",
+        include_str!("fixtures/waiver_syntax/bad.rs"),
+        include_str!("fixtures/waiver_syntax/good.rs"),
+        "waiver-syntax",
+        2,
+    );
+}
+
+#[test]
+fn a_valid_waiver_downgrades_but_still_reports() {
+    let report = lint(
+        "crates/core/src/waved.rs",
+        include_str!("fixtures/waiver_syntax/good.rs"),
+    );
+    assert_eq!(report.unwaived_count(), 0);
+    assert_eq!(
+        report.waived_count(),
+        1,
+        "the waived wall-clock finding should still be counted:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn allow_file_covers_the_whole_file() {
+    let src = "\
+// trust-lint: allow-file(wall-clock) -- this whole binary measures wall time on purpose
+use std::time::Instant;
+
+pub fn a() -> Instant {
+    Instant::now()
+}
+";
+    let report = lint("crates/bench/src/bin/clockful.rs", src);
+    assert_eq!(report.unwaived_count(), 0, "{}", report.render(true));
+    assert_eq!(report.waived_count(), 3);
+}
+
+#[test]
+fn a_waiver_does_not_cover_other_rules() {
+    let src = "\
+// trust-lint: allow(os-random) -- wrong rule for the line below
+use std::time::Instant;
+";
+    let report = lint("crates/core/src/x.rs", src);
+    assert_eq!(
+        fired(&report),
+        vec!["wall-clock"],
+        "{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn waivers_inside_doc_comments_are_inert() {
+    // Documentation *about* waivers (like the lint's own rustdoc) must
+    // neither waive anything nor trip waiver-syntax.
+    let src = "\
+/// Write waivers like `// trust-lint: allow(wall-clock)` with a reason.
+//! e.g. // trust-lint: allow(bogus-rule)
+pub fn documented() {}
+";
+    let report = lint("crates/core/src/docs.rs", src);
+    assert_eq!(report.unwaived_count(), 0, "{}", report.render(true));
+}

@@ -1,0 +1,10 @@
+//! BAD: a live handler mutates a durable shard field directly, creating
+//! state the journal never saw. Staged at `crates/core/src/server/mod.rs`
+//! by the test harness.
+
+impl WebServer {
+    fn handle_login(&mut self, account: &str) {
+        let idx = self.shard_for(account);
+        self.shards[idx].accounts.insert(account.to_owned(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! GOOD: handlers append a journal record; only `apply_record` touches
+//! durable state. Staged at `crates/core/src/server/mod.rs` by the test
+//! harness.
+
+impl WebServer {
+    fn handle_login(&mut self, account: &str) {
+        let record = JournalRecord::login(account);
+        self.journal.append(&record);
+        self.apply_record(&record);
+    }
+
+    fn apply_record(&mut self, record: &JournalRecord) {
+        let shard = &mut self.shards[self.shard_for(record.account())];
+        shard.accounts.insert(record.account().to_owned(), 1);
+        shard.session_counter += 1;
+    }
+}

@@ -1,0 +1,8 @@
+//! BAD: bumps a ProtocolMetrics counter with no matching trace event, so
+//! `derive_metrics` can no longer reconcile the trace. Staged at
+//! `crates/core/src/flow.rs` by the test harness.
+
+pub fn send_once(metrics: &mut ProtocolMetrics) {
+    metrics.sends += 1;
+    metrics.retries += 1;
+}

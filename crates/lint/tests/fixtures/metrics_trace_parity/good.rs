@@ -1,0 +1,8 @@
+//! GOOD: every counter bump lives in a function that also records the
+//! event on the tracer. Staged at `crates/core/src/flow.rs` by the test
+//! harness.
+
+pub fn send_once(metrics: &mut ProtocolMetrics, tracer: &mut Tracer) {
+    metrics.sends += 1;
+    tracer.record(Event::send());
+}

@@ -1,0 +1,9 @@
+//! BAD: draws OS randomness; two runs with one seed now differ.
+//! Staged at `crates/core/src/noise.rs` by the test harness.
+
+use rand::rngs::OsRng;
+
+pub fn salt() -> [u8; 16] {
+    let mut rng = thread_rng();
+    rng.gen()
+}

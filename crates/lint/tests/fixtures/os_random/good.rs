@@ -1,0 +1,8 @@
+//! GOOD: all entropy flows from the experiment seed.
+//! Staged at `crates/core/src/noise.rs` by the test harness.
+
+use btd_crypto::entropy::{ChaChaEntropy, EntropySource};
+
+pub fn salt(seed: [u8; 32]) -> Vec<u8> {
+    ChaChaEntropy::from_seed(seed).bytes(16)
+}

@@ -1,0 +1,7 @@
+//! BAD: spawns an OS thread; scheduling order leaks into results.
+//! Staged at `crates/core/src/workers.rs` by the test harness.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,9 @@
+//! GOOD: concurrency is simulated by interleaving steps in seed order.
+//! Staged at `crates/core/src/workers.rs` by the test harness.
+
+pub fn fan_out(tasks: &mut [Task], rng: &mut SimRng) {
+    while tasks.iter().any(|t| !t.done()) {
+        let next = rng.pick_index(tasks.len());
+        tasks[next].step();
+    }
+}

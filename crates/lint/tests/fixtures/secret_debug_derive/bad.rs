@@ -1,0 +1,16 @@
+//! BAD: derives Debug/Display on a manifest secret type.
+//! Staged at `crates/crypto/src/schnorr.rs` by the test harness.
+
+use std::fmt;
+
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    secret: u64,
+    public: u64,
+}
+
+impl fmt::Display for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.secret, self.public)
+    }
+}

@@ -1,0 +1,16 @@
+//! GOOD: the secret type gets a redacting manual Debug impl.
+//! Staged at `crates/crypto/src/schnorr.rs` by the test harness.
+
+use std::fmt;
+
+#[derive(Clone)]
+pub struct KeyPair {
+    secret: u64,
+    public: u64,
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyPair(public {}, secret <redacted>)", self.public)
+    }
+}

@@ -1,0 +1,7 @@
+//! BAD: raw secret values reach formatted and traced output.
+//! Staged at `crates/core/src/anywhere.rs` by the test harness.
+
+pub fn leak(session_key: &[u8], tracer: &mut Tracer) {
+    println!("negotiated key {:?}", session_key);
+    tracer.record(session_key);
+}

@@ -1,0 +1,7 @@
+//! GOOD: only non-secret identifiers are formatted or traced.
+//! Staged at `crates/core/src/anywhere.rs` by the test harness.
+
+pub fn note(session_id: &str, nonce: u64, tracer: &mut Tracer) {
+    println!("session {session_id} advanced");
+    tracer.record(nonce);
+}

@@ -1,0 +1,8 @@
+//! BAD: names a containment type outside the trusted modules.
+//! Staged at `crates/bench/src/rogue.rs` by the test harness.
+
+use btd_crypto::schnorr::KeyPair;
+
+pub fn mint() -> KeyPair {
+    unimplemented!()
+}

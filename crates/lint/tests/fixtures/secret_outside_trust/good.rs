@@ -1,0 +1,8 @@
+//! GOOD: untrusted code touches only the public half.
+//! Staged at `crates/bench/src/rogue.rs` by the test harness.
+
+use btd_crypto::schnorr::PublicKey;
+
+pub fn pin(key: &PublicKey) -> String {
+    key.fingerprint()
+}

@@ -1,0 +1,11 @@
+//! BAD: wire-message definitions carry raw secret fields.
+//! Staged at `crates/core/src/messages.rs` by the test harness.
+
+pub struct LoginReply {
+    pub session_id: String,
+    pub session_key: Vec<u8>,
+}
+
+pub enum Record {
+    Login { nonce: u64, mac_key: Vec<u8> },
+}

@@ -1,0 +1,11 @@
+//! GOOD: the key crosses the wire sealed; nothing raw in the payload.
+//! Staged at `crates/core/src/messages.rs` by the test harness.
+
+pub struct LoginReply {
+    pub session_id: String,
+    pub sealed_session_key: Vec<u8>,
+}
+
+pub enum Record {
+    Login { nonce: u64, sealed_mac_key: Vec<u8> },
+}

@@ -1,0 +1,18 @@
+//! BAD: a snapshot iterates a HashMap field in hash order.
+//! Staged at `crates/core/src/snap.rs` by the test harness.
+
+use std::collections::HashMap;
+
+pub struct Book {
+    pages: HashMap<String, u64>,
+}
+
+impl Book {
+    pub fn snapshot(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (path, views) in self.pages.iter() {
+            out.push(path.repeat(1) + ":" + &views.to_string());
+        }
+        out
+    }
+}

@@ -1,0 +1,19 @@
+//! GOOD: keys are collected and sorted before the snapshot is emitted.
+//! Staged at `crates/core/src/snap.rs` by the test harness.
+
+use std::collections::HashMap;
+
+pub struct Book {
+    pages: HashMap<String, u64>,
+}
+
+impl Book {
+    pub fn snapshot(&self) -> Vec<String> {
+        let mut paths: Vec<&String> = self.pages.keys().collect();
+        paths.sort();
+        paths
+            .into_iter()
+            .map(|p| p.repeat(1) + ":" + &self.pages[p].to_string())
+            .collect()
+    }
+}

@@ -1,0 +1,7 @@
+//! BAD: malformed waivers — one without a reason, one naming a rule that
+//! does not exist. Both are findings and neither silences anything.
+//! Staged at `crates/core/src/waved.rs` by the test harness.
+
+// trust-lint: allow(wall-clock)
+// trust-lint: allow(no-such-rule) -- typo'd rule ids must not silently waive nothing
+pub fn noop() {}

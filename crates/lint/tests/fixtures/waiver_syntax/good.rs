@@ -1,0 +1,9 @@
+//! GOOD: a well-formed waiver — known rule, mandatory reason — covering
+//! the line below it. Staged at `crates/core/src/waved.rs` by the test
+//! harness.
+
+pub fn elapsed_ms() -> u128 {
+    // trust-lint: allow(wall-clock) -- this helper measures real time for the bench harness report
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis()
+}

@@ -1,0 +1,9 @@
+//! BAD: reads the wall clock inside simulation code.
+//! Staged at `crates/core/src/timing.rs` by the test harness.
+
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let started = Instant::now();
+    started.elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! GOOD: time is simulated ticks, derived from the experiment seed.
+//! Staged at `crates/core/src/timing.rs` by the test harness.
+
+pub fn measure(clock: &SimClock) -> u64 {
+    clock.now_ticks()
+}

@@ -1,0 +1,65 @@
+//! Golden test pinning the exact diagnostic and summary format. Editor
+//! integrations and the CI log grep both key off `path:line:` and the
+//! one-line summary; change `Report::render` and this file together.
+
+use trust_lint::{lint_sources, Config};
+
+#[test]
+fn report_format_is_stable() {
+    let bad = "use std::time::Instant;\n";
+    let waived = "\
+// trust-lint: allow(os-random) -- fixture for the golden test
+use rand::rngs::OsRng;
+";
+    let report = lint_sources(
+        [
+            ("crates/core/src/b.rs", waived),
+            ("crates/core/src/a.rs", bad),
+        ],
+        &Config::default(),
+    );
+
+    let expected = "\
+crates/core/src/a.rs:1: error[wall-clock]: `Instant` reads the wall clock; \
+sim code must use `SimClock`/`SimDuration` so same-seed runs stay byte-identical
+trust-lint: 2 files scanned, 2 finding(s): 1 unwaived, 1 waived
+";
+    assert_eq!(report.render(false), expected);
+
+    let expected_with_waived = "\
+crates/core/src/a.rs:1: error[wall-clock]: `Instant` reads the wall clock; \
+sim code must use `SimClock`/`SimDuration` so same-seed runs stay byte-identical
+crates/core/src/b.rs:2: waived[os-random]: `OsRng` draws OS randomness; \
+all entropy must flow from the experiment seed (`SimRng`/`ChaChaEntropy`)
+trust-lint: 2 files scanned, 2 finding(s): 1 unwaived, 1 waived
+";
+    assert_eq!(report.render(true), expected_with_waived);
+}
+
+#[test]
+fn clean_run_renders_summary_only() {
+    let report = lint_sources(
+        [("crates/core/src/ok.rs", "pub fn fine() {}\n")],
+        &Config::default(),
+    );
+    assert_eq!(
+        report.render(true),
+        "trust-lint: 1 files scanned, 0 finding(s): 0 unwaived, 0 waived\n"
+    );
+}
+
+#[test]
+fn findings_render_sorted_by_path_then_line() {
+    let src = "use std::time::Instant;\nuse std::time::SystemTime;\n";
+    let report = lint_sources(
+        [("crates/core/src/z.rs", src), ("crates/core/src/a.rs", src)],
+        &Config::default(),
+    );
+    let rendered = report.render(false);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines.len(), 5);
+    assert!(lines[0].starts_with("crates/core/src/a.rs:1:"));
+    assert!(lines[1].starts_with("crates/core/src/a.rs:2:"));
+    assert!(lines[2].starts_with("crates/core/src/z.rs:1:"));
+    assert!(lines[3].starts_with("crates/core/src/z.rs:2:"));
+}

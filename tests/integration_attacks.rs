@@ -6,6 +6,8 @@
 //! forgery, frame hashes catch display malware (at audit time), and the
 //! continuous risk reports catch post-login hijack.
 
+// trust-lint: allow-file(secret-outside-trust) -- the attacker model here IS key theft: these tests mint rogue key pairs to forge messages and must prove the protocol rejects them
+
 use btd_sim::rng::SimRng;
 use trust_core::audit::audit_server;
 use trust_core::channel::Adversary;

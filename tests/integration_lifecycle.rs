@@ -168,6 +168,7 @@ fn storage_capacity_bounds_registered_domains() {
     config.flash_bytes = 4_096; // tiny flash
     let mut flock = FlockModule::new("tiny", config, &mut rng);
     let mut entropy = btd_crypto::entropy::ChaChaEntropy::from_u64_seed(1);
+    // trust-lint: allow(secret-outside-trust) -- stands in for a server's key pair so the test can register against a bare FlockModule without a World; only the public half is used
     let server_keys = btd_crypto::schnorr::KeyPair::generate(
         btd_crypto::group::DhGroup::test_512(),
         &mut entropy,
