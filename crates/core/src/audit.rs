@@ -6,6 +6,18 @@
 //! belong to the finite set of legitimate views of the page the server
 //! had served; anything else means the user was shown tampered content.
 //!
+//! Lock-step entries pin the frame to exactly one page: the one the
+//! server served immediately before. Pipelined sessions (the windowed
+//! engine) keep up to `w` requests in flight, so an honest device is
+//! still displaying the page it *applied* most recently — up to `w`
+//! serves behind the stream. Each [`AuditEntry`](crate::server::AuditEntry)
+//! therefore carries a `lookback`: the frame must match a legitimate view
+//! of one of the previous `lookback` entries' expected pages (lock-step
+//! entries have `lookback == 1`, keeping the exact check). A tampered
+//! overlay matches no legitimate view of *any* served page, so detection
+//! strength is unchanged; what the relaxation admits is precisely the
+//! bounded staleness pipelining itself introduces.
+//!
 //! Verification is *batched*: the audit log is stored per account, and an
 //! audit pass checks a whole window of an account's entries in one sweep
 //! against a shared page→view-hash-set cache, instead of re-deriving the
@@ -100,7 +112,13 @@ fn audit_window(
     let window = server.audit_log_for(account);
     for (i, entry) in window.iter().enumerate().skip(start) {
         report.total += 1;
-        if cache.matches(server, &entry.expected_path, &entry.frame_hash) {
+        // Scan newest-first: the exact (lock-step) page is checked before
+        // any pipelining slack, so the common case stays one lookup.
+        let lo = i.saturating_sub(entry.lookback.max(1) as usize - 1);
+        let legitimate = (lo..=i)
+            .rev()
+            .any(|j| cache.matches(server, &window[j].expected_path, &entry.frame_hash));
+        if legitimate {
             report.legitimate += 1;
         } else {
             report.findings.push(AuditFinding {

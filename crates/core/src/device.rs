@@ -22,8 +22,8 @@ use btd_sim::time::SimDuration;
 use btd_workload::session::TouchSample;
 
 use crate::messages::{
-    ContentPage, InteractionRequest, LoginSubmit, RegistrationSubmit, ResumeAck, ResumeRequest,
-    ServerHello,
+    window_nonce, ContentPage, InteractionRequest, LoginSubmit, RegistrationSubmit, ResumeAck,
+    ResumeRequest, ServerHello,
 };
 use crate::pages::{Page, View};
 use crate::risk_policy::RiskReport;
@@ -65,18 +65,43 @@ impl std::fmt::Display for DeviceError {
 
 impl std::error::Error for DeviceError {}
 
+/// How a verified windowed reply reconciled into the device's window
+/// (see [`MobileDevice::accept_windowed_content`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WindowAccept {
+    /// The reply was for the base slot and applied, together with any
+    /// buffered out-of-order successors it unlocked.
+    Applied {
+        /// Total slots applied (>= 1).
+        applied: u64,
+    },
+    /// The reply is ahead of the base; verified and buffered until the
+    /// slots before it arrive.
+    Buffered,
+    /// The reply is behind the base (or outside the window entirely):
+    /// authentic, but already superseded — ignored.
+    Stale,
+}
+
 /// FLock-held session state for one domain.
 struct DeviceSession {
     session_id: String,
     key: Vec<u8>,
     next_nonce: Nonce,
     /// Sequence number the next interaction request must carry (echoed
-    /// from the last accepted content page).
+    /// from the last accepted content page). In windowed mode this is the
+    /// cumulative-ack base: the lowest slot whose reply has not been
+    /// applied yet.
     next_seq: u64,
     current_page: Page,
     /// The nonce of an in-flight resume request, so the matching ack can
     /// be recognised (and a stale or unsolicited one rejected).
     pending_resume: Option<Nonce>,
+    /// Interaction window (0 = lock-step stop-and-wait).
+    window: u64,
+    /// Verified in-window replies that arrived ahead of the base, sorted
+    /// by seq; drained as the base catches up.
+    ooo_replies: Vec<ContentPage>,
 }
 
 // `key` is the FLock-side session MAC key and must never appear in logs,
@@ -343,6 +368,8 @@ impl MobileDevice {
                 next_seq: 0,
                 current_page: hello.page.clone(),
                 pending_resume: None,
+                window: 0,
+                ooo_replies: Vec::new(),
             },
         );
         Ok(LoginSubmit {
@@ -396,6 +423,174 @@ impl MobileDevice {
             .record(EventKind::ContentAccepted { seq: content.seq });
         self.display(&page, View::default());
         Ok(())
+    }
+
+    /// Switches the session at `domain` into pipelined windowed mode with
+    /// up to `window >= 1` interactions in flight. Call once after login,
+    /// mirroring the window the server advertised for the session; the
+    /// per-slot nonces are derived from the session key on both ends from
+    /// here on, so no server round trip is needed to arm the window.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live session.
+    pub fn enable_window(&mut self, domain: &str, window: u64) -> Result<(), DeviceError> {
+        let session = self
+            .sessions
+            .get_mut(domain)
+            .ok_or(DeviceError::NoSession)?;
+        if session.session_id.is_empty() {
+            return Err(DeviceError::NoSession);
+        }
+        session.window = window.max(1);
+        Ok(())
+    }
+
+    /// The highest slot (exclusive) the device may currently have in
+    /// flight: `base + window` in windowed mode.
+    pub fn window_limit(&self, domain: &str) -> Option<u64> {
+        self.sessions
+            .get(domain)
+            .filter(|s| s.window >= 1 && !s.session_id.is_empty())
+            .map(|s| s.next_seq + s.window)
+    }
+
+    /// Builds a windowed interaction request for an explicit `slot` in
+    /// `[base, base + window)` — unlike [`MobileDevice::build_interaction`]
+    /// the sequence number is the caller's, so a pipelined runner can keep
+    /// several slots in flight and retransmit any one of them
+    /// selectively. The request's nonce is the derived per-slot nonce.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live windowed session, or when `slot` is outside
+    /// the window.
+    pub fn windowed_request(
+        &mut self,
+        domain: &str,
+        action: &str,
+        slot: u64,
+    ) -> Result<InteractionRequest, DeviceError> {
+        let risk = RiskReport::from_tracker(self.flock.auth().risk());
+        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
+        if session.session_id.is_empty() || session.window == 0 {
+            return Err(DeviceError::NoSession);
+        }
+        if slot < session.next_seq || slot >= session.next_seq + session.window {
+            return Err(DeviceError::NoSession);
+        }
+        let session_id = session.session_id.clone();
+        let current_page = session.current_page.clone();
+        let account = self
+            .flock
+            .domain_record(domain)
+            .ok_or(DeviceError::UnknownDomain)?
+            .account
+            .clone();
+        let nonce = window_nonce(&self.sessions[domain].key, slot);
+        let frame_hash = self.display(&current_page, View::default());
+        let bytes = InteractionRequest::mac_bytes(
+            &session_id,
+            &account,
+            &nonce,
+            slot,
+            action,
+            &frame_hash,
+            &risk,
+        );
+        let mac = btd_crypto::hmac::hmac_sha256(&self.sessions[domain].key, &bytes);
+        Ok(InteractionRequest {
+            session_id,
+            account,
+            nonce,
+            seq: slot,
+            action: action.to_owned(),
+            frame_hash,
+            risk,
+            mac,
+        })
+    }
+
+    /// Accepts a windowed content page: verifies the session MAC, then
+    /// reconciles the reply into the sliding window. A reply for the base
+    /// slot applies immediately and drains any buffered out-of-order
+    /// successors (cumulative ack); a reply ahead of the base is buffered;
+    /// a reply behind it is verified and ignored.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a live windowed session or on MAC mismatch.
+    pub fn accept_windowed_content(
+        &mut self,
+        domain: &str,
+        content: &ContentPage,
+    ) -> Result<WindowAccept, DeviceError> {
+        let session = self.sessions.get(domain).ok_or(DeviceError::NoSession)?;
+        if session.session_id.is_empty() || session.window == 0 {
+            return Err(DeviceError::NoSession);
+        }
+        let bytes = ContentPage::mac_bytes(
+            &content.session_id,
+            &content.account,
+            &content.nonce,
+            content.seq,
+            &content.page,
+        );
+        if !verify_hmac(&session.key, &bytes, &content.mac) {
+            return Err(DeviceError::BadServerMac);
+        }
+        // A reply for slot `s` carries seq `s + 1`.
+        let slot = content.seq.saturating_sub(1);
+        let (base, window) = (session.next_seq, session.window);
+        if content.seq == 0 || slot < base {
+            return Ok(WindowAccept::Stale); // authentic but superseded
+        }
+        let session = self.sessions.get_mut(domain).expect("session checked");
+        if slot > base {
+            if slot >= base + window {
+                return Ok(WindowAccept::Stale); // cannot be an honest reply
+            }
+            let at = session.ooo_replies.partition_point(|p| p.seq < content.seq);
+            let already = session
+                .ooo_replies
+                .get(at)
+                .is_some_and(|p| p.seq == content.seq);
+            if !already {
+                session.ooo_replies.insert(at, content.clone());
+            }
+            return Ok(WindowAccept::Buffered);
+        }
+        // Base reply: apply it, then drain every contiguous buffered
+        // successor.
+        let mut applied = 0u64;
+        let mut page = content.page.clone();
+        session.next_seq = content.seq;
+        session.next_nonce = content.nonce;
+        applied += 1;
+        self.tracer
+            .record(EventKind::ContentAccepted { seq: content.seq });
+        let session = self.sessions.get_mut(domain).expect("session checked");
+        while session
+            .ooo_replies
+            .first()
+            .is_some_and(|p| p.seq == session.next_seq + 1)
+        {
+            let next = session.ooo_replies.remove(0);
+            session.next_seq = next.seq;
+            session.next_nonce = next.nonce;
+            page = next.page.clone();
+            applied += 1;
+            self.tracer
+                .record(EventKind::ContentAccepted { seq: next.seq });
+        }
+        let new_base = session.next_seq;
+        session.current_page = page.clone();
+        self.tracer.record(EventKind::WindowAdvance {
+            base: new_base,
+            applied,
+        });
+        self.display(&page, View::default());
+        Ok(WindowAccept::Applied { applied })
     }
 
     /// Feeds one physical touch through the continuous-auth pipeline,

@@ -76,6 +76,7 @@ pub mod ca;
 pub mod channel;
 pub mod chaos;
 pub mod device;
+pub mod engine;
 pub mod messages;
 pub mod metrics;
 pub mod pages;

@@ -110,6 +110,23 @@ pub fn sealed_box_bytes(boxed: &SealedBox) -> Vec<u8> {
     })
 }
 
+/// The derived per-slot nonce of the pipelined windowed flow: both ends
+/// compute `truncate16(HMAC-SHA256(key, label || seq))` from the session
+/// MAC key, so a device can build requests for every slot in its window
+/// without waiting for server-issued challenges, and a recovered server
+/// needs no resume round to re-learn them. Replay protection does not
+/// weaken: the nonce is bound to one slot, and the server's reply-window
+/// membership test ensures each slot is served fresh at most once.
+pub fn window_nonce(key: &[u8], seq: u64) -> Nonce {
+    let mut msg = Vec::with_capacity(29);
+    msg.extend_from_slice(b"trust-window-nonce-v1");
+    msg.extend_from_slice(&seq.to_be_bytes());
+    let tag = btd_crypto::hmac::hmac_sha256(key, &msg);
+    let mut n = [0u8; 16];
+    n.copy_from_slice(&tag.as_bytes()[..16]);
+    Nonce(n)
+}
+
 /// Canonical bytes of a risk report.
 pub fn risk_report_bytes(r: &RiskReport) -> Vec<u8> {
     signing_bytes("risk-report-v1", |w| {

@@ -31,6 +31,11 @@ pub struct LatencyHistogram {
 
 impl LatencyHistogram {
     /// Records one round-trip sample.
+    ///
+    /// Accumulation saturates: fleet-scale merges of pathological
+    /// latencies clamp at `u64::MAX` nanoseconds instead of wrapping
+    /// silently in release builds (which would drag `mean` and the
+    /// overflow-bucket quantile backwards).
     pub fn record(&mut self, rtt: SimDuration) {
         let ms = rtt.as_millis();
         let bucket = LATENCY_BUCKET_MS
@@ -39,7 +44,7 @@ impl LatencyHistogram {
             .unwrap_or(LATENCY_BUCKET_MS.len());
         self.counts[bucket] += 1;
         self.samples += 1;
-        self.total += rtt;
+        self.total = self.total.saturating_add(rtt);
         if rtt > self.max {
             self.max = rtt;
         }
@@ -74,29 +79,44 @@ impl LatencyHistogram {
     }
 
     /// Merges another histogram into this one: bucket-wise counts, sample
-    /// and total sums, max of maxes. Used to roll per-device chaos
-    /// reports up into fleet-level summaries.
+    /// and total sums (saturating), max of maxes. Used to roll per-device
+    /// chaos reports up into fleet-level summaries.
+    ///
+    /// Two hardenings keep fleet p99 columns honest at scale:
+    ///
+    /// * sums saturate instead of wrapping, so a release-build overflow
+    ///   cannot silently shrink `total`/`samples` and with them the
+    ///   quantile ranks;
+    /// * `max` is only taken from histograms that actually hold samples —
+    ///   a hand-constructed empty histogram with a stale `max` must not
+    ///   become the fleet's overflow-bucket bound.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.samples += other.samples;
-        self.total += other.total;
-        if other.max > self.max {
+        self.samples = self.samples.saturating_add(other.samples);
+        self.total = self.total.saturating_add(other.total);
+        if other.samples > 0 && other.max > self.max {
             self.max = other.max;
         }
     }
 
-    /// Latency at quantile `q` in `[0, 1]`, or `None` with no samples.
+    /// Latency at quantile `q`, or `None` with no samples.
     ///
     /// Buckets only bound samples, so this returns the *upper bound* of
     /// the bucket holding the rank-`ceil(q * samples)` sample — a
     /// conservative (pessimistic) estimate. For the unbounded overflow
     /// bucket it returns the true recorded [`LatencyHistogram::max`].
+    ///
+    /// Edge behavior is pinned: `q` is clamped to `[0, 1]` (negative `q`
+    /// behaves as `0.0` → the minimum, `q > 1` behaves as `1.0` → the
+    /// maximum), and a NaN `q` returns `None` rather than a
+    /// meaningless rank.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
-        if self.samples == 0 {
+        if self.samples == 0 || q.is_nan() {
             return None;
         }
+        let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.samples as f64).ceil() as u64).clamp(1, self.samples);
         let mut seen = 0u64;
         for (bucket, count) in self.counts.iter().enumerate() {
@@ -202,8 +222,11 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// How long the device waits for an acceptable reply per attempt.
     pub timeout: SimDuration,
-    /// Backoff before retry `k` is `backoff_base * 2^k`.
+    /// Backoff before retry `k` is `min(backoff_base * 2^k, backoff_cap)`.
     pub backoff_base: SimDuration,
+    /// Hard ceiling on any single backoff, so exponential growth from a
+    /// large base cannot run an exchange's clock into absurd territory.
+    pub backoff_cap: SimDuration,
 }
 
 impl Default for RetryPolicy {
@@ -212,14 +235,22 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             timeout: SimDuration::from_millis(250),
             backoff_base: SimDuration::from_millis(50),
+            backoff_cap: SimDuration::from_secs(30),
         }
     }
 }
 
 impl RetryPolicy {
     /// Backoff to wait after failed attempt `attempt` (0-based).
+    ///
+    /// The doubling multiply saturates — `backoff_base * 2^16` can exceed
+    /// `u64::MAX` nanoseconds for large bases, and a wrapped duration
+    /// would turn the longest backoff into (nearly) none at all — and the
+    /// result is clamped to [`RetryPolicy::backoff_cap`].
     pub fn backoff(&self, attempt: u32) -> SimDuration {
-        self.backoff_base * (1u64 << attempt.min(16))
+        self.backoff_base
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.backoff_cap)
     }
 }
 
@@ -311,5 +342,76 @@ mod tests {
         assert_eq!(p.backoff(0), SimDuration::from_millis(50));
         assert_eq!(p.backoff(1), SimDuration::from_millis(100));
         assert_eq!(p.backoff(3), SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_overflow_boundary() {
+        // backoff_base * 2^16 overflows u64 nanoseconds for any base above
+        // ~2.8e14 ns (~78 hours). Before the saturating multiply this
+        // wrapped in release builds, producing a near-zero backoff exactly
+        // when the policy asked for the longest one.
+        let p = RetryPolicy {
+            backoff_base: SimDuration::from_nanos(u64::MAX / 2),
+            backoff_cap: SimDuration::from_nanos(u64::MAX),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(16), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(p.backoff(40), SimDuration::from_nanos(u64::MAX));
+        // Below the boundary the doubling is exact.
+        assert_eq!(p.backoff(1), SimDuration::from_nanos(u64::MAX - 1));
+    }
+
+    #[test]
+    fn backoff_respects_the_cap() {
+        let p = RetryPolicy {
+            backoff_cap: SimDuration::from_millis(150),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), SimDuration::from_millis(50));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(150));
+        assert_eq!(p.backoff(12), SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn quantile_edge_behavior_is_pinned() {
+        let mut h = LatencyHistogram::default();
+        // Empty histogram: every q, even a weird one, is None.
+        assert_eq!(h.quantile(f64::NAN), None);
+        h.record(SimDuration::from_millis(100));
+        h.record(SimDuration::from_millis(5_000));
+        // Out-of-range q clamps to the endpoints.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.5), h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), Some(SimDuration::from_millis(5_000)));
+        // NaN never manufactures a rank.
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn merge_ignores_max_of_empty_histograms() {
+        let mut fleet = LatencyHistogram::default();
+        fleet.record(SimDuration::from_millis(2_000));
+        // An empty histogram with a stale max must not poison the fleet
+        // overflow bound (p100 here resolves through `max`).
+        let empty = LatencyHistogram {
+            max: SimDuration::from_secs(3_600),
+            ..LatencyHistogram::default()
+        };
+        fleet.merge(&empty);
+        assert_eq!(fleet.quantile(1.0), Some(SimDuration::from_millis(2_000)));
+        assert_eq!(fleet.samples, 1);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = LatencyHistogram::default();
+        a.record(SimDuration::from_nanos(u64::MAX));
+        let mut b = LatencyHistogram::default();
+        b.record(SimDuration::from_nanos(u64::MAX));
+        a.merge(&b);
+        assert_eq!(a.samples, 2);
+        assert_eq!(a.total, SimDuration::from_nanos(u64::MAX));
+        assert_eq!(a.quantile(0.99), Some(SimDuration::from_nanos(u64::MAX)));
     }
 }

@@ -487,6 +487,146 @@ impl World {
             rng,
         )
     }
+
+    /// Logs device `device_idx` in at `domain` with a pipelined window of
+    /// `window` interactions advertised by the server for the new session
+    /// and armed on the device. The windowed engine
+    /// ([`World::run_windowed_session`]) requires both ends to agree on
+    /// the window, and the server journals it with the login, so it must
+    /// be chosen before the session opens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the login flow error.
+    pub fn login_windowed(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        window: u64,
+        rng: &mut SimRng,
+    ) -> Result<LoginOutcome, FlowError> {
+        assert!(window >= 1, "window must be at least 1");
+        let sidx = self.server_index(domain);
+        self.servers[sidx].set_interaction_window(window);
+        let outcome = self.login(device_idx, domain, rng)?;
+        self.devices[device_idx].0.enable_window(domain, window)?;
+        Ok(outcome)
+    }
+
+    /// Runs `n` post-login interactions through the event-driven pipelined
+    /// engine with up to `window` slots in flight (natural holder
+    /// touches). The session must have been opened windowed
+    /// ([`World::login_windowed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow setup errors; per-interaction rejections are in the
+    /// report.
+    pub fn run_windowed_session(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        n: usize,
+        window: u64,
+        rng: &mut SimRng,
+    ) -> Result<crate::engine::WindowedReport, FlowError> {
+        let touches = self.touches_for_holder(device_idx, n, rng);
+        let sidx = self.server_index(domain);
+        crate::engine::run_windowed_session(
+            &mut self.devices[device_idx].0,
+            &mut self.servers[sidx],
+            &mut self.channel,
+            domain,
+            &DEFAULT_ACTIONS,
+            &touches,
+            &self.policy,
+            window,
+            None,
+            rng,
+        )
+    }
+
+    /// [`World::run_windowed_session`] with seeded server crash faults
+    /// composed on top of the channel adversary: the engine schedules an
+    /// operator restart whenever a crash point fires, and the derived
+    /// per-slot nonces make the restart transparent to in-flight slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow setup errors; per-interaction rejections are in the
+    /// report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_windowed_chaos_session(
+        &mut self,
+        device_idx: usize,
+        domain: &str,
+        n: usize,
+        window: u64,
+        profile: crate::server::journal::CrashProfile,
+        rng: &mut SimRng,
+    ) -> Result<crate::engine::WindowedReport, FlowError> {
+        let touches = self.touches_for_holder(device_idx, n, rng);
+        let sidx = self.server_index(domain);
+        crate::engine::run_windowed_session(
+            &mut self.devices[device_idx].0,
+            &mut self.servers[sidx],
+            &mut self.channel,
+            domain,
+            &DEFAULT_ACTIONS,
+            &touches,
+            &self.policy,
+            window,
+            Some(profile),
+            rng,
+        )
+    }
+
+    /// Drives `cfg.lifecycles` full device lifecycles through the
+    /// pipelined engine's shared event queue against the server at
+    /// `domain` (see [`crate::engine::run_windowed_fleet`]). Devices are
+    /// provisioned on spawn and dropped on retirement, so the live set
+    /// stays at `cfg.max_live` regardless of fleet size; they are *not*
+    /// added to this world's device roster.
+    pub fn run_windowed_fleet(
+        &mut self,
+        domain: &str,
+        cfg: &crate::engine::FleetConfig,
+        rng: &mut SimRng,
+    ) -> crate::engine::FleetReport {
+        let sidx = self.server_index(domain);
+        let World {
+            ref mut ca,
+            ref mut channel,
+            ref mut servers,
+            ref policy,
+            ..
+        } = *self;
+        let mut spawn = |i: usize, rng: &mut SimRng| {
+            let name = format!("fleet-dev-{i}");
+            let owner = 1_000 + i as u64;
+            let mut flock = FlockModule::new(&name, FlockConfig::fast_test(), rng);
+            ca.provision_device(&mut flock);
+            flock.enroll_owner(owner, 3, rng);
+            let device = MobileDevice::new(&name, flock);
+            let profile = UserProfile::builtin((owner % 3) as usize);
+            let mut gen = SessionGenerator::new(profile, rng);
+            let mut touches = gen.generate(cfg.touches, rng);
+            for t in touches.iter_mut() {
+                t.user_id = owner;
+            }
+            (device, owner, format!("fleet-user-{i}"), touches)
+        };
+        crate::engine::run_windowed_fleet(
+            &mut servers[sidx],
+            channel,
+            policy,
+            domain,
+            &DEFAULT_ACTIONS,
+            cfg,
+            &mut spawn,
+            rng,
+        )
+    }
 }
 
 #[cfg(test)]

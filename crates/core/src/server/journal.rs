@@ -239,9 +239,16 @@ pub enum JournalRecord {
         nonce: Nonce,
         /// The submission signature (keys the idempotency cache).
         signature: Vec<u8>,
-        /// The unsealed session key.
-        // trust-lint: allow(secret-payload-field) -- the journal is server-local durable state, never sent over the channel; sealing it under a recovery key is tracked in ROADMAP
-        session_key: Vec<u8>,
+        /// The session MAC key, sealed under the server's recovery key
+        /// (ChaCha20 keyed by the recovery key, stream nonce derived from
+        /// the consumed login nonce, HMAC-SHA256 tagged). The journal
+        /// holds no raw secrets; `apply_record` unseals on live apply and
+        /// on recovery replay alike.
+        sealed_session_key: Vec<u8>,
+        /// Negotiated interaction window for the session: 0 means the
+        /// lock-step stop-and-wait flow, `w >= 1` enables the pipelined
+        /// windowed flow with up to `w` interactions in flight.
+        window: u64,
         /// The first content page served (carries session id, nonce, seq).
         reply: ContentPage,
         /// The login frame hash (audit commitment).
@@ -424,7 +431,8 @@ impl JournalRecord {
             JournalRecord::LoginServed {
                 nonce,
                 signature,
-                session_key,
+                sealed_session_key,
+                window,
                 reply,
                 frame_hash,
                 risk,
@@ -432,7 +440,8 @@ impl JournalRecord {
                 w.str("login")
                     .bytes(nonce.as_bytes())
                     .bytes(signature)
-                    .bytes(session_key)
+                    .bytes(sealed_session_key)
+                    .u64(*window)
                     .bytes(frame_hash.as_bytes());
                 put_risk(&mut w, risk);
                 put_content_page(&mut w, reply);
@@ -512,14 +521,16 @@ impl JournalRecord {
             "login" => {
                 let nonce = Nonce(r.array()?);
                 let signature = r.bytes()?.to_vec();
-                let session_key = r.bytes()?.to_vec();
+                let sealed_session_key = r.bytes()?.to_vec();
+                let window = r.u64()?;
                 let frame_hash = Digest(r.array()?);
                 let risk = get_risk(&mut r)?;
                 let reply = get_content_page(&mut r)?;
                 JournalRecord::LoginServed {
                     nonce,
                     signature,
-                    session_key,
+                    sealed_session_key,
+                    window,
                     reply,
                     frame_hash,
                     risk,

@@ -52,8 +52,8 @@ use btd_sim::trace::TraceLog;
 
 use crate::ca::TrustAuthority;
 use crate::messages::{
-    ContentPage, Freshness, InteractionRequest, LoginSubmit, RegistrationAck, RegistrationSubmit,
-    Reject, ResetAck, ResetRequest, ResumeAck, ResumeRequest, ServerHello,
+    window_nonce, ContentPage, Freshness, InteractionRequest, LoginSubmit, RegistrationAck,
+    RegistrationSubmit, Reject, ResetAck, ResetRequest, ResumeAck, ResumeRequest, ServerHello,
 };
 use crate::pages::Page;
 use crate::risk_policy::{RiskDecision, RiskReport, ServerRiskPolicy};
@@ -141,6 +141,22 @@ struct Session {
     /// Every nonce this session consumed, in consumption order; forgotten
     /// from the replay guard when the session closes.
     consumed_nonces: Vec<Nonce>,
+    /// Negotiated interaction window: 0 is the lock-step stop-and-wait
+    /// flow; `w >= 1` lets the pipelined engine keep up to `w`
+    /// interactions in flight, authenticated by per-slot derived nonces.
+    window: u64,
+    /// Served replies for in-window slots, sorted by seq and capped at
+    /// `window` entries — the windowed generalization of `cache`.
+    /// `expected_seq` doubles as the window base: the lowest slot not yet
+    /// served, advanced past contiguously served slots on every apply.
+    reply_window: Vec<CachedInteraction>,
+}
+
+impl Session {
+    /// The cached reply for slot `seq`, if it is still in the window.
+    fn window_reply(&self, seq: u64) -> Option<&CachedInteraction> {
+        self.reply_window.iter().find(|c| c.seq == seq)
+    }
 }
 
 // `key` is the live session MAC key; a derived Debug would copy it into
@@ -158,6 +174,7 @@ impl std::fmt::Debug for Session {
             .field("stepups", &self.stepups)
             .field("terminated", &self.terminated)
             .field("interactions", &self.interactions)
+            .field("window", &self.window)
             .finish_non_exhaustive()
     }
 }
@@ -176,6 +193,13 @@ pub struct AuditEntry {
     pub action: String,
     /// The risk report attached.
     pub risk: RiskReport,
+    /// How many consecutive serves (this entry included, counting
+    /// backwards through the account's log) the reported frame may
+    /// legitimately lag behind: 1 for lock-step entries, the session's
+    /// window for pipelined serves. A device with `w` requests in flight
+    /// is still displaying the page applied up to `w` slots ago, so the
+    /// audit accepts a view of any of those pages.
+    pub lookback: u64,
 }
 
 /// The server-wide set of issued-but-unconsumed challenge nonces.
@@ -264,6 +288,61 @@ impl Shard {
     }
 }
 
+/// Domain-separation label for sealing session keys into durable state.
+const SEAL_LABEL: &[u8] = b"trust-seal-session-key-v1";
+
+/// ChaCha20 stream nonce for sealing: the first 12 bytes of the consumed
+/// login nonce, which is unique per login (the replay guard enforces it).
+fn seal_stream_nonce(login_nonce: &Nonce) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n.copy_from_slice(&login_nonce.as_bytes()[..12]);
+    n
+}
+
+/// Seals a session MAC key for durable storage (journal records and shard
+/// snapshots) under the server's recovery key: ChaCha20 keyed by the
+/// recovery key with a per-login stream nonce, then an HMAC-SHA256 tag
+/// over label, nonce, and ciphertext. The journal therefore never holds a
+/// raw session key; a wrong recovery key or tampered record surfaces as
+/// `None` from [`open_session_key`], never as silently garbled state.
+fn seal_session_key(recovery_key: &[u8; 32], login_nonce: &Nonce, key: &[u8]) -> Vec<u8> {
+    let mut sealed =
+        btd_crypto::chacha20::encrypt(recovery_key, &seal_stream_nonce(login_nonce), key);
+    let mut tagged = Vec::with_capacity(SEAL_LABEL.len() + 16 + sealed.len());
+    tagged.extend_from_slice(SEAL_LABEL);
+    tagged.extend_from_slice(login_nonce.as_bytes());
+    tagged.extend_from_slice(&sealed);
+    let tag = hmac_sha256(recovery_key, &tagged);
+    sealed.extend_from_slice(tag.as_bytes());
+    sealed
+}
+
+/// Opens a key sealed by [`seal_session_key`]; `None` if the tag does not
+/// verify under `recovery_key`.
+fn open_session_key(
+    recovery_key: &[u8; 32],
+    login_nonce: &Nonce,
+    sealed: &[u8],
+) -> Option<Vec<u8>> {
+    if sealed.len() < 32 {
+        return None;
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - 32);
+    let mut tagged = Vec::with_capacity(SEAL_LABEL.len() + 16 + ciphertext.len());
+    tagged.extend_from_slice(SEAL_LABEL);
+    tagged.extend_from_slice(login_nonce.as_bytes());
+    tagged.extend_from_slice(ciphertext);
+    let expect = hmac_sha256(recovery_key, &tagged);
+    if !btd_crypto::hmac::constant_time_eq(expect.as_bytes(), tag) {
+        return None;
+    }
+    Some(btd_crypto::chacha20::decrypt(
+        recovery_key,
+        &seal_stream_nonce(login_nonce),
+        ciphertext,
+    ))
+}
+
 /// The durable, non-journaled part of a server: keys, certificate, page
 /// set, policy, and shard layout. In a real deployment this is the
 /// config + key file that survives a crash alongside the journal
@@ -278,6 +357,12 @@ pub struct ServerIdentity {
     policy: ServerRiskPolicy,
     shard_count: usize,
     cache_watermark: usize,
+    /// Symmetric key sealing session keys into journal records and
+    /// snapshots. Part of the durable identity: recovery must open what
+    /// the dead process sealed.
+    recovery_key: [u8; 32],
+    /// Interaction window advertised to sessions opened after recovery.
+    interaction_window: u64,
 }
 
 impl ServerIdentity {
@@ -382,6 +467,12 @@ pub struct WebServer {
     crashed: bool,
     compaction_threshold: usize,
     cache_watermark: usize,
+    /// Symmetric key under which session keys are sealed before they
+    /// enter durable state (journal records, shard snapshots).
+    recovery_key: [u8; 32],
+    /// Interaction window advertised at login: 0 keeps the lock-step
+    /// stop-and-wait flow; `w >= 1` enables the pipelined windowed flow.
+    interaction_window: u64,
 }
 
 impl WebServer {
@@ -411,6 +502,8 @@ impl WebServer {
         let keys = KeyPair::generate(group, &mut entropy);
         let cert = ca.issue_server_cert(domain, keys.public_key());
         let nonce_entropy = entropy.fork(b"nonces");
+        let mut recovery_key = [0u8; 32];
+        entropy.fork(b"recovery-seal").fill(&mut recovery_key);
 
         let mut pages = HashMap::new();
         for (path, body) in [
@@ -443,7 +536,18 @@ impl WebServer {
             crashed: false,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             cache_watermark: DEFAULT_CACHE_WATERMARK,
+            recovery_key,
+            interaction_window: 0,
         }
+    }
+
+    /// Sets the interaction window advertised to sessions opened from now
+    /// on: 0 (the default) keeps the lock-step stop-and-wait flow, while
+    /// `w >= 1` lets the pipelined engine keep up to `w` interactions in
+    /// flight per session. Existing sessions keep the window they were
+    /// opened with — it is recorded in their `LoginServed` journal record.
+    pub fn set_interaction_window(&mut self, window: u64) {
+        self.interaction_window = window;
     }
 
     /// The serving domain.
@@ -896,10 +1000,12 @@ impl WebServer {
             page: home,
             mac,
         };
+        let sealed_session_key = seal_session_key(&self.recovery_key, &msg.nonce, &session_key);
         let record = JournalRecord::LoginServed {
             nonce: msg.nonce,
             signature: msg.signature.to_bytes(),
-            session_key,
+            sealed_session_key,
+            window: self.interaction_window,
             reply: page.clone(),
             frame_hash: msg.frame_hash,
             risk: msg.risk,
@@ -940,7 +1046,7 @@ impl WebServer {
         self.check_up()?;
         let idx = self.shard_for(&msg.account);
         self.maybe_compact(idx);
-        let (terminated, account_matches, pending_nonce, key, expected_seq) =
+        let (terminated, account_matches, pending_nonce, key, expected_seq, window) =
             match self.shards[idx].sessions.get(&msg.session_id) {
                 Some(s) => (
                     s.terminated,
@@ -948,11 +1054,15 @@ impl WebServer {
                     s.pending_nonce,
                     s.key.clone(),
                     s.expected_seq,
+                    s.window,
                 ),
                 None => return Err(self.reject(Reject::UnknownSession)),
             };
         if terminated || !account_matches {
             return Err(self.reject(Reject::UnknownSession));
+        }
+        if window >= 1 {
+            return self.windowed_interaction(idx, key, expected_seq, window, msg);
         }
         if msg.seq.checked_add(1) == Some(expected_seq) {
             if let Some(cache) = self.shards[idx]
@@ -1050,6 +1160,142 @@ impl WebServer {
             .clone();
         let nonce = self.fresh_nonce();
         let next_seq = msg.seq + 1;
+        let mac_bytes =
+            ContentPage::mac_bytes(&msg.session_id, &msg.account, &nonce, next_seq, &page);
+        let mac = hmac_sha256(&key, &mac_bytes);
+        let reply = ContentPage {
+            session_id: msg.session_id.clone(),
+            account: msg.account.clone(),
+            nonce,
+            seq: next_seq,
+            page,
+            mac,
+        };
+        let record = JournalRecord::InteractionServed {
+            request_nonce: msg.nonce,
+            request_mac: msg.mac,
+            action: msg.action.clone(),
+            frame_hash: msg.frame_hash,
+            risk: msg.risk,
+            expected_path,
+            stepups: next_stepups as u64,
+            reply: reply.clone(),
+        };
+        self.journal_append(idx, &record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok((reply, Freshness::Fresh))
+    }
+
+    /// The windowed counterpart of the lock-step interaction state
+    /// machine, for sessions opened with `window >= 1`:
+    ///
+    /// * slot already served and still cached in the reply window — a
+    ///   selective retransmit: MAC-verify *this copy's* bytes, then answer
+    ///   from the cache ([`Freshness::Resent`] if byte-identical to the
+    ///   served request, [`Freshness::Resync`] otherwise). No state moves.
+    /// * slot below the window base and no longer cached — [`Reject::Replay`].
+    /// * slot at or past `base + window` — the device may not run ahead of
+    ///   its advertised credit: [`Reject::UnknownNonce`].
+    /// * unserved in-window slot — fresh work. The request must carry the
+    ///   *derived* per-slot nonce ([`crate::messages::window_nonce`]): both
+    ///   ends compute it from the session key, so pipelined requests need
+    ///   no server-issued challenge and recovery needs no resume round.
+    ///
+    /// Exactly-once per slot is the reply-window membership test: a slot
+    /// is served fresh at most once, and every later copy is answered from
+    /// the cache until the base moves past it.
+    fn windowed_interaction(
+        &mut self,
+        idx: usize,
+        key: Vec<u8>,
+        base: u64,
+        window: u64,
+        msg: &InteractionRequest,
+    ) -> Result<(ContentPage, Freshness), Reject> {
+        if let Some(cache) = self.shards[idx]
+            .sessions
+            .get(&msg.session_id)
+            .and_then(|s| s.window_reply(msg.seq))
+        {
+            let mac_bytes = InteractionRequest::mac_bytes(
+                &msg.session_id,
+                &msg.account,
+                &msg.nonce,
+                msg.seq,
+                &msg.action,
+                &msg.frame_hash,
+                &msg.risk,
+            );
+            if !verify_hmac(&key, &mac_bytes, &msg.mac) {
+                return Err(self.reject(Reject::BadMac));
+            }
+            let freshness = if cache.request_mac == msg.mac {
+                Freshness::Resent
+            } else {
+                Freshness::Resync
+            };
+            return Ok((cache.reply.clone(), freshness));
+        }
+        if msg.seq < base {
+            // Served long enough ago that the cache evicted it; an honest
+            // device cannot still be retransmitting this slot.
+            return Err(self.reject(Reject::Replay));
+        }
+        if msg.seq >= base.saturating_add(window) {
+            return Err(self.reject(Reject::UnknownNonce));
+        }
+        if msg.nonce != window_nonce(&key, msg.seq) {
+            let reason = if self.shards[idx].consumed.is_consumed(msg.nonce) {
+                Reject::Replay
+            } else {
+                Reject::UnknownNonce
+            };
+            return Err(self.reject(reason));
+        }
+        let mac_bytes = InteractionRequest::mac_bytes(
+            &msg.session_id,
+            &msg.account,
+            &msg.nonce,
+            msg.seq,
+            &msg.action,
+            &msg.frame_hash,
+            &msg.risk,
+        );
+        if !verify_hmac(&key, &mac_bytes, &msg.mac) {
+            return Err(self.reject(Reject::BadMac));
+        }
+
+        let stepups = self.shards[idx].sessions[&msg.session_id].stepups;
+        let decision = self.policy.evaluate(&msg.risk, stepups);
+        if decision == RiskDecision::Terminate {
+            let record = JournalRecord::SessionTerminated {
+                session_id: msg.session_id.clone(),
+                account: msg.account.clone(),
+            };
+            self.journal_append(idx, &record)?;
+            self.apply_record(&record);
+            return Err(self.reject(Reject::RiskTerminated));
+        }
+        let next_stepups = match decision {
+            RiskDecision::StepUp => stepups + 1,
+            _ => 0,
+        };
+
+        let expected_path = self.shards[idx].sessions[&msg.session_id]
+            .current_path
+            .clone();
+        let page = self
+            .pages
+            .get(&msg.action)
+            .or_else(|| self.pages.get("/home"))
+            .expect("home page")
+            .clone();
+        // The reply nonce is derived too (the device never echoes it back
+        // in windowed mode): no entropy draw, so serving the same slot set
+        // in any order leaves identical durable state.
+        let next_seq = msg.seq + 1;
+        let nonce = window_nonce(&key, next_seq);
         let mac_bytes =
             ContentPage::mac_bytes(&msg.session_id, &msg.account, &nonce, next_seq, &page);
         let mac = hmac_sha256(&key, &mac_bytes);
@@ -1324,6 +1570,8 @@ impl WebServer {
             policy: self.policy,
             shard_count: self.shards.len(),
             cache_watermark: self.cache_watermark,
+            recovery_key: self.recovery_key,
+            interaction_window: self.interaction_window,
         }
     }
 
@@ -1369,6 +1617,8 @@ impl WebServer {
             crashed: false,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             cache_watermark: identity.cache_watermark,
+            recovery_key: identity.recovery_key,
+            interaction_window: identity.interaction_window,
         };
         let mut report = RecoveryReport::default();
         for idx in 0..server.shards.len() {
@@ -1481,6 +1731,7 @@ impl WebServer {
                         frame_hash: *frame_hash,
                         action: "register".to_owned(),
                         risk: RiskReport::fresh_login(),
+                        lookback: 1,
                     });
                 if let Some(sig) = Signature::from_bytes(signature) {
                     shard.reg_cache.insert(
@@ -1516,11 +1767,21 @@ impl WebServer {
             JournalRecord::LoginServed {
                 nonce,
                 signature,
-                session_key,
+                sealed_session_key,
+                window,
                 reply,
                 frame_hash,
                 risk,
             } => {
+                // The journal never holds the raw session key; a record
+                // whose seal does not open under this server's recovery
+                // key is foreign or tampered and installs no session.
+                let Some(session_key) =
+                    open_session_key(&self.recovery_key, nonce, sealed_session_key)
+                else {
+                    debug_assert!(false, "sealed session key failed to open");
+                    return;
+                };
                 let shard = &mut self.shards[idx];
                 shard.session_counter += 1;
                 shard.consumed.mark_consumed(*nonce);
@@ -1534,12 +1795,13 @@ impl WebServer {
                         frame_hash: *frame_hash,
                         action: "login".to_owned(),
                         risk: *risk,
+                        lookback: 1,
                     });
                 shard.sessions.insert(
                     reply.session_id.clone(),
                     Session {
                         account: reply.account.clone(),
-                        key: session_key.clone(),
+                        key: session_key,
                         pending_nonce: reply.nonce,
                         expected_seq: reply.seq,
                         cache: None,
@@ -1550,6 +1812,8 @@ impl WebServer {
                         login_nonce: *nonce,
                         resume_nonces: Vec::new(),
                         consumed_nonces: vec![*nonce],
+                        window: *window,
+                        reply_window: Vec::new(),
                     },
                 );
                 if let Some(sig) = Signature::from_bytes(signature) {
@@ -1568,6 +1832,13 @@ impl WebServer {
             } => {
                 let shard = &mut self.shards[idx];
                 shard.consumed.mark_consumed(*request_nonce);
+                // A pipelined device legitimately lags the serve stream by
+                // up to its window; lock-step sessions (window 0) stay
+                // exact.
+                let lookback = shard
+                    .sessions
+                    .get(&reply.session_id)
+                    .map_or(1, |s| s.window.max(1));
                 shard
                     .audit
                     .entry(reply.account.clone())
@@ -1578,19 +1849,65 @@ impl WebServer {
                         frame_hash: *frame_hash,
                         action: action.clone(),
                         risk: *risk,
+                        lookback,
                     });
                 if let Some(session) = shard.sessions.get_mut(&reply.session_id) {
-                    session.pending_nonce = reply.nonce;
-                    session.expected_seq = reply.seq;
-                    session.cache = Some(CachedInteraction {
-                        seq: reply.seq.saturating_sub(1),
-                        request_mac: *request_mac,
-                        reply: reply.clone(),
-                    });
-                    session.current_path = reply.page.path.clone();
-                    session.interactions += 1;
-                    session.stepups = *stepups as u32;
-                    session.consumed_nonces.push(*request_nonce);
+                    if session.window >= 1 {
+                        // Windowed apply. `reply.seq` is `slot + 1` (the
+                        // lock-step convention), so the served slot is one
+                        // less. Order-independent on purpose: replaying
+                        // these records in any in-window order converges
+                        // to the same state, so reply reordering on the
+                        // wire cannot fork the digest.
+                        let slot = reply.seq.saturating_sub(1);
+                        let at = session.reply_window.partition_point(|c| c.seq < slot);
+                        if session.reply_window.get(at).is_some_and(|c| c.seq == slot) {
+                            return; // duplicate slot: exactly-once holds
+                        }
+                        session.reply_window.insert(
+                            at,
+                            CachedInteraction {
+                                seq: slot,
+                                request_mac: *request_mac,
+                                reply: reply.clone(),
+                            },
+                        );
+                        // Cumulative ack: advance the base past every
+                        // contiguously served slot.
+                        while session
+                            .reply_window
+                            .iter()
+                            .any(|c| c.seq == session.expected_seq)
+                        {
+                            session.expected_seq += 1;
+                        }
+                        // Keep at most `window` cached replies; the device
+                        // cannot retransmit a slot older than that.
+                        let window = session.window as usize;
+                        while session.reply_window.len() > window {
+                            session.reply_window.remove(0);
+                        }
+                        // The page shown is the highest-seq one served so
+                        // far — again independent of apply order.
+                        if let Some(last) = session.reply_window.last() {
+                            session.current_path = last.reply.page.path.clone();
+                        }
+                        session.interactions += 1;
+                        session.stepups = *stepups as u32;
+                        session.consumed_nonces.push(*request_nonce);
+                    } else {
+                        session.pending_nonce = reply.nonce;
+                        session.expected_seq = reply.seq;
+                        session.cache = Some(CachedInteraction {
+                            seq: reply.seq.saturating_sub(1),
+                            request_mac: *request_mac,
+                            reply: reply.clone(),
+                        });
+                        session.current_path = reply.page.path.clone();
+                        session.interactions += 1;
+                        session.stepups = *stepups as u32;
+                        session.consumed_nonces.push(*request_nonce);
+                    }
                 }
             }
             JournalRecord::SessionResumed {
@@ -1694,9 +2011,14 @@ impl WebServer {
     /// under replay — so two shards in the same state encode
     /// identically). Excludes observability state (reject counters,
     /// trace) and the issued-nonce set, which recovery re-issues.
+    ///
+    /// v2: session keys are sealed under the recovery key (the snapshot,
+    /// like the journal, holds no raw secrets — sealing is deterministic,
+    /// so equal state still means equal bytes), and each session carries
+    /// its interaction window plus the windowed reply cache.
     pub fn shard_snapshot_bytes(&self, idx: usize) -> Vec<u8> {
         let shard = &self.shards[idx];
-        signing_bytes("trust-shard-snapshot-v1", |w| {
+        signing_bytes("trust-shard-snapshot-v3", |w| {
             w.u64(shard.session_counter);
 
             let mut accounts: Vec<_> = shard.accounts.iter().collect();
@@ -1714,7 +2036,11 @@ impl WebServer {
             for (sid, s) in sessions {
                 w.str(sid)
                     .str(&s.account)
-                    .bytes(&s.key)
+                    .bytes(&seal_session_key(
+                        &self.recovery_key,
+                        &s.login_nonce,
+                        &s.key,
+                    ))
                     .bytes(s.pending_nonce.as_bytes())
                     .u64(s.expected_seq)
                     .u64(s.cache.is_some() as u64);
@@ -1734,6 +2060,12 @@ impl WebServer {
                 w.u64(s.consumed_nonces.len() as u64);
                 for n in &s.consumed_nonces {
                     w.bytes(n.as_bytes());
+                }
+                w.u64(s.window);
+                w.u64(s.reply_window.len() as u64);
+                for c in &s.reply_window {
+                    w.u64(c.seq).bytes(c.request_mac.as_bytes());
+                    put_content_page(w, &c.reply);
                 }
             }
 
@@ -1788,6 +2120,7 @@ impl WebServer {
                         .bytes(entry.frame_hash.as_bytes())
                         .str(&entry.action);
                     put_risk(w, &entry.risk);
+                    w.u64(entry.lookback);
                 }
             }
         })
@@ -1816,10 +2149,11 @@ impl WebServer {
 
     fn try_restore_shard_snapshot(&mut self, idx: usize, bytes: &[u8]) -> Option<()> {
         let mut r = FieldReader::new(bytes);
-        if r.str()? != "trust-shard-snapshot-v1" {
+        if r.str()? != "trust-shard-snapshot-v3" {
             return None;
         }
         let group = self.keys.public_key().group();
+        let recovery_key = self.recovery_key;
         let shard = &mut self.shards[idx];
         shard.session_counter = r.u64()?;
 
@@ -1839,7 +2173,9 @@ impl WebServer {
         for _ in 0..r.u64()? {
             let sid = r.str()?.to_owned();
             let account = r.str()?.to_owned();
-            let key = r.bytes()?.to_vec();
+            // The login nonce (the seal's stream nonce) arrives later in
+            // the stream; buffer the sealed bytes until it does.
+            let sealed_key = r.bytes()?.to_vec();
             let pending_nonce = Nonce(r.array()?);
             let expected_seq = r.u64()?;
             let cache = if r.u64()? == 1 {
@@ -1867,6 +2203,19 @@ impl WebServer {
             for _ in 0..r.u64()? {
                 consumed_nonces.push(Nonce(r.array()?));
             }
+            let window = r.u64()?;
+            let mut reply_window = Vec::new();
+            for _ in 0..r.u64()? {
+                let seq = r.u64()?;
+                let request_mac = Digest(r.array()?);
+                let reply = get_content_page(&mut r)?;
+                reply_window.push(CachedInteraction {
+                    seq,
+                    request_mac,
+                    reply,
+                });
+            }
+            let key = open_session_key(&recovery_key, &login_nonce, &sealed_key)?;
             shard.sessions.insert(
                 sid,
                 Session {
@@ -1882,6 +2231,8 @@ impl WebServer {
                     login_nonce,
                     resume_nonces,
                     consumed_nonces,
+                    window,
+                    reply_window,
                 },
             );
         }
@@ -1937,6 +2288,7 @@ impl WebServer {
                     frame_hash: Digest(r.array()?),
                     action: r.str()?.to_owned(),
                     risk: get_risk(&mut r)?,
+                    lookback: r.u64()?,
                 });
             }
         }
@@ -2085,5 +2437,131 @@ mod tests {
             let _ = server.fresh_nonce();
         }
         assert!(server.resident_stats().issued_nonces <= ISSUED_NONCE_CAP);
+    }
+
+    #[test]
+    fn sealed_session_key_round_trips_and_rejects_tampering() {
+        let recovery_key = [7u8; 32];
+        let login_nonce = Nonce([3u8; 16]);
+        let key = vec![0xAB; 32];
+        let sealed = seal_session_key(&recovery_key, &login_nonce, &key);
+        assert!(
+            !sealed.windows(key.len()).any(|w| w == &key[..]),
+            "sealing must hide the raw key bytes"
+        );
+        assert_eq!(
+            open_session_key(&recovery_key, &login_nonce, &sealed).as_deref(),
+            Some(&key[..])
+        );
+
+        let mut flipped = sealed.clone();
+        flipped[0] ^= 1;
+        assert!(
+            open_session_key(&recovery_key, &login_nonce, &flipped).is_none(),
+            "tampered ciphertext must not open"
+        );
+        let mut cut_tag = sealed.clone();
+        let last = cut_tag.len() - 1;
+        cut_tag[last] ^= 1;
+        assert!(
+            open_session_key(&recovery_key, &login_nonce, &cut_tag).is_none(),
+            "tampered tag must not open"
+        );
+        assert!(
+            open_session_key(&[8u8; 32], &login_nonce, &sealed).is_none(),
+            "wrong recovery key must not open"
+        );
+        assert!(
+            open_session_key(&recovery_key, &Nonce([4u8; 16]), &sealed).is_none(),
+            "wrong login nonce must not open"
+        );
+        assert!(
+            open_session_key(&recovery_key, &login_nonce, &sealed[..8]).is_none(),
+            "truncated blob must not open"
+        );
+    }
+
+    #[test]
+    fn journaled_login_record_holds_no_raw_session_key() {
+        let recovery_key = [9u8; 32];
+        let login_nonce = Nonce([5u8; 16]);
+        let key = vec![0xC4; 32];
+        let reply = ContentPage {
+            session_id: "sess-1-n".to_owned(),
+            account: "alice".to_owned(),
+            nonce: Nonce([6u8; 16]),
+            seq: 0,
+            page: Page::new("/home", b"welcome back".to_vec()),
+            mac: Digest([0u8; 32]),
+        };
+        let record = JournalRecord::LoginServed {
+            nonce: login_nonce,
+            signature: vec![1, 2, 3],
+            sealed_session_key: seal_session_key(&recovery_key, &login_nonce, &key),
+            window: 4,
+            reply,
+            frame_hash: Digest([2u8; 32]),
+            risk: RiskReport::fresh_login(),
+        };
+        let encoded = record.encode();
+        assert!(
+            !encoded.windows(key.len()).any(|w| w == &key[..]),
+            "the journal frame must not contain the raw session key"
+        );
+        let decoded = JournalRecord::decode(&encoded).expect("decodes");
+        assert_eq!(decoded, record, "sealed key and window survive the trip");
+        let JournalRecord::LoginServed {
+            sealed_session_key, ..
+        } = &decoded
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(
+            open_session_key(&recovery_key, &login_nonce, sealed_session_key).as_deref(),
+            Some(&key[..])
+        );
+    }
+
+    #[test]
+    fn shard_snapshot_holds_no_raw_session_key() {
+        let (mut server, _, _) = setup();
+        let key = vec![0x5E; 32];
+        let login_nonce = Nonce([1u8; 16]);
+        let idx = server.shard_for("alice");
+        // Install a session the only sanctioned way: apply a journaled
+        // login record.
+        server.apply_record(&JournalRecord::LoginServed {
+            nonce: login_nonce,
+            signature: vec![1],
+            sealed_session_key: seal_session_key(&server.recovery_key, &login_nonce, &key),
+            window: 0,
+            reply: ContentPage {
+                session_id: "sess-1-x".to_owned(),
+                account: "alice".to_owned(),
+                nonce: Nonce([2u8; 16]),
+                seq: 0,
+                page: Page::new("/home", b"welcome back".to_vec()),
+                mac: Digest([0u8; 32]),
+            },
+            frame_hash: Digest([3u8; 32]),
+            risk: RiskReport::fresh_login(),
+        });
+        let snapshot = server.shard_snapshot_bytes(idx);
+        assert!(
+            !snapshot.windows(key.len()).any(|w| w == &key[..]),
+            "snapshots must hold only sealed keys"
+        );
+        // And the sealed snapshot restores to a working session.
+        let digest = server.state_digest();
+        let mut server2 = {
+            let (s, _, _) = setup();
+            s
+        };
+        assert!(server2.restore_shard_snapshot(idx, &snapshot));
+        assert_eq!(
+            server2.shards[idx].sessions["sess-1-x"].key, key,
+            "restore unseals back to the raw key"
+        );
+        assert_eq!(server.state_digest(), digest, "snapshotting is read-only");
     }
 }

@@ -349,6 +349,25 @@ pub enum EventKind {
         /// Whether the ack carried the reply the device had missed.
         healed_reply: bool,
     },
+    /// The device's cumulative-ack base advanced past contiguously applied
+    /// windowed replies (pipelined mode only). Purely observational —
+    /// [`derive_metrics`] ignores it, so trace/metrics parity is unchanged.
+    WindowAdvance {
+        /// The new base: the lowest slot whose reply is still outstanding.
+        base: u64,
+        /// Slots applied by this advance (the head plus any buffered
+        /// out-of-order replies it unlocked).
+        applied: u64,
+    },
+    /// A per-slot retransmission timer fired and exactly that slot was
+    /// resent (pipelined mode only). Also ignored by [`derive_metrics`]:
+    /// the accompanying `Send` event carries the retry accounting.
+    SelectiveRetransmit {
+        /// The slot being retransmitted.
+        seq: u64,
+        /// 1-based attempt number of the retransmission.
+        attempt: u32,
+    },
 }
 
 /// One recorded event: a monotonically assigned id, the context it fired
@@ -477,6 +496,21 @@ impl Tracer {
         if let Some(inner) = &self.inner {
             inner.borrow_mut().events.clear();
         }
+    }
+
+    /// Takes every recorded event out of the buffer, leaving it empty
+    /// (ids keep climbing, so a later drain never repeats one). This is
+    /// the memory-bounded way to consume a huge trace incrementally:
+    /// [`derive_metrics`] is additive over any partition of the event
+    /// stream, so folding drained chunks with
+    /// [`ProtocolMetrics::absorb`](crate::metrics::ProtocolMetrics::absorb)
+    /// reproduces the whole-trace derivation without ever holding the
+    /// whole trace — the fleet-scale runs depend on it.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| std::mem::take(&mut i.borrow_mut().events))
+            .unwrap_or_default()
     }
 
     /// Exports the trace as JSON Lines: one event object per line, keys
@@ -678,6 +712,14 @@ fn write_event_json(out: &mut String, ev: &TraceEvent) {
         EventKind::ResumeAccepted { healed_reply } => {
             json_str_field(out, "type", "resume_accepted");
             let _ = write!(out, ",\"healed_reply\":{healed_reply}");
+        }
+        EventKind::WindowAdvance { base, applied } => {
+            json_str_field(out, "type", "window_advance");
+            let _ = write!(out, ",\"base\":{base},\"applied\":{applied}");
+        }
+        EventKind::SelectiveRetransmit { seq, attempt } => {
+            json_str_field(out, "type", "selective_retransmit");
+            let _ = write!(out, ",\"seq\":{seq},\"attempt\":{attempt}");
         }
     }
     out.push('}');
@@ -943,6 +985,12 @@ pub fn describe(ev: &TraceEvent) -> String {
         EventKind::ContentAccepted { seq } => format!("device accepted content seq={seq}"),
         EventKind::ResumeAccepted { healed_reply } => {
             format!("device re-joined session (healed_reply={healed_reply})")
+        }
+        EventKind::WindowAdvance { base, applied } => {
+            format!("window advanced to base={base} (applied {applied})")
+        }
+        EventKind::SelectiveRetransmit { seq, attempt } => {
+            format!("selective retransmit slot={seq} attempt={attempt}")
         }
     };
     if let Some(seq) = ev.ctx.seq {

@@ -190,20 +190,28 @@ impl U2048 {
     }
 
     /// Full 4096-bit product as 64 little-endian limbs.
+    ///
+    /// Both loops are bounded by the operands' occupied limbs: residues in
+    /// a 512-bit group fill 8 of the 32 limbs, and scanning the zero tail
+    /// would quadruple the work of every modular multiply.
     pub fn mul_wide(&self, other: &U2048) -> [u64; LIMBS * 2] {
         let mut out = [0u64; LIMBS * 2];
-        for i in 0..LIMBS {
+        let an = trim(&self.limbs).len();
+        let bn = trim(&other.limbs).len();
+        for i in 0..an {
             if self.limbs[i] == 0 {
                 continue;
             }
             let mut carry: u128 = 0;
-            for j in 0..LIMBS {
+            for j in 0..bn {
                 let cur =
                     out[i + j] as u128 + (self.limbs[i] as u128) * (other.limbs[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
-            out[i + LIMBS] = carry as u64;
+            // Row i's carry slot i+bn sits strictly above everything rows
+            // 0..i wrote, so plain assignment is exact.
+            out[i + bn] = carry as u64;
         }
         out
     }
@@ -362,9 +370,110 @@ pub fn rem_wide(wide: &[u64; LIMBS * 2], m: &U2048) -> U2048 {
     assert!(!m.is_zero(), "modulus must be non-zero");
     let num = trim(wide);
     let den = trim(&m.limbs);
-    let r = div_rem_limbs(num, den).1;
+
+    // num < den: the remainder is num itself (it fits — trimmed num can be
+    // no longer than the trimmed modulus here).
+    if cmp_limbs(num, den) == Ordering::Less {
+        let mut limbs = [0u64; LIMBS];
+        limbs[..num.len()].copy_from_slice(num);
+        return U2048 { limbs };
+    }
+
+    // Single-limb divisor: schoolbook remainder.
+    if den.len() == 1 {
+        let d = den[0] as u128;
+        let mut r: u128 = 0;
+        for i in (0..num.len()).rev() {
+            r = ((r << 64) | num[i] as u128) % d;
+        }
+        return U2048::from_u64(r as u64);
+    }
+
+    // Knuth Algorithm D, remainder only, on stack buffers: this sits on
+    // the hot path of every modular multiply, so the quotient is never
+    // materialised and nothing is heap-allocated.
+    //
+    // Normalize: shift so the divisor's top limb has its high bit set.
+    let n = den.len();
+    let shift = den[n - 1].leading_zeros() as usize;
+    let mut v = [0u64; LIMBS];
+    v[..n].copy_from_slice(den);
+    if shift > 0 {
+        for i in (1..n).rev() {
+            v[i] = (v[i] << shift) | (v[i - 1] >> (64 - shift));
+        }
+        v[0] <<= shift;
+    }
+
+    // u = num << shift; u[num.len()] starts zero, so the top iteration
+    // catches the shifted-out spill, and one further limb stays zero for
+    // the algorithm's extra high digit.
+    let mut u = [0u64; LIMBS * 2 + 2];
+    u[..num.len()].copy_from_slice(num);
+    if shift > 0 {
+        for i in (1..=num.len()).rev() {
+            u[i] = (u[i] << shift) | (u[i - 1] >> (64 - shift));
+        }
+        u[0] <<= shift;
+    }
+    let sn = if u[num.len()] != 0 {
+        num.len() + 1
+    } else {
+        num.len()
+    };
+
+    let v_hi = v[n - 1] as u128;
+    let v_next = v[n - 2] as u128;
+    for j in (0..=sn - n).rev() {
+        // Estimate the quotient digit from the top limbs.
+        let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = top / v_hi;
+        let mut rhat = top % v_hi;
+        while qhat >= 1u128 << 64 || qhat * v_next > ((rhat << 64) | u[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += v_hi;
+            if rhat >= 1u128 << 64 {
+                break;
+            }
+        }
+
+        // Multiply-and-subtract qhat * v from u[j .. j+n]; the quotient
+        // digit itself is discarded.
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            let p = qhat * v[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = (u[j + i] as i128) - (p as u64 as i128) - borrow;
+            u[j + i] = sub as u64;
+            borrow = if sub < 0 { 1 } else { 0 };
+        }
+        let sub = (u[j + n] as i128) - (carry as i128) - borrow;
+        u[j + n] = sub as u64;
+
+        if sub < 0 {
+            // Estimate was one too large: add back.
+            let mut c: u128 = 0;
+            for i in 0..n {
+                let s = u[j + i] as u128 + v[i] as u128 + c;
+                u[j + i] = s as u64;
+                c = s >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(c as u64);
+        }
+    }
+
+    // The remainder is u[..n] shifted back down.
     let mut limbs = [0u64; LIMBS];
-    limbs[..r.len()].copy_from_slice(&r);
+    limbs[..n].copy_from_slice(&u[..n]);
+    if shift > 0 {
+        for i in 0..n {
+            limbs[i] >>= shift;
+            if i + 1 < n {
+                limbs[i] |= u[i + 1] << (64 - shift);
+            }
+        }
+    }
     U2048 { limbs }
 }
 
@@ -392,121 +501,6 @@ fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
         }
     }
     Ordering::Equal
-}
-
-/// Knuth Algorithm D: divides `num` by `den`, returning `(quotient,
-/// remainder)` as trimmed little-endian limb vectors.
-///
-/// # Panics
-///
-/// Panics if `den` is zero.
-fn div_rem_limbs(num: &[u64], den: &[u64]) -> (Vec<u64>, Vec<u64>) {
-    let num = trim(num);
-    let den = trim(den);
-    assert!(!(den.len() == 1 && den[0] == 0), "division by zero");
-
-    if cmp_limbs(num, den) == Ordering::Less {
-        return (vec![0], num.to_vec());
-    }
-
-    // Single-limb divisor: simple schoolbook division.
-    if den.len() == 1 {
-        let d = den[0] as u128;
-        let mut q = vec![0u64; num.len()];
-        let mut r: u128 = 0;
-        for i in (0..num.len()).rev() {
-            let cur = (r << 64) | num[i] as u128;
-            q[i] = (cur / d) as u64;
-            r = cur % d;
-        }
-        return (trim(&q).to_vec(), vec![r as u64]);
-    }
-
-    // Normalize: shift so the top limb of the divisor has its high bit set.
-    let shift = den[den.len() - 1].leading_zeros() as usize;
-    let v = shl_limbs(den, shift);
-    let mut u = shl_limbs(num, shift);
-    u.push(0); // extra high limb for the algorithm
-    let n = v.len();
-    let m = u.len() - n - 1;
-
-    let mut q = vec![0u64; m + 1];
-    let v_hi = v[n - 1] as u128;
-    let v_next = v[n - 2] as u128;
-
-    for j in (0..=m).rev() {
-        // Estimate the quotient digit from the top limbs.
-        let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
-        let mut qhat = top / v_hi;
-        let mut rhat = top % v_hi;
-        while qhat >= 1u128 << 64 || qhat * v_next > ((rhat << 64) | u[j + n - 2] as u128) {
-            qhat -= 1;
-            rhat += v_hi;
-            if rhat >= 1u128 << 64 {
-                break;
-            }
-        }
-
-        // Multiply-and-subtract qhat * v from u[j .. j+n].
-        let mut borrow: i128 = 0;
-        let mut carry: u128 = 0;
-        for i in 0..n {
-            let p = qhat * v[i] as u128 + carry;
-            carry = p >> 64;
-            let sub = (u[j + i] as i128) - (p as u64 as i128) - borrow;
-            u[j + i] = sub as u64;
-            borrow = if sub < 0 { 1 } else { 0 };
-        }
-        let sub = (u[j + n] as i128) - (carry as i128) - borrow;
-        u[j + n] = sub as u64;
-
-        if sub < 0 {
-            // Estimate was one too large: add back.
-            qhat -= 1;
-            let mut c: u128 = 0;
-            for i in 0..n {
-                let s = u[j + i] as u128 + v[i] as u128 + c;
-                u[j + i] = s as u64;
-                c = s >> 64;
-            }
-            u[j + n] = u[j + n].wrapping_add(c as u64);
-        }
-        q[j] = qhat as u64;
-    }
-
-    let r = shr_limbs(&u[..n], shift);
-    (trim(&q).to_vec(), trim(&r).to_vec())
-}
-
-/// Left-shifts limbs by `shift` bits (`shift < 64`), growing by one limb if
-/// needed.
-#[allow(clippy::needless_range_loop)] // limb indexing mirrors the maths
-fn shl_limbs(a: &[u64], shift: usize) -> Vec<u64> {
-    if shift == 0 {
-        return a.to_vec();
-    }
-    let mut out = vec![0u64; a.len() + 1];
-    for i in 0..a.len() {
-        out[i] |= a[i] << shift;
-        out[i + 1] = a[i] >> (64 - shift);
-    }
-    trim(&out).to_vec()
-}
-
-/// Right-shifts limbs by `shift` bits (`shift < 64`).
-#[allow(clippy::needless_range_loop)] // limb indexing mirrors the maths
-fn shr_limbs(a: &[u64], shift: usize) -> Vec<u64> {
-    if shift == 0 {
-        return a.to_vec();
-    }
-    let mut out = vec![0u64; a.len()];
-    for i in 0..a.len() {
-        out[i] = a[i] >> shift;
-        if i + 1 < a.len() {
-            out[i] |= a[i + 1] << (64 - shift);
-        }
-    }
-    out
 }
 
 #[cfg(test)]

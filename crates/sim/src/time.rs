@@ -147,6 +147,18 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating multiplication by an integer factor. Unlike `Mul<u64>`,
+    /// which panics on overflow in debug builds and wraps in release,
+    /// this clamps at `u64::MAX` nanoseconds.
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
     /// Multiplies by a float factor, rounding to the nearest nanosecond.
     ///
     /// # Panics
@@ -332,6 +344,21 @@ mod tests {
         assert_eq!(
             SimDuration::from_nanos(3).saturating_sub(SimDuration::from_nanos(9)),
             SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn saturating_mul_clamps_at_max() {
+        let big = SimDuration::from_nanos(u64::MAX / 2 + 1);
+        assert_eq!(big.saturating_mul(2), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(
+            SimDuration::from_millis(3).saturating_mul(4),
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            big.saturating_add(big),
+            SimDuration::from_nanos(u64::MAX),
+            "saturating_add clamps too"
         );
     }
 

@@ -22,4 +22,11 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> goodput matrix vs checked-in BENCH_goodput.json"
+mkdir -p target
+cargo run -q --release -p btd-bench --bin goodput_matrix -- --json \
+  > target/goodput_matrix.json
+diff -u BENCH_goodput.json target/goodput_matrix.json \
+  || { echo "goodput drifted: re-bless BENCH_goodput.json if intended"; exit 1; }
+
 echo "All checks passed."

@@ -1,0 +1,278 @@
+//! Property tests for the pipelined window protocol: credit enforcement
+//! at the server's edge, exactly-once delivery under loss and replay,
+//! reply-reordering convergence, and deterministic same-seed traces.
+//!
+//! The first two pin the security contract (a device cannot run ahead of
+//! its advertised credit, duplicates never double-apply), the third pins
+//! the durability contract (serve order alone determines the digest —
+//! reply delivery order and retransmits cannot fork it), and the fourth
+//! pins the observability contract (same seed, same bytes out).
+
+use btd_sim::rng::SimRng;
+use proptest::prelude::*;
+use trust_core::channel::Adversary;
+use trust_core::device::WindowAccept;
+use trust_core::messages::{Freshness, Reject};
+use trust_core::trace::derive_metrics;
+use trust_core::World;
+
+const DOMAIN: &str = "www.xyz.com";
+
+/// Register + windowed login; returns `(world, server_idx, device_idx)`.
+fn windowed_world(adversary: Adversary, window: u64, rng: &mut SimRng) -> (World, usize, usize) {
+    let mut world = World::with_adversary(adversary, rng);
+    let sidx = world.add_server(DOMAIN, rng);
+    let didx = world.add_device("phone-1", 7, rng);
+    world
+        .register(didx, DOMAIN, "alice", rng)
+        .expect("register on this channel");
+    world
+        .login_windowed(didx, DOMAIN, window, rng)
+        .expect("login on this channel");
+    (world, sidx, didx)
+}
+
+/// Deterministic Fisher–Yates driven by an xorshift stream, so a proptest
+/// case fully determines the permutation.
+fn shuffled(len: usize, mut state: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A device that builds slots past its advertised credit gets
+    /// [`Reject::UnknownNonce`]; a slot the reply window has evicted gets
+    /// [`Reject::Replay`]. The server's window edges hold for every
+    /// window size, however far the device-side window is widened.
+    #[test]
+    fn out_of_window_requests_are_rejected(
+        seed in 1u64..10_000,
+        window in 1u64..5,
+        extra in 1u64..4,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let (mut world, sidx, didx) = windowed_world(Adversary::None, window, &mut rng);
+        // Widen only the device's window: it can now *build* slots the
+        // server never granted credit for.
+        world
+            .device_mut(didx)
+            .enable_window(DOMAIN, window + extra)
+            .expect("widen device window");
+        let base = world
+            .device(didx)
+            .session_seq(DOMAIN)
+            .expect("logged in");
+
+        for probe in base + window..base + window + extra {
+            let req = world
+                .device_mut(didx)
+                .windowed_request(DOMAIN, "/home", probe)
+                .expect("device builds beyond-credit slots");
+            let verdict = world.server_mut(sidx).handle_interaction(&req);
+            prop_assert_eq!(verdict.err(), Some(Reject::UnknownNonce));
+        }
+
+        // Serve enough in-order slots to push the base past the reply
+        // window, keeping slot `base`'s request for the replay probe.
+        let total = window + extra + 1;
+        let mut first_request = None;
+        for k in 0..total {
+            let slot = base + k;
+            let req = world
+                .device_mut(didx)
+                .windowed_request(DOMAIN, "/home", slot)
+                .expect("in-window request");
+            if k == 0 {
+                first_request = Some(req.clone());
+            }
+            let (reply, fresh) = world
+                .server_mut(sidx)
+                .handle_interaction(&req)
+                .expect("fresh in-order serve");
+            prop_assert_eq!(fresh, Freshness::Fresh);
+            if k == 0 {
+                // Still cached: a byte-identical resend is answered from
+                // the reply window without re-serving.
+                let (_, again) = world
+                    .server_mut(sidx)
+                    .handle_interaction(first_request.as_ref().unwrap())
+                    .expect("cached resend");
+                prop_assert_eq!(again, Freshness::Resent);
+            }
+            let accept = world
+                .device_mut(didx)
+                .accept_windowed_content(DOMAIN, &reply)
+                .expect("authentic reply");
+            prop_assert!(matches!(accept, WindowAccept::Applied { .. }));
+        }
+        // `total > window` serves later: slot `base` fell off the cache.
+        let verdict = world
+            .server_mut(sidx)
+            .handle_interaction(&first_request.expect("saved"));
+        prop_assert_eq!(verdict.err(), Some(Reject::Replay));
+    }
+
+    /// Under composed replay + random loss, the engine still delivers
+    /// every interaction exactly once: nothing double-applies
+    /// (`replays_accepted == 0`), nothing is lost (`served == n`), and
+    /// the offline audit stays clean.
+    #[test]
+    fn engine_is_exactly_once_under_loss_and_replay(
+        seed in 1u64..10_000,
+        window in 1u64..6,
+        touches in 4usize..16,
+        loss in 0.0f64..0.2,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let adversary = Adversary::Composed(vec![
+            Adversary::Replayer,
+            Adversary::RandomLoss { loss },
+        ]);
+        let (mut world, _, didx) = windowed_world(adversary, window, &mut rng);
+        let report = world
+            .run_windowed_session(didx, DOMAIN, touches, window, &mut rng)
+            .expect("windowed session");
+        prop_assert!(report.completed, "rejects: {:?}", report.rejects);
+        prop_assert_eq!(report.attempted, touches as u64);
+        prop_assert_eq!(report.served, touches as u64);
+        prop_assert_eq!(report.metrics.replays_accepted, 0);
+        prop_assert_eq!(report.audit_mismatches, 0);
+    }
+
+    /// Serve order alone determines durable state: feeding a batch of
+    /// replies to the device in *any* permutation converges to the same
+    /// device base, and server-side retransmits along the way leave the
+    /// state digest byte-identical to the undisturbed twin world.
+    #[test]
+    fn reply_reordering_cannot_fork_the_server_digest(
+        seed in 1u64..10_000,
+        window in 2u64..6,
+        batches in 1usize..4,
+        perm_seed in 1u64..u64::MAX,
+    ) {
+        let mut rng_a = SimRng::seed_from(seed);
+        let mut rng_b = SimRng::seed_from(seed);
+        let (mut world_a, sidx_a, didx_a) = windowed_world(Adversary::None, window, &mut rng_a);
+        let (mut world_b, sidx_b, didx_b) = windowed_world(Adversary::None, window, &mut rng_b);
+
+        for batch in 0..batches {
+            let base = world_a
+                .device(didx_a)
+                .session_seq(DOMAIN)
+                .expect("logged in");
+            prop_assert_eq!(world_b.device(didx_b).session_seq(DOMAIN), Some(base));
+
+            // Build and serve the whole batch in-order in both worlds.
+            let mut replies_a = Vec::new();
+            let mut replies_b = Vec::new();
+            let mut requests_b = Vec::new();
+            for slot in base..base + window {
+                let req_a = world_a
+                    .device_mut(didx_a)
+                    .windowed_request(DOMAIN, "/home", slot)
+                    .expect("request A");
+                let (reply, fresh) = world_a
+                    .server_mut(sidx_a)
+                    .handle_interaction(&req_a)
+                    .expect("serve A");
+                prop_assert_eq!(fresh, Freshness::Fresh);
+                replies_a.push(reply);
+
+                let req_b = world_b
+                    .device_mut(didx_b)
+                    .windowed_request(DOMAIN, "/home", slot)
+                    .expect("request B");
+                let (reply, fresh) = world_b
+                    .server_mut(sidx_b)
+                    .handle_interaction(&req_b)
+                    .expect("serve B");
+                prop_assert_eq!(fresh, Freshness::Fresh);
+                replies_b.push(reply);
+                requests_b.push(req_b);
+            }
+
+            // World B: retransmit every request once (all answered from
+            // the reply window — no journal append, no audit entry) and
+            // deliver the replies in a case-chosen permutation.
+            for req in &requests_b {
+                let (_, fresh) = world_b
+                    .server_mut(sidx_b)
+                    .handle_interaction(req)
+                    .expect("cached resend");
+                prop_assert_eq!(fresh, Freshness::Resent);
+            }
+            for reply in &replies_a {
+                let accept = world_a
+                    .device_mut(didx_a)
+                    .accept_windowed_content(DOMAIN, reply)
+                    .expect("reply A");
+                prop_assert!(matches!(accept, WindowAccept::Applied { .. }));
+            }
+            for &i in &shuffled(replies_b.len(), perm_seed ^ batch as u64) {
+                let accept = world_b
+                    .device_mut(didx_b)
+                    .accept_windowed_content(DOMAIN, &replies_b[i])
+                    .expect("reply B");
+                prop_assert!(matches!(
+                    accept,
+                    WindowAccept::Applied { .. } | WindowAccept::Buffered
+                ));
+            }
+            // Both devices converge to the same base.
+            prop_assert_eq!(
+                world_a.device(didx_a).session_seq(DOMAIN),
+                world_b.device(didx_b).session_seq(DOMAIN)
+            );
+        }
+
+        // Reply order and retransmits must not fork durable state.
+        prop_assert_eq!(
+            world_a.server(sidx_a).state_digest(),
+            world_b.server(sidx_b).state_digest()
+        );
+    }
+
+    /// Same seed, same bytes: two traced engine runs export byte-identical
+    /// JSONL, and deriving metrics from the trace reproduces the live
+    /// counters exactly.
+    #[test]
+    fn same_seed_windowed_runs_export_identical_traces(
+        seed in 1u64..10_000,
+        window in 1u64..6,
+        touches in 4usize..12,
+        loss in 0.0f64..0.15,
+    ) {
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed_from(seed);
+            let adversary = Adversary::Composed(vec![
+                Adversary::Replayer,
+                Adversary::RandomLoss { loss },
+            ]);
+            let (mut world, _, didx) = windowed_world(adversary, window, &mut rng);
+            // Trace only the windowed session, so the trace-derived
+            // counters must equal this one report's metrics.
+            let tracer = world.enable_tracing();
+            let report = world
+                .run_windowed_session(didx, DOMAIN, touches, window, &mut rng)
+                .expect("windowed session");
+            let export = tracer.export_jsonl();
+            let derived = derive_metrics(&tracer.drain());
+            (report, export, derived)
+        };
+        let (report_a, export_a, derived_a) = run(seed);
+        let (report_b, export_b, _) = run(seed);
+        prop_assert!(report_a.completed, "rejects: {:?}", report_a.rejects);
+        prop_assert_eq!(&report_a, &report_b); // same seed, same report
+        prop_assert_eq!(export_a, export_b); // same seed, same bytes out
+        // derive_metrics must reproduce the live counters.
+        prop_assert_eq!(derived_a, report_a.metrics);
+    }
+}
