@@ -124,7 +124,7 @@ fn isolation_demo() {
     let per_shard: Vec<usize> = (0..server.shard_count())
         .map(|i| server.journal(i).read().records.len())
         .collect();
-    server.journal_mut(torn).tear_log_tail(1);
+    server.journal_mut(torn).tear_tail(1);
     let report = server.recover_in_place(&mut rng);
 
     println!("\nrecovery isolation (shard {torn} torn):");

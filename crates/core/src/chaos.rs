@@ -56,6 +56,14 @@ pub struct ChaosReport {
     /// Journal records lost to torn writes or corruption across all
     /// recoveries.
     pub records_skipped: u64,
+    /// Shards that came back read-only because a sealed segment failed
+    /// its certificate check, summed over recoveries.
+    pub quarantined_shards: u64,
+    /// Corrupt sealed segments found across all recoveries.
+    pub corrupt_segments: u64,
+    /// Registrations the server shed under storage pressure (degraded
+    /// mode); each was retried until the shard had room again.
+    pub shed_registrations: u64,
     /// Conclusive server rejections, by reason.
     pub rejects: Vec<Reject>,
     /// Whether the server terminated the session on risk.
@@ -86,6 +94,8 @@ fn recover(
     report.snapshot_restores += rec.snapshots_restored() as u64;
     report.records_replayed += rec.records_replayed() as u64;
     report.records_skipped += rec.records_skipped() as u64;
+    report.quarantined_shards += rec.quarantined_shards() as u64;
+    report.corrupt_segments += rec.corrupt_segments() as u64;
     server.arm_crash_schedule(CrashSchedule::seeded(profile, rng.next_u64()));
 }
 
@@ -360,6 +370,13 @@ impl DeviceLifecycle {
                     let _ = self.stuck();
                 }
             }
+            Err(FlowError::Server(Reject::StorageDegraded)) => {
+                // Load shedding, not failure: the server is protecting its
+                // log partition. Count the shed and retry the registration
+                // next round — compaction clears degraded mode.
+                self.report.shed_registrations += 1;
+                let _ = self.stuck();
+            }
             Err(e) => self.fail(e),
         }
     }
@@ -611,6 +628,21 @@ impl MultiChaosReport {
     /// Journal records lost across all recoveries.
     pub fn records_skipped(&self) -> u64 {
         self.per_device.iter().map(|r| r.records_skipped).sum()
+    }
+
+    /// Quarantined shards observed across all recoveries.
+    pub fn quarantined_shards(&self) -> u64 {
+        self.per_device.iter().map(|r| r.quarantined_shards).sum()
+    }
+
+    /// Corrupt sealed segments found across all recoveries.
+    pub fn corrupt_segments(&self) -> u64 {
+        self.per_device.iter().map(|r| r.corrupt_segments).sum()
+    }
+
+    /// Registrations shed under storage pressure, across all devices.
+    pub fn shed_registrations(&self) -> u64 {
+        self.per_device.iter().map(|r| r.shed_registrations).sum()
     }
 
     /// Every device's interaction-latency histogram merged into one

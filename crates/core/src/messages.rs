@@ -499,6 +499,15 @@ pub enum Reject {
     /// verdict: the request may or may not have been applied, and the
     /// device should retry after the server recovers.
     ServerCrashed,
+    /// Storage is under pressure (log partition near or at capacity): the
+    /// server sheds state-growing work — new registrations, and any record
+    /// even emergency compaction could not make durable — until pressure
+    /// clears. The request was not applied; retry later.
+    StorageDegraded,
+    /// The account's shard is quarantined read-only: recovery found a
+    /// sealed journal segment whose certificate no longer verifies, so
+    /// mutations are refused until the operator intervenes.
+    ShardQuarantined,
 }
 
 impl std::fmt::Display for Reject {
@@ -516,6 +525,8 @@ impl std::fmt::Display for Reject {
             Reject::RiskTerminated => "risk policy terminated session",
             Reject::BadResetCredential => "bad reset credential",
             Reject::ServerCrashed => "server crashed",
+            Reject::StorageDegraded => "storage degraded",
+            Reject::ShardQuarantined => "shard quarantined",
         };
         f.write_str(s)
     }

@@ -16,6 +16,7 @@ use crate::channel::{Adversary, Channel};
 use crate::device::MobileDevice;
 use crate::metrics::RetryPolicy;
 use crate::registration::{register, FlowError, RegistrationReport};
+use crate::server::storage::DiskFaultProfile;
 use crate::server::WebServer;
 use crate::trace::Tracer;
 
@@ -107,6 +108,27 @@ impl World {
         }
         self.servers.push(server);
         self.servers.len() - 1
+    }
+
+    /// Adds a sharded web server whose journals live on seeded
+    /// [`SegmentedStorage`](crate::server::storage::SegmentedStorage):
+    /// disk faults fire per `profile`, the log partition holds `capacity`
+    /// bytes (None = unbounded), segments rotate at `segment_target`.
+    /// Returns its index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_server_with_storage(
+        &mut self,
+        domain: &str,
+        shards: usize,
+        profile: DiskFaultProfile,
+        capacity: Option<usize>,
+        segment_target: usize,
+        storage_seed: u64,
+        rng: &mut SimRng,
+    ) -> usize {
+        let idx = self.add_server_with_shards(domain, shards, rng);
+        self.servers[idx].use_segmented_storage(profile, capacity, segment_target, storage_seed);
+        idx
     }
 
     /// Adds a mobile device owned (and enrolled, three fingers) by

@@ -24,9 +24,61 @@ use crate::pages::Page;
 use crate::risk_policy::RiskReport;
 use crate::wire::{FieldReader, FieldWriter};
 
-/// IEEE CRC-32 (the Ethernet/zip polynomial), bitwise; fast enough for a
-/// simulation and dependency-free.
+/// Slice-by-4 lookup tables for the IEEE CRC-32 polynomial, built at
+/// compile time (4 tables x 256 entries = 4 KiB).
+const CRC_TABLES: [[u32; 256]; 4] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 4 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+/// IEEE CRC-32 (the Ethernet/zip polynomial), slice-by-4: four table
+/// lookups per 32-bit word instead of eight shift/xor rounds per byte.
+/// This is the hot framing path — every append and every recovery scan
+/// checksums its payload — and `storage_matrix` reports the throughput
+/// delta against [`crc32_reference`].
 pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut words = data.chunks_exact(4);
+    for w in &mut words {
+        let v = crc ^ u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        crc = CRC_TABLES[3][(v & 0xFF) as usize]
+            ^ CRC_TABLES[2][((v >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((v >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(v >> 24) as usize];
+    }
+    for &b in words.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The original bitwise CRC-32, kept as the independent oracle the
+/// property tests pin [`crc32`] against (and the baseline the bench
+/// compares throughput to).
+pub fn crc32_reference(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= b as u32;
@@ -38,24 +90,107 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Durable storage behind a [`Journal`]: one snapshot blob plus an
-/// append-only log. In-memory for tests; the trait is the seam where a
-/// file- or network-backed implementation would slot in.
-pub trait Storage: std::fmt::Debug {
-    /// Appends one framed record to the log.
-    fn append(&mut self, frame: &[u8]);
-    /// The raw log bytes.
-    fn log(&self) -> &[u8];
-    /// The raw log bytes, mutable — the fault-injection hook tests use to
-    /// tear or corrupt the tail.
-    fn log_mut(&mut self) -> &mut Vec<u8>;
-    /// Replaces the snapshot and truncates the log (compaction).
-    fn install_snapshot(&mut self, snapshot: &[u8]);
-    /// The current snapshot blob (empty if none).
-    fn snapshot(&self) -> &[u8];
+/// What a storage backend can report at a durability barrier. Transient
+/// ([`StorageError::WouldBlock`]) failures retain the unsynced buffers so
+/// a retry can succeed; [`StorageError::DiskFull`] clears once compaction
+/// frees log space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StorageError {
+    /// The sync failed transiently (EAGAIN-style); retry may succeed.
+    WouldBlock,
+    /// The log partition is out of capacity.
+    DiskFull,
 }
 
-/// The default in-memory storage.
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::WouldBlock => write!(f, "sync would block"),
+            StorageError::DiskFull => write!(f, "disk full"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// One segment certified at a sync barrier (returned by [`Storage::sync`]
+/// so the server can trace the seal).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SealInfo {
+    /// The sealed segment's file id.
+    pub segment: u64,
+    /// Its size in bytes at seal time.
+    pub bytes: usize,
+}
+
+/// One contiguous piece of the log, in log order. Frames never span
+/// chunks (segmented backends rotate at append boundaries), so recovery
+/// parses each chunk independently.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogChunk {
+    /// The backing segment's id (0 for single-chunk backends).
+    pub id: u64,
+    /// The chunk's bytes.
+    pub data: Vec<u8>,
+    /// Whether this chunk is a sealed (rotated + certified) segment.
+    pub sealed: bool,
+    /// Whether a sealed chunk's bytes still match its seal CRC. Always
+    /// true for unsealed chunks; false means bit rot after certification
+    /// and the owning shard must quarantine rather than silently absorb.
+    pub seal_ok: bool,
+}
+
+/// Durable storage behind a [`Journal`]: one snapshot blob plus an
+/// append-only log exposed as ordered chunks. In-memory for tests; the
+/// trait is the seam where [`super::storage::SegmentedStorage`] (or a real
+/// file-backed implementation) slots in.
+///
+/// The durability contract: [`Storage::append`] buffers and never fails;
+/// [`Storage::sync`] is the barrier where appended bytes become durable —
+/// and where disk faults surface. A reply must never leave before the
+/// sync covering its record succeeds.
+pub trait Storage: std::fmt::Debug {
+    /// Appends one framed record to the log (buffered until [`Storage::sync`]).
+    fn append(&mut self, frame: &[u8]);
+    /// Makes every appended byte durable, reporting segments certified at
+    /// this barrier. On `Err` the unsynced bytes are retained (transient
+    /// failures are retryable) unless explicitly discarded.
+    fn sync(&mut self) -> Result<Vec<SealInfo>, StorageError>;
+    /// The log as ordered chunks (live view: synced and unsynced bytes).
+    fn chunks(&self) -> Vec<LogChunk>;
+    /// Total log length in bytes across all chunks.
+    fn log_len(&self) -> usize;
+    /// Replaces the snapshot and truncates the log (compaction). On `Err`
+    /// the previous snapshot and the whole log are left intact.
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError>;
+    /// The current snapshot blob (empty if none).
+    fn snapshot(&self) -> Vec<u8>;
+    /// Number of live log segments (1 for single-chunk backends).
+    fn segment_count(&self) -> usize {
+        1
+    }
+    /// Log-partition pressure in `[0, 1+]`; `None` when unbounded.
+    fn pressure(&self) -> Option<f64> {
+        None
+    }
+    /// Simulates process death: unsynced bytes are lost (a faulty disk may
+    /// persist a torn prefix instead).
+    fn crash(&mut self);
+    /// Drops unsynced bytes without crashing (degraded-mode shedding: the
+    /// record was never applied or acknowledged, so it must not become
+    /// durable later behind the server's back).
+    fn discard_unsynced(&mut self);
+    /// Removes the last `n` bytes of the log (fault hook: torn final write).
+    fn tear_tail(&mut self, n: usize);
+    /// Flips one bit at log `offset` (fault hook: bit rot).
+    fn corrupt_at(&mut self, offset: usize, bit: u8);
+    /// An independent deep copy of this storage.
+    fn duplicate(&self) -> Box<dyn Storage>;
+}
+
+/// The default in-memory storage: appends are durable immediately, sync
+/// never fails, a crash loses nothing — the pre-disk-fault-model
+/// behaviour, preserved exactly for the deterministic protocol tests.
 #[derive(Clone, Debug, Default)]
 pub struct MemStorage {
     snapshot: Vec<u8>,
@@ -66,18 +201,39 @@ impl Storage for MemStorage {
     fn append(&mut self, frame: &[u8]) {
         self.log.extend_from_slice(frame);
     }
-    fn log(&self) -> &[u8] {
-        &self.log
+    fn sync(&mut self) -> Result<Vec<SealInfo>, StorageError> {
+        Ok(Vec::new())
     }
-    fn log_mut(&mut self) -> &mut Vec<u8> {
-        &mut self.log
+    fn chunks(&self) -> Vec<LogChunk> {
+        vec![LogChunk {
+            id: 0,
+            data: self.log.clone(),
+            sealed: false,
+            seal_ok: true,
+        }]
     }
-    fn install_snapshot(&mut self, snapshot: &[u8]) {
+    fn log_len(&self) -> usize {
+        self.log.len()
+    }
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError> {
         self.snapshot = snapshot.to_vec();
         self.log.clear();
+        Ok(())
     }
-    fn snapshot(&self) -> &[u8] {
-        &self.snapshot
+    fn snapshot(&self) -> Vec<u8> {
+        self.snapshot.clone()
+    }
+    fn crash(&mut self) {}
+    fn discard_unsynced(&mut self) {}
+    fn tear_tail(&mut self, n: usize) {
+        let keep = self.log.len().saturating_sub(n);
+        self.log.truncate(keep);
+    }
+    fn corrupt_at(&mut self, offset: usize, bit: u8) {
+        self.log[offset] ^= 1 << (bit % 8);
+    }
+    fn duplicate(&self) -> Box<dyn Storage> {
+        Box::new(self.clone())
     }
 }
 
@@ -585,6 +741,17 @@ impl JournalRecord {
 
 // --- The journal ------------------------------------------------------------
 
+/// A sealed segment whose bytes no longer match its seal CRC, with the
+/// per-skip accounting recovery owes the operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CorruptSegment {
+    /// The segment's file id.
+    pub segment: u64,
+    /// Frames inside it that failed to salvage (also counted in the
+    /// journal-wide skip total).
+    pub skipped: usize,
+}
+
 /// What a [`Journal::read`] recovered.
 #[derive(Clone, Debug, Default)]
 pub struct JournalContents {
@@ -594,6 +761,11 @@ pub struct JournalContents {
     pub records: Vec<JournalRecord>,
     /// Frames lost to torn tails or CRC/decode failures.
     pub skipped: usize,
+    /// Sealed segments whose certificate no longer verifies. Frames inside
+    /// are still salvaged individually (and skips counted), but the shard
+    /// that owns this journal must quarantine: a broken seal means the
+    /// storage lost integrity it had certified.
+    pub corrupt_segments: Vec<CorruptSegment>,
 }
 
 /// A write-ahead log + snapshot over a [`Storage`] backend.
@@ -642,59 +814,92 @@ impl Journal {
 
     /// Parses the snapshot + log.
     ///
-    /// An incomplete frame at the end of the log (a torn write) stops the
-    /// scan and counts one skip; a complete frame whose CRC or payload
-    /// does not verify is skipped-and-counted and the scan continues.
+    /// The log is scanned chunk by chunk (frames never span chunks). An
+    /// incomplete frame at the end of a chunk (a torn write) counts one
+    /// skip and the scan continues with the next chunk; a complete frame
+    /// whose CRC or payload does not verify is skipped-and-counted and the
+    /// scan continues. A sealed chunk whose certificate fails is still
+    /// salvaged frame-by-frame, but it is reported in
+    /// [`JournalContents::corrupt_segments`] so the shard can quarantine —
+    /// certified bytes going bad is never silently absorbed.
     pub fn read(&self) -> JournalContents {
-        let log = self.storage.log();
         let mut contents = JournalContents {
-            snapshot: self.storage.snapshot().to_vec(),
+            snapshot: self.storage.snapshot(),
             ..Default::default()
         };
-        let mut pos = 0usize;
-        while pos < log.len() {
-            let Some(header) = log.get(pos..pos + 8) else {
-                contents.skipped += 1; // torn header
-                break;
-            };
-            let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
-            let Some(payload) = log.get(pos + 8..pos + 8 + len) else {
-                contents.skipped += 1; // torn payload
-                break;
-            };
-            pos += 8 + len;
-            if crc32(payload) != crc {
-                contents.skipped += 1; // bit rot mid-log
-                continue;
+        for chunk in self.storage.chunks() {
+            let log = &chunk.data;
+            let mut chunk_skips = 0usize;
+            let mut pos = 0usize;
+            while pos < log.len() {
+                let Some(header) = log.get(pos..pos + 8) else {
+                    chunk_skips += 1; // torn header
+                    break;
+                };
+                let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+                let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+                let Some(payload) = log.get(pos + 8..pos + 8 + len) else {
+                    chunk_skips += 1; // torn payload
+                    break;
+                };
+                pos += 8 + len;
+                if crc32(payload) != crc {
+                    chunk_skips += 1; // bit rot mid-log
+                    continue;
+                }
+                match JournalRecord::decode(payload) {
+                    Some(rec) => contents.records.push(rec),
+                    None => chunk_skips += 1,
+                }
             }
-            match JournalRecord::decode(payload) {
-                Some(rec) => contents.records.push(rec),
-                None => contents.skipped += 1,
+            contents.skipped += chunk_skips;
+            if chunk.sealed && !chunk.seal_ok {
+                contents.corrupt_segments.push(CorruptSegment {
+                    segment: chunk.id,
+                    skipped: chunk_skips,
+                });
             }
         }
         contents
     }
 
-    /// An independent copy of this journal's raw bytes (snapshot + log)
-    /// over fresh in-memory storage. Used to recover a second server
-    /// instance from a live one's segments without disturbing the
-    /// original — e.g. the cross-instance digest-equality checks.
+    /// An independent copy of this journal over an independent copy of its
+    /// storage. Used to recover a second server instance from a live one's
+    /// segments without disturbing the original — e.g. the cross-instance
+    /// digest-equality checks.
     pub fn duplicate(&self) -> Journal {
-        let storage = MemStorage {
-            snapshot: self.storage.snapshot().to_vec(),
-            log: self.storage.log().to_vec(),
-        };
         Journal {
-            storage: Box::new(storage),
+            storage: self.storage.duplicate(),
             pending_records: self.pending_records,
         }
     }
 
-    /// Replaces the snapshot with `snapshot` and truncates the log.
-    pub fn install_snapshot(&mut self, snapshot: &[u8]) {
-        self.storage.install_snapshot(snapshot);
+    /// Makes every appended record durable; the barrier every reply waits
+    /// behind. Returns the segments certified here so the caller can trace
+    /// them; on `Err` the unsynced bytes are retained for retry.
+    pub fn sync(&mut self) -> Result<Vec<SealInfo>, StorageError> {
+        self.storage.sync()
+    }
+
+    /// Simulates process death at the storage layer: unsynced bytes are
+    /// lost (or torn, on a faulty disk).
+    pub fn crash(&mut self) {
+        self.storage.crash();
+        self.pending_records = self.read().records.len();
+    }
+
+    /// Drops unsynced bytes without crashing (degraded-mode shedding).
+    pub fn discard_unsynced(&mut self) {
+        self.storage.discard_unsynced();
+        self.pending_records = self.read().records.len();
+    }
+
+    /// Replaces the snapshot with `snapshot` and truncates the log. On
+    /// `Err` the previous snapshot and log are intact.
+    pub fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError> {
+        self.storage.install_snapshot(snapshot)?;
         self.pending_records = 0;
+        Ok(())
     }
 
     /// Records appended since the last snapshot.
@@ -704,7 +909,7 @@ impl Journal {
 
     /// Raw log length in bytes.
     pub fn log_len(&self) -> usize {
-        self.storage.log().len()
+        self.storage.log_len()
     }
 
     /// Raw snapshot length in bytes (0 if none was installed).
@@ -712,11 +917,19 @@ impl Journal {
         self.storage.snapshot().len()
     }
 
+    /// Number of live log segments in the backing storage.
+    pub fn segment_count(&self) -> usize {
+        self.storage.segment_count()
+    }
+
+    /// Log-partition pressure of the backing storage (`None` = unbounded).
+    pub fn pressure(&self) -> Option<f64> {
+        self.storage.pressure()
+    }
+
     /// Tears `n` bytes off the log tail (simulates a torn final write).
-    pub fn tear_log_tail(&mut self, n: usize) {
-        let log = self.storage.log_mut();
-        let keep = log.len().saturating_sub(n);
-        log.truncate(keep);
+    pub fn tear_tail(&mut self, n: usize) {
+        self.storage.tear_tail(n);
     }
 
     /// Flips one bit in the log byte at `offset` (simulates bit rot).
@@ -724,8 +937,8 @@ impl Journal {
     /// # Panics
     ///
     /// Panics if `offset` is out of range.
-    pub fn flip_log_bit(&mut self, offset: usize, bit: u8) {
-        self.storage.log_mut()[offset] ^= 1 << (bit % 8);
+    pub fn corrupt_at(&mut self, offset: usize, bit: u8) {
+        self.storage.corrupt_at(offset, bit);
     }
 }
 
@@ -749,6 +962,18 @@ mod tests {
         // The classic check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_slice_by_4_matches_bitwise_reference() {
+        // Every remainder length (0..4 tail bytes) and a seeded spread of
+        // contents; the bitwise oracle pins the table-driven rewrite.
+        let mut rng = SimRng::seed_from(0xC12C);
+        for len in 0..64usize {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            assert_eq!(crc32(&buf), crc32_reference(&buf), "len {len}");
+        }
     }
 
     #[test]
@@ -791,7 +1016,7 @@ mod tests {
     fn duplicate_preserves_snapshot_and_log() {
         let mut j = Journal::in_memory();
         j.append(&sample_record(0));
-        j.install_snapshot(b"state");
+        j.install_snapshot(b"state").expect("mem storage");
         j.append(&sample_record(1));
         let copy = j.duplicate();
         let (a, b) = (j.read(), copy.read());
@@ -819,7 +1044,7 @@ mod tests {
         for i in 0..3 {
             j.append(&sample_record(i));
         }
-        j.tear_log_tail(5);
+        j.tear_tail(5);
         let contents = j.read();
         assert_eq!(contents.records.len(), 2, "complete prefix survives");
         assert_eq!(contents.skipped, 1, "the torn record is counted once");
@@ -833,10 +1058,11 @@ mod tests {
         }
         // Flip a payload bit inside the *first* frame (past its 8-byte
         // header) so later frames still parse.
-        j.flip_log_bit(12, 0);
+        j.corrupt_at(12, 0);
         let contents = j.read();
         assert_eq!(contents.records.len(), 2, "later records still recover");
         assert_eq!(contents.skipped, 1);
+        assert!(contents.corrupt_segments.is_empty(), "no seal was broken");
         assert_eq!(contents.records[0], sample_record(1));
     }
 
@@ -844,13 +1070,69 @@ mod tests {
     fn snapshot_truncates_log() {
         let mut j = Journal::in_memory();
         j.append(&sample_record(0));
-        j.install_snapshot(b"state");
+        j.install_snapshot(b"state").expect("mem storage");
         assert_eq!(j.log_len(), 0);
         assert_eq!(j.pending_records(), 0);
         j.append(&sample_record(1));
         let contents = j.read();
         assert_eq!(contents.snapshot, b"state");
         assert_eq!(contents.records, vec![sample_record(1)]);
+    }
+
+    fn segmented_journal(target: usize) -> Journal {
+        use super::super::storage::{SegmentedStorage, SimDisk};
+        Journal::new(Box::new(SegmentedStorage::with_config(
+            Box::new(SimDisk::faultless()),
+            target,
+            64,
+        )))
+    }
+
+    #[test]
+    fn segmented_journal_round_trips_across_rotations() {
+        let mut j = segmented_journal(100); // a few records per segment
+        for i in 0..10 {
+            j.append(&sample_record(i));
+        }
+        j.sync().expect("faultless disk");
+        assert!(j.segment_count() > 2, "rotation must have happened");
+        let contents = j.read();
+        assert_eq!(contents.records.len(), 10);
+        assert_eq!(contents.skipped, 0);
+        assert_eq!(contents.records[7], sample_record(7));
+        // Compaction collapses every segment into the checkpoint.
+        j.install_snapshot(b"state").expect("faultless disk");
+        assert_eq!(j.segment_count(), 1);
+        assert_eq!(j.log_len(), 0);
+    }
+
+    #[test]
+    fn segmented_crash_loses_only_unsynced_records() {
+        let mut j = segmented_journal(1 << 20);
+        j.append(&sample_record(0));
+        j.sync().expect("faultless disk");
+        j.append(&sample_record(1)); // never synced
+        j.crash();
+        let contents = j.read();
+        assert_eq!(contents.records, vec![sample_record(0)]);
+        assert_eq!(contents.skipped, 0, "a clean crash tears nothing");
+        assert_eq!(j.pending_records(), 1, "pending recounted after crash");
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_reported_not_absorbed() {
+        let mut j = segmented_journal(100);
+        for i in 0..10 {
+            j.append(&sample_record(i));
+        }
+        j.sync().expect("faultless disk");
+        // Flip a payload bit inside the first (sealed) segment.
+        j.corrupt_at(12, 0);
+        let contents = j.read();
+        assert_eq!(contents.corrupt_segments.len(), 1, "seal must break");
+        assert_eq!(contents.corrupt_segments[0].skipped, 1);
+        assert_eq!(contents.skipped, 1, "per-skip accounting includes it");
+        assert_eq!(contents.records.len(), 9, "other frames salvage");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! but unconsumed challenge nonces is capped at [`ISSUED_NONCE_CAP`].
 
 pub mod journal;
+pub mod storage;
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -60,10 +61,20 @@ use crate::risk_policy::{RiskDecision, RiskReport, ServerRiskPolicy};
 use crate::trace::{CacheKind, CtxArgs, EventKind, Outcome, SpanKind, Tracer};
 use crate::wire::{signing_bytes, FieldReader};
 
+use crate::metrics::RetryPolicy;
 use journal::{
     get_content_page, get_resume_ack, get_risk, put_content_page, put_resume_ack, put_risk,
-    CrashPoint, CrashSchedule, Journal, JournalRecord,
+    CorruptSegment, CrashPoint, CrashSchedule, Journal, JournalRecord, StorageError,
 };
+use storage::{DiskFaultProfile, SegmentedStorage};
+
+/// Degraded-mode hysteresis: entered when log-partition pressure reaches
+/// this fraction of capacity (or `DiskFull` fires outright) ...
+pub const DEGRADE_ENTER_PRESSURE: f64 = 0.75;
+
+/// ... and exited once a successful sync observes pressure back below
+/// this fraction (compaction freed the log partition).
+pub const DEGRADE_EXIT_PRESSURE: f64 = 0.5;
 
 /// Auto-compaction threshold: once this many records accumulate past the
 /// last snapshot in a shard, the next request touching that shard folds
@@ -277,6 +288,14 @@ struct Shard {
     session_counter: u64,
     /// This shard's journal segment.
     journal: Journal,
+    /// Set when recovery found a sealed segment whose certificate no
+    /// longer verifies: the shard serves reads but rejects every mutating
+    /// operation until the operator intervenes — certified bytes going
+    /// bad must never be silently absorbed into new durable state.
+    quarantined: bool,
+    /// Per-segment skip accounting behind `quarantined` (what recovery
+    /// found broken, kept for the trace and operator reports).
+    corrupt: Vec<CorruptSegment>,
 }
 
 impl Shard {
@@ -386,6 +405,11 @@ pub struct ShardRecovery {
     pub records_replayed: usize,
     /// Records lost to torn writes or corruption (counted, never silent).
     pub records_skipped: usize,
+    /// Whether the shard came back quarantined (read-only) because a
+    /// sealed segment failed its certificate check.
+    pub quarantined: bool,
+    /// Sealed segments whose certificate did not match their bytes.
+    pub corrupt_segments: usize,
 }
 
 /// What a [`WebServer::recover`] pass found and rebuilt, per shard.
@@ -421,6 +445,16 @@ impl RecoveryReport {
             .filter(|(_, s)| s.records_skipped > 0)
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// How many shards came back quarantined (read-only).
+    pub fn quarantined_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.quarantined).count()
+    }
+
+    /// Total corrupt sealed segments found across all shards.
+    pub fn corrupt_segments(&self) -> usize {
+        self.shards.iter().map(|s| s.corrupt_segments).sum()
     }
 }
 
@@ -465,6 +499,15 @@ pub struct WebServer {
     crash: CrashSchedule,
     /// Set once a crash point fires: the process is "dead" until recovery.
     crashed: bool,
+    /// Set while the log partition is under storage pressure: new
+    /// registrations are shed ([`Reject::StorageDegraded`]) so live state
+    /// stops growing, while existing sessions keep being served. Cleared
+    /// once a successful sync observes the pressure back below
+    /// [`DEGRADE_EXIT_PRESSURE`].
+    degraded: bool,
+    /// Retry budget for transient journal sync failures; exhausting it is
+    /// a fail-stop crash.
+    sync_policy: RetryPolicy,
     compaction_threshold: usize,
     cache_watermark: usize,
     /// Symmetric key under which session keys are sealed before they
@@ -534,11 +577,51 @@ impl WebServer {
             tracer: Tracer::disabled(),
             crash: CrashSchedule::Never,
             crashed: false,
+            degraded: false,
+            sync_policy: RetryPolicy::default(),
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             cache_watermark: DEFAULT_CACHE_WATERMARK,
             recovery_key,
             interaction_window: 0,
         }
+    }
+
+    /// Rebuilds every shard's journal over seeded [`SegmentedStorage`]
+    /// (per-shard derived seeds), arming the disk-fault domain. Must be
+    /// called on a fresh server: any state already journaled is discarded
+    /// with the old storage.
+    pub fn use_segmented_storage(
+        &mut self,
+        profile: DiskFaultProfile,
+        capacity: Option<usize>,
+        segment_target: usize,
+        seed: u64,
+    ) {
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let storage = SegmentedStorage::sim(
+                profile,
+                capacity,
+                segment_target,
+                seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            shard.journal = Journal::new(Box::new(storage));
+        }
+    }
+
+    /// Overrides the sync retry budget (transient failures per barrier).
+    pub fn set_sync_policy(&mut self, policy: RetryPolicy) {
+        self.sync_policy = policy;
+    }
+
+    /// Whether the server is shedding new registrations under storage
+    /// pressure.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether shard `idx` is quarantined (read-only after a broken seal).
+    pub fn is_quarantined(&self, idx: usize) -> bool {
+        self.shards[idx].quarantined
     }
 
     /// Sets the interaction window advertised to sessions opened from now
@@ -767,40 +850,138 @@ impl WebServer {
         }
     }
 
-    /// Appends `rec` to shard `idx`'s segment, tripping the
-    /// before/after-append crash points.
+    /// Kills the process at `point`: the storage layer loses (or tears)
+    /// whatever was never synced, exactly as a power cut would.
+    fn crash_now(&mut self, point: CrashPoint) -> Reject {
+        self.crashed = true;
+        for shard in &mut self.shards {
+            shard.journal.crash();
+        }
+        self.tracer.record(EventKind::CrashInjected { point });
+        Reject::ServerCrashed
+    }
+
+    /// Appends `rec` to shard `idx`'s segment and syncs it durable,
+    /// tripping the before/after-append crash points. When this returns
+    /// `Ok`, the record is on stable storage: the journal-then-apply
+    /// discipline means a reply never leaves before this barrier.
     fn journal_append(&mut self, idx: usize, rec: &JournalRecord) -> Result<(), Reject> {
         if self.crash.visit(CrashPoint::BeforeAppend) {
-            self.crashed = true;
-            self.tracer.record(EventKind::CrashInjected {
-                point: CrashPoint::BeforeAppend,
-            });
-            return Err(Reject::ServerCrashed);
+            return Err(self.crash_now(CrashPoint::BeforeAppend));
         }
         let bytes = self.shards[idx].journal.append(rec);
         self.tracer
             .record(EventKind::JournalAppend { shard: idx, bytes });
         if self.crash.visit(CrashPoint::AfterAppend) {
-            self.crashed = true;
-            self.tracer.record(EventKind::CrashInjected {
-                point: CrashPoint::AfterAppend,
-            });
-            return Err(Reject::ServerCrashed);
+            // Under buffered storage the record tears or vanishes with the
+            // crash — sound either way: it was never applied, never
+            // acknowledged, and the device's retry is processed fresh.
+            return Err(self.crash_now(CrashPoint::AfterAppend));
         }
-        Ok(())
+        self.sync_shard(idx)
+    }
+
+    /// Drives shard `idx`'s journal through its durability barrier:
+    /// transient failures retry under the sync policy (fail-stop once the
+    /// budget is exhausted), a full disk forces emergency compaction and
+    /// one more attempt, and a disk that stays full sheds the record and
+    /// degrades. Success traces freshly sealed segments and maintains the
+    /// degraded-mode pressure hysteresis.
+    fn sync_shard(&mut self, idx: usize) -> Result<(), Reject> {
+        let mut attempt = 0u64;
+        loop {
+            match self.shards[idx].journal.sync() {
+                Ok(sealed) => {
+                    for info in sealed {
+                        self.tracer.record(EventKind::SegmentSealed {
+                            shard: idx,
+                            segment: info.segment,
+                            bytes: info.bytes,
+                        });
+                    }
+                    self.update_degraded(idx);
+                    return Ok(());
+                }
+                Err(StorageError::WouldBlock) => {
+                    attempt += 1;
+                    self.tracer.record(EventKind::SyncRetried {
+                        shard: idx,
+                        attempt,
+                    });
+                    if attempt >= u64::from(self.sync_policy.max_attempts) {
+                        // Retries exhausted: fail-stop. A crashed server is
+                        // a state the recovery machinery already handles
+                        // exactly-once; limping on with an unsynced reply
+                        // would not be.
+                        return Err(self.crash_now(CrashPoint::AfterAppend));
+                    }
+                }
+                Err(StorageError::DiskFull) => {
+                    // Emergency compaction: fold the log into a checkpoint
+                    // (the checkpoint area is reserved space), freeing the
+                    // log partition, then retry the barrier once.
+                    self.compact_shard(idx);
+                    if self.shards[idx].journal.sync().is_ok() {
+                        self.enter_degraded(idx);
+                        return Ok(());
+                    }
+                    // Even a compacted log cannot take the record: shed it.
+                    // It was never applied or acknowledged, so it must not
+                    // become durable later behind the server's back.
+                    self.shards[idx].journal.discard_unsynced();
+                    self.enter_degraded(idx);
+                    return Err(self.reject(Reject::StorageDegraded));
+                }
+            }
+        }
+    }
+
+    /// Enters degraded mode (idempotent), tracing the transition.
+    fn enter_degraded(&mut self, idx: usize) {
+        if !self.degraded {
+            self.degraded = true;
+            self.tracer.record(EventKind::DegradedMode {
+                shard: idx,
+                entered: true,
+            });
+        }
+    }
+
+    /// Pressure hysteresis after a successful sync: high pressure sheds
+    /// new registrations before the disk actually fills; pressure back
+    /// under the exit threshold (compaction freed the partition) lifts it.
+    fn update_degraded(&mut self, idx: usize) {
+        match self.shards[idx].journal.pressure() {
+            Some(p) if p >= DEGRADE_ENTER_PRESSURE => self.enter_degraded(idx),
+            Some(p) if p >= DEGRADE_EXIT_PRESSURE => {}
+            _ => {
+                if self.degraded {
+                    self.degraded = false;
+                    self.tracer.record(EventKind::DegradedMode {
+                        shard: idx,
+                        entered: false,
+                    });
+                }
+            }
+        }
     }
 
     /// Trips the before-reply crash point (the decision is durable and
     /// applied, but the caller never sees the reply).
     fn pre_reply_crash(&mut self) -> Result<(), Reject> {
         if self.crash.visit(CrashPoint::BeforeReply) {
-            self.crashed = true;
-            self.tracer.record(EventKind::CrashInjected {
-                point: CrashPoint::BeforeReply,
-            });
-            return Err(Reject::ServerCrashed);
+            return Err(self.crash_now(CrashPoint::BeforeReply));
         }
         Ok(())
+    }
+
+    /// Rejects mutating traffic routed to a quarantined shard.
+    fn check_writable(&mut self, idx: usize) -> Result<(), Reject> {
+        if self.shards[idx].quarantined {
+            Err(self.reject(Reject::ShardQuarantined))
+        } else {
+            Ok(())
+        }
     }
 
     /// Folds shard `idx`'s pending records into a fresh snapshot once the
@@ -811,14 +992,18 @@ impl WebServer {
         }
     }
 
-    /// Installs a snapshot of shard `idx`'s state, truncating its log.
+    /// Installs a snapshot of shard `idx`'s state, truncating its log. A
+    /// failed install (transient sync fault mid-checkpoint) leaves the old
+    /// snapshot + log intact — compaction is retried at the next
+    /// threshold crossing, losing nothing.
     pub fn compact_shard(&mut self, idx: usize) {
         let snapshot = self.shard_snapshot_bytes(idx);
-        self.tracer.record(EventKind::Compaction {
-            shard: idx,
-            bytes: snapshot.len(),
-        });
-        self.shards[idx].journal.install_snapshot(&snapshot);
+        if self.shards[idx].journal.install_snapshot(&snapshot).is_ok() {
+            self.tracer.record(EventKind::Compaction {
+                shard: idx,
+                bytes: snapshot.len(),
+            });
+        }
     }
 
     /// Compacts every shard.
@@ -872,6 +1057,13 @@ impl WebServer {
     ) -> Result<(RegistrationAck, Freshness), Reject> {
         self.check_up()?;
         let idx = self.shard_for(&msg.account);
+        self.check_writable(idx)?;
+        if self.degraded {
+            // Load shedding: registrations grow live state permanently, so
+            // they are the first thing refused under storage pressure.
+            // Existing sessions keep being served.
+            return Err(self.reject(Reject::StorageDegraded));
+        }
         self.maybe_compact(idx);
         if let Some((sig, ack)) = self.shards[idx].reg_cache.get(&msg.nonce) {
             if *sig == msg.signature {
@@ -948,6 +1140,7 @@ impl WebServer {
     pub fn handle_login(&mut self, msg: &LoginSubmit) -> Result<(ContentPage, Freshness), Reject> {
         self.check_up()?;
         let idx = self.shard_for(&msg.account);
+        self.check_writable(idx)?;
         self.maybe_compact(idx);
         if let Some((sig, page)) = self.shards[idx].login_cache.get(&msg.nonce) {
             if *sig == msg.signature {
@@ -1045,6 +1238,7 @@ impl WebServer {
     ) -> Result<(ContentPage, Freshness), Reject> {
         self.check_up()?;
         let idx = self.shard_for(&msg.account);
+        self.check_writable(idx)?;
         self.maybe_compact(idx);
         let (terminated, account_matches, pending_nonce, key, expected_seq, window) =
             match self.shards[idx].sessions.get(&msg.session_id) {
@@ -1342,6 +1536,7 @@ impl WebServer {
     pub fn handle_resume(&mut self, msg: &ResumeRequest) -> Result<(ResumeAck, Freshness), Reject> {
         self.check_up()?;
         let idx = self.shard_for(&msg.account);
+        self.check_writable(idx)?;
         self.maybe_compact(idx);
         if let Some((mac, ack)) = self.shards[idx].resume_cache.get(&msg.nonce) {
             if *mac == msg.mac {
@@ -1436,6 +1631,7 @@ impl WebServer {
     pub fn handle_reset(&mut self, msg: &ResetRequest) -> Result<(ResetAck, Freshness), Reject> {
         self.check_up()?;
         let idx = self.shard_for(&msg.account);
+        self.check_writable(idx)?;
         self.maybe_compact(idx);
         let digest = msg.request_digest();
         if let Some((d, ack)) = self.shards[idx].reset_cache.get(&msg.nonce) {
@@ -1482,6 +1678,7 @@ impl WebServer {
     pub fn reset_identity(&mut self, account: &str, password: &str) -> Result<(), Reject> {
         self.check_up()?;
         let idx = self.shard_for(account);
+        self.check_writable(idx)?;
         let Some(record) = self.shards[idx].accounts.get(account) else {
             return Err(self.reject(Reject::UnknownAccount));
         };
@@ -1511,6 +1708,7 @@ impl WebServer {
     pub fn close_session(&mut self, account: &str, session_id: &str) -> Result<bool, Reject> {
         self.check_up()?;
         let idx = self.shard_for(account);
+        self.check_writable(idx)?;
         self.maybe_compact(idx);
         let owned = self.shards[idx]
             .sessions
@@ -1615,6 +1813,8 @@ impl WebServer {
             tracer: Tracer::disabled(),
             crash: CrashSchedule::Never,
             crashed: false,
+            degraded: false,
+            sync_policy: RetryPolicy::default(),
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             cache_watermark: identity.cache_watermark,
             recovery_key: identity.recovery_key,
@@ -1627,7 +1827,14 @@ impl WebServer {
                 snapshot_restored: false,
                 records_replayed: contents.records.len(),
                 records_skipped: contents.skipped,
+                quarantined: !contents.corrupt_segments.is_empty(),
+                corrupt_segments: contents.corrupt_segments.len(),
             };
+            // Certified bytes that no longer verify quarantine the shard:
+            // its salvaged state stays readable, but nothing new may be
+            // built on top of a log we know lost certified records.
+            server.shards[idx].quarantined = shard_report.quarantined;
+            server.shards[idx].corrupt = contents.corrupt_segments.clone();
             if !contents.snapshot.is_empty() {
                 shard_report.snapshot_restored =
                     server.restore_shard_snapshot(idx, &contents.snapshot);
@@ -1675,9 +1882,11 @@ impl WebServer {
         // nothing), then the live handle is reinstalled and the recovery
         // itself is recorded as per-shard spans.
         let tracer = self.tracer.clone();
+        let sync_policy = self.sync_policy;
         let (server, report) = WebServer::recover(identity, journals, rng);
         *self = server;
         self.tracer = tracer;
+        self.sync_policy = sync_policy;
         for (i, sh) in report.shards.iter().enumerate() {
             self.tracer.open(SpanKind::Recover(i), CtxArgs::shard(i));
             self.tracer.record(EventKind::Recovered {
@@ -1686,7 +1895,20 @@ impl WebServer {
                 replayed: sh.records_replayed,
                 skipped: sh.records_skipped,
             });
-            self.tracer.close(SpanKind::Recover(i), Outcome::Success);
+            let corrupt = self.shards[i].corrupt.clone();
+            for seg in &corrupt {
+                self.tracer.record(EventKind::SegmentCorrupt {
+                    shard: i,
+                    segment: seg.segment,
+                    skipped: seg.skipped,
+                });
+            }
+            let outcome = if sh.quarantined {
+                Outcome::Rejected(Reject::ShardQuarantined)
+            } else {
+                Outcome::Success
+            };
+            self.tracer.close(SpanKind::Recover(i), outcome);
         }
         report
     }

@@ -368,6 +368,48 @@ pub enum EventKind {
         /// 1-based attempt number of the retransmission.
         attempt: u32,
     },
+    /// A journal log segment was sealed: rotated out and CRC-certified at
+    /// a sync barrier. Storage observability only — [`derive_metrics`]
+    /// ignores it, so trace/metrics parity is unchanged.
+    SegmentSealed {
+        /// The shard whose journal sealed the segment.
+        shard: usize,
+        /// The sealed segment's file id.
+        segment: u64,
+        /// Segment size at seal time.
+        bytes: usize,
+    },
+    /// Recovery found a sealed segment whose certificate no longer
+    /// verifies; the owning shard quarantines. Ignored by
+    /// [`derive_metrics`] (the per-frame skips are accounted through
+    /// `Recovered`), so trace/metrics parity is unchanged.
+    SegmentCorrupt {
+        /// The quarantined shard.
+        shard: usize,
+        /// The corrupt segment's file id.
+        segment: u64,
+        /// Frames inside it that failed to salvage.
+        skipped: usize,
+    },
+    /// A journal sync failed transiently and was retried under the sync
+    /// policy. Ignored by [`derive_metrics`] (protocol-level retries stay
+    /// the `Send`/`Timeout` events), so trace/metrics parity is unchanged.
+    SyncRetried {
+        /// The shard whose barrier blocked.
+        shard: usize,
+        /// 1-based retry attempt.
+        attempt: u64,
+    },
+    /// The server entered (or left) degraded mode: shedding new
+    /// registrations under storage pressure while existing sessions keep
+    /// being served. Ignored by [`derive_metrics`], so trace/metrics
+    /// parity is unchanged.
+    DegradedMode {
+        /// The shard whose barrier tripped the transition.
+        shard: usize,
+        /// True on entry, false on exit.
+        entered: bool,
+    },
 }
 
 /// One recorded event: a monotonically assigned id, the context it fired
@@ -721,6 +763,36 @@ fn write_event_json(out: &mut String, ev: &TraceEvent) {
             json_str_field(out, "type", "selective_retransmit");
             let _ = write!(out, ",\"seq\":{seq},\"attempt\":{attempt}");
         }
+        EventKind::SegmentSealed {
+            shard,
+            segment,
+            bytes,
+        } => {
+            json_str_field(out, "type", "segment_sealed");
+            let _ = write!(
+                out,
+                ",\"seal_shard\":{shard},\"segment\":{segment},\"bytes\":{bytes}"
+            );
+        }
+        EventKind::SegmentCorrupt {
+            shard,
+            segment,
+            skipped,
+        } => {
+            json_str_field(out, "type", "segment_corrupt");
+            let _ = write!(
+                out,
+                ",\"corrupt_shard\":{shard},\"segment\":{segment},\"skipped\":{skipped}"
+            );
+        }
+        EventKind::SyncRetried { shard, attempt } => {
+            json_str_field(out, "type", "sync_retried");
+            let _ = write!(out, ",\"sync_shard\":{shard},\"attempt\":{attempt}");
+        }
+        EventKind::DegradedMode { shard, entered } => {
+            json_str_field(out, "type", "degraded_mode");
+            let _ = write!(out, ",\"degraded_shard\":{shard},\"entered\":{entered}");
+        }
     }
     out.push('}');
 }
@@ -991,6 +1063,26 @@ pub fn describe(ev: &TraceEvent) -> String {
         }
         EventKind::SelectiveRetransmit { seq, attempt } => {
             format!("selective retransmit slot={seq} attempt={attempt}")
+        }
+        EventKind::SegmentSealed {
+            shard,
+            segment,
+            bytes,
+        } => format!("sealed segment {segment} shard={shard} {bytes}B"),
+        EventKind::SegmentCorrupt {
+            shard,
+            segment,
+            skipped,
+        } => format!("CORRUPT segment {segment} shard={shard} (skipped {skipped}): quarantined"),
+        EventKind::SyncRetried { shard, attempt } => {
+            format!("sync would block shard={shard} retry attempt={attempt}")
+        }
+        EventKind::DegradedMode { shard, entered } => {
+            if *entered {
+                format!("DEGRADED: shedding registrations (shard {shard} under storage pressure)")
+            } else {
+                format!("degraded mode lifted (shard {shard} pressure cleared)")
+            }
         }
     };
     if let Some(seq) = ev.ctx.seq {

@@ -53,6 +53,11 @@ pub struct Config {
     /// with a `sessions` count) from firing.
     pub durable_receivers: Vec<&'static str>,
     pub durable_mutators: Vec<&'static str>,
+    /// Storage sync discipline (durable file only): any function calling
+    /// a reply marker must have called a sync marker earlier in its body
+    /// — a reply must never leave before its record is durably synced.
+    pub reply_markers: Vec<&'static str>,
+    pub sync_markers: Vec<&'static str>,
     /// Metrics/trace parity: crate prefix, the `ProtocolMetrics` counter
     /// fields, and functions exempt because they aggregate rather than
     /// observe (`absorb`) or *are* the reconciliation (`derive_metrics`).
@@ -151,6 +156,15 @@ impl Default for Config {
                 "apply_record",
                 "remove_binding",
                 "try_restore_shard_snapshot",
+            ],
+            reply_markers: vec!["pre_reply_crash"],
+            sync_markers: vec![
+                // `journal_append` ends in the shard sync barrier; the
+                // rest are the barrier itself and its storage spellings.
+                "journal_append",
+                "sync_shard",
+                "sync",
+                "flush",
             ],
             parity_paths: vec!["crates/core/"],
             counters: vec![

@@ -15,6 +15,7 @@ pub const RULES: &[&str] = &[
     "os-random",
     "unordered-iteration",
     "journal-discipline",
+    "storage-sync-before-reply",
     "metrics-trace-parity",
     "waiver-syntax",
 ];

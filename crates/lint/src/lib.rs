@@ -32,6 +32,7 @@
 //! | secret containment | `secret-debug-derive`, `secret-outside-trust`, `secret-format-leak`, `secret-payload-field` | secrets stay behind the FLock boundary and out of all formatted/serialized output |
 //! | determinism | `wall-clock`, `os-thread`, `os-random`, `unordered-iteration` | same seed ⇒ byte-identical runs |
 //! | journal discipline | `journal-discipline` | durable state mutates only in `apply_record` |
+//! | storage sync discipline | `storage-sync-before-reply` | a reply never leaves before its record is synced |
 //! | metrics/trace parity | `metrics-trace-parity` | `derive_metrics` reconciles exactly |
 
 pub mod config;

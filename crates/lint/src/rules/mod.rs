@@ -6,6 +6,7 @@ pub mod determinism;
 pub mod journal;
 pub mod parity;
 pub mod secret;
+pub mod storage;
 
 use crate::config::Config;
 use crate::findings::Finding;
@@ -17,6 +18,7 @@ pub fn run_all(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     secret::check(file, cfg, out);
     determinism::check(file, cfg, out);
     journal::check(file, cfg, out);
+    storage::check(file, cfg, out);
     parity::check(file, cfg, out);
 }
 

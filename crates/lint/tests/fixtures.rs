@@ -232,6 +232,33 @@ fn journal_discipline_only_applies_to_the_durable_file() {
 }
 
 #[test]
+fn storage_sync_before_reply() {
+    check_pair(
+        "crates/core/src/server/mod.rs",
+        include_str!("fixtures/storage_sync_before_reply/bad.rs"),
+        include_str!("fixtures/storage_sync_before_reply/good.rs"),
+        "storage-sync-before-reply",
+        1,
+    );
+}
+
+#[test]
+fn storage_sync_before_reply_only_applies_to_the_durable_file() {
+    // The same unsynced-reply shape in another file is someone else's
+    // state machine — the discipline binds the server's durable path.
+    let report = lint(
+        "crates/core/src/device.rs",
+        include_str!("fixtures/storage_sync_before_reply/bad.rs"),
+    );
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "durable-file scoping failed:\n{}",
+        report.render(true)
+    );
+}
+
+#[test]
 fn metrics_trace_parity() {
     // Two bump sites, one finding per offending function.
     let rel = "crates/core/src/flow.rs";

@@ -1,0 +1,13 @@
+//! BAD: the handler applies its record and reaches the reply gate without
+//! ever passing a sync point — the reply can leave before the disk holds
+//! the record behind it. Staged at `crates/core/src/server/mod.rs` by the
+//! test harness.
+
+impl WebServer {
+    fn handle_close(&mut self, account: &str) -> Result<Ack, Reject> {
+        let record = JournalRecord::close(account);
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok(Ack::new(account))
+    }
+}

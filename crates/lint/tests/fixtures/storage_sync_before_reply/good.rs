@@ -1,0 +1,14 @@
+//! GOOD: the handler journals (which ends in the shard sync barrier)
+//! before applying and replying — the record is durable by the time the
+//! reply gate can let an acknowledgement out. Staged at
+//! `crates/core/src/server/mod.rs` by the test harness.
+
+impl WebServer {
+    fn handle_close(&mut self, account: &str) -> Result<Ack, Reject> {
+        let record = JournalRecord::close(account);
+        self.journal_append(0, &record)?;
+        self.apply_record(&record);
+        self.pre_reply_crash()?;
+        Ok(Ack::new(account))
+    }
+}

@@ -29,4 +29,10 @@ cargo run -q --release -p btd-bench --bin goodput_matrix -- --json \
 diff -u BENCH_goodput.json target/goodput_matrix.json \
   || { echo "goodput drifted: re-bless BENCH_goodput.json if intended"; exit 1; }
 
+echo "==> storage matrix vs checked-in BENCH_storage.json"
+cargo run -q --release -p btd-bench --bin storage_matrix -- --json \
+  > target/storage_matrix.json
+diff -u BENCH_storage.json target/storage_matrix.json \
+  || { echo "storage drifted: re-bless BENCH_storage.json if intended"; exit 1; }
+
 echo "All checks passed."

@@ -141,7 +141,9 @@ fn torn_final_record_restores_last_acked_state_and_counts_one_skip() {
     // shard; the other shards' (empty) segments are carried unchanged.
     let mut expected_journal = Journal::in_memory();
     if !contents.snapshot.is_empty() {
-        expected_journal.install_snapshot(&contents.snapshot);
+        expected_journal
+            .install_snapshot(&contents.snapshot)
+            .expect("in-memory snapshot install");
     }
     for rec in &contents.records[..contents.records.len() - 1] {
         expected_journal.append(rec);
@@ -153,7 +155,7 @@ fn torn_final_record_restores_last_acked_state_and_counts_one_skip() {
 
     // Tear one byte off the shard's log tail: the final frame no longer
     // parses.
-    server.journal_mut(shard).tear_log_tail(1);
+    server.journal_mut(shard).tear_tail(1);
     let report = server.recover_in_place(&mut rng);
 
     assert_eq!(
@@ -185,12 +187,14 @@ fn mid_log_bit_rot_skips_one_record_and_keeps_reading() {
     // its CRC fails, it is skipped, and every later record still decodes.
     let mut journal = Journal::in_memory();
     if !contents.snapshot.is_empty() {
-        journal.install_snapshot(&contents.snapshot);
+        journal
+            .install_snapshot(&contents.snapshot)
+            .expect("in-memory snapshot install");
     }
     for rec in &contents.records {
         journal.append(rec);
     }
-    journal.flip_log_bit(10, 3); // inside the first frame's payload
+    journal.corrupt_at(10, 3); // inside the first frame's payload
     let damaged = journal.read();
     assert_eq!(damaged.skipped, 1);
     assert_eq!(damaged.records.len(), contents.records.len() - 1);

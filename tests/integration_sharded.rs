@@ -307,7 +307,7 @@ fn torn_tail_in_one_shard_is_isolated_to_that_shard() {
         .collect();
     assert!(per_shard_records[torn] >= 2);
 
-    server.journal_mut(torn).tear_log_tail(1);
+    server.journal_mut(torn).tear_tail(1);
     let report = server.recover_in_place(&mut rng);
 
     assert_eq!(

@@ -45,7 +45,9 @@ fn journal_with(
 ) -> Journal {
     let mut journal = Journal::in_memory();
     if !contents.snapshot.is_empty() {
-        journal.install_snapshot(&contents.snapshot);
+        journal
+            .install_snapshot(&contents.snapshot)
+            .expect("in-memory snapshot install");
     }
     for rec in records {
         journal.append(rec);
@@ -101,6 +103,19 @@ proptest! {
         }
 
         prop_assert_eq!(candidate.state_digest(), reference.state_digest());
+    }
+
+    #[test]
+    fn crc32_slice_by_4_matches_the_bitwise_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // The table-driven frame checksum must be a drop-in for the
+        // original bitwise implementation: one differing pair would make
+        // old journals unreadable (or new ones unreadable by old code).
+        prop_assert_eq!(
+            trust_core::server::journal::crc32(&data),
+            trust_core::server::journal::crc32_reference(&data),
+        );
     }
 
     #[test]
