@@ -55,6 +55,9 @@
 //!   timestamps (touches at workload time, messages after latency).
 //! * [`scenario`] — turnkey harnesses used by the examples, integration
 //!   tests, and benches.
+//! * [`parallel`] — the deterministic shard-parallel runtime: shard
+//!   workers on OS threads outside the sim core, merged by logical time
+//!   into byte-identical same-seed output at any worker count.
 //!
 //! # Example
 //!
@@ -80,6 +83,7 @@ pub mod engine;
 pub mod messages;
 pub mod metrics;
 pub mod pages;
+pub mod parallel;
 pub mod registration;
 pub mod reset;
 pub mod risk_policy;

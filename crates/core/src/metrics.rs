@@ -105,8 +105,11 @@ impl LatencyHistogram {
     ///
     /// Buckets only bound samples, so this returns the *upper bound* of
     /// the bucket holding the rank-`ceil(q * samples)` sample — a
-    /// conservative (pessimistic) estimate. For the unbounded overflow
-    /// bucket it returns the true recorded [`LatencyHistogram::max`].
+    /// conservative (pessimistic) estimate, clamped to the true recorded
+    /// [`LatencyHistogram::max`] so no quantile can ever exceed an
+    /// observed latency (all samples at 100 ms must report p50 = 100 ms,
+    /// not the 150 ms bucket bound). For the unbounded overflow bucket it
+    /// returns the true recorded max directly.
     ///
     /// Edge behavior is pinned: `q` is clamped to `[0, 1]` (negative `q`
     /// behaves as `0.0` → the minimum, `q > 1` behaves as `1.0` → the
@@ -123,7 +126,7 @@ impl LatencyHistogram {
             seen += count;
             if seen >= rank {
                 return Some(match LATENCY_BUCKET_MS.get(bucket) {
-                    Some(bound) => SimDuration::from_millis(*bound),
+                    Some(bound) => SimDuration::from_millis(*bound).min(self.max),
                     None => self.max,
                 });
             }
@@ -313,6 +316,26 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(SimDuration::from_millis(3_000)));
         // Quantiles are monotone in q.
         assert!(h.quantile(0.99) <= h.quantile(1.0));
+
+        // A bucket's upper bound is clamped to the observed max: with every
+        // sample at 100 ms, p50 must report 100 ms, not the 150 ms bound of
+        // the bucket the samples landed in. Bug pinned by this PR's fix.
+        let mut uniform = LatencyHistogram::default();
+        for _ in 0..90 {
+            uniform.record(SimDuration::from_millis(100));
+        }
+        assert_eq!(uniform.quantile(0.50), Some(SimDuration::from_millis(100)));
+        assert_eq!(uniform.quantile(1.0), Some(SimDuration::from_millis(100)));
+        // The clamp never lifts a bound: quantiles stay monotone and at
+        // most max even when samples straddle several buckets.
+        let mut mixed = LatencyHistogram::default();
+        mixed.record(SimDuration::from_millis(40));
+        mixed.record(SimDuration::from_millis(110));
+        // Rank-1 sample sits under the 75 ms bound, below max: unclamped.
+        assert_eq!(mixed.quantile(0.5), Some(SimDuration::from_millis(75)));
+        // Rank-2 sample sits in the 150 ms bucket, but 110 ms was the
+        // largest latency ever observed: the bound is clamped to it.
+        assert_eq!(mixed.quantile(1.0), Some(SimDuration::from_millis(110)));
     }
 
     #[test]

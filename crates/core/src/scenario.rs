@@ -457,6 +457,30 @@ impl World {
         })
     }
 
+    /// Advances one chaos lifecycle a single unit against this world's
+    /// device, server, and channel — the same split borrow
+    /// [`World::run_concurrent_chaos`] performs on each sweep, exposed so
+    /// external drivers can own the round-robin loop. The shard-parallel
+    /// runtime ([`crate::parallel`]) uses this to interleave its logical
+    /// clock ticks and trace drains between steps.
+    pub fn step_lifecycle(
+        &mut self,
+        lifecycle: &mut crate::chaos::DeviceLifecycle,
+        device_idx: usize,
+        server_idx: usize,
+        profile: crate::server::journal::CrashProfile,
+        rng: &mut SimRng,
+    ) -> bool {
+        lifecycle.step(
+            &mut self.devices[device_idx].0,
+            &mut self.servers[server_idx],
+            &mut self.channel,
+            &self.policy,
+            profile,
+            rng,
+        )
+    }
+
     /// Replays a session on the discrete-event timeline (see
     /// [`crate::timeline::replay_session`]).
     ///

@@ -37,7 +37,7 @@
 pub mod journal;
 pub mod storage;
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use btd_crypto::bignum::U2048;
 use btd_crypto::cert::{Certificate, Role};
@@ -103,6 +103,14 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The shard (out of `shard_count`) that owns `account`: the routing every
+/// [`WebServer`] applies (`fnv1a(account) % shards`). Public so the
+/// shard-parallel runtime ([`crate::parallel`]) can partition a fleet of
+/// accounts across workers with exactly the server's own placement.
+pub fn shard_index(account: &str, shard_count: usize) -> usize {
+    (fnv1a(account.as_bytes()) % shard_count as u64) as usize
 }
 
 /// A bound account.
@@ -216,30 +224,56 @@ pub struct AuditEntry {
 /// The server-wide set of issued-but-unconsumed challenge nonces.
 ///
 /// Never journaled: a challenge is ephemeral, and recovery re-issues the
-/// pending nonce of every live session. Insertion order is kept so the
-/// set can be capped at [`ISSUED_NONCE_CAP`] by evicting the oldest.
+/// pending nonce of every live session. Issue order is kept so the set
+/// can be capped at [`ISSUED_NONCE_CAP`] by evicting the oldest — and
+/// "oldest" means strict insertion-order FIFO over the *latest* issue of
+/// each nonce, never hash-iteration order. Each issue is stamped with a
+/// monotonic generation; a deque entry whose generation no longer matches
+/// the live map is a tombstone (the nonce was consumed, or re-issued
+/// later and therefore moved to the back of the queue) and is skipped at
+/// eviction. The previous representation kept a bare `HashSet` plus an
+/// untagged deque: re-issuing a consumed nonce pushed a second deque
+/// entry, and eviction hitting the stale first entry dropped the *live*
+/// re-issue out of order. Deterministic eviction order is load-bearing
+/// now that shard workers replay the same seed on any worker count.
 #[derive(Debug, Default)]
 struct IssuedNonces {
-    set: HashSet<Nonce>,
-    order: VecDeque<Nonce>,
+    /// Live nonces mapped to the generation of their latest issue.
+    live: HashMap<Nonce, u64>,
+    /// Issue history in insertion order. Entries whose generation does
+    /// not match `live` are tombstones and are skipped when evicting.
+    order: VecDeque<(Nonce, u64)>,
+    /// Monotonic issue counter.
+    next_gen: u64,
 }
 
 impl IssuedNonces {
     fn issue(&mut self, n: Nonce) {
-        if self.set.insert(n) {
-            self.order.push_back(n);
-        }
-        // The order deque keeps tombstones for consumed nonces until they
-        // reach the front; bound it so it cannot outgrow the cap either.
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        // A re-issue moves the nonce to the back of the FIFO: its old
+        // deque entry (if any) becomes a tombstone.
+        self.live.insert(n, gen);
+        self.order.push_back((n, gen));
+        // The order deque keeps tombstones until they reach the front;
+        // bound it so it cannot outgrow the cap either. Popping a
+        // still-live front entry here is the same oldest-first eviction
+        // as below, just triggered by tombstone pressure.
         while self.order.len() > 2 * ISSUED_NONCE_CAP {
-            if let Some(old) = self.order.pop_front() {
-                self.set.remove(&old);
+            if let Some((old, g)) = self.order.pop_front() {
+                if self.live.get(&old) == Some(&g) {
+                    self.live.remove(&old);
+                }
             }
         }
-        while self.set.len() > ISSUED_NONCE_CAP {
+        while self.live.len() > ISSUED_NONCE_CAP {
             match self.order.pop_front() {
-                Some(old) => {
-                    self.set.remove(&old);
+                Some((old, g)) => {
+                    // Only the entry carrying a nonce's latest generation
+                    // may evict it; stale entries are skipped tombstones.
+                    if self.live.get(&old) == Some(&g) {
+                        self.live.remove(&old);
+                    }
                 }
                 None => break,
             }
@@ -249,11 +283,11 @@ impl IssuedNonces {
     /// Consumes `n` from the issued set; false means it was never issued
     /// (or already consumed, or evicted past the cap).
     fn remove(&mut self, n: Nonce) -> bool {
-        self.set.remove(&n)
+        self.live.remove(&n).is_some()
     }
 
     fn len(&self) -> usize {
-        self.set.len()
+        self.live.len()
     }
 }
 
@@ -665,7 +699,7 @@ impl WebServer {
 
     /// Which shard owns `account`.
     pub fn shard_for(&self, account: &str) -> usize {
-        (fnv1a(account.as_bytes()) % self.shards.len() as u64) as usize
+        shard_index(account, self.shards.len())
     }
 
     /// Number of bound accounts, across shards.
@@ -2659,6 +2693,89 @@ mod tests {
             let _ = server.fresh_nonce();
         }
         assert!(server.resident_stats().issued_nonces <= ISSUED_NONCE_CAP);
+    }
+
+    /// A nonce whose first byte is `tag` and whose tail encodes `i`, so
+    /// the eviction tests can mint distinct nonces without an RNG.
+    fn numbered_nonce(tag: u8, i: u64) -> Nonce {
+        let mut bytes = [0u8; 16];
+        bytes[0] = tag;
+        bytes[8..].copy_from_slice(&i.to_be_bytes());
+        Nonce(bytes)
+    }
+
+    #[test]
+    fn issued_nonce_eviction_is_insertion_order_fifo() {
+        let mut issued = IssuedNonces::default();
+        for i in 0..(ISSUED_NONCE_CAP as u64 + 10) {
+            issued.issue(numbered_nonce(1, i));
+        }
+        assert_eq!(issued.len(), ISSUED_NONCE_CAP);
+        // Exactly the 10 oldest issues were dropped; everything younger
+        // survives. FIFO depends only on issue order, never on where the
+        // nonces land in the hash map.
+        for i in 0..10u64 {
+            assert!(!issued.remove(numbered_nonce(1, i)), "oldest evicted");
+        }
+        for i in 10..(ISSUED_NONCE_CAP as u64 + 10) {
+            assert!(issued.remove(numbered_nonce(1, i)), "younger survive");
+        }
+    }
+
+    #[test]
+    fn reissued_nonce_is_evicted_by_its_latest_issue_not_its_first() {
+        // Regression: issue a, consume it, issue it again, then fill to
+        // the cap. The stale first-issue deque entry must act as a
+        // tombstone — under the old untagged deque it evicted the live
+        // re-issue first, dropping the *newest* nonce out of FIFO order.
+        let mut issued = IssuedNonces::default();
+        let a = numbered_nonce(2, 0);
+        let b = numbered_nonce(2, 1);
+        issued.issue(a);
+        issued.issue(b);
+        assert!(issued.remove(a), "consume the first issue of a");
+        issued.issue(a); // re-issue: a now belongs at the back, behind b
+        for i in 0..(ISSUED_NONCE_CAP as u64 - 1) {
+            issued.issue(numbered_nonce(3, i));
+        }
+        // One eviction past the cap so far: b (the oldest live issue)
+        // must be the victim, not the re-issued a.
+        assert!(!issued.remove(b), "b was the oldest live issue");
+        assert!(
+            issued.remove(a),
+            "re-issued a moved to the back and survives"
+        );
+    }
+
+    #[test]
+    fn issued_nonce_eviction_order_is_deterministic_across_same_seed_runs() {
+        // Two servers driven by identically-seeded RNGs must evict the
+        // same nonces in the same order — the cross-run determinism the
+        // parallel runtime's digest checks lean on. Interleave consumes
+        // and re-issues to exercise the tombstone path.
+        let run = || {
+            let (mut server, _, _) = setup();
+            let mut survivors = Vec::new();
+            let mut minted = Vec::new();
+            for i in 0..(ISSUED_NONCE_CAP as u64 + 64) {
+                let n = server.fresh_nonce();
+                minted.push(n);
+                if i % 7 == 0 {
+                    // Consume and immediately re-issue an older nonce.
+                    let old = minted[(i / 2) as usize];
+                    if server.issued.remove(old) {
+                        server.issued.issue(old);
+                    }
+                }
+            }
+            for n in minted {
+                if server.issued.remove(n) {
+                    survivors.push(n);
+                }
+            }
+            survivors
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

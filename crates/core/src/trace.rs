@@ -572,6 +572,17 @@ impl Tracer {
 
 // --- JSON export (hand-rolled, zero dependencies) -------------------------
 
+/// The single-line JSON object for one event — byte-for-byte the form
+/// [`Tracer::export_jsonl`] emits (without the trailing newline). Public
+/// so the shard-parallel merge ([`crate::parallel`]) can wrap stamped
+/// events in its own envelope while keeping the inner serialization
+/// identical across worker counts.
+pub fn event_json(ev: &TraceEvent) -> String {
+    let mut out = String::new();
+    write_event_json(&mut out, ev);
+    out
+}
+
 fn json_escape(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {

@@ -40,6 +40,13 @@ pub struct Config {
     /// scanned; bench binaries carry waivers instead of an exemption, so
     /// each wall-clock use is individually justified).
     pub deterministic: Vec<&'static str>,
+    /// The single lint-sanctioned home for `std::thread`: the shard
+    /// worker pool, which runs whole-shard simulations on OS threads
+    /// *outside* the sim-deterministic core and erases scheduling order
+    /// with a stable merge. The `os-thread` rule skips exactly these
+    /// paths; every other sim path keeps the rule, with no ad-hoc
+    /// waivers.
+    pub thread_pool_files: Vec<&'static str>,
     /// Markers in function names whose bodies must iterate maps in a
     /// canonical order (snapshot/digest/export paths).
     pub ordered_fn_markers: Vec<&'static str>,
@@ -133,6 +140,7 @@ impl Default for Config {
                 "crates/core/src/server/journal.rs",
             ],
             deterministic: vec!["crates/", "tests/", "examples/"],
+            thread_pool_files: vec!["crates/core/src/parallel.rs"],
             ordered_fn_markers: vec!["snapshot", "digest", "export", "canonical"],
             durable_file: "crates/core/src/server/mod.rs",
             durable_fields: vec![

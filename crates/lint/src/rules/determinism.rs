@@ -51,14 +51,19 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
                      so same-seed runs stay byte-identical"
                 ),
             )),
-            "thread" if std_thread(tokens, i) => out.push(Finding::new(
-                "os-thread",
-                &file.rel_path,
-                t.line,
-                "`std::thread` introduces OS scheduling nondeterminism; the sim is \
-                 single-threaded by design"
-                    .to_owned(),
-            )),
+            // The shard worker pool is the one sanctioned `std::thread`
+            // home: it runs whole-shard simulations outside the sim core
+            // and merges results by logical time, so OS scheduling never
+            // reaches sim state. Everywhere else the rule stands.
+            "thread" if std_thread(tokens, i) && !file.under_any(&cfg.thread_pool_files) => out
+                .push(Finding::new(
+                    "os-thread",
+                    &file.rel_path,
+                    t.line,
+                    "`std::thread` introduces OS scheduling nondeterminism; the sim is \
+                     single-threaded by design (only the shard worker pool is exempt)"
+                        .to_owned(),
+                )),
             id if OS_RANDOM.contains(&id) => out.push(Finding::new(
                 "os-random",
                 &file.rel_path,

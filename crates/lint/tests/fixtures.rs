@@ -170,6 +170,33 @@ fn os_thread() {
 }
 
 #[test]
+fn os_thread_is_sanctioned_only_in_the_shard_worker_pool() {
+    // The identical worker-pool source is judged purely by path: silent
+    // at the one sanctioned home (`crates/core/src/parallel.rs`), one
+    // finding anywhere else. The scope is part of the workspace model,
+    // not an in-file waiver, so sim code cannot opt itself out.
+    let pool = include_str!("fixtures/os_thread_scoped/pool.rs");
+    let sanctioned = lint("crates/core/src/parallel.rs", pool);
+    assert_eq!(
+        fired(&sanctioned),
+        Vec::<&str>::new(),
+        "the worker pool is the sanctioned `std::thread` home:\n{}",
+        sanctioned.render(true)
+    );
+    let elsewhere = lint("crates/core/src/engine.rs", pool);
+    assert_eq!(
+        fired(&elsewhere),
+        vec!["os-thread"],
+        "the same source outside the pool keeps the rule:\n{}",
+        elsewhere.render(true)
+    );
+    // The scope is exact: a neighboring file whose name merely resembles
+    // the pool is still forbidden.
+    let neighbor = lint("crates/core/src/parallel_helpers.rs", pool);
+    assert_eq!(fired(&neighbor), vec!["os-thread"]);
+}
+
+#[test]
 fn os_random() {
     // `OsRng` in the use, `thread_rng` in the body.
     check_pair(

@@ -22,17 +22,36 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+# Runs a deterministic --json bench into $2 and fails fast on a nonzero
+# exit status BEFORE any diff: a binary that panics mid-emit leaves a
+# truncated JSON whose diff noise would bury the real failure.
+run_bench_json() {
+  local bin="$1" out="$2"
+  if ! cargo run -q --release -p btd-bench --bin "$bin" -- --json > "$out"; then
+    echo "$bin exited nonzero before emitting complete JSON; fix the bench, then re-run" >&2
+    exit 1
+  fi
+}
+
 echo "==> goodput matrix vs checked-in BENCH_goodput.json"
 mkdir -p target
-cargo run -q --release -p btd-bench --bin goodput_matrix -- --json \
-  > target/goodput_matrix.json
+run_bench_json goodput_matrix target/goodput_matrix.json
 diff -u BENCH_goodput.json target/goodput_matrix.json \
   || { echo "goodput drifted: re-bless BENCH_goodput.json if intended"; exit 1; }
 
 echo "==> storage matrix vs checked-in BENCH_storage.json"
-cargo run -q --release -p btd-bench --bin storage_matrix -- --json \
-  > target/storage_matrix.json
+run_bench_json storage_matrix target/storage_matrix.json
 diff -u BENCH_storage.json target/storage_matrix.json \
   || { echo "storage drifted: re-bless BENCH_storage.json if intended"; exit 1; }
+
+echo "==> parallel matrix vs checked-in BENCH_parallel.json"
+run_bench_json parallel_matrix target/parallel_matrix.json
+diff -u BENCH_parallel.json target/parallel_matrix.json \
+  || { echo "parallel drifted: re-bless BENCH_parallel.json if intended"; exit 1; }
+
+echo "==> parallel matrix determinism gate (same seed, second run must be byte-identical)"
+run_bench_json parallel_matrix target/parallel_matrix.run2.json
+diff -u target/parallel_matrix.json target/parallel_matrix.run2.json \
+  || { echo "parallel_matrix is nondeterministic across same-seed runs"; exit 1; }
 
 echo "All checks passed."

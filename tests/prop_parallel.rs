@@ -1,0 +1,85 @@
+//! Property tests for the deterministic shard-parallel runtime: the
+//! worker count is a pure performance knob, never an observable one.
+//!
+//! For random seeds and N ∈ {1, 2, 4, 8}, the merged trace export, the
+//! derived metrics, the per-shard state digests, and the combined digest
+//! must be byte-identical to the N=1 run. A chaos composition (random
+//! loss + seeded crashes + disk faults) then pins the exactly-once
+//! invariant (`replays_accepted == 0`) under four workers, with the
+//! same-seed rerun reproducing the same bytes.
+
+use proptest::prelude::*;
+use trust_core::parallel::{run_parallel, ParallelConfig};
+use trust_core::server::journal::CrashProfile;
+use trust_core::server::storage::DiskFaultProfile;
+
+proptest! {
+    // Each case simulates the whole fleet four times, so keep the case
+    // count modest; seeds still sweep a fresh range every run.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn worker_count_is_unobservable(
+        seed in 1u64..100_000,
+        accounts in 4usize..12,
+        shards in 2usize..6,
+    ) {
+        let cfg = ParallelConfig {
+            touches: 3,
+            loss: 0.05,
+            ..ParallelConfig::new(seed, accounts, shards, 1)
+        };
+        let baseline = run_parallel(&cfg);
+        let export = baseline.export_jsonl();
+        let digest = baseline.state_digest();
+        let metrics = baseline.fleet_metrics();
+        // Trace/metrics parity holds on the merged stream.
+        prop_assert_eq!(&baseline.derived_metrics(), &metrics);
+        for workers in [2usize, 4, 8] {
+            let run = run_parallel(&ParallelConfig { workers, ..cfg.clone() });
+            // Byte-identical merged trace, combined digest, and per-shard
+            // digests at every worker count.
+            prop_assert_eq!(&run.export_jsonl(), &export);
+            prop_assert_eq!(run.state_digest(), digest);
+            for (a, b) in run.shard_runs.iter().zip(baseline.shard_runs.iter()) {
+                prop_assert_eq!(a.shard, b.shard);
+                prop_assert_eq!(a.digest, b.digest);
+            }
+            prop_assert_eq!(&run.fleet_metrics(), &metrics);
+        }
+    }
+}
+
+/// Loss, crashes, and disk faults composed under four workers: the
+/// exactly-once invariant survives, and the same seed reproduces the
+/// same bytes run over run.
+#[test]
+fn chaos_composition_under_four_workers_is_exactly_once() {
+    let cfg = ParallelConfig {
+        touches: 5,
+        loss: 0.10,
+        crash: Some(CrashProfile::uniform(0.02)),
+        disk: Some(DiskFaultProfile {
+            torn_append: 0.20,
+            sync_fail: 0.20,
+            bitrot_seal: 0.0,
+        }),
+        ..ParallelConfig::new(0xC4A05, 16, 4, 4)
+    };
+    let run = run_parallel(&cfg);
+    assert_eq!(run.replays_accepted(), 0, "a replay was accepted as fresh");
+    let crashes: u64 = run.shard_runs.iter().map(|r| r.crashes).sum();
+    assert!(crashes > 0, "the crash schedule never fired; weak test");
+    assert!(run.total_served() > 0);
+    if let Some((account, err)) = run.failures().next() {
+        panic!("lifecycle for {account} failed conclusively: {err}");
+    }
+    // Same seed, same chaos, same bytes — under parallel workers too.
+    let again = run_parallel(&cfg);
+    assert_eq!(again.export_jsonl(), run.export_jsonl());
+    assert_eq!(again.state_digest(), run.state_digest());
+    // And the worker count stays unobservable even under full chaos.
+    let serial = run_parallel(&ParallelConfig { workers: 1, ..cfg });
+    assert_eq!(serial.export_jsonl(), run.export_jsonl());
+    assert_eq!(serial.state_digest(), run.state_digest());
+}
