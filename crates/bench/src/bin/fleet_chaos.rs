@@ -39,7 +39,11 @@ fn main() {
 
     let mut rng = SimRng::seed_from(41);
     let mut world = World::with_adversary(Adversary::RandomLoss { loss: 0.05 }, &mut rng);
-    world.enable_tracing();
+    // Ring-buffered tracer: the fleet driver drains per retirement, so a
+    // 1 Mi-event bound keeps resident memory flat at 100k+ lifecycles
+    // without ever evicting (asserted below) — bounded mode must not
+    // perturb the run.
+    let tracer = world.enable_tracing_bounded(1 << 20);
     world.add_server_with_shards(DOMAIN, 16, &mut rng);
     let cfg = FleetConfig {
         lifecycles,
@@ -107,6 +111,11 @@ fn main() {
     assert_eq!(
         derived, &report.metrics,
         "trace-derived metrics must equal the live counters"
+    );
+    assert_eq!(
+        tracer.dropped(),
+        0,
+        "per-retirement drains must keep the bounded tracer from evicting"
     );
     println!(
         "\n{} lifecycles, exactly-once, replays_accepted == 0, trace/metrics \

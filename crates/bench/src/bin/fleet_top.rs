@@ -1,0 +1,167 @@
+//! fleet_top: the operator view over the deterministic telemetry pipeline.
+//!
+//! Runs one chaos fleet seed through the shard-parallel runtime at every
+//! worker count in {1, 2, 4, 8}, asserts the telemetry contract on the
+//! way — byte-identical `export_series_jsonl()`, identical
+//! `HealthReport`, and exact reconciliation of the series against the
+//! live `ProtocolMetrics` — then renders what an operator would watch:
+//! a per-shard dashboard from the final samples, the fleet totals, the
+//! SLO verdicts, and the top hot spans from the profiler. The process
+//! exit code is the health verdict, so CI can use a smoke run as a gate.
+//!
+//! ```sh
+//! cargo run --release -p btd-bench --bin fleet_top              # default fleet
+//! cargo run --release -p btd-bench --bin fleet_top -- 16        # smaller fleet
+//! cargo run --release -p btd-bench --bin fleet_top -- 32 --folded  # + flamegraph stacks
+//! ```
+
+use btd_bench::report::{banner, Table};
+use trust_core::parallel::{run_parallel, ParallelConfig, ParallelRun};
+use trust_core::server::journal::CrashProfile;
+use trust_core::telemetry::SeriesPoint;
+
+const SEED: u64 = 0xF1EE7;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(accounts: usize, workers: usize) -> ParallelConfig {
+    ParallelConfig {
+        touches: 6,
+        loss: 0.03,
+        crash: Some(CrashProfile::uniform(0.0005)),
+        sample_interval: 4,
+        ..ParallelConfig::new(SEED, accounts, 8, workers)
+    }
+}
+
+/// Latest sample per shard, for the dashboard's "now" columns.
+fn final_points(series: &[SeriesPoint]) -> Vec<&SeriesPoint> {
+    let mut last: std::collections::BTreeMap<usize, &SeriesPoint> = Default::default();
+    for p in series {
+        last.insert(p.shard, p);
+    }
+    last.into_values().collect()
+}
+
+fn dashboard(run: &ParallelRun) {
+    let series = run.merged_series();
+    let mut table = Table::new([
+        "shard",
+        "served",
+        "sends",
+        "retries",
+        "timeouts",
+        "crashes",
+        "journal B",
+        "pressure %",
+        "degraded",
+        "win occ",
+    ]);
+    for p in final_points(&series) {
+        let g = |name: &str| p.scalar(name).unwrap_or(0).to_string();
+        table.row([
+            p.shard.to_string(),
+            g("served_total"),
+            g("sends_total"),
+            g("retries_total"),
+            g("timeouts_total"),
+            g("crashes_total"),
+            g("journal_resident_bytes"),
+            g("storage_pressure_pct"),
+            g("degraded_mode"),
+            g("window_occupancy"),
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let accounts: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(32);
+    let folded = args.iter().any(|a| a == "--folded");
+
+    banner("fleet top: telemetry dashboard over the shard-parallel chaos fleet");
+
+    // The telemetry contract, asserted across every worker count: the
+    // series bytes, the health verdicts, and the profile must all be
+    // invariant, and the series must reconcile exactly with the live
+    // counters of its own run.
+    let mut baseline: Option<ParallelRun> = None;
+    for &workers in &WORKER_COUNTS {
+        let run = run_parallel(&config(accounts, workers));
+        run.verify_series_reconciles()
+            .unwrap_or_else(|e| panic!("N={workers}: series/metrics reconciliation: {e}"));
+        match &baseline {
+            None => baseline = Some(run),
+            Some(base) => {
+                assert_eq!(
+                    base.export_series_jsonl(),
+                    run.export_series_jsonl(),
+                    "series bytes diverged at {workers} workers"
+                );
+                assert_eq!(
+                    base.health_report(),
+                    run.health_report(),
+                    "health report diverged at {workers} workers"
+                );
+                assert_eq!(
+                    base.span_profile(),
+                    run.span_profile(),
+                    "span profile diverged at {workers} workers"
+                );
+            }
+        }
+    }
+    let run = baseline.expect("at least one worker count ran");
+    let report = run.health_report();
+    let profile = run.span_profile();
+    let series = run.merged_series();
+
+    println!(
+        "\n{} accounts x 8 shards, {} touches/lifecycle, 3% loss, seeded \
+         crashes; {} samples on a {}-tick interval; identical series, \
+         health, and profile at N in {{1,2,4,8}} workers (asserted).",
+        accounts,
+        6,
+        series.len(),
+        4,
+    );
+
+    println!("\nper-shard dashboard (final samples):");
+    dashboard(&run);
+
+    let metrics = run.fleet_metrics();
+    println!(
+        "\nfleet: served {} | sends {} | retries {} | replays accepted {} | \
+         interaction p99 {} ms",
+        run.total_served(),
+        metrics.sends,
+        metrics.retries,
+        metrics.replays_accepted,
+        metrics
+            .interaction
+            .quantile(0.99)
+            .map(|d| d.as_millis().to_string())
+            .unwrap_or_else(|| "-".into()),
+    );
+
+    println!("\nSLO verdicts:");
+    print!("{}", report.render());
+
+    println!("\nhot spans (self sim-time):");
+    print!("{}", profile.render_top(8));
+
+    if folded {
+        println!("\nfolded stacks (flamegraph format):");
+        print!("{}", profile.folded_stacks());
+    }
+
+    if report.healthy() {
+        println!("\nfleet healthy: every SLO passed.");
+    } else {
+        println!(
+            "\nfleet UNHEALTHY: {} SLO alert(s).",
+            report.alerts().count()
+        );
+        std::process::exit(1);
+    }
+}

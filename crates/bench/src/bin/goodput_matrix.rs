@@ -12,6 +12,7 @@
 //! cargo run -p btd-bench --bin goodput_matrix            # smoke table
 //! cargo run -p btd-bench --bin goodput_matrix -- --full  # full ablation
 //! cargo run -p btd-bench --bin goodput_matrix -- --json  # canonical JSON
+//! cargo run -p btd-bench --bin goodput_matrix -- --delta BENCH_goodput.json
 //! ```
 //!
 //! The `--json` output is deterministic and is checked in as
@@ -185,10 +186,25 @@ fn run_lockstep(
     (cell, p50)
 }
 
+/// The canonical deterministic JSON document (the blessed bytes).
+fn json_output(rows: &[String], full: bool) -> String {
+    format!(
+        "{{\n  \"bench\": \"goodput_matrix\",\n  \"mode\": \"{}\",\n  \
+         \"sessions_per_cell\": {SESSIONS},\n  \"touches_per_session\": {TOUCHES},\n  \
+         \"cells\": [\n    {}\n  ]\n}}",
+        if full { "full" } else { "smoke" },
+        rows.join(",\n    "),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let delta = args
+        .iter()
+        .position(|a| a == "--delta")
+        .map(|i| args.get(i + 1).expect("--delta <blessed.json>").clone());
 
     let mut table = Table::new([
         "policy",
@@ -268,14 +284,14 @@ fn main() {
         }
     }
 
+    if let Some(blessed) = delta {
+        std::process::exit(btd_bench::delta::run_delta_gate(
+            &blessed,
+            &json_output(&rows, full),
+        ));
+    }
     if json {
-        println!(
-            "{{\n  \"bench\": \"goodput_matrix\",\n  \"mode\": \"{}\",\n  \
-             \"sessions_per_cell\": {SESSIONS},\n  \"touches_per_session\": {TOUCHES},\n  \
-             \"cells\": [\n    {}\n  ]\n}}",
-            if full { "full" } else { "smoke" },
-            rows.join(",\n    "),
-        );
+        println!("{}", json_output(&rows, full));
         return;
     }
 

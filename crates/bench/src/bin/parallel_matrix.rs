@@ -10,16 +10,22 @@
 //! `scripts/check.sh` re-runs the whole binary twice and diffs the two
 //! outputs as a second, process-level determinism gate.
 //!
-//! Four hot-path micro-benches ride along so every later PR shows its
-//! delta: the partial-print matcher, MAC verify, 512-bit modexp, and
-//! journal framing + crc32. Their wall-clock ns/op go to the human table
+//! Five hot-path micro-benches ride along so every later PR shows its
+//! delta: the partial-print matcher, MAC verify, 512-bit modexp, the
+//! ridge rasterizer, and journal framing + crc32. Their wall-clock ns/op
+//! go to the human table
 //! only; the JSON carries their deterministic workload checksums, which
 //! pin *what* was measured without pinning machine speed.
 //!
 //! ```sh
 //! cargo run -p btd-bench --bin parallel_matrix            # table + wall clocks
 //! cargo run -p btd-bench --bin parallel_matrix -- --json  # canonical JSON
+//! cargo run -p btd-bench --bin parallel_matrix -- --delta BENCH_parallel.json
 //! ```
+//!
+//! `--delta` re-runs fresh and compares metric-by-metric against the
+//! blessed file (see [`btd_bench::delta`]), exiting nonzero on a
+//! regression past the threshold.
 //!
 //! The `--json` output is deterministic (sim-time throughput and
 //! checksums only, no wall timings) and is checked in as
@@ -36,9 +42,10 @@ use btd_crypto::hmac::{hmac_sha256, verify_hmac};
 use btd_crypto::nonce::Nonce;
 use btd_crypto::sha256::sha256;
 use btd_fingerprint::enroll::enroll;
+use btd_fingerprint::image::rasterize;
 use btd_fingerprint::minutiae::CaptureWindow;
 use btd_fingerprint::{match_observation, CaptureConditions, FingerPattern, MatchConfig};
-use btd_sim::geom::MmPoint;
+use btd_sim::geom::{MmPoint, MmRect, MmSize};
 use btd_sim::rng::SimRng;
 use trust_core::parallel::{run_parallel, ParallelConfig, ParallelRun};
 use trust_core::server::journal::{crc32, JournalRecord};
@@ -235,6 +242,30 @@ fn hot_modexp() -> HotPath {
     }
 }
 
+/// Ridge rasterization: render one off-center 6x6 mm capture region of a
+/// ridge pattern to pixels at 0.05 mm pitch — the TFT comparator readout
+/// the image-domain pipeline starts from.
+fn hot_ridge_rasterize() -> HotPath {
+    let pattern = FingerPattern::generate(11, 0);
+    let region = MmRect::centered(MmPoint::new(0.5, -1.0), MmSize::new(6.0, 6.0));
+    let iters = 50u64;
+    let mut checksum = 0u64;
+    let started = Instant::now();
+    for _ in 0..iters {
+        let img = rasterize(&pattern, region, 0.05);
+        checksum = checksum
+            .wrapping_add(crc32(img.pixels()) as u64)
+            .wrapping_add(img.pixels().len() as u64);
+    }
+    let ns_per_op = started.elapsed().as_nanos() as f64 / iters as f64;
+    HotPath {
+        name: "ridge_rasterize",
+        iters,
+        checksum,
+        ns_per_op,
+    }
+}
+
 /// Journal framing: encode one registration record and frame it with the
 /// length + crc32 header exactly as `Journal::append` does.
 fn hot_journal_frame() -> HotPath {
@@ -267,9 +298,59 @@ fn hot_journal_frame() -> HotPath {
     }
 }
 
+/// The canonical deterministic JSON document (the blessed bytes).
+fn json_output(rows: &[CellRow], hot_paths: &[HotPath]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"accounts\":{},\"shards\":{},\"workers\":{},\"served\":{},\
+                 \"replays_accepted\":{},\"crashes\":{},\"sim_makespan_ms\":{},\
+                 \"interactions_per_s\":{:.1},\"speedup_vs_n1\":{:.2},\
+                 \"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\
+                 \"digest\":\"{}\",\"trace_events\":{}}}",
+                r.accounts,
+                r.shards,
+                r.workers,
+                r.served,
+                r.replays_accepted,
+                r.crashes,
+                r.makespan_ms,
+                r.interactions_per_s,
+                r.speedup_vs_n1,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.digest,
+                r.trace_events,
+            )
+        })
+        .collect();
+    let hots: Vec<String> = hot_paths
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"name\":\"{}\",\"iters\":{},\"checksum\":{}}}",
+                h.name, h.iters, h.checksum
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"parallel_matrix\",\n  \"seed\": {SEED},\n  \
+         \"touches\": {TOUCHES},\n  \"loss\": {LOSS},\n  \"cells\": [\n    {}\n  ],\n  \
+         \"hot_paths\": [\n    {}\n  ]\n}}",
+        cells.join(",\n    "),
+        hots.join(",\n    "),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let delta = args
+        .iter()
+        .position(|a| a == "--delta")
+        .map(|i| args.get(i + 1).expect("--delta <blessed.json>").clone());
 
     let mut rows: Vec<CellRow> = Vec::new();
     for &(accounts, shards) in &CELLS {
@@ -279,52 +360,16 @@ fn main() {
         hot_matcher(),
         hot_mac_verify(),
         hot_modexp(),
+        hot_ridge_rasterize(),
         hot_journal_frame(),
     ];
 
+    if let Some(blessed) = delta {
+        let fresh = json_output(&rows, &hot_paths);
+        std::process::exit(btd_bench::delta::run_delta_gate(&blessed, &fresh));
+    }
     if json {
-        let cells: Vec<String> = rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"accounts\":{},\"shards\":{},\"workers\":{},\"served\":{},\
-                     \"replays_accepted\":{},\"crashes\":{},\"sim_makespan_ms\":{},\
-                     \"interactions_per_s\":{:.1},\"speedup_vs_n1\":{:.2},\
-                     \"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\
-                     \"digest\":\"{}\",\"trace_events\":{}}}",
-                    r.accounts,
-                    r.shards,
-                    r.workers,
-                    r.served,
-                    r.replays_accepted,
-                    r.crashes,
-                    r.makespan_ms,
-                    r.interactions_per_s,
-                    r.speedup_vs_n1,
-                    r.p50_ms,
-                    r.p95_ms,
-                    r.p99_ms,
-                    r.digest,
-                    r.trace_events,
-                )
-            })
-            .collect();
-        let hots: Vec<String> = hot_paths
-            .iter()
-            .map(|h| {
-                format!(
-                    "{{\"name\":\"{}\",\"iters\":{},\"checksum\":{}}}",
-                    h.name, h.iters, h.checksum
-                )
-            })
-            .collect();
-        println!(
-            "{{\n  \"bench\": \"parallel_matrix\",\n  \"seed\": {SEED},\n  \
-             \"touches\": {TOUCHES},\n  \"loss\": {LOSS},\n  \"cells\": [\n    {}\n  ],\n  \
-             \"hot_paths\": [\n    {}\n  ]\n}}",
-            cells.join(",\n    "),
-            hots.join(",\n    "),
-        );
+        println!("{}", json_output(&rows, &hot_paths));
         return;
     }
 

@@ -17,6 +17,7 @@
 //! cargo run -p btd-bench --bin storage_matrix            # smoke table
 //! cargo run -p btd-bench --bin storage_matrix -- --full  # adds the 100k row
 //! cargo run -p btd-bench --bin storage_matrix -- --json  # canonical JSON
+//! cargo run -p btd-bench --bin storage_matrix -- --delta BENCH_storage.json
 //! ```
 //!
 //! The `--json` output is deterministic (counts and byte sizes only, no
@@ -181,13 +182,26 @@ fn crc_throughput() -> (f64, f64) {
     (fast_mbps, slow_mbps)
 }
 
+/// The canonical deterministic JSON document (the blessed bytes).
+fn json_output(rows: &[String]) -> String {
+    format!(
+        "{{\n  \"bench\": \"storage_matrix\",\n  \"batch\": {BATCH},\n  \
+         \"segment_target\": {SEGMENT_TARGET},\n  \"cells\": [\n    {}\n  ]\n}}",
+        rows.join(",\n    "),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let delta = args
+        .iter()
+        .position(|a| a == "--delta")
+        .map(|i| args.get(i + 1).expect("--delta <blessed.json>").clone());
 
     let mut accounts = vec![1_000usize, 10_000];
-    if full || json {
+    if full || json || delta.is_some() {
         accounts.push(100_000);
     }
     let shard_counts = [4usize, 16];
@@ -238,12 +252,14 @@ fn main() {
         }
     }
 
+    if let Some(blessed) = delta {
+        std::process::exit(btd_bench::delta::run_delta_gate(
+            &blessed,
+            &json_output(&rows),
+        ));
+    }
     if json {
-        println!(
-            "{{\n  \"bench\": \"storage_matrix\",\n  \"batch\": {BATCH},\n  \
-             \"segment_target\": {SEGMENT_TARGET},\n  \"cells\": [\n    {}\n  ]\n}}",
-            rows.join(",\n    "),
-        );
+        println!("{}", json_output(&rows));
         return;
     }
 

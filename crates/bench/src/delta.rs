@@ -1,0 +1,446 @@
+//! The bench-delta gate: per-metric comparison against a blessed baseline.
+//!
+//! `scripts/check.sh` already byte-diffs each bench's `--json` output
+//! against its blessed `BENCH_*.json`; that gate says *whether* anything
+//! moved, not *what* or *by how much*. This module closes the ROADMAP
+//! follow-up from the perf-trajectory PR ("report per-PR deltas against
+//! the blessed baseline"): the three matrix binaries accept
+//! `--delta <blessed.json>`, re-run fresh, and compare metric by metric.
+//!
+//! Every leaf metric is classified by its key name:
+//!
+//! * **higher-better** (served, goodput, speedups, throughput) and
+//!   **lower-better** (makespan, latency quantiles, retries, journal
+//!   bytes) metrics tolerate drift up to a threshold (default 5%) in the
+//!   good direction's favor; moving *worse* past the threshold is a
+//!   regression and fails the gate.
+//! * **exact** metrics (digests, checksums, `replays_accepted`, iteration
+//!   counts, config echoes) fail on any difference at all.
+//! * a metric present in the baseline but missing from the fresh run is a
+//!   regression; a new metric is reported but passes (it gets blessed).
+//!
+//! Deltas print in a stable table; the exit decision is
+//! [`DeltaReport::failed`].
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// How a metric's value is allowed to move relative to the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput, speedup, served work).
+    HigherBetter,
+    /// Smaller is better (latency, retries, bytes, makespan).
+    LowerBetter,
+    /// Any change is a failure (digests, checksums, invariants, config).
+    Exact,
+}
+
+/// Classifies a metric key into its comparison direction.
+///
+/// Unknown keys default to [`Direction::Exact`]: a metric we have not
+/// reasoned about must not drift silently.
+pub fn direction_for(key: &str) -> Direction {
+    match key {
+        "served" | "goodput_per_s" | "interactions_per_s" | "speedup_vs_n1" | "speedup_vs_w1"
+        | "completed" => Direction::HigherBetter,
+        "sim_makespan_ms"
+        | "p50_ms"
+        | "p95_ms"
+        | "p99_ms"
+        | "retries"
+        | "timeouts"
+        | "journal_bytes_before"
+        | "journal_bytes_after"
+        | "snapshot_bytes"
+        | "records_replayed_cold"
+        | "records_skipped" => Direction::LowerBetter,
+        _ => Direction::Exact,
+    }
+}
+
+/// Keys that identify an element of a `cells`-style array, in the order
+/// they are tried when building a stable path label.
+const IDENTITY_KEYS: [&str; 7] = [
+    "name", "accounts", "shards", "workers", "policy", "loss", "window",
+];
+
+fn label_for(item: &Json, index: usize) -> String {
+    let mut parts = Vec::new();
+    for key in IDENTITY_KEYS {
+        if let Some(v) = item.get(key) {
+            let text = match v {
+                Json::Str(s) => s.clone(),
+                Json::Num(_, t) => t.clone(),
+                _ => continue,
+            };
+            parts.push(format!("{key}={text}"));
+        }
+    }
+    if parts.is_empty() {
+        format!("[{index}]")
+    } else {
+        format!("[{}]", parts.join(","))
+    }
+}
+
+fn leaf_text(v: &Json) -> Option<String> {
+    match v {
+        Json::Null => Some("null".to_owned()),
+        Json::Bool(b) => Some(b.to_string()),
+        Json::Num(_, t) => Some(t.clone()),
+        Json::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn leaf_num(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n, _) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Flattens a document into `path -> leaf` pairs. Array elements are
+/// labeled by their identity keys (`cells[accounts=32,shards=4,...]`)
+/// so baseline and fresh rows pair up even if row order shifted.
+pub fn flatten(doc: &Json) -> BTreeMap<String, Json> {
+    let mut out = BTreeMap::new();
+    flatten_into(doc, String::new(), &mut out);
+    out
+}
+
+fn flatten_into(v: &Json, path: String, out: &mut BTreeMap<String, Json>) {
+    match v {
+        Json::Obj(members) => {
+            for (key, member) in members {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                flatten_into(member, sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_into(item, format!("{path}{}", label_for(item, i)), out);
+            }
+        }
+        leaf => {
+            out.insert(path, leaf.clone());
+        }
+    }
+}
+
+/// Outcome of one metric's baseline-vs-fresh comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaStatus {
+    /// Identical.
+    Unchanged,
+    /// Moved in the good direction.
+    Improved,
+    /// Moved in the bad direction but within the threshold.
+    Within,
+    /// Moved in the bad direction past the threshold (or an exact metric
+    /// changed at all) — fails the gate.
+    Regressed,
+    /// In the baseline, absent from the fresh run — fails the gate.
+    Missing,
+    /// New in the fresh run — reported, does not fail.
+    Added,
+}
+
+/// One metric's delta row.
+#[derive(Clone, Debug)]
+pub struct MetricDelta {
+    /// Flattened metric path.
+    pub path: String,
+    /// Baseline value as canonical text (`-` when added).
+    pub baseline: String,
+    /// Fresh value as canonical text (`-` when missing).
+    pub fresh: String,
+    /// Percent change for directional numeric metrics.
+    pub pct: Option<f64>,
+    /// The verdict.
+    pub status: DeltaStatus,
+}
+
+/// The full comparison: every metric's delta plus the gate verdict.
+#[derive(Clone, Debug)]
+pub struct DeltaReport {
+    /// Per-metric rows, in stable path order.
+    pub deltas: Vec<MetricDelta>,
+    /// The regression threshold the directional rows were judged by.
+    pub threshold_pct: f64,
+}
+
+impl DeltaReport {
+    /// Whether the gate fails (any regressed or missing metric).
+    pub fn failed(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| matches!(d.status, DeltaStatus::Regressed | DeltaStatus::Missing))
+    }
+
+    /// Rows that changed at all, in path order.
+    pub fn changed(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.status != DeltaStatus::Unchanged)
+    }
+
+    /// Human-readable table: changed rows plus a one-line verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let changed: Vec<&MetricDelta> = self.changed().collect();
+        if changed.is_empty() {
+            out.push_str("delta: no metric moved against the baseline\n");
+        } else {
+            for d in &changed {
+                let pct = d
+                    .pct
+                    .map(|p| format!("{p:+.1}%"))
+                    .unwrap_or_else(|| "-".to_owned());
+                out.push_str(&format!(
+                    "  {:<10} {:<60} {} -> {}  {}\n",
+                    format!("{:?}", d.status).to_lowercase(),
+                    d.path,
+                    d.baseline,
+                    d.fresh,
+                    pct,
+                ));
+            }
+        }
+        let verdict = if self.failed() { "FAIL" } else { "PASS" };
+        out.push_str(&format!(
+            "delta gate: {verdict} ({} changed, threshold {:.0}%)\n",
+            changed.len(),
+            self.threshold_pct,
+        ));
+        out
+    }
+}
+
+fn judge(key: &str, base: &Json, fresh: &Json, threshold_pct: f64) -> (DeltaStatus, Option<f64>) {
+    let base_text = leaf_text(base);
+    let fresh_text = leaf_text(fresh);
+    if base_text == fresh_text {
+        return (DeltaStatus::Unchanged, None);
+    }
+    let direction = direction_for(key);
+    let (Some(b), Some(f)) = (leaf_num(base), leaf_num(fresh)) else {
+        // Type changed, string changed, or null appeared: only exact
+        // equality could pass, and it already failed.
+        return (DeltaStatus::Regressed, None);
+    };
+    if direction == Direction::Exact {
+        return (DeltaStatus::Regressed, None);
+    }
+    // Values are numeric and the metric is directional.
+    let pct = if b == 0.0 {
+        None
+    } else {
+        Some((f - b) / b.abs() * 100.0)
+    };
+    let better = match direction {
+        Direction::HigherBetter => f > b,
+        Direction::LowerBetter => f < b,
+        Direction::Exact => unreachable!("handled above"),
+    };
+    if better {
+        return (DeltaStatus::Improved, pct);
+    }
+    match pct {
+        // Worse and the baseline was 0 (e.g. retries 0 -> 3): any
+        // movement off a zero baseline is past every threshold.
+        None => (DeltaStatus::Regressed, None),
+        Some(p) if p.abs() > threshold_pct => (DeltaStatus::Regressed, pct),
+        Some(_) => (DeltaStatus::Within, pct),
+    }
+}
+
+/// Compares a fresh run against the blessed baseline.
+pub fn compare(baseline: &Json, fresh: &Json, threshold_pct: f64) -> DeltaReport {
+    let base_flat = flatten(baseline);
+    let fresh_flat = flatten(fresh);
+    let mut deltas = Vec::new();
+    for (path, base_leaf) in &base_flat {
+        let key = path.rsplit('.').next().unwrap_or(path);
+        match fresh_flat.get(path) {
+            Some(fresh_leaf) => {
+                let (status, pct) = judge(key, base_leaf, fresh_leaf, threshold_pct);
+                deltas.push(MetricDelta {
+                    path: path.clone(),
+                    baseline: leaf_text(base_leaf).unwrap_or_default(),
+                    fresh: leaf_text(fresh_leaf).unwrap_or_default(),
+                    pct,
+                    status,
+                });
+            }
+            None => deltas.push(MetricDelta {
+                path: path.clone(),
+                baseline: leaf_text(base_leaf).unwrap_or_default(),
+                fresh: "-".to_owned(),
+                pct: None,
+                status: DeltaStatus::Missing,
+            }),
+        }
+    }
+    for (path, fresh_leaf) in &fresh_flat {
+        if !base_flat.contains_key(path) {
+            deltas.push(MetricDelta {
+                path: path.clone(),
+                baseline: "-".to_owned(),
+                fresh: leaf_text(fresh_leaf).unwrap_or_default(),
+                pct: None,
+                status: DeltaStatus::Added,
+            });
+        }
+    }
+    deltas.sort_by(|a, b| a.path.cmp(&b.path));
+    DeltaReport {
+        deltas,
+        threshold_pct,
+    }
+}
+
+/// Default regression threshold for the directional metrics, percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+
+/// The whole `--delta` mode: read the blessed file, compare the fresh
+/// JSON, print the report, and return the process exit code.
+///
+/// # Panics
+///
+/// Panics if the blessed file cannot be read or either document fails to
+/// parse — a broken baseline must be loud, not a silent pass.
+pub fn run_delta_gate(blessed_path: &str, fresh_json: &str) -> i32 {
+    let blessed_text = std::fs::read_to_string(blessed_path)
+        .unwrap_or_else(|e| panic!("read {blessed_path}: {e}"));
+    let baseline =
+        crate::json::parse(&blessed_text).unwrap_or_else(|e| panic!("parse {blessed_path}: {e}"));
+    let fresh = crate::json::parse(fresh_json).unwrap_or_else(|e| panic!("parse fresh json: {e}"));
+    let report = compare(&baseline, &fresh, DEFAULT_THRESHOLD_PCT);
+    print!("{}", report.render());
+    if report.failed() {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const BASE: &str = r#"{
+  "bench": "demo",
+  "seed": 7,
+  "cells": [
+    {"workers":1,"served":256,"retries":10,"sim_makespan_ms":1000,
+     "speedup_vs_n1":1.00,"replays_accepted":0,"digest":"abcd"},
+    {"workers":4,"served":256,"retries":10,"sim_makespan_ms":300,
+     "speedup_vs_n1":3.33,"replays_accepted":0,"digest":"abcd"}
+  ],
+  "hot_paths": [
+    {"name":"mac_verify","iters":4000,"checksum":123456}
+  ]
+}"#;
+
+    #[test]
+    fn identical_documents_pass_with_no_changes() {
+        let base = parse(BASE).unwrap();
+        let report = compare(&base, &base, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.failed());
+        assert_eq!(report.changed().count(), 0);
+    }
+
+    /// The acceptance-criteria self-test: an injected regression (slower
+    /// makespan, a retry storm, and a moved checksum) must be detected.
+    #[test]
+    fn injected_regressions_are_detected() {
+        let base = parse(BASE).unwrap();
+        let hurt = BASE
+            .replace("\"sim_makespan_ms\":300", "\"sim_makespan_ms\":400")
+            .replace(
+                "\"retries\":10,\"sim_makespan_ms\":1000",
+                "\"retries\":19,\"sim_makespan_ms\":1000",
+            )
+            .replace("\"checksum\":123456", "\"checksum\":123457");
+        let fresh = parse(&hurt).unwrap();
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD_PCT);
+        assert!(report.failed());
+        let regressed: Vec<&str> = report
+            .deltas
+            .iter()
+            .filter(|d| d.status == DeltaStatus::Regressed)
+            .map(|d| d.path.as_str())
+            .collect();
+        assert_eq!(
+            regressed,
+            [
+                "cells[workers=1].retries",
+                "cells[workers=4].sim_makespan_ms",
+                "hot_paths[name=mac_verify].checksum",
+            ]
+        );
+    }
+
+    #[test]
+    fn improvements_and_small_drift_pass() {
+        let base = parse(BASE).unwrap();
+        let moved = BASE
+            // 3% slower on one makespan: within the 5% threshold.
+            .replace("\"sim_makespan_ms\":1000", "\"sim_makespan_ms\":1030")
+            // Faster on the other: an improvement.
+            .replace("\"sim_makespan_ms\":300", "\"sim_makespan_ms\":250")
+            .replace("\"speedup_vs_n1\":3.33", "\"speedup_vs_n1\":4.00");
+        let fresh = parse(&moved).unwrap();
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.failed(), "{}", report.render());
+        assert_eq!(report.changed().count(), 3);
+    }
+
+    #[test]
+    fn exact_metrics_fail_on_any_change() {
+        let base = parse(BASE).unwrap();
+        let fresh = parse(&BASE.replace("\"digest\":\"abcd\"", "\"digest\":\"abce\"")).unwrap();
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD_PCT);
+        // Both cells carry the digest; both must regress.
+        assert_eq!(
+            report
+                .deltas
+                .iter()
+                .filter(|d| d.status == DeltaStatus::Regressed)
+                .count(),
+            2
+        );
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn missing_fails_and_added_passes() {
+        let base = parse(BASE).unwrap();
+        let fresh = parse(&BASE.replace("\"iters\":4000,", "\"iters\":4000,\"extra\":1,")).unwrap();
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.failed());
+        assert!(report.deltas.iter().any(|d| d.status == DeltaStatus::Added));
+        // And the reverse direction: the fresh run lost a metric.
+        let reverse = compare(&fresh, &base, DEFAULT_THRESHOLD_PCT);
+        assert!(reverse.failed());
+        assert!(reverse
+            .deltas
+            .iter()
+            .any(|d| d.status == DeltaStatus::Missing));
+    }
+
+    #[test]
+    fn zero_baseline_movement_is_a_regression_for_lower_better() {
+        let base = parse(r#"{"cells":[{"workers":1,"retries":0}]}"#).unwrap();
+        let fresh = parse(r#"{"cells":[{"workers":1,"retries":3}]}"#).unwrap();
+        assert!(compare(&base, &fresh, DEFAULT_THRESHOLD_PCT).failed());
+    }
+}

@@ -1,1 +1,3 @@
+pub mod delta;
+pub mod json;
 pub mod report;

@@ -264,6 +264,17 @@ impl Core<'_> {
             );
             run.scheduled += 1;
         }
+        // Telemetry probe (no-op unless sampling is installed): slots
+        // currently in flight — scheduled but not yet settled.
+        let open = run
+            .slots
+            .iter()
+            .take(run.scheduled)
+            .filter(|s| !s.done)
+            .count() as u64;
+        self.server
+            .telemetry()
+            .set_gauge_by_name("window_occupancy", open);
     }
 
     /// Transmits (or retransmits) `slot`'s request and arms its timer.

@@ -58,6 +58,9 @@
 //! * [`parallel`] — the deterministic shard-parallel runtime: shard
 //!   workers on OS threads outside the sim core, merged by logical time
 //!   into byte-identical same-seed output at any worker count.
+//! * [`telemetry`] — deterministic fleet observability over the trace:
+//!   per-shard time series sampled on the logical clock, declarative
+//!   SLO health verdicts, and a span profiler with folded-stack export.
 //!
 //! # Example
 //!
@@ -89,6 +92,7 @@ pub mod reset;
 pub mod risk_policy;
 pub mod scenario;
 pub mod server;
+pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 pub mod transfer;

@@ -51,6 +51,9 @@ use crate::scenario::{World, DEFAULT_ACTIONS};
 use crate::server::journal::{CrashProfile, CrashSchedule};
 use crate::server::shard_index;
 use crate::server::storage::DiskFaultProfile;
+use crate::telemetry::{
+    self, profile_spans, HealthEngine, HealthReport, SeriesPoint, ShardSampler, SpanProfile,
+};
 use crate::trace::{derive_metrics, event_json, TraceEvent};
 use crate::wire::signing_bytes;
 
@@ -83,6 +86,11 @@ pub struct ParallelConfig {
     pub crash: Option<CrashProfile>,
     /// Seeded disk-fault injection (segmented storage), if any.
     pub disk: Option<DiskFaultProfile>,
+    /// Telemetry sampling interval in logical ticks: a
+    /// [`SeriesPoint`] is cut every `sample_interval` sweeps (plus one
+    /// final point). `0` disables sampling entirely — the proptests pin
+    /// that either setting produces identical protocol output.
+    pub sample_interval: u64,
 }
 
 impl ParallelConfig {
@@ -97,6 +105,7 @@ impl ParallelConfig {
             loss: 0.0,
             crash: None,
             disk: None,
+            sample_interval: 4,
         }
     }
 }
@@ -148,6 +157,9 @@ pub struct ShardRun {
     pub digest: Digest,
     /// The shard's full stamped trace, in recording order.
     pub events: Vec<StampedEvent>,
+    /// The shard's sampled telemetry series, ascending `lt` (empty when
+    /// `sample_interval == 0`).
+    pub series: Vec<SeriesPoint>,
 }
 
 /// The merged result of a run: per-shard results in shard order plus the
@@ -184,6 +196,15 @@ pub fn run_shard(cfg: &ParallelConfig, shard: usize) -> ShardRun {
     };
     let mut world = World::with_adversary(adversary, &mut rng);
     let tracer = world.enable_tracing();
+    // Telemetry rides on the trace: the sampler folds the same drained
+    // events the merge stamps (observation, never consumption), so
+    // turning sampling on cannot perturb the protocol, its RNG draws, or
+    // the exported trace bytes.
+    let mut sampler =
+        (cfg.sample_interval > 0).then(|| ShardSampler::new(shard, cfg.sample_interval));
+    if let Some(s) = &sampler {
+        world.install_telemetry(s.telemetry());
+    }
 
     // The shard world's server carries the *global* shard count so
     // account routing matches `shard_index(account, cfg.shards)` exactly;
@@ -244,7 +265,17 @@ pub fn run_shard(cfg: &ParallelConfig, shard: usize) -> ShardRun {
     let mut events: Vec<StampedEvent> = Vec::new();
     let mut lt = 0u64;
     // Setup events (enrollment, lifecycle-span opens) land at tick 0.
-    events.extend(stamp(lt, tracer.drain()));
+    let drained = tracer.drain();
+    if let Some(s) = &sampler {
+        for ev in &drained {
+            s.observe_event(ev);
+        }
+    }
+    events.extend(stamp(lt, drained));
+    if let Some(s) = sampler.as_mut() {
+        s.probe(world.server(sidx), lifecycles.len() as u64);
+        s.tick(lt);
+    }
 
     // Round-robin sweeps: the logical clock ticks once per sweep, and
     // every live lifecycle advances one unit inside the tick.
@@ -259,12 +290,39 @@ pub fn run_shard(cfg: &ParallelConfig, shard: usize) -> ShardRun {
             if world.step_lifecycle(lc, owned[i].0, sidx, profile, &mut rng) {
                 live += 1;
             }
-            events.extend(stamp(lt, tracer.drain()));
+            let drained = tracer.drain();
+            if let Some(s) = &sampler {
+                for ev in &drained {
+                    s.observe_event(ev);
+                }
+            }
+            events.extend(stamp(lt, drained));
+        }
+        if let Some(s) = sampler.as_mut() {
+            s.probe(world.server(sidx), live as u64);
+            s.tick(lt);
         }
     }
     // Span closes recorded by the final steps are already drained; catch
     // any stragglers at one tick past the last sweep.
-    events.extend(stamp(lt + 1, tracer.drain()));
+    let drained = tracer.drain();
+    if let Some(s) = &sampler {
+        for ev in &drained {
+            s.observe_event(ev);
+        }
+    }
+    events.extend(stamp(lt + 1, drained));
+    let series = match sampler {
+        Some(mut s) => {
+            // A final forced point at the straggler tick carries the
+            // run's cumulative totals (what `telemetry::reconcile`
+            // checks against the live metrics).
+            s.probe(world.server(sidx), 0);
+            s.finish(lt + 1);
+            s.into_points()
+        }
+        None => Vec::new(),
+    };
 
     let mut metrics = ProtocolMetrics::default();
     let mut elapsed = SimDuration::ZERO;
@@ -283,6 +341,7 @@ pub fn run_shard(cfg: &ParallelConfig, shard: usize) -> ShardRun {
         elapsed: SimDuration::ZERO,
         digest: sha256(&world.server(sidx).shard_snapshot_bytes(shard)),
         events,
+        series,
     };
     for lc in &lifecycles {
         let r = &lc.report;
@@ -476,6 +535,44 @@ impl ParallelRun {
         }
         self.total_served() as f64 / makespan.as_secs_f64()
     }
+
+    /// The fleet's telemetry series: every shard's sampled points merged
+    /// by `(lt, shard)` — the same key (and the same worker-count
+    /// invariance argument) as the event merge. Empty when the run was
+    /// configured with `sample_interval == 0`.
+    pub fn merged_series(&self) -> Vec<SeriesPoint> {
+        telemetry::merge_series(self.shard_runs.iter().map(|r| r.series.clone()))
+    }
+
+    /// The merged series as canonical JSON Lines
+    /// ([`telemetry::export_series_jsonl`]): byte-identical for the same
+    /// seed at any worker count.
+    pub fn export_series_jsonl(&self) -> String {
+        telemetry::export_series_jsonl(&self.merged_series())
+    }
+
+    /// Evaluates the standard SLOs ([`HealthEngine::standard`]) over the
+    /// merged series. Deterministic: same seed, same verdicts, any
+    /// worker count.
+    pub fn health_report(&self) -> HealthReport {
+        HealthEngine::standard().evaluate(&self.merged_series())
+    }
+
+    /// Aggregates the merged trace's spans into a deterministic cost
+    /// profile ([`telemetry::profile_spans`]).
+    pub fn span_profile(&self) -> SpanProfile {
+        profile_spans(self.merged.iter().map(|(shard, e)| (*shard, &e.event)))
+    }
+
+    /// Checks that the series' final cumulative values reconcile exactly
+    /// with the live fleet metrics ([`telemetry::reconcile`]); trivially
+    /// true when sampling was disabled.
+    pub fn verify_series_reconciles(&self) -> Result<(), String> {
+        if self.config.sample_interval == 0 {
+            return Ok(());
+        }
+        telemetry::reconcile(&self.merged_series(), &self.fleet_metrics())
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +623,30 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn telemetry_series_is_worker_count_invariant_and_reconciles() {
+        let one = run_parallel(&small_cfg(1));
+        let four = run_parallel(&small_cfg(4));
+        assert_eq!(one.export_series_jsonl(), four.export_series_jsonl());
+        assert_eq!(one.health_report(), four.health_report());
+        assert!(one.health_report().healthy());
+        one.verify_series_reconciles().expect("series reconcile");
+        assert_eq!(one.span_profile(), four.span_profile());
+        assert!(!one.merged_series().is_empty());
+    }
+
+    #[test]
+    fn disabling_sampling_does_not_perturb_the_run() {
+        let with = run_parallel(&small_cfg(2));
+        let without = run_parallel(&ParallelConfig {
+            sample_interval: 0,
+            ..small_cfg(2)
+        });
+        assert_eq!(with.export_jsonl(), without.export_jsonl());
+        assert_eq!(with.state_digest(), without.state_digest());
+        assert!(without.merged_series().is_empty());
     }
 
     #[test]

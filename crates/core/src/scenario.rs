@@ -18,6 +18,7 @@ use crate::metrics::RetryPolicy;
 use crate::registration::{register, FlowError, RegistrationReport};
 use crate::server::storage::DiskFaultProfile;
 use crate::server::WebServer;
+use crate::telemetry::Telemetry;
 use crate::trace::Tracer;
 
 /// Default post-login actions a session cycles through.
@@ -36,6 +37,7 @@ pub struct World {
     servers: Vec<WebServer>,
     devices: Vec<(MobileDevice, u64)>,
     tracer: Tracer,
+    telemetry: Telemetry,
 }
 
 impl World {
@@ -56,6 +58,7 @@ impl World {
             servers: Vec::new(),
             devices: Vec::new(),
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -79,9 +82,46 @@ impl World {
         self.tracer.clone()
     }
 
+    /// Turns on deterministic tracing with a ring-buffered event store:
+    /// only the most recent `capacity` events are retained
+    /// ([`Tracer::enabled_bounded`]). The memory-bounded choice for
+    /// fleet-scale runs that drain incrementally; a run that never
+    /// overflows exports byte-identically to an unbounded one.
+    pub fn enable_tracing_bounded(&mut self, capacity: usize) -> Tracer {
+        if !self.tracer.is_enabled() {
+            self.tracer = Tracer::enabled_bounded(capacity);
+        }
+        self.channel.set_tracer(self.tracer.clone());
+        for server in self.servers.iter_mut() {
+            server.set_tracer(self.tracer.clone());
+        }
+        for (device, _) in self.devices.iter_mut() {
+            device.set_tracer(self.tracer.clone());
+        }
+        self.tracer.clone()
+    }
+
     /// The world's tracer (disabled unless [`World::enable_tracing`] ran).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a telemetry registry handle into every server (including
+    /// ones added later), so server hook-site metrics — the risk-score
+    /// distribution, the engine's window gauge — land in the owning
+    /// sampler's series. The shard-parallel runtime passes its
+    /// [`ShardSampler`](crate::telemetry::ShardSampler)'s handle here.
+    pub fn install_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        for server in self.servers.iter_mut() {
+            server.set_telemetry(self.telemetry.clone());
+        }
+    }
+
+    /// The world's telemetry handle (disabled unless
+    /// [`World::install_telemetry`] ran).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Adds a web server for `domain`; returns its index.
@@ -89,6 +129,9 @@ impl World {
         let mut server = WebServer::new(domain, self.group, &mut self.ca, rng);
         if self.tracer.is_enabled() {
             server.set_tracer(self.tracer.clone());
+        }
+        if self.telemetry.is_enabled() {
+            server.set_telemetry(self.telemetry.clone());
         }
         self.servers.push(server);
         self.servers.len() - 1
@@ -105,6 +148,9 @@ impl World {
         let mut server = WebServer::with_shards(domain, self.group, &mut self.ca, rng, shards);
         if self.tracer.is_enabled() {
             server.set_tracer(self.tracer.clone());
+        }
+        if self.telemetry.is_enabled() {
+            server.set_telemetry(self.telemetry.clone());
         }
         self.servers.push(server);
         self.servers.len() - 1
@@ -448,6 +494,11 @@ impl World {
                     live += 1;
                 }
             }
+            // Telemetry probe (no-op unless sampling is installed):
+            // lifecycles still live after this sweep.
+            self.servers[sidx]
+                .telemetry()
+                .set_gauge_by_name("live_sessions", live as u64);
         }
         if let Some(err) = lifecycles.iter().find_map(|lc| lc.failure()) {
             return Err(err);

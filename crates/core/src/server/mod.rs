@@ -58,6 +58,7 @@ use crate::messages::{
 };
 use crate::pages::Page;
 use crate::risk_policy::{RiskDecision, RiskReport, ServerRiskPolicy};
+use crate::telemetry::Telemetry;
 use crate::trace::{CacheKind, CtxArgs, EventKind, Outcome, SpanKind, Tracer};
 use crate::wire::{signing_bytes, FieldReader};
 
@@ -529,6 +530,9 @@ pub struct WebServer {
     /// in-place recovery but, like all observability state, is not
     /// durable — a server recovered from journals alone starts disabled.
     tracer: Tracer,
+    /// Telemetry registry handle (disabled unless a sampler installed
+    /// one); same lifecycle rules as the tracer.
+    telemetry: Telemetry,
     /// The active crash-injection schedule.
     crash: CrashSchedule,
     /// Set once a crash point fires: the process is "dead" until recovery.
@@ -609,6 +613,7 @@ impl WebServer {
             reject_counts: HashMap::new(),
             trace: TraceLog::new(),
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
             crash: CrashSchedule::Never,
             crashed: false,
             degraded: false,
@@ -797,6 +802,28 @@ impl WebServer {
     /// The server's structured tracer handle (disabled unless installed).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a telemetry registry handle; hook-site metrics (the
+    /// risk-score distribution, the engine's window-occupancy gauge)
+    /// record through it into whatever sampler owns the registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The server's telemetry handle (disabled unless installed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Samples one risk report into the `risk_verified_pct` histogram:
+    /// the percent of the rolling window's touches that verified, on
+    /// every fresh policy evaluation (duplicates answered from cache do
+    /// not re-sample). A no-op unless a sampler installed a registry.
+    fn observe_risk(&self, risk: &RiskReport) {
+        let pct = u64::from(risk.verified) * 100 / u64::from(risk.window.max(1));
+        self.telemetry
+            .record_histogram_by_name("risk_verified_pct", pct);
     }
 
     fn fresh_nonce(&mut self) -> Nonce {
@@ -1200,6 +1227,7 @@ impl WebServer {
         let Ok(session_key) = btd_crypto::elgamal::open(&self.keys, &msg.sealed_session_key) else {
             return Err(self.reject(Reject::BadSessionKey));
         };
+        self.observe_risk(&msg.risk);
         if self.policy.evaluate(&msg.risk, 0) == RiskDecision::Terminate {
             return Err(self.reject(Reject::RiskTerminated));
         }
@@ -1359,6 +1387,7 @@ impl WebServer {
 
         // Risk policy. A termination is itself a durable state change.
         let stepups = self.shards[idx].sessions[&msg.session_id].stepups;
+        self.observe_risk(&msg.risk);
         let decision = self.policy.evaluate(&msg.risk, stepups);
         if decision == RiskDecision::Terminate {
             let record = JournalRecord::SessionTerminated {
@@ -1495,6 +1524,7 @@ impl WebServer {
         }
 
         let stepups = self.shards[idx].sessions[&msg.session_id].stepups;
+        self.observe_risk(&msg.risk);
         let decision = self.policy.evaluate(&msg.risk, stepups);
         if decision == RiskDecision::Terminate {
             let record = JournalRecord::SessionTerminated {
@@ -1845,6 +1875,7 @@ impl WebServer {
             reject_counts: HashMap::new(),
             trace: TraceLog::new(),
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
             crash: CrashSchedule::Never,
             crashed: false,
             degraded: false,
@@ -1916,10 +1947,12 @@ impl WebServer {
         // nothing), then the live handle is reinstalled and the recovery
         // itself is recorded as per-shard spans.
         let tracer = self.tracer.clone();
+        let telemetry = self.telemetry.clone();
         let sync_policy = self.sync_policy;
         let (server, report) = WebServer::recover(identity, journals, rng);
         *self = server;
         self.tracer = tracer;
+        self.telemetry = telemetry;
         self.sync_policy = sync_policy;
         for (i, sh) in report.shards.iter().enumerate() {
             self.tracer.open(SpanKind::Recover(i), CtxArgs::shard(i));

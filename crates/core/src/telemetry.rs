@@ -1,0 +1,1377 @@
+//! Deterministic telemetry: time-series sampling, SLO health verdicts,
+//! and a span profiler — all in sim time.
+//!
+//! The tracer ([`crate::trace`]) answers "what happened, event by
+//! event"; this module answers the operator questions layered on top of
+//! it: *how is the fleet trending over time* (per-shard series sampled
+//! on the logical clock), *is it healthy* (declarative SLO rules over
+//! the series), and *where does sim time go* (self/cumulative cost per
+//! span stack). Every output is a pure function of sim-deterministic
+//! inputs, so the same seed produces byte-identical series, verdicts,
+//! and profiles at any worker count — the observability surface obeys
+//! the same determinism contract as the protocol itself.
+//!
+//! Three layers:
+//!
+//! * [`MetricsRegistry`] / [`Telemetry`] — named counters, gauges, and
+//!   fixed-bucket histograms. Registration requires a **sampling
+//!   source** string naming where the value comes from (`trace:…`,
+//!   `probe:…`, `hook:…`); trust-lint's `telemetry-parity` rule keeps
+//!   that honest. [`Telemetry`] is the cheap cloneable handle layers
+//!   hold, mirroring [`Tracer`](crate::trace::Tracer): disabled by
+//!   default, shared buffer when enabled.
+//! * [`ShardSampler`] — folds a shard's drained trace events into
+//!   counters (the same events [`crate::trace::derive_metrics`]
+//!   consumes, so series totals reconcile *exactly* with live
+//!   [`ProtocolMetrics`]), probes server gauges, and cuts a
+//!   [`SeriesPoint`] every `interval` logical ticks. Per-shard points
+//!   merge by `(lt, shard)` exactly like the event merge in
+//!   [`crate::parallel`], which is what makes
+//!   [`export_series_jsonl`] worker-count invariant.
+//! * [`HealthEngine`] / [`SpanProfile`] — SLO rules evaluated over the
+//!   merged series into a deterministic [`HealthReport`] (alerts are
+//!   recordable as [`EventKind::SloAlert`] trace events, which
+//!   `derive_metrics` ignores, so trace/metrics parity is unchanged),
+//!   and span aggregation with a folded-stack (flamegraph) export.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::metrics::{Phase, ProtocolMetrics, LATENCY_BUCKET_MS};
+use crate::server::WebServer;
+use crate::trace::{DuplicateVerdict, EventKind, TraceEvent, Tracer};
+
+/// Buckets for the risk-score distribution histogram: percent of the
+/// rolling window's touches that verified. The overflow bucket is the
+/// fully-verified (100%) case.
+pub const RISK_BUCKET_PCT: [u64; 5] = [25, 50, 75, 90, 99];
+
+/// Handle to one registered instrument.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InstrumentId(usize);
+
+/// A sampled value: a scalar for counters/gauges, a bucket-count vector
+/// for histograms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SampleValue {
+    /// Counter or gauge reading.
+    Int(u64),
+    /// Histogram reading: `counts[i]` samples were `<= bounds[i]`, with
+    /// one trailing overflow bucket (`counts.len() == bounds.len() + 1`).
+    Dist {
+        /// Upper bounds, ascending.
+        bounds: &'static [u64],
+        /// Per-bucket sample counts, including the overflow bucket.
+        counts: Vec<u64>,
+    },
+}
+
+/// What kind of instrument a registration created.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstrumentKind {
+    /// Monotonically accumulating count.
+    Counter,
+    /// Last-write-wins level.
+    Gauge,
+    /// Fixed-bucket distribution.
+    Histogram,
+}
+
+#[derive(Clone, Debug)]
+struct Instrument {
+    name: &'static str,
+    source: &'static str,
+    kind: InstrumentKind,
+    value: SampleValue,
+}
+
+/// The registry behind a [`Telemetry`] handle: instruments registered
+/// with a name and a sampling source, updated by id (hot paths) or by
+/// name (cold hook sites).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: Vec<Instrument>,
+}
+
+impl MetricsRegistry {
+    fn register(
+        &mut self,
+        name: &'static str,
+        source: &'static str,
+        kind: InstrumentKind,
+        value: SampleValue,
+    ) -> InstrumentId {
+        assert!(
+            self.instruments.iter().all(|i| i.name != name),
+            "instrument {name:?} registered twice"
+        );
+        assert!(!source.is_empty(), "instrument {name:?} needs a source");
+        self.instruments.push(Instrument {
+            name,
+            source,
+            kind,
+            value,
+        });
+        InstrumentId(self.instruments.len() - 1)
+    }
+
+    /// Registers a counter. `source` names where the increments come
+    /// from (e.g. `"trace:Send"`), so a reader of the series can audit
+    /// each metric back to its producer.
+    pub fn register_counter(&mut self, name: &'static str, source: &'static str) -> InstrumentId {
+        self.register(name, source, InstrumentKind::Counter, SampleValue::Int(0))
+    }
+
+    /// Registers a gauge (see [`MetricsRegistry::register_counter`] for
+    /// the `source` contract).
+    pub fn register_gauge(&mut self, name: &'static str, source: &'static str) -> InstrumentId {
+        self.register(name, source, InstrumentKind::Gauge, SampleValue::Int(0))
+    }
+
+    /// Registers a fixed-bucket histogram over `bounds` (ascending upper
+    /// bounds; an overflow bucket is added automatically).
+    pub fn register_histogram(
+        &mut self,
+        name: &'static str,
+        source: &'static str,
+        bounds: &'static [u64],
+    ) -> InstrumentId {
+        let value = SampleValue::Dist {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+        };
+        self.register(name, source, InstrumentKind::Histogram, value)
+    }
+
+    /// The id registered under `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<InstrumentId> {
+        self.instruments
+            .iter()
+            .position(|i| i.name == name)
+            .map(InstrumentId)
+    }
+
+    /// `(name, source)` for every instrument, in registration order.
+    pub fn sources(&self) -> Vec<(&'static str, &'static str)> {
+        self.instruments
+            .iter()
+            .map(|i| (i.name, i.source))
+            .collect()
+    }
+
+    fn add(&mut self, id: InstrumentId, delta: u64) {
+        let inst = &mut self.instruments[id.0];
+        debug_assert_eq!(inst.kind, InstrumentKind::Counter);
+        if let SampleValue::Int(v) = &mut inst.value {
+            *v = v.saturating_add(delta);
+        }
+    }
+
+    fn set(&mut self, id: InstrumentId, value: u64) {
+        let inst = &mut self.instruments[id.0];
+        debug_assert_eq!(inst.kind, InstrumentKind::Gauge);
+        if let SampleValue::Int(v) = &mut inst.value {
+            *v = value;
+        }
+    }
+
+    fn record(&mut self, id: InstrumentId, sample: u64) {
+        let inst = &mut self.instruments[id.0];
+        debug_assert_eq!(inst.kind, InstrumentKind::Histogram);
+        if let SampleValue::Dist { bounds, counts } = &mut inst.value {
+            let bucket = bounds
+                .iter()
+                .position(|bound| sample <= *bound)
+                .unwrap_or(bounds.len());
+            counts[bucket] += 1;
+        }
+    }
+
+    /// Every instrument's current value, sorted by name — the canonical
+    /// order [`SeriesPoint`]s and the JSONL export use.
+    pub fn snapshot(&self) -> Vec<(&'static str, SampleValue)> {
+        let mut values: Vec<(&'static str, SampleValue)> = self
+            .instruments
+            .iter()
+            .map(|i| (i.name, i.value.clone()))
+            .collect();
+        values.sort_by_key(|(name, _)| *name);
+        values
+    }
+}
+
+/// A cheap, cloneable handle to a shared [`MetricsRegistry`], mirroring
+/// [`Tracer`](crate::trace::Tracer): disabled by default so every update
+/// call is a no-op branch, shared buffer when enabled. Layers that
+/// cannot see the registry's ids (the server's risk hook, the engine's
+/// window gauge) update by name; the sampler's hot loop updates by id.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<MetricsRegistry>>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: every call is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// A fresh enabled handle over an empty registry.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(MetricsRegistry::default()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers a counter (see [`MetricsRegistry::register_counter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a disabled handle — registration is the sampler's job
+    /// and always happens on an enabled one.
+    pub fn register_counter(&self, name: &'static str, source: &'static str) -> InstrumentId {
+        self.registry().borrow_mut().register_counter(name, source)
+    }
+
+    /// Registers a gauge (see [`MetricsRegistry::register_gauge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a disabled handle.
+    pub fn register_gauge(&self, name: &'static str, source: &'static str) -> InstrumentId {
+        self.registry().borrow_mut().register_gauge(name, source)
+    }
+
+    /// Registers a histogram (see [`MetricsRegistry::register_histogram`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a disabled handle.
+    pub fn register_histogram(
+        &self,
+        name: &'static str,
+        source: &'static str,
+        bounds: &'static [u64],
+    ) -> InstrumentId {
+        self.registry()
+            .borrow_mut()
+            .register_histogram(name, source, bounds)
+    }
+
+    fn registry(&self) -> &Rc<RefCell<MetricsRegistry>> {
+        self.inner
+            .as_ref()
+            .expect("registering an instrument on a disabled Telemetry handle")
+    }
+
+    /// Adds `delta` to counter `id`.
+    pub fn counter_add(&self, id: InstrumentId, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().add(id, delta);
+        }
+    }
+
+    /// Sets gauge `id` to `value`.
+    pub fn gauge_set(&self, id: InstrumentId, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().set(id, value);
+        }
+    }
+
+    /// Records `sample` into histogram `id`.
+    pub fn histogram_record(&self, id: InstrumentId, sample: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().record(id, sample);
+        }
+    }
+
+    /// Records `sample` into the histogram named `name`; a no-op when
+    /// disabled or when no sampler registered that name. This is the
+    /// hook-site entry point: the producer (e.g. the server's risk
+    /// evaluation) does not know or care whether a sampler is attached.
+    pub fn record_histogram_by_name(&self, name: &str, sample: u64) {
+        if let Some(inner) = &self.inner {
+            let mut reg = inner.borrow_mut();
+            if let Some(id) = reg.lookup(name) {
+                reg.record(id, sample);
+            }
+        }
+    }
+
+    /// Sets the gauge named `name`; a no-op when disabled or unknown.
+    pub fn set_gauge_by_name(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut reg = inner.borrow_mut();
+            if let Some(id) = reg.lookup(name) {
+                reg.set(id, value);
+            }
+        }
+    }
+
+    /// Current values, sorted by name (empty when disabled).
+    pub fn snapshot(&self) -> Vec<(&'static str, SampleValue)> {
+        self.inner
+            .as_ref()
+            .map(|i| i.borrow().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// `(name, source)` pairs for every registered instrument (empty
+    /// when disabled).
+    pub fn sources(&self) -> Vec<(&'static str, &'static str)> {
+        self.inner
+            .as_ref()
+            .map(|i| i.borrow().sources())
+            .unwrap_or_default()
+    }
+}
+
+// --- Time series -----------------------------------------------------------
+
+/// One sample of every instrument at a logical-clock tick, for one
+/// shard. `values` is sorted by metric name (the registry snapshot
+/// order), so serialization is canonical.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeriesPoint {
+    /// The shard's logical clock (round-robin sweep counter) at sample
+    /// time.
+    pub lt: u64,
+    /// The shard the sample describes.
+    pub shard: usize,
+    /// `(metric name, value)` in metric-name order. Counters and
+    /// histograms are cumulative since the start of the run.
+    pub values: Vec<(&'static str, SampleValue)>,
+}
+
+impl SeriesPoint {
+    /// The scalar value of `metric` at this point, if present
+    /// (histograms return `None`).
+    pub fn scalar(&self, metric: &str) -> Option<u64> {
+        self.values.iter().find_map(|(name, v)| match v {
+            SampleValue::Int(x) if *name == metric => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// The distribution value of `metric` at this point, if present.
+    pub fn dist(&self, metric: &str) -> Option<(&'static [u64], &[u64])> {
+        self.values.iter().find_map(|(name, v)| match v {
+            SampleValue::Dist { bounds, counts } if *name == metric => {
+                Some((*bounds, counts.as_slice()))
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Serializes a merged series as JSON Lines, one point per line, keys in
+/// fixed order. The caller passes points already merged by `(lt, shard)`
+/// ([`merge_series`]); two same-seed runs export byte-identical strings
+/// at any worker count.
+pub fn export_series_jsonl(points: &[SeriesPoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let _ = write!(
+            out,
+            "{{\"lt\":{},\"shard\":{},\"metrics\":{{",
+            p.lt, p.shard
+        );
+        for (i, (name, value)) in p.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":");
+            match value {
+                SampleValue::Int(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                SampleValue::Dist { bounds, counts } => {
+                    out.push_str("{\"bounds\":[");
+                    for (j, b) in bounds.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("],\"counts\":[");
+                    for (j, c) in counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Merges per-shard series into the global sample order: a stable sort
+/// by `(lt, shard)` — the same merge key the event stream uses, and for
+/// the same reason: it is a pure function of per-shard data, so any
+/// worker schedule merges to the same bytes.
+pub fn merge_series(per_shard: impl IntoIterator<Item = Vec<SeriesPoint>>) -> Vec<SeriesPoint> {
+    let mut all: Vec<SeriesPoint> = per_shard.into_iter().flatten().collect();
+    all.sort_by_key(|p| (p.lt, p.shard));
+    all
+}
+
+// --- Shard sampler ---------------------------------------------------------
+
+/// Ids of the standard per-shard instruments [`ShardSampler`] registers.
+#[derive(Clone, Copy, Debug)]
+struct StandardInstruments {
+    sends: InstrumentId,
+    retries: InstrumentId,
+    timeouts: InstrumentId,
+    giveups: InstrumentId,
+    resyncs: InstrumentId,
+    served: InstrumentId,
+    replays_accepted: InstrumentId,
+    server_rejects: InstrumentId,
+    journal_appends: InstrumentId,
+    journal_bytes: InstrumentId,
+    segments_sealed: InstrumentId,
+    sync_retries: InstrumentId,
+    crashes: InstrumentId,
+    recoveries: InstrumentId,
+    records_skipped: InstrumentId,
+    live_sessions: InstrumentId,
+    cache_entries: InstrumentId,
+    window_occupancy: InstrumentId,
+    degraded_mode: InstrumentId,
+    quarantined_shards: InstrumentId,
+    storage_pressure_pct: InstrumentId,
+    journal_resident_bytes: InstrumentId,
+    interaction_rtt: InstrumentId,
+}
+
+/// Samples one shard's simulation into a fixed-interval time series.
+///
+/// Counters are folded from the shard's drained trace events — the same
+/// stream [`crate::trace::derive_metrics`] consumes — so the series'
+/// final cumulative values reconcile **exactly** with the live
+/// [`ProtocolMetrics`] ([`reconcile`] checks this, and CI enforces it).
+/// Gauges are probed from the shard server's public accessors at every
+/// sweep. A [`SeriesPoint`] is cut every `interval` logical ticks plus
+/// once at the end of the run.
+#[derive(Debug)]
+pub struct ShardSampler {
+    shard: usize,
+    interval: u64,
+    telemetry: Telemetry,
+    ids: StandardInstruments,
+    points: Vec<SeriesPoint>,
+    last_sampled: Option<u64>,
+}
+
+impl ShardSampler {
+    /// Creates a sampler for `shard` cutting a point every `interval`
+    /// logical ticks (`interval >= 1`).
+    pub fn new(shard: usize, interval: u64) -> Self {
+        assert!(interval >= 1, "sampling interval must be at least 1 tick");
+        let telemetry = Telemetry::enabled();
+        let ids = StandardInstruments {
+            sends: telemetry.register_counter("sends_total", "trace:Send"),
+            retries: telemetry.register_counter("retries_total", "trace:Send{attempt>0}"),
+            timeouts: telemetry.register_counter("timeouts_total", "trace:Timeout"),
+            giveups: telemetry.register_counter("giveups_total", "trace:GiveUp"),
+            resyncs: telemetry.register_counter("resyncs_total", "trace:Resync"),
+            served: telemetry.register_counter("served_total", "trace:Served"),
+            replays_accepted: telemetry
+                .register_counter("replays_accepted_total", "trace:Duplicate{AcceptedFresh}"),
+            server_rejects: telemetry
+                .register_counter("server_rejects_total", "trace:ServerReject"),
+            journal_appends: telemetry
+                .register_counter("journal_appends_total", "trace:JournalAppend"),
+            journal_bytes: telemetry
+                .register_counter("journal_bytes_total", "trace:JournalAppend.bytes"),
+            segments_sealed: telemetry
+                .register_counter("segments_sealed_total", "trace:SegmentSealed"),
+            sync_retries: telemetry.register_counter("sync_retries_total", "trace:SyncRetried"),
+            crashes: telemetry.register_counter("crashes_total", "trace:CrashInjected"),
+            recoveries: telemetry.register_counter("recoveries_total", "trace:Recovered"),
+            records_skipped: telemetry
+                .register_counter("records_skipped_total", "trace:Recovered.skipped"),
+            live_sessions: telemetry
+                .register_gauge("live_sessions", "probe:WebServer::resident_stats.sessions"),
+            cache_entries: telemetry.register_gauge(
+                "cache_entries",
+                "probe:WebServer::resident_stats.cache_entries",
+            ),
+            window_occupancy: telemetry
+                .register_gauge("window_occupancy", "probe:driver.live_lifecycles"),
+            degraded_mode: telemetry
+                .register_gauge("degraded_mode", "probe:WebServer::is_degraded"),
+            quarantined_shards: telemetry
+                .register_gauge("quarantined_shards", "probe:WebServer::is_quarantined"),
+            storage_pressure_pct: telemetry
+                .register_gauge("storage_pressure_pct", "probe:Journal::pressure"),
+            journal_resident_bytes: telemetry
+                .register_gauge("journal_resident_bytes", "probe:WebServer::journal_bytes"),
+            interaction_rtt: telemetry.register_histogram(
+                "interaction_rtt_ms",
+                "trace:Served{Interaction}.rtt_nanos",
+                &LATENCY_BUCKET_MS,
+            ),
+        };
+        telemetry.register_histogram(
+            "risk_verified_pct",
+            "hook:WebServer::observe_risk",
+            &RISK_BUCKET_PCT,
+        );
+        ShardSampler {
+            shard,
+            interval,
+            telemetry,
+            ids,
+            points: Vec::new(),
+            last_sampled: None,
+        }
+    }
+
+    /// A handle to the sampler's registry, for installing into producers
+    /// (e.g. [`WebServer::set_telemetry`]) so hook-site metrics like the
+    /// risk distribution land in the same series.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// Folds one drained trace event into the counters. Call in drain
+    /// order; the events are observed, never consumed, so tracing output
+    /// is untouched.
+    pub fn observe_event(&self, ev: &TraceEvent) {
+        let t = &self.telemetry;
+        let ids = &self.ids;
+        match &ev.kind {
+            EventKind::Send { attempt } => {
+                t.counter_add(ids.sends, 1);
+                if *attempt > 0 {
+                    t.counter_add(ids.retries, 1);
+                }
+            }
+            EventKind::Timeout { .. } => t.counter_add(ids.timeouts, 1),
+            EventKind::GiveUp => t.counter_add(ids.giveups, 1),
+            EventKind::Resync => t.counter_add(ids.resyncs, 1),
+            EventKind::Served { phase, rtt_nanos } => {
+                t.counter_add(ids.served, 1);
+                if *phase == Phase::Interaction {
+                    // Millisecond truncation matches
+                    // `LatencyHistogram::record` exactly, so the final
+                    // bucket counts reconcile with the live histogram.
+                    t.histogram_record(ids.interaction_rtt, rtt_nanos / 1_000_000);
+                }
+            }
+            EventKind::Duplicate {
+                verdict: DuplicateVerdict::AcceptedFresh,
+            } => t.counter_add(ids.replays_accepted, 1),
+            EventKind::ServerReject { .. } => t.counter_add(ids.server_rejects, 1),
+            EventKind::JournalAppend { bytes, .. } => {
+                t.counter_add(ids.journal_appends, 1);
+                t.counter_add(ids.journal_bytes, *bytes as u64);
+            }
+            EventKind::SegmentSealed { .. } => t.counter_add(ids.segments_sealed, 1),
+            EventKind::SyncRetried { .. } => t.counter_add(ids.sync_retries, 1),
+            EventKind::CrashInjected { .. } => t.counter_add(ids.crashes, 1),
+            EventKind::Recovered { skipped, .. } => {
+                t.counter_add(ids.recoveries, 1);
+                t.counter_add(ids.records_skipped, *skipped as u64);
+            }
+            _ => {}
+        }
+    }
+
+    /// Probes the shard server's gauges. `live_lifecycles` is the
+    /// driver's count of still-open lifecycles (the fleet's window
+    /// occupancy at lock-step grain).
+    pub fn probe(&self, server: &WebServer, live_lifecycles: u64) {
+        let t = &self.telemetry;
+        let ids = &self.ids;
+        let stats = server.resident_stats();
+        t.gauge_set(ids.live_sessions, stats.sessions as u64);
+        t.gauge_set(ids.cache_entries, stats.cache_entries as u64);
+        t.gauge_set(ids.window_occupancy, live_lifecycles);
+        t.gauge_set(ids.degraded_mode, u64::from(server.is_degraded()));
+        let mut quarantined = 0u64;
+        let mut pressure_pct = 0u64;
+        for idx in 0..server.shard_count() {
+            quarantined += u64::from(server.is_quarantined(idx));
+            if let Some(p) = server.journal(idx).pressure() {
+                pressure_pct = pressure_pct.max((p * 100.0).round() as u64);
+            }
+        }
+        t.gauge_set(ids.quarantined_shards, quarantined);
+        t.gauge_set(ids.storage_pressure_pct, pressure_pct);
+        t.gauge_set(ids.journal_resident_bytes, server.journal_bytes() as u64);
+    }
+
+    /// Cuts a point at tick `lt` if it is on the sampling interval and
+    /// was not already sampled.
+    pub fn tick(&mut self, lt: u64) {
+        if lt.is_multiple_of(self.interval) {
+            self.cut(lt);
+        }
+    }
+
+    /// Cuts a final point at `lt` unconditionally, so the series always
+    /// ends with the run's cumulative totals (the values [`reconcile`]
+    /// checks).
+    pub fn finish(&mut self, lt: u64) {
+        self.cut(lt);
+    }
+
+    fn cut(&mut self, lt: u64) {
+        if self.last_sampled == Some(lt) {
+            return;
+        }
+        self.last_sampled = Some(lt);
+        self.points.push(SeriesPoint {
+            lt,
+            shard: self.shard,
+            values: self.telemetry.snapshot(),
+        });
+    }
+
+    /// Consumes the sampler, returning its series (ascending `lt`).
+    pub fn into_points(self) -> Vec<SeriesPoint> {
+        self.points
+    }
+}
+
+/// Checks that a merged series' final cumulative values reconcile
+/// exactly with live [`ProtocolMetrics`] accounting. Returns the first
+/// mismatch as an error string.
+///
+/// This is the telemetry analogue of trace/metrics parity: the sampler
+/// folds the same events `derive_metrics` consumes, so any divergence
+/// means a counter was dropped or double-counted.
+pub fn reconcile(points: &[SeriesPoint], live: &ProtocolMetrics) -> Result<(), String> {
+    // Final point per shard: points are merged by (lt, shard), so the
+    // last occurrence of each shard id carries its cumulative totals.
+    let mut finals: BTreeMap<usize, &SeriesPoint> = BTreeMap::new();
+    for p in points {
+        finals.insert(p.shard, p);
+    }
+    let sum =
+        |metric: &str| -> u64 { finals.values().map(|p| p.scalar(metric).unwrap_or(0)).sum() };
+    let checks: [(&str, u64, u64); 7] = [
+        ("sends_total", sum("sends_total"), live.sends),
+        ("retries_total", sum("retries_total"), live.retries),
+        ("timeouts_total", sum("timeouts_total"), live.timeouts),
+        ("giveups_total", sum("giveups_total"), live.giveups),
+        ("resyncs_total", sum("resyncs_total"), live.resyncs),
+        (
+            "replays_accepted_total",
+            sum("replays_accepted_total"),
+            live.replays_accepted,
+        ),
+        (
+            "served_total",
+            sum("served_total"),
+            live.hello.samples
+                + live.submit.samples
+                + live.interaction.samples
+                + live.lifecycle.samples,
+        ),
+    ];
+    for (metric, series, expected) in checks {
+        if series != expected {
+            return Err(format!(
+                "series {metric} = {series} but live metrics say {expected}"
+            ));
+        }
+    }
+    // The interaction latency distribution must match bucket for bucket.
+    let mut counts = vec![0u64; LATENCY_BUCKET_MS.len() + 1];
+    for p in finals.values() {
+        if let Some((_, c)) = p.dist("interaction_rtt_ms") {
+            for (acc, v) in counts.iter_mut().zip(c.iter()) {
+                *acc += v;
+            }
+        }
+    }
+    if counts != live.interaction.counts {
+        return Err(format!(
+            "series interaction_rtt_ms counts {:?} != live {:?}",
+            counts, live.interaction.counts
+        ));
+    }
+    Ok(())
+}
+
+// --- SLO rules and health --------------------------------------------------
+
+/// One declarative service-level rule over the sampled series.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SloRule {
+    /// The counter must end the run at zero.
+    CounterZero {
+        /// The counter metric.
+        metric: &'static str,
+    },
+    /// The metric's final value must be `<= max`.
+    FinalAtMost {
+        /// The scalar metric.
+        metric: &'static str,
+        /// Inclusive bound.
+        max: u64,
+    },
+    /// The histogram metric's `q_pct`-th percentile (conservative bucket
+    /// upper bound; overflow counts as `bounds.max + 1`) must be
+    /// `<= max`.
+    QuantileAtMost {
+        /// The histogram metric.
+        metric: &'static str,
+        /// Percentile, 1–100.
+        q_pct: u8,
+        /// Inclusive bound, in the histogram's unit.
+        max: u64,
+    },
+    /// The gauge must be nonzero in at most `max_pct` percent of the
+    /// shard's samples (duty cycle at sampling resolution).
+    DutyCycleAtMost {
+        /// The gauge metric.
+        metric: &'static str,
+        /// Inclusive duty-cycle bound in percent.
+        max_pct: u8,
+    },
+    /// Retry-storm detection by rolling-window rate of change: over the
+    /// cumulative counter's per-sample deltas, no window of `window`
+    /// deltas may sum to `>= min_delta` while also exceeding `factor`
+    /// times the previous window's sum.
+    RateSpikeBelow {
+        /// The cumulative counter metric.
+        metric: &'static str,
+        /// Rolling window length, in samples.
+        window: usize,
+        /// Growth factor versus the previous window that counts as a
+        /// spike.
+        factor: u64,
+        /// Absolute floor below which growth is never a spike (filters
+        /// small-number noise).
+        min_delta: u64,
+    },
+}
+
+/// A named SLO and its evaluation scope.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SloSpec {
+    /// Stable rule name (appears in verdicts and alert events).
+    pub name: &'static str,
+    /// The rule.
+    pub rule: SloRule,
+    /// `true`: one verdict per shard; `false`: one fleet-wide verdict
+    /// over summed finals / merged distributions.
+    pub per_shard: bool,
+}
+
+/// Evaluates a set of [`SloSpec`]s over a merged series.
+#[derive(Clone, Debug)]
+pub struct HealthEngine {
+    /// The rules, in verdict order.
+    pub slos: Vec<SloSpec>,
+}
+
+/// One rule's verdict: the observed value against its bound.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SloVerdict {
+    /// The rule's name.
+    pub slo: &'static str,
+    /// The shard scoped to, or `None` for fleet-wide.
+    pub shard: Option<usize>,
+    /// Whether the rule held.
+    pub ok: bool,
+    /// The observed value (unit depends on the rule).
+    pub observed: u64,
+    /// The rule's bound.
+    pub bound: u64,
+}
+
+/// A deterministic health evaluation: verdicts in `(rule, shard)` order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct HealthReport {
+    /// Every rule's verdict.
+    pub verdicts: Vec<SloVerdict>,
+}
+
+impl HealthEngine {
+    /// The standard fleet SLOs: exactly-once (`replays_accepted == 0`),
+    /// interaction p99 within the histogram's top bucket, degraded-mode
+    /// duty cycle, quarantine count, and retry-storm detection.
+    pub fn standard() -> Self {
+        HealthEngine {
+            slos: vec![
+                SloSpec {
+                    name: "replays-zero",
+                    rule: SloRule::CounterZero {
+                        metric: "replays_accepted_total",
+                    },
+                    per_shard: false,
+                },
+                SloSpec {
+                    name: "auth-p99",
+                    rule: SloRule::QuantileAtMost {
+                        metric: "interaction_rtt_ms",
+                        q_pct: 99,
+                        max: LATENCY_BUCKET_MS[LATENCY_BUCKET_MS.len() - 1],
+                    },
+                    per_shard: false,
+                },
+                SloSpec {
+                    name: "degraded-duty",
+                    rule: SloRule::DutyCycleAtMost {
+                        metric: "degraded_mode",
+                        max_pct: 50,
+                    },
+                    per_shard: true,
+                },
+                SloSpec {
+                    name: "quarantine-zero",
+                    rule: SloRule::FinalAtMost {
+                        metric: "quarantined_shards",
+                        max: 0,
+                    },
+                    per_shard: true,
+                },
+                SloSpec {
+                    name: "retry-storm",
+                    rule: SloRule::RateSpikeBelow {
+                        metric: "retries_total",
+                        window: 4,
+                        factor: 8,
+                        min_delta: 96,
+                    },
+                    per_shard: true,
+                },
+            ],
+        }
+    }
+
+    /// Evaluates every rule over `points` (merged by `(lt, shard)`).
+    /// Deterministic: verdicts come out in `(rule order, shard id)`
+    /// order, and every observation is integer arithmetic over the
+    /// series.
+    pub fn evaluate(&self, points: &[SeriesPoint]) -> HealthReport {
+        let mut shards: Vec<usize> = points.iter().map(|p| p.shard).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let mut verdicts = Vec::new();
+        for spec in &self.slos {
+            if spec.per_shard {
+                for &shard in &shards {
+                    let shard_points: Vec<&SeriesPoint> =
+                        points.iter().filter(|p| p.shard == shard).collect();
+                    verdicts.push(eval_rule(spec, Some(shard), &shard_points));
+                }
+            } else {
+                let all: Vec<&SeriesPoint> = points.iter().collect();
+                verdicts.push(eval_rule(spec, None, &all));
+            }
+        }
+        HealthReport { verdicts }
+    }
+}
+
+/// Final (cumulative) value of `metric` summed over each shard's last
+/// point within `points`.
+fn final_sum(points: &[&SeriesPoint], metric: &str) -> u64 {
+    let mut finals: BTreeMap<usize, u64> = BTreeMap::new();
+    for p in points {
+        if let Some(v) = p.scalar(metric) {
+            finals.insert(p.shard, v);
+        }
+    }
+    finals.values().sum()
+}
+
+fn eval_rule(spec: &SloSpec, shard: Option<usize>, points: &[&SeriesPoint]) -> SloVerdict {
+    let (ok, observed, bound) = match spec.rule {
+        SloRule::CounterZero { metric } => {
+            let v = final_sum(points, metric);
+            (v == 0, v, 0)
+        }
+        SloRule::FinalAtMost { metric, max } => {
+            let v = final_sum(points, metric);
+            (v <= max, v, max)
+        }
+        SloRule::QuantileAtMost { metric, q_pct, max } => {
+            // Points are cumulative, so each shard's *final* point
+            // carries its whole-run distribution; sum those.
+            let mut bounds: &'static [u64] = &[];
+            let mut finals: BTreeMap<usize, &[u64]> = BTreeMap::new();
+            for p in points {
+                if let Some((b, c)) = p.dist(metric) {
+                    bounds = b;
+                    finals.insert(p.shard, c);
+                }
+            }
+            let mut counts = vec![0u64; bounds.len() + 1];
+            for c in finals.values() {
+                for (acc, v) in counts.iter_mut().zip(c.iter()) {
+                    *acc += v;
+                }
+            }
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                (true, 0, max)
+            } else {
+                // Rank of the q-th percentile sample, conservative
+                // (bucket upper bound; overflow counts as max bound + 1).
+                let q = u64::from(q_pct.clamp(1, 100));
+                let rank = (total * q).div_ceil(100);
+                let mut seen = 0u64;
+                let mut observed = bounds.last().map(|b| b + 1).unwrap_or(u64::MAX);
+                for (bucket, count) in counts.iter().enumerate() {
+                    seen += count;
+                    if seen >= rank {
+                        observed = match bounds.get(bucket) {
+                            Some(b) => *b,
+                            None => bounds.last().map(|b| b + 1).unwrap_or(u64::MAX),
+                        };
+                        break;
+                    }
+                }
+                (observed <= max, observed, max)
+            }
+        }
+        SloRule::DutyCycleAtMost { metric, max_pct } => {
+            let samples: Vec<u64> = points.iter().filter_map(|p| p.scalar(metric)).collect();
+            if samples.is_empty() {
+                (true, 0, u64::from(max_pct))
+            } else {
+                let hot = samples.iter().filter(|v| **v != 0).count() as u64;
+                let pct = hot * 100 / samples.len() as u64;
+                (pct <= u64::from(max_pct), pct, u64::from(max_pct))
+            }
+        }
+        SloRule::RateSpikeBelow {
+            metric,
+            window,
+            factor,
+            min_delta,
+        } => {
+            let series: Vec<u64> = points.iter().filter_map(|p| p.scalar(metric)).collect();
+            let deltas: Vec<u64> = series
+                .windows(2)
+                .map(|w| w[1].saturating_sub(w[0]))
+                .collect();
+            let mut worst = 0u64;
+            if deltas.len() >= window * 2 {
+                for i in window..=deltas.len() - window {
+                    let prev: u64 = deltas[i - window..i].iter().sum();
+                    let cur: u64 = deltas[i..i + window].iter().sum();
+                    if cur >= min_delta && cur > prev.saturating_mul(factor) {
+                        worst = worst.max(cur);
+                    }
+                }
+            }
+            (worst == 0, worst, min_delta)
+        }
+    };
+    SloVerdict {
+        slo: spec.name,
+        shard,
+        ok,
+        observed,
+        bound,
+    }
+}
+
+impl HealthReport {
+    /// Whether every rule held.
+    pub fn healthy(&self) -> bool {
+        self.verdicts.iter().all(|v| v.ok)
+    }
+
+    /// The failed verdicts, in report order.
+    pub fn alerts(&self) -> impl Iterator<Item = &SloVerdict> {
+        self.verdicts.iter().filter(|v| !v.ok)
+    }
+
+    /// Records one [`EventKind::SloAlert`] per failed verdict into
+    /// `tracer`, in report order. The alert events are ignored by
+    /// [`crate::trace::derive_metrics`], so trace/metrics parity is
+    /// unchanged by alerting.
+    pub fn record_alerts(&self, tracer: &Tracer) {
+        for v in self.alerts() {
+            tracer.record(EventKind::SloAlert {
+                rule: v.slo,
+                alert_shard: v.shard,
+            });
+        }
+    }
+
+    /// A fixed-width verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>5} {:>12} {:>12}",
+            "slo", "shard", "ok", "observed", "bound"
+        );
+        for v in &self.verdicts {
+            let shard = v
+                .shard
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "fleet".to_owned());
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>5} {:>12} {:>12}",
+                v.slo,
+                shard,
+                if v.ok { "ok" } else { "FAIL" },
+                v.observed,
+                v.bound
+            );
+        }
+        out
+    }
+}
+
+// --- Span profiler ---------------------------------------------------------
+
+/// Aggregated cost of one span stack on one shard.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpanStat {
+    /// The shard the spans ran on.
+    pub shard: usize,
+    /// Semicolon-joined open-span names, outermost first (the
+    /// folded-stack key, e.g. `lifecycle;interact`).
+    pub stack: String,
+    /// Spans closed under this exact stack.
+    pub count: u64,
+    /// Modeled sim time attributed directly to this stack (served RTTs
+    /// plus retry/corrupt backoffs recorded while it was innermost).
+    pub self_nanos: u64,
+    /// Self time plus all nested spans' time.
+    pub total_nanos: u64,
+}
+
+/// A deterministic span-cost profile: stats sorted by `(shard, stack)`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SpanProfile {
+    /// Per-stack aggregates, sorted by `(shard, stack)`.
+    pub stats: Vec<SpanStat>,
+}
+
+#[derive(Default)]
+struct OpenFrame {
+    name: &'static str,
+    self_nanos: u64,
+    child_nanos: u64,
+}
+
+/// Builds a [`SpanProfile`] from `(shard, event)` pairs in merge order.
+///
+/// Stacks are rebuilt per `(shard, account)` — spans nest strictly
+/// within one principal's flow, and the merged stream preserves each
+/// shard's recording order, so reconstruction is exact and worker-count
+/// invariant. Costs are the modeled wire times the trace already
+/// carries: `Served.rtt_nanos`, plus `Timeout`/`CorruptReject` backoffs.
+pub fn profile_spans<'a>(events: impl IntoIterator<Item = (usize, &'a TraceEvent)>) -> SpanProfile {
+    type StackKey = (usize, Option<String>);
+    let mut stacks: BTreeMap<StackKey, Vec<OpenFrame>> = BTreeMap::new();
+    let mut agg: BTreeMap<(usize, String), (u64, u64, u64)> = BTreeMap::new();
+    for (shard, ev) in events {
+        let key: StackKey = (shard, ev.ctx.account.clone());
+        match &ev.kind {
+            EventKind::SpanOpen { span } => {
+                stacks.entry(key).or_default().push(OpenFrame {
+                    name: span.name(),
+                    ..OpenFrame::default()
+                });
+            }
+            EventKind::SpanClose { .. } => {
+                let stack = stacks.entry(key).or_default();
+                if let Some(frame) = stack.pop() {
+                    let total = frame.self_nanos + frame.child_nanos;
+                    let mut path: Vec<&str> = stack.iter().map(|f| f.name).collect();
+                    path.push(frame.name);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_nanos += total;
+                    }
+                    let entry = agg.entry((shard, path.join(";"))).or_default();
+                    entry.0 += 1;
+                    entry.1 += frame.self_nanos;
+                    entry.2 += total;
+                }
+            }
+            EventKind::Served { rtt_nanos, .. } => {
+                if let Some(frame) = stacks.entry(key).or_default().last_mut() {
+                    frame.self_nanos += rtt_nanos;
+                }
+            }
+            EventKind::Timeout { backoff_ms, .. } | EventKind::CorruptReject { backoff_ms, .. } => {
+                if let Some(frame) = stacks.entry(key).or_default().last_mut() {
+                    frame.self_nanos += backoff_ms * 1_000_000;
+                }
+            }
+            _ => {}
+        }
+    }
+    let stats = agg
+        .into_iter()
+        .map(
+            |((shard, stack), (count, self_nanos, total_nanos))| SpanStat {
+                shard,
+                stack,
+                count,
+                self_nanos,
+                total_nanos,
+            },
+        )
+        .collect();
+    SpanProfile { stats }
+}
+
+impl SpanProfile {
+    /// The profile in folded-stack (flamegraph collapsed) format: one
+    /// `shard<N>;<stack> <self_nanos>` line per stack, sorted. Feed to
+    /// any flamegraph renderer.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stats {
+            let _ = writeln!(out, "shard{};{} {}", s.shard, s.stack, s.self_nanos);
+        }
+        out
+    }
+
+    /// The `k` hottest stacks by self time (ties broken by `(shard,
+    /// stack)` so the order is total).
+    pub fn top_spans(&self, k: usize) -> Vec<&SpanStat> {
+        let mut sorted: Vec<&SpanStat> = self.stats.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.self_nanos
+                .cmp(&a.self_nanos)
+                .then(a.shard.cmp(&b.shard))
+                .then(a.stack.cmp(&b.stack))
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// A fixed-width top-`k` hot-span table (self/total in sim
+    /// milliseconds).
+    pub fn render_top(&self, k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<28} {:>8} {:>12} {:>12}",
+            "shard", "stack", "count", "self_ms", "total_ms"
+        );
+        for s in self.top_spans(k) {
+            let _ = writeln!(
+                out,
+                "{:<6} {:<28} {:>8} {:>12} {:>12}",
+                s.shard,
+                s.stack,
+                s.count,
+                s.self_nanos / 1_000_000,
+                s.total_nanos / 1_000_000
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CtxArgs, Outcome, SpanKind};
+
+    #[test]
+    fn disabled_telemetry_is_a_no_op() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.record_histogram_by_name("risk_verified_pct", 50);
+        t.set_gauge_by_name("window_occupancy", 3);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_by_name() {
+        let t = Telemetry::enabled();
+        let b = t.register_counter("bbb", "trace:test");
+        let a = t.register_counter("aaa", "trace:test");
+        t.counter_add(b, 2);
+        t.counter_add(a, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap[0], ("aaa", SampleValue::Int(1)));
+        assert_eq!(snap[1], ("bbb", SampleValue::Int(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let t = Telemetry::enabled();
+        t.register_counter("dup", "trace:test");
+        t.register_counter("dup", "trace:test");
+    }
+
+    #[test]
+    fn histogram_bucketing_matches_latency_histogram() {
+        use crate::metrics::LatencyHistogram;
+        use btd_sim::time::SimDuration;
+        let t = Telemetry::enabled();
+        let id = t.register_histogram("h", "trace:test", &LATENCY_BUCKET_MS);
+        let mut live = LatencyHistogram::default();
+        for nanos in [
+            1u64,
+            74_999_999,
+            75_000_000,
+            75_000_001,
+            1_199_999_999,
+            1_300_000_000,
+        ] {
+            t.histogram_record(id, nanos / 1_000_000);
+            live.record(SimDuration::from_nanos(nanos));
+        }
+        let snap = t.snapshot();
+        let SampleValue::Dist { counts, .. } = &snap[0].1 else {
+            panic!("expected a distribution");
+        };
+        assert_eq!(counts.as_slice(), &live.counts[..]);
+    }
+
+    #[test]
+    fn series_export_is_canonical() {
+        let mut s = ShardSampler::new(3, 2);
+        s.tick(0);
+        s.tick(1); // off-interval: no point
+        s.tick(2);
+        let points = s.into_points();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].lt, 0);
+        assert_eq!(points[1].lt, 2);
+        let jsonl = export_series_jsonl(&points);
+        assert!(jsonl.starts_with("{\"lt\":0,\"shard\":3,\"metrics\":{"));
+        assert_eq!(jsonl.lines().count(), 2);
+        // Names appear in sorted order.
+        let line = jsonl.lines().next().unwrap();
+        let cache = line.find("\"cache_entries\"").unwrap();
+        let window = line.find("\"window_occupancy\"").unwrap();
+        assert!(cache < window);
+    }
+
+    #[test]
+    fn merge_series_orders_by_lt_then_shard() {
+        let mk = |lt, shard| SeriesPoint {
+            lt,
+            shard,
+            values: Vec::new(),
+        };
+        let merged = merge_series(vec![vec![mk(0, 1), mk(2, 1)], vec![mk(0, 0), mk(1, 0)]]);
+        let keys: Vec<_> = merged.iter().map(|p| (p.lt, p.shard)).collect();
+        assert_eq!(keys, vec![(0, 0), (0, 1), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn health_rules_fire_on_violations() {
+        let point = |lt, shard, retries: u64, degraded: u64| SeriesPoint {
+            lt,
+            shard,
+            values: vec![
+                ("degraded_mode", SampleValue::Int(degraded)),
+                ("replays_accepted_total", SampleValue::Int(0)),
+                ("retries_total", SampleValue::Int(retries)),
+            ],
+        };
+        // A retry storm: flat, then an 8x rate-of-change spike.
+        let mut points = Vec::new();
+        let mut total = 0u64;
+        for lt in 0..16u64 {
+            total += if lt >= 12 { 200 } else { 1 };
+            points.push(point(lt, 0, total, u64::from(lt >= 8)));
+        }
+        let engine = HealthEngine::standard();
+        let report = engine.evaluate(&points);
+        assert!(!report.healthy());
+        let storm = report
+            .verdicts
+            .iter()
+            .find(|v| v.slo == "retry-storm")
+            .unwrap();
+        assert!(!storm.ok);
+        let duty = report
+            .verdicts
+            .iter()
+            .find(|v| v.slo == "degraded-duty")
+            .unwrap();
+        assert!(duty.ok, "50% duty bound holds at 7/16 hot samples");
+        // All-quiet series is healthy.
+        let quiet: Vec<SeriesPoint> = (0..16).map(|lt| point(lt, 0, 0, 0)).collect();
+        assert!(engine.evaluate(&quiet).healthy());
+    }
+
+    #[test]
+    fn alert_events_do_not_perturb_derived_metrics() {
+        use crate::trace::derive_metrics;
+        let tracer = Tracer::enabled();
+        tracer.record(EventKind::Send { attempt: 0 });
+        let before = derive_metrics(&tracer.events());
+        let report = HealthReport {
+            verdicts: vec![SloVerdict {
+                slo: "retry-storm",
+                shard: Some(2),
+                ok: false,
+                observed: 500,
+                bound: 96,
+            }],
+        };
+        report.record_alerts(&tracer);
+        let events = tracer.events();
+        assert_eq!(events.len(), 2, "alert was traced");
+        assert_eq!(derive_metrics(&events), before, "parity unchanged");
+        assert!(crate::trace::event_json(&events[1]).contains("\"type\":\"slo_alert\""));
+    }
+
+    #[test]
+    fn profiler_attributes_self_and_total_time() {
+        let tracer = Tracer::enabled();
+        tracer.open(SpanKind::Lifecycle, CtxArgs::account("alice"));
+        tracer.record(EventKind::Served {
+            phase: Phase::Hello,
+            rtt_nanos: 5_000_000,
+        });
+        tracer.open(SpanKind::Interact(0), CtxArgs::account("alice"));
+        tracer.record(EventKind::Served {
+            phase: Phase::Interaction,
+            rtt_nanos: 40_000_000,
+        });
+        tracer.record(EventKind::Timeout {
+            attempt: 0,
+            backoff_ms: 10,
+        });
+        tracer.close(SpanKind::Interact(0), Outcome::Success);
+        tracer.close(SpanKind::Lifecycle, Outcome::Success);
+        let events = tracer.events();
+        let profile = profile_spans(events.iter().map(|e| (0usize, e)));
+        let interact = profile
+            .stats
+            .iter()
+            .find(|s| s.stack == "lifecycle;interact")
+            .unwrap();
+        assert_eq!(interact.self_nanos, 50_000_000);
+        assert_eq!(interact.total_nanos, 50_000_000);
+        let lifecycle = profile
+            .stats
+            .iter()
+            .find(|s| s.stack == "lifecycle")
+            .unwrap();
+        assert_eq!(lifecycle.self_nanos, 5_000_000);
+        assert_eq!(lifecycle.total_nanos, 55_000_000);
+        let folded = profile.folded_stacks();
+        assert!(folded.contains("shard0;lifecycle;interact 50000000"));
+        assert_eq!(profile.top_spans(1)[0].stack, "lifecycle;interact");
+    }
+}

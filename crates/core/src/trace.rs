@@ -40,6 +40,7 @@
 //!   shared causal prefix as context.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
@@ -127,7 +128,9 @@ pub enum SpanKind {
 }
 
 impl SpanKind {
-    fn name(self) -> &'static str {
+    /// The span's stable wire name (the `span` field in JSONL exports
+    /// and the frame name in folded-stack profiles).
+    pub fn name(self) -> &'static str {
         match self {
             SpanKind::Lifecycle => "lifecycle",
             SpanKind::Register => "register",
@@ -410,6 +413,17 @@ pub enum EventKind {
         /// True on entry, false on exit.
         entered: bool,
     },
+    /// A telemetry SLO rule evaluated false over the sampled series
+    /// ([`crate::telemetry::HealthReport::record_alerts`]). Emitted by
+    /// the health engine after a run, never from inside protocol flows,
+    /// and ignored by [`derive_metrics`] — trace/metrics parity is
+    /// unchanged by alerting.
+    SloAlert {
+        /// The violated rule's stable name.
+        rule: &'static str,
+        /// The shard the verdict scoped to (`None` = fleet-wide).
+        alert_shard: Option<usize>,
+    },
 }
 
 /// One recorded event: a monotonically assigned id, the context it fired
@@ -426,16 +440,28 @@ pub struct TraceEvent {
 
 #[derive(Debug, Default)]
 struct TraceBuf {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     ctx_stack: Vec<TraceCtx>,
     next_id: u64,
+    /// Ring-buffer bound: at `Some(cap)` the buffer keeps only the most
+    /// recent `cap` events, evicting the oldest on overflow. `None` (the
+    /// default) grows without bound.
+    capacity: Option<usize>,
+    /// Events evicted by the ring bound since the buffer was created.
+    dropped: u64,
 }
 
 impl TraceBuf {
     fn push(&mut self, ctx: TraceCtx, kind: EventKind) {
         let id = self.next_id;
         self.next_id += 1;
-        self.events.push(TraceEvent { id, ctx, kind });
+        if let Some(cap) = self.capacity {
+            while self.events.len() >= cap.max(1) {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(TraceEvent { id, ctx, kind });
     }
 
     fn current_ctx(&self) -> TraceCtx {
@@ -462,6 +488,30 @@ impl Tracer {
         Tracer {
             inner: Some(Rc::new(RefCell::new(TraceBuf::default()))),
         }
+    }
+
+    /// A fresh enabled tracer whose buffer is a ring of at most
+    /// `capacity` events: the oldest event is evicted on overflow and
+    /// counted in [`Tracer::dropped`]. Built for fleet-scale runs that
+    /// keep a tracer attached for postmortems without unbounded resident
+    /// memory. Event ids keep climbing across evictions, and a bounded
+    /// run that never overflows exports byte-identically to an unbounded
+    /// one — determinism is unperturbed, only retention changes.
+    pub fn enabled_bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be at least 1 event");
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TraceBuf {
+                capacity: Some(capacity),
+                ..TraceBuf::default()
+            }))),
+        }
+    }
+
+    /// Events evicted by the ring bound so far (always 0 for unbounded
+    /// or disabled tracers). A fleet harness asserting `dropped() == 0`
+    /// has proven its capacity was never the binding constraint.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.borrow().dropped).unwrap_or(0)
     }
 
     /// Whether this handle records anything.
@@ -511,11 +561,11 @@ impl Tracer {
         }
     }
 
-    /// A snapshot of every recorded event, in order.
+    /// A snapshot of every retained event, in order.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner
             .as_ref()
-            .map(|i| i.borrow().events.clone())
+            .map(|i| i.borrow().events.iter().cloned().collect())
             .unwrap_or_default()
     }
 
@@ -551,7 +601,11 @@ impl Tracer {
     pub fn drain(&self) -> Vec<TraceEvent> {
         self.inner
             .as_ref()
-            .map(|i| std::mem::take(&mut i.borrow_mut().events))
+            .map(|i| {
+                std::mem::take(&mut i.borrow_mut().events)
+                    .into_iter()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -803,6 +857,13 @@ fn write_event_json(out: &mut String, ev: &TraceEvent) {
         EventKind::DegradedMode { shard, entered } => {
             json_str_field(out, "type", "degraded_mode");
             let _ = write!(out, ",\"degraded_shard\":{shard},\"entered\":{entered}");
+        }
+        EventKind::SloAlert { rule, alert_shard } => {
+            json_str_field(out, "type", "slo_alert");
+            json_str_field(out, "rule", rule);
+            if let Some(sh) = alert_shard {
+                let _ = write!(out, ",\"alert_shard\":{sh}");
+            }
         }
     }
     out.push('}');
@@ -1095,6 +1156,10 @@ pub fn describe(ev: &TraceEvent) -> String {
                 format!("degraded mode lifted (shard {shard} pressure cleared)")
             }
         }
+        EventKind::SloAlert { rule, alert_shard } => match alert_shard {
+            Some(sh) => format!("SLO ALERT {rule} (shard {sh})"),
+            None => format!("SLO ALERT {rule} (fleet)"),
+        },
     };
     if let Some(seq) = ev.ctx.seq {
         let _ = write!(s, " [seq {seq}]");

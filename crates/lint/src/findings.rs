@@ -17,6 +17,7 @@ pub const RULES: &[&str] = &[
     "journal-discipline",
     "storage-sync-before-reply",
     "metrics-trace-parity",
+    "telemetry-parity",
     "waiver-syntax",
 ];
 

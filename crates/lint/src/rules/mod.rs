@@ -7,6 +7,7 @@ pub mod journal;
 pub mod parity;
 pub mod secret;
 pub mod storage;
+pub mod telemetry;
 
 use crate::config::Config;
 use crate::findings::Finding;
@@ -20,6 +21,7 @@ pub fn run_all(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     journal::check(file, cfg, out);
     storage::check(file, cfg, out);
     parity::check(file, cfg, out);
+    telemetry::check(file, cfg, out);
 }
 
 /// True if token `i` is a field/method access: the previous token is `.`.

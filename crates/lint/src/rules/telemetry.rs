@@ -1,0 +1,85 @@
+//! Family 6 — telemetry registration discipline.
+//!
+//! Every instrument in the [`trust_core::telemetry`] registry carries a
+//! `source` string naming where its samples come from (`"trace:Send"`,
+//! `"probe:WebServer::is_degraded"`, `"hook:WebServer::observe_risk"`):
+//! that annotation is what lets the reconciliation gate tie each series
+//! back to the event stream or probe that feeds it. A registration that
+//! passes a computed name or source defeats the audit — nobody can grep
+//! the fleet dashboard back to its feeding code.
+//!
+//! This rule requires every `register_counter` / `register_gauge` /
+//! `register_histogram` *call site* to pass at least two string literals
+//! at the argument list's top level — the metric name and the sampling
+//! source. The registry's own forwarding shims (functions themselves
+//! named `register_*`, which relay `name`/`source` parameters) are
+//! exempt; a reasoned waiver covers any legitimately dynamic site.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::model::{enclosing_fn, fn_spans, SourceFile};
+
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !file.under_any(&cfg.telemetry_paths) {
+        return;
+    }
+    let tokens = file.tokens();
+    let spans = fn_spans(tokens);
+
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(id) = &t.tok else { continue };
+        if !cfg.telemetry_register_fns.contains(&id.as_str()) {
+            continue;
+        }
+        // A call site is `register_*(`; `fn register_*(` is the
+        // definition of the plumbing itself.
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].is_ident("fn") {
+            continue;
+        }
+        // Forwarding shims (`Telemetry::register_counter` relaying to the
+        // registry) pass parameters, not literals — exempt by fn name.
+        if enclosing_fn(&spans, i)
+            .is_some_and(|owner| cfg.telemetry_register_fns.contains(&owner.name.as_str()))
+        {
+            continue;
+        }
+        if top_level_str_args(tokens, i + 1) < 2 {
+            out.push(Finding::new(
+                "telemetry-parity",
+                &file.rel_path,
+                t.line,
+                format!(
+                    "`{id}` registers an instrument without literal name + sampling \
+                     source; pass the metric name and a `\"trace:…\"` / `\"probe:…\"` / \
+                     `\"hook:…\"` source string so the series stays auditable against \
+                     its feeding code"
+                ),
+            ));
+        }
+    }
+}
+
+/// Counts string literals at depth 1 of the parenthesized argument list
+/// opening at `open` (which must index a `(`).
+fn top_level_str_args(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0;
+    for t in &tokens[open..] {
+        match &t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Str if depth == 1 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}

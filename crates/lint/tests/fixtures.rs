@@ -234,6 +234,17 @@ fn unordered_iteration_ignores_non_canonical_functions() {
 }
 
 #[test]
+fn telemetry_parity() {
+    check_pair(
+        "crates/core/src/flow.rs",
+        include_str!("fixtures/telemetry_parity/bad.rs"),
+        include_str!("fixtures/telemetry_parity/good.rs"),
+        "telemetry-parity",
+        2,
+    );
+}
+
+#[test]
 fn journal_discipline() {
     check_pair(
         "crates/core/src/server/mod.rs",

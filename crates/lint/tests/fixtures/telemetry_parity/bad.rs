@@ -1,0 +1,11 @@
+//! BAD: instrument registrations without a literal sampling source — a
+//! computed name and a missing source both defeat the audit that ties
+//! each series back to its feeding trace event or probe. Staged at
+//! `crates/core/src/flow.rs` by the test harness.
+
+pub fn install(telemetry: &Telemetry, name: &'static str) {
+    // No source argument at all.
+    let _sends = telemetry.register_counter("sends_total");
+    // Name and source both computed: nothing greppable survives.
+    let _gauge = telemetry.register_gauge(name, source_for(name));
+}

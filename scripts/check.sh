@@ -54,4 +54,16 @@ run_bench_json parallel_matrix target/parallel_matrix.run2.json
 diff -u target/parallel_matrix.json target/parallel_matrix.run2.json \
   || { echo "parallel_matrix is nondeterministic across same-seed runs"; exit 1; }
 
+echo "==> bench-delta gate (per-metric comparison against the blessed baselines)"
+cargo run -q --release -p btd-bench --bin goodput_matrix -- --delta BENCH_goodput.json \
+  || { echo "goodput regressed against BENCH_goodput.json"; exit 1; }
+cargo run -q --release -p btd-bench --bin storage_matrix -- --delta BENCH_storage.json \
+  || { echo "storage regressed against BENCH_storage.json"; exit 1; }
+cargo run -q --release -p btd-bench --bin parallel_matrix -- --delta BENCH_parallel.json \
+  || { echo "parallel regressed against BENCH_parallel.json"; exit 1; }
+
+echo "==> fleet_top smoke (telemetry invariance + reconciliation + SLO health)"
+cargo run -q --release -p btd-bench --bin fleet_top -- 16 > target/fleet_top.txt \
+  || { echo "fleet_top failed: telemetry contract or SLO health broke"; cat target/fleet_top.txt; exit 1; }
+
 echo "All checks passed."

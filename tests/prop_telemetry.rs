@@ -1,0 +1,129 @@
+//! Property tests for the deterministic telemetry pipeline: sampling is
+//! an observer, never a participant.
+//!
+//! For random seeds, enabling the time-series sampler must not perturb
+//! the protocol in any observable way — the merged trace export and the
+//! combined state digest are byte-identical whether `sample_interval` is
+//! zero (sampling off) or not — while the series themselves must be
+//! worker-count invariant, reconcile exactly with the live
+//! `ProtocolMetrics`, and produce the same `HealthReport` at every
+//! worker count. A composed chaos run (loss + crashes + disk faults)
+//! then pins the same contract in the worst weather, and the bounded
+//! tracer is pinned to drop-free equivalence with the unbounded one.
+
+use proptest::prelude::*;
+use trust_core::parallel::{run_parallel, ParallelConfig};
+use trust_core::server::journal::CrashProfile;
+use trust_core::server::storage::DiskFaultProfile;
+use trust_core::trace::Tracer;
+
+proptest! {
+    // Each case runs the fleet several times over; keep cases modest.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Sampling on vs off: identical protocol bytes. Series at 1 vs 4
+    /// workers: identical series bytes, health, and exact reconciliation.
+    #[test]
+    fn sampling_is_unobservable_and_series_are_invariant(
+        seed in 1u64..100_000,
+        accounts in 4usize..10,
+        shards in 2usize..5,
+        interval in 1u64..6,
+    ) {
+        let sampled = ParallelConfig {
+            touches: 3,
+            loss: 0.05,
+            sample_interval: interval,
+            ..ParallelConfig::new(seed, accounts, shards, 1)
+        };
+        let unsampled = ParallelConfig { sample_interval: 0, ..sampled.clone() };
+
+        let on = run_parallel(&sampled);
+        let off = run_parallel(&unsampled);
+        // The sampler only folds already-drained events and probes
+        // server state between sweeps: no RNG draws, no trace writes.
+        prop_assert_eq!(&on.export_jsonl(), &off.export_jsonl());
+        prop_assert_eq!(on.state_digest(), off.state_digest());
+        prop_assert!(off.merged_series().is_empty());
+        prop_assert!(!on.merged_series().is_empty());
+
+        // Worker-count invariance of the series and the verdicts.
+        let four = run_parallel(&ParallelConfig { workers: 4, ..sampled.clone() });
+        prop_assert_eq!(on.export_series_jsonl(), four.export_series_jsonl());
+        prop_assert_eq!(on.health_report(), four.health_report());
+
+        // Exact reconciliation: the final cumulative counters in the
+        // series equal the live fleet metrics, bucket for bucket.
+        let reconciled = on.verify_series_reconciles();
+        prop_assert!(reconciled.is_ok(), "reconciliation: {:?}", reconciled);
+    }
+}
+
+/// The full chaos composition — loss, seeded crashes, disk faults — with
+/// sampling enabled: series bytes and health reports are identical at 1
+/// and 4 workers, reconciliation stays exact, and sampling still does
+/// not move the protocol bytes.
+#[test]
+fn chaos_composition_keeps_series_invariant_and_reconciled() {
+    let cfg = ParallelConfig {
+        touches: 5,
+        loss: 0.10,
+        crash: Some(CrashProfile::uniform(0.02)),
+        disk: Some(DiskFaultProfile {
+            torn_append: 0.20,
+            sync_fail: 0.20,
+            bitrot_seal: 0.0,
+        }),
+        sample_interval: 3,
+        ..ParallelConfig::new(0x7E1E, 16, 4, 1)
+    };
+    let one = run_parallel(&cfg);
+    let four = run_parallel(&ParallelConfig {
+        workers: 4,
+        ..cfg.clone()
+    });
+    assert_eq!(one.export_series_jsonl(), four.export_series_jsonl());
+    assert_eq!(one.health_report(), four.health_report());
+    assert_eq!(one.span_profile(), four.span_profile());
+    one.verify_series_reconciles()
+        .expect("chaos reconciliation");
+    four.verify_series_reconciles()
+        .expect("chaos reconciliation");
+
+    let crashes: u64 = one.shard_runs.iter().map(|r| r.crashes).sum();
+    assert!(crashes > 0, "the crash schedule never fired; weak test");
+
+    // Sampling off: the protocol bytes do not move even under chaos.
+    let off = run_parallel(&ParallelConfig {
+        sample_interval: 0,
+        ..cfg.clone()
+    });
+    assert_eq!(off.export_jsonl(), one.export_jsonl());
+    assert_eq!(off.state_digest(), one.state_digest());
+}
+
+/// A bounded tracer that never fills behaves byte-for-byte like the
+/// unbounded one; one that does fill keeps the newest events and counts
+/// every eviction.
+#[test]
+fn bounded_tracer_is_equivalent_until_it_evicts() {
+    use trust_core::trace::EventKind;
+
+    let unbounded = Tracer::enabled();
+    let roomy = Tracer::enabled_bounded(1024);
+    let tight = Tracer::enabled_bounded(8);
+    for i in 0..64u32 {
+        for t in [&unbounded, &roomy, &tight] {
+            t.record(EventKind::Send { attempt: i });
+        }
+    }
+    assert_eq!(unbounded.events(), roomy.events());
+    assert_eq!(roomy.dropped(), 0);
+    assert_eq!(tight.dropped(), 56);
+    let kept = tight.events();
+    assert_eq!(kept.len(), 8);
+    // The survivors are the newest eight, ids intact: the bounded
+    // tracer's tail equals the unbounded tracer's tail exactly.
+    let all = unbounded.events();
+    assert_eq!(kept, all[all.len() - 8..]);
+}
