@@ -14,8 +14,6 @@
 //! cargo run --release -p btd-bench --bin fleet_chaos -- 2000     # smoke
 //! ```
 
-// trust-lint: allow-file(wall-clock) -- the wall-clock row is this binary's measurement output (sim time vs host time); it is never fed back into simulation state
-
 use btd_bench::report::{banner, Table};
 use btd_sim::rng::SimRng;
 use trust_core::channel::Adversary;

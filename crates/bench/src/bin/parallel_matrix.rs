@@ -32,8 +32,6 @@
 //! `BENCH_parallel.json`; a change that moves served counts, digests, or
 //! modeled speedups must re-bless the file.
 
-// trust-lint: allow-file(wall-clock) -- worker wall time and hot-path ns/op are this binary's product; wall time is measurement output printed to the human table, never fed into simulation state or the blessed JSON
-
 use std::time::Instant;
 
 use btd_bench::report::{banner, Table};

@@ -12,8 +12,6 @@
 //! cargo run -p btd-bench --bin shard_matrix
 //! ```
 
-// trust-lint: allow-file(wall-clock) -- throughput and recovery timings are this binary's product; wall time is measurement output, never fed back into simulation state
-
 use std::time::Instant;
 
 use btd_bench::report::{banner, Table};

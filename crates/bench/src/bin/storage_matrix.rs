@@ -25,8 +25,6 @@
 //! re-runs it and diffs, so a storage-format change that moves footprint
 //! or replay counts must re-bless the file.
 
-// trust-lint: allow-file(wall-clock) -- recovery latency and checksum throughput are this binary's product; wall time is measurement output, never fed back into simulation state
-
 use std::time::Instant;
 
 use btd_bench::report::{banner, Table};

@@ -19,6 +19,12 @@
 //! * a metric present in the baseline but missing from the fresh run is a
 //!   regression; a new metric is reported but passes (it gets blessed).
 //!
+//! The blessed file can tighten (or relax) the threshold per metric: a
+//! sibling key `<metric>_threshold_pct` overrides the threshold for that
+//! one metric, and a top-level `threshold_pct` overrides the document
+//! default. Threshold keys are configuration, not metrics — they are
+//! never compared and never count as missing from a fresh run.
+//!
 //! Deltas print in a stable table; the exit decision is
 //! [`DeltaReport::failed`].
 
@@ -261,16 +267,38 @@ fn judge(key: &str, base: &Json, fresh: &Json, threshold_pct: f64) -> (DeltaStat
     }
 }
 
+/// True for paths that carry threshold configuration rather than data.
+fn is_threshold_key(path: &str) -> bool {
+    path == "threshold_pct" || path.ends_with("_threshold_pct")
+}
+
 /// Compares a fresh run against the blessed baseline.
+///
+/// `threshold_pct` is the caller's default; the baseline document can
+/// override it globally (top-level `"threshold_pct"`) or per metric (a
+/// `"<metric>_threshold_pct"` sibling next to the metric it governs).
 pub fn compare(baseline: &Json, fresh: &Json, threshold_pct: f64) -> DeltaReport {
-    let base_flat = flatten(baseline);
-    let fresh_flat = flatten(fresh);
+    let mut base_flat = flatten(baseline);
+    let mut fresh_flat = flatten(fresh);
+    let mut per_metric: BTreeMap<String, f64> = BTreeMap::new();
+    let mut global = threshold_pct;
+    for (path, v) in &base_flat {
+        let Some(n) = leaf_num(v) else { continue };
+        if path == "threshold_pct" {
+            global = n;
+        } else if let Some(metric) = path.strip_suffix("_threshold_pct") {
+            per_metric.insert(metric.to_owned(), n);
+        }
+    }
+    base_flat.retain(|p, _| !is_threshold_key(p));
+    fresh_flat.retain(|p, _| !is_threshold_key(p));
     let mut deltas = Vec::new();
     for (path, base_leaf) in &base_flat {
         let key = path.rsplit('.').next().unwrap_or(path);
+        let row_threshold = per_metric.get(path).copied().unwrap_or(global);
         match fresh_flat.get(path) {
             Some(fresh_leaf) => {
-                let (status, pct) = judge(key, base_leaf, fresh_leaf, threshold_pct);
+                let (status, pct) = judge(key, base_leaf, fresh_leaf, row_threshold);
                 deltas.push(MetricDelta {
                     path: path.clone(),
                     baseline: leaf_text(base_leaf).unwrap_or_default(),
@@ -302,7 +330,7 @@ pub fn compare(baseline: &Json, fresh: &Json, threshold_pct: f64) -> DeltaReport
     deltas.sort_by(|a, b| a.path.cmp(&b.path));
     DeltaReport {
         deltas,
-        threshold_pct,
+        threshold_pct: global,
     }
 }
 
@@ -435,6 +463,68 @@ mod tests {
             .deltas
             .iter()
             .any(|d| d.status == DeltaStatus::Missing));
+    }
+
+    /// The per-metric threshold self-test: a 3% makespan regression
+    /// sails under the default 5% gate, but a
+    /// `sim_makespan_ms_threshold_pct: 2` sibling in the blessed file
+    /// catches it — and the threshold key itself is configuration, never
+    /// a "missing metric" when the fresh run (correctly) lacks it.
+    #[test]
+    fn a_blessed_per_metric_threshold_catches_what_the_default_misses() {
+        let drift = BASE.replace("\"sim_makespan_ms\":1000", "\"sim_makespan_ms\":1030");
+        let fresh = parse(&drift).unwrap();
+
+        let base = parse(BASE).unwrap();
+        let lax = compare(&base, &fresh, DEFAULT_THRESHOLD_PCT);
+        assert!(!lax.failed(), "3% must pass the default 5% gate");
+
+        let tightened = BASE.replace(
+            "\"sim_makespan_ms\":1000",
+            "\"sim_makespan_ms\":1000,\"sim_makespan_ms_threshold_pct\":2",
+        );
+        let base = parse(&tightened).unwrap();
+        let strict = compare(&base, &fresh, DEFAULT_THRESHOLD_PCT);
+        assert!(strict.failed(), "{}", strict.render());
+        let row = strict
+            .deltas
+            .iter()
+            .find(|d| d.path == "cells[workers=1].sim_makespan_ms")
+            .unwrap();
+        assert_eq!(row.status, DeltaStatus::Regressed);
+        assert!(
+            !strict
+                .deltas
+                .iter()
+                .any(|d| d.status == DeltaStatus::Missing),
+            "threshold keys must not be compared as metrics:\n{}",
+            strict.render()
+        );
+        // The override is scoped: the other cell's makespan keeps the
+        // default, so the same 3% drift there still passes.
+        let both_drift = tightened
+            .replace("\"sim_makespan_ms\":300", "\"sim_makespan_ms\":309")
+            .replace(
+                "\"sim_makespan_ms\":1000,\"sim_makespan_ms_threshold_pct\":2",
+                "\"sim_makespan_ms\":1000",
+            );
+        let report = compare(
+            &parse(BASE).unwrap(),
+            &parse(&both_drift).unwrap(),
+            DEFAULT_THRESHOLD_PCT,
+        );
+        assert!(!report.failed(), "{}", report.render());
+    }
+
+    #[test]
+    fn a_top_level_threshold_pct_overrides_the_document_default() {
+        let tightened = BASE.replacen('{', "{\"threshold_pct\":1,", 1);
+        let base = parse(&tightened).unwrap();
+        // 3% drift fails a 1% global gate.
+        let drift = BASE.replace("\"sim_makespan_ms\":1000", "\"sim_makespan_ms\":1030");
+        let report = compare(&base, &parse(&drift).unwrap(), DEFAULT_THRESHOLD_PCT);
+        assert!(report.failed(), "{}", report.render());
+        assert_eq!(report.threshold_pct, 1.0);
     }
 
     #[test]

@@ -606,6 +606,11 @@ mod tests {
         let group = DhGroup::test_512();
         let (owner, templates, records) =
             decode_identity(&encode_identity(9, &[], &[]), group).unwrap();
+        // The identity blob is secret-bearing (encode_identity ->
+        // DomainRecord.user_secret), and field-insensitive taint smears
+        // onto every binding destructured from it; `owner` is the plain
+        // u64 account id, so printing it on failure leaks nothing.
+        // trust-lint: allow(secret-taint) -- owner is the non-secret half of the decoded tuple
         assert_eq!(owner, 9);
         assert!(templates.is_empty());
         assert!(records.is_empty());

@@ -1,0 +1,470 @@
+//! The workspace call graph: every call site in every fn body, resolved
+//! to [`crate::symbols::FnDef`]s across the workspace crates.
+//!
+//! Resolution is name-based with locality, because the lexer-level model
+//! has no trait solver:
+//!
+//! * `self.close()` resolves to `close` methods of the enclosing impl
+//!   type first.
+//! * `recv.close()` uses the receiver's declared type when the local
+//!   type environment ([`TypeEnv`]) knows it (a parameter, a `let` with
+//!   an annotation, or a `Type::new()` / `Type { … }` initializer).
+//! * `Type::close()` filters by impl type; `module::close()` filters by
+//!   defining file.
+//! * A bare `close(...)` prefers same-file definitions, then same-crate,
+//!   then (only then) the rest of the workspace — so a helper shadowing
+//!   a foreign fn name resolves locally, and a cross-crate call resolves
+//!   as long as the name exists there.
+//!
+//! Ambiguity keeps *all* surviving candidates: the graph over-approximates
+//! (extra edges), never under-approximates, which is the safe direction
+//! for reachability rules. Known over-approximations are documented in
+//! DESIGN §16.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, Token};
+use crate::model::SourceFile;
+use crate::symbols::{FnDef, SymbolTable};
+
+/// Identifiers that look like calls but never are.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "fn", "let",
+    "mut", "ref", "unsafe", "where", "impl", "dyn", "Some", "None", "Ok", "Err", "Box", "Rc",
+    "RefCell", "Vec", "String", "Cell",
+];
+
+/// One resolved call site inside a fn body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Token index of the callee name in the caller's file.
+    pub tok: usize,
+    /// Source line of the call.
+    pub line: u32,
+    /// Resolved callee fn indices (several when ambiguous).
+    pub callees: Vec<usize>,
+    /// Callee name as written.
+    pub name: String,
+    /// Token index one past the argument list's `(`.
+    pub args_open: usize,
+}
+
+/// The call graph: per-caller call sites plus flattened edges.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Indexed by caller fn index.
+    pub sites: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    pub fn build(files: &[SourceFile], symbols: &SymbolTable) -> CallGraph {
+        // name -> fn indices, for candidate lookup.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (idx, f) in symbols.fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(idx);
+        }
+        let mut sites = vec![Vec::new(); symbols.fns.len()];
+        for (caller_idx, caller) in symbols.fns.iter().enumerate() {
+            let file = &files[caller.file];
+            let tokens = file.tokens();
+            let env = TypeEnv::build(caller, tokens);
+            let mut span_sites = Vec::new();
+            for i in caller.span.body_start..caller.span.end.min(tokens.len()) {
+                // Only attribute calls lexically inside *this* fn, not a
+                // nested one.
+                if symbols.fn_at(caller.file, i) != Some(caller_idx) {
+                    continue;
+                }
+                let Some(site) = call_at(tokens, i, caller, &env, symbols, &by_name, file) else {
+                    continue;
+                };
+                span_sites.push(site);
+            }
+            sites[caller_idx] = span_sites;
+        }
+        CallGraph { sites }
+    }
+
+    /// Breadth-first reachability from `entries`. Returns, per fn, the
+    /// index of the caller that first reached it (`entries` map to
+    /// themselves), or `None` if unreachable.
+    pub fn reachable_from(&self, entries: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.sites.len()];
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for &e in entries {
+            if parent[e].is_none() {
+                parent[e] = Some(e);
+                queue.push_back(e);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for site in &self.sites[f] {
+                for &callee in &site.callees {
+                    if parent[callee].is_none() {
+                        parent[callee] = Some(f);
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// The entry-to-`target` call chain implied by a `reachable_from`
+    /// parent map, as qualified fn names.
+    pub fn chain(
+        &self,
+        symbols: &SymbolTable,
+        parent: &[Option<usize>],
+        target: usize,
+    ) -> Vec<String> {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+            .into_iter()
+            .map(|f| symbols.fns[f].qualified())
+            .collect()
+    }
+}
+
+/// If token `i` is the callee name of a call, resolve it.
+#[allow(clippy::too_many_arguments)]
+fn call_at(
+    tokens: &[Token],
+    i: usize,
+    caller: &FnDef,
+    env: &TypeEnv,
+    symbols: &SymbolTable,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    file: &SourceFile,
+) -> Option<CallSite> {
+    let Tok::Ident(name) = &tokens[i].tok else {
+        return None;
+    };
+    if NON_CALL_IDENTS.contains(&name.as_str()) {
+        return None;
+    }
+    // A call is `name (`; `name!` is a macro, `fn name` a definition.
+    if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    if i > 0 && (tokens[i - 1].is_ident("fn") || tokens[i - 1].is_punct('!')) {
+        return None;
+    }
+    let candidates = by_name.get(name.as_str())?;
+
+    // Classify the call shape by what precedes the name.
+    let mut filtered: Vec<usize> = Vec::new();
+    if i > 0 && tokens[i - 1].is_punct('.') {
+        // Method call: infer the receiver type.
+        let recv_ty = match tokens.get(i.wrapping_sub(2)).map(|t| &t.tok) {
+            Some(Tok::Ident(r)) if r == "self" => caller.self_type.clone(),
+            Some(Tok::Ident(r)) => env.ty_of(r),
+            _ => None,
+        };
+        if let Some(ty) = recv_ty {
+            filtered = candidates
+                .iter()
+                .copied()
+                .filter(|&c| symbols.fns[c].self_type.as_deref() == Some(ty.as_str()))
+                .collect();
+        }
+        if filtered.is_empty() {
+            // Unknown receiver: any method with this name.
+            filtered = candidates
+                .iter()
+                .copied()
+                .filter(|&c| symbols.fns[c].has_self)
+                .collect();
+        }
+    } else if i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':') {
+        // Qualified call `Qual::name(…)`.
+        if let Some(Tok::Ident(qual)) = tokens.get(i.wrapping_sub(3)).map(|t| &t.tok) {
+            if qual.chars().next().is_some_and(char::is_uppercase) {
+                filtered = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| symbols.fns[c].self_type.as_deref() == Some(qual.as_str()))
+                    .collect();
+            } else {
+                let dir = format!("/{qual}/");
+                let leaf = format!("/{qual}.rs");
+                filtered = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        let p = &symbols.fns[c].file;
+                        let path = symbols_path(symbols, *p);
+                        path.contains(&dir) || path.ends_with(&leaf) || path.contains(&leaf)
+                    })
+                    .collect();
+            }
+        }
+    }
+    if filtered.is_empty() {
+        filtered = candidates.clone();
+    }
+
+    // Locality: same file beats same crate beats the rest.
+    let same_file: Vec<usize> = filtered
+        .iter()
+        .copied()
+        .filter(|&c| symbols.fns[c].file == caller.file)
+        .collect();
+    let resolved = if !same_file.is_empty() {
+        same_file
+    } else {
+        let caller_crate = crate_of(&file.rel_path);
+        let same_crate: Vec<usize> = filtered
+            .iter()
+            .copied()
+            .filter(|&c| crate_of(symbols_path(symbols, symbols.fns[c].file)) == caller_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            same_crate
+        } else {
+            filtered
+        }
+    };
+    Some(CallSite {
+        tok: i,
+        line: tokens[i].line,
+        callees: resolved,
+        name: name.clone(),
+        args_open: i + 1,
+    })
+}
+
+fn symbols_path(symbols: &SymbolTable, file: usize) -> &str {
+    &symbols.paths[file]
+}
+
+/// First two path segments — the crate a file belongs to (`crates/core`),
+/// or the top-level directory for `tests/` and `examples/`.
+pub fn crate_of(path: &str) -> &str {
+    let mut seen = 0;
+    for (i, b) in path.bytes().enumerate() {
+        if b == b'/' {
+            seen += 1;
+            if seen == 2 {
+                return &path[..i];
+            }
+        }
+    }
+    path.split('/').next().unwrap_or(path)
+}
+
+/// Local variable types inside one fn: parameters plus `let` bindings
+/// whose type is either annotated or evident from a constructor.
+#[derive(Clone, Debug, Default)]
+pub struct TypeEnv {
+    tys: BTreeMap<String, String>,
+}
+
+impl TypeEnv {
+    pub fn build(def: &FnDef, tokens: &[Token]) -> TypeEnv {
+        let mut env = TypeEnv::default();
+        for p in &def.params {
+            // The binding's nominal type is the first type-position
+            // identifier that is not a reference/container shell.
+            if let Some(t) = nominal(&p.ty) {
+                env.tys.insert(p.name.clone(), t);
+            }
+        }
+        let mut i = def.span.body_start;
+        while i + 2 < def.span.end.min(tokens.len()) {
+            if tokens[i].is_ident("let") {
+                // `let [mut] name [: Ty] = …`
+                let mut j = i + 1;
+                if tokens[j].is_ident("mut") {
+                    j += 1;
+                }
+                if let Some(Tok::Ident(name)) = tokens.get(j).map(|t| &t.tok) {
+                    let name = name.clone();
+                    if tokens.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+                        // Annotated: idents up to `=` or `;`.
+                        let ty: Vec<String> = tokens[j + 2..]
+                            .iter()
+                            .take_while(|t| !t.is_punct('=') && !t.is_punct(';'))
+                            .filter_map(|t| t.ident().map(str::to_owned))
+                            .collect();
+                        if let Some(t) = nominal(&ty) {
+                            env.tys.insert(name, t);
+                        }
+                    } else if tokens.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                        // `= Type::new(…)` / `= Type { … }`
+                        if let Some(Tok::Ident(ctor)) = tokens.get(j + 2).map(|t| &t.tok) {
+                            let is_path = tokens.get(j + 3).is_some_and(|t| t.is_punct(':'));
+                            let is_lit = tokens.get(j + 3).is_some_and(|t| t.is_punct('{'));
+                            if (is_path || is_lit)
+                                && ctor.chars().next().is_some_and(char::is_uppercase)
+                            {
+                                env.tys.insert(name, ctor.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        env
+    }
+
+    pub fn ty_of(&self, name: &str) -> Option<String> {
+        self.tys.get(name).cloned()
+    }
+}
+
+/// The nominal type of a declaration: the first identifier that is not a
+/// reference shell or common smart-pointer/container wrapper. `&mut
+/// Session` → `Session`; `Rc<RefCell<Tracer>>` → `Tracer`.
+fn nominal(ty: &[String]) -> Option<String> {
+    const SHELLS: &[&str] = &[
+        "mut", "dyn", "Box", "Rc", "Arc", "RefCell", "Cell", "Option",
+    ];
+    ty.iter().find(|t| !SHELLS.contains(&t.as_str())).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(sources: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolTable, CallGraph) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src, &["wall-clock"]))
+            .collect();
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&files, &symbols);
+        (files, symbols, graph)
+    }
+
+    fn fn_idx(symbols: &SymbolTable, qualified: &str) -> usize {
+        symbols
+            .fns
+            .iter()
+            .position(|f| f.qualified() == qualified)
+            .unwrap_or_else(|| panic!("no fn {qualified}"))
+    }
+
+    /// Qualified names of everything `caller` calls, sorted.
+    fn callees(symbols: &SymbolTable, graph: &CallGraph, caller: usize) -> Vec<String> {
+        let mut out: Vec<String> = graph.sites[caller]
+            .iter()
+            .flat_map(|s| s.callees.iter().map(|&c| symbols.fns[c].qualified()))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_when_the_name_is_unique() {
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/core/src/engine.rs",
+                "pub fn drive() { seal_blob(b\"x\"); }",
+            ),
+            (
+                "crates/crypto/src/seal.rs",
+                "pub fn seal_blob(b: &[u8]) -> Vec<u8> { b.to_vec() }",
+            ),
+        ]);
+        let drive = fn_idx(&symbols, "drive");
+        assert_eq!(callees(&symbols, &graph, drive), ["seal_blob"]);
+    }
+
+    #[test]
+    fn self_methods_resolve_to_the_enclosing_impl_type() {
+        // Two types define `close`; `self.close()` inside World::run must
+        // pick World's, not Segment's.
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/sim/src/world.rs",
+                "struct World;\nimpl World {\n fn close(&mut self) {}\n fn run(&mut self) { self.close(); }\n}",
+            ),
+            (
+                "crates/core/src/storage.rs",
+                "struct Segment;\nimpl Segment {\n fn close(&mut self) {}\n}",
+            ),
+        ]);
+        let run = fn_idx(&symbols, "World::run");
+        assert_eq!(callees(&symbols, &graph, run), ["World::close"]);
+    }
+
+    #[test]
+    fn typed_receivers_resolve_through_the_local_type_env() {
+        // `seg` is annotated `Segment`, so `seg.close()` picks
+        // Segment::close even from inside World's impl.
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/sim/src/world.rs",
+                "struct World;\nimpl World {\n fn tick(&mut self, seg: &mut Segment) { seg.close(); }\n}",
+            ),
+            (
+                "crates/core/src/storage.rs",
+                "struct Segment;\nimpl Segment {\n fn close(&mut self) {}\n}\nstruct Tracer;\nimpl Tracer {\n fn close(&mut self) {}\n}",
+            ),
+        ]);
+        let tick = fn_idx(&symbols, "World::tick");
+        assert_eq!(callees(&symbols, &graph, tick), ["Segment::close"]);
+    }
+
+    #[test]
+    fn a_local_shadow_beats_the_foreign_name() {
+        // Both crates define `checksum`; the bare call resolves to the
+        // same-file one only.
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/core/src/pages.rs",
+                "fn checksum(b: &[u8]) -> u32 { b.len() as u32 }\nfn page_digest(b: &[u8]) -> u32 { checksum(b) }",
+            ),
+            (
+                "crates/crypto/src/hashing.rs",
+                "pub fn checksum(b: &[u8]) -> u32 { 7 }",
+            ),
+        ]);
+        let caller = fn_idx(&symbols, "page_digest");
+        let sites = &graph.sites[caller];
+        let cs = sites.iter().find(|s| s.name == "checksum").unwrap();
+        assert_eq!(cs.callees.len(), 1, "shadow must not be ambiguous");
+        assert_eq!(symbols.fns[cs.callees[0]].file, 0, "same-file wins");
+    }
+
+    #[test]
+    fn an_unknown_receiver_keeps_every_method_candidate() {
+        // No type info for `x`: `x.close()` over-approximates to all
+        // `close` *methods* — never under-approximates, and never picks
+        // up a free fn of the same name.
+        let (_, symbols, graph) = build(&[
+            ("crates/core/src/a.rs", "fn go(x: &X) { x.close(); }"),
+            (
+                "crates/core/src/b.rs",
+                "struct S;\nimpl S {\n fn close(&self) {}\n}\nstruct T;\nimpl T {\n fn close(&self) {}\n}\nfn close() {}",
+            ),
+        ]);
+        let go = fn_idx(&symbols, "go");
+        assert_eq!(callees(&symbols, &graph, go), ["S::close", "T::close"]);
+    }
+
+    #[test]
+    fn reachability_chains_reconstruct_the_path() {
+        let (_, symbols, graph) = build(&[(
+            "crates/sim/src/world.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn unrelated() {}",
+        )]);
+        let (a, c) = (fn_idx(&symbols, "a"), fn_idx(&symbols, "c"));
+        let parent = graph.reachable_from(&[a]);
+        assert!(parent[c].is_some());
+        assert!(parent[fn_idx(&symbols, "unrelated")].is_none());
+        assert_eq!(graph.chain(&symbols, &parent, c), ["a", "b", "c"]);
+    }
+}

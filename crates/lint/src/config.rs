@@ -78,6 +78,27 @@ pub struct Config {
     /// themselves are exempt by function name).
     pub telemetry_paths: Vec<&'static str>,
     pub telemetry_register_fns: Vec<&'static str>,
+    /// Dataflow taint sources: (type, field) pairs whose field reads are
+    /// secret regardless of what the value is later called. The
+    /// `secret-taint` rule tracks these through renames, projections, and
+    /// calls to any format/trace/payload sink.
+    pub secret_fields: Vec<(&'static str, &'static str)>,
+    /// Functions/methods whose output is public by construction: calling
+    /// one launders taint (MACs, seals, hashes, lengths). Names, not
+    /// paths — the crypto boundary is the API.
+    pub taint_sanitizers: Vec<&'static str>,
+    /// Simulation entry points for `determinism-reach`: every method of
+    /// these types…
+    pub sim_entry_types: Vec<&'static str>,
+    /// …and every fn with these names is a root; anything transitively
+    /// reachable from a root must stay clock/OS-random/OS-thread free
+    /// (outside `thread_pool_files`).
+    pub sim_entry_fns: Vec<&'static str>,
+    /// Path fragments where the *direct* wall-clock rule applies. Bench
+    /// binaries are excluded here (wall time is their product); the
+    /// `determinism-reach` rule still guarantees nothing sim-reachable
+    /// touches the clock, so the old per-binary waivers are retired.
+    pub wall_clock_paths: Vec<&'static str>,
 }
 
 impl Default for Config {
@@ -200,6 +221,62 @@ impl Default for Config {
                 "register_counter",
                 "register_gauge",
                 "register_histogram",
+            ],
+            secret_fields: vec![
+                ("Session", "key"),
+                ("DeviceSession", "key"),
+                ("KeyPair", "x"),
+                ("DomainRecord", "user_secret"),
+                ("Template", "minutiae"),
+                ("ChaChaEntropy", "key"),
+            ],
+            taint_sanitizers: vec![
+                "mac",
+                "hmac",
+                "verify_mac",
+                "sign",
+                "verify",
+                "seal",
+                "unseal",
+                "seal_key",
+                "unseal_key",
+                "encrypt",
+                "decrypt",
+                "kdf",
+                "derive_key",
+                "hash",
+                "digest",
+                "crc32",
+                "pow_mod",
+                "len",
+                "is_empty",
+                "public",
+                "fingerprint",
+                // The matcher is the sanctioned consumer of templates: its
+                // scores/decisions are the system's outputs, derived from
+                // the secret by design.
+                "match_observation",
+            ],
+            sim_entry_types: vec!["World"],
+            sim_entry_fns: vec![
+                "run_shard",
+                "run_parallel",
+                "run_chaos_lifecycle",
+                "run_concurrent_chaos",
+            ],
+            wall_clock_paths: vec![
+                "crates/core/",
+                "crates/crypto/",
+                "crates/fingerprint/",
+                "crates/flock/",
+                "crates/lint/",
+                "crates/placement/",
+                "crates/sensor/",
+                "crates/sim/",
+                "crates/touch/",
+                "crates/workload/",
+                "tests/",
+                "examples/",
             ],
         }
     }

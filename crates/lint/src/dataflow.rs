@@ -1,0 +1,973 @@
+//! The flow-sensitive dataflow core: value taint tracked through
+//! let-bindings, field projections, method chains, and calls, with
+//! interprocedural propagation along call-graph summaries.
+//!
+//! This is what graduates trust-lint from token heuristics to analysis:
+//! the old `secret-format-leak` rule matched secret *names* at sinks, so
+//! `let k = session.key; tracer.record(k)` sailed through. Here the read
+//! of a registered secret field taints the value, the rename carries the
+//! taint, and the sink check fires on the *value*, whatever it is called.
+//!
+//! The engine is deliberately an approximation (no trait solver, no
+//! aliasing model); its bias is asymmetric by design:
+//!
+//! * **over-approximate propagation** — a method call on a tainted value
+//!   returns taint unless the method is a registered sanitizer; ambiguous
+//!   call sites keep every candidate callee;
+//! * **under-approximate only at sanitizers** — `mac(&key, …)`, `.len()`,
+//!   `seal_*` launder taint because their outputs are the protocol's
+//!   public artifacts.
+//!
+//! Summaries make it interprocedural: for every fn the fixpoint computes
+//! whether a parameter reaches a sink inside it (transitively), whether a
+//! parameter flows to its return value, and whether it returns taint born
+//! inside it (e.g. a getter over a secret field). Callers consult the
+//! summaries at every call site, so a leak through two helper hops is
+//! still one finding — anchored at the caller, with the call chain.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{CallGraph, CallSite, TypeEnv};
+use crate::config::Config;
+use crate::lexer::{Tok, Token};
+use crate::model::{match_brace, SourceFile};
+use crate::symbols::SymbolTable;
+
+/// Format-family macros whose arguments are taint sinks.
+pub const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Trace-recording methods whose payloads are taint sinks.
+pub const TRACE_METHODS: &[&str] = &["record", "open", "close"];
+
+/// Methods that write their arguments into their receiver, so taint in
+/// an argument propagates to the receiver binding.
+const PROPAGATING_METHODS: &[&str] = &[
+    "push",
+    "insert",
+    "extend",
+    "append",
+    "push_str",
+    "push_back",
+    "push_front",
+];
+
+/// The taint carried by one value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Taint {
+    /// Description + line of the first secret origin, when the taint is
+    /// real (`Session.key` read at line 12).
+    pub origin: Option<(String, u32)>,
+    /// Parameter indices whose pseudo-taint feeds this value (summary
+    /// mode only; empty in the reporting pass).
+    pub params: Vec<usize>,
+}
+
+impl Taint {
+    pub fn is_tainted(&self) -> bool {
+        self.origin.is_some() || !self.params.is_empty()
+    }
+
+    fn merge(&mut self, other: &Taint) {
+        if self.origin.is_none() {
+            self.origin.clone_from(&other.origin);
+        }
+        for p in &other.params {
+            if !self.params.contains(p) {
+                self.params.push(*p);
+            }
+        }
+    }
+}
+
+/// What one fn does with taint, from every caller's point of view.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Per parameter: does a tainted argument reach a sink inside this fn
+    /// (directly or through further calls)?
+    pub param_to_sink: Vec<bool>,
+    /// Per parameter: does the argument flow into the return value?
+    pub param_to_return: Vec<bool>,
+    /// Does the fn return taint born inside it (secret-field getter)?
+    pub returns_secret: bool,
+    /// Qualified fn names from this fn to the sink, for call chains in
+    /// diagnostics (`["seal_report", "render_keys"]`).
+    pub sink_via: Vec<String>,
+}
+
+/// One secret-taint finding from the reporting pass.
+#[derive(Clone, Debug)]
+pub struct TaintHit {
+    pub file: usize,
+    pub line: u32,
+    pub message: String,
+    /// Call chain (qualified names) when the sink is behind calls.
+    pub chain: Vec<String>,
+}
+
+/// The workspace analysis facade: symbol table, call graph, summaries.
+pub struct Analysis<'a> {
+    pub files: &'a [SourceFile],
+    pub symbols: SymbolTable,
+    pub graph: CallGraph,
+    pub summaries: Vec<Summary>,
+    /// Names of types defined in payload (wire/journal) files: their
+    /// struct-literal fields are sinks anywhere in the workspace.
+    pub payload_types: Vec<String>,
+}
+
+impl<'a> Analysis<'a> {
+    pub fn build(files: &'a [SourceFile], cfg: &Config) -> Analysis<'a> {
+        let symbols = SymbolTable::build(files);
+        let graph = CallGraph::build(files, &symbols);
+        let payload_types: Vec<String> = symbols
+            .types
+            .iter()
+            .filter(|t| {
+                cfg.payload_files
+                    .iter()
+                    .any(|p| symbols.paths[t.file].contains(p))
+            })
+            .map(|t| t.name.clone())
+            .collect();
+        let mut analysis = Analysis {
+            files,
+            symbols,
+            graph,
+            summaries: Vec::new(),
+            payload_types,
+        };
+        analysis.summaries = analysis.fixpoint_summaries(cfg);
+        analysis
+    }
+
+    /// Iterates per-fn summaries to a fixpoint (bounded; the call graph
+    /// is shallow and summaries only ever gain bits).
+    fn fixpoint_summaries(&self, cfg: &Config) -> Vec<Summary> {
+        let mut summaries: Vec<Summary> = self
+            .symbols
+            .fns
+            .iter()
+            .map(|f| Summary {
+                param_to_sink: vec![false; f.params.len()],
+                param_to_return: vec![false; f.params.len()],
+                ..Summary::default()
+            })
+            .collect();
+        for _round in 0..8 {
+            let mut changed = false;
+            for fn_idx in 0..self.symbols.fns.len() {
+                let mut pass = TaintPass::new(self, cfg, fn_idx, &summaries, true);
+                pass.run();
+                let new = pass.into_summary();
+                if new != summaries[fn_idx] {
+                    summaries[fn_idx] = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        summaries
+    }
+
+    /// The reporting pass: parameters carry no pseudo-taint, so every hit
+    /// traces back to a real secret origin.
+    pub fn taint_hits(&self, cfg: &Config) -> Vec<TaintHit> {
+        let mut hits = Vec::new();
+        for fn_idx in 0..self.symbols.fns.len() {
+            let mut pass = TaintPass::new(self, cfg, fn_idx, &self.summaries, false);
+            pass.run();
+            hits.append(&mut pass.hits);
+        }
+        hits
+    }
+
+    /// Call sites of `fn_idx` keyed by the callee-name token index.
+    fn sites_of(&self, fn_idx: usize) -> BTreeMap<usize, &CallSite> {
+        self.graph.sites[fn_idx]
+            .iter()
+            .map(|s| (s.tok, s))
+            .collect()
+    }
+}
+
+/// One flow-sensitive pass over one fn body.
+struct TaintPass<'p, 'a> {
+    analysis: &'p Analysis<'a>,
+    cfg: &'p Config,
+    fn_idx: usize,
+    summaries: &'p [Summary],
+    tokens: &'p [Token],
+    env: TypeEnv,
+    sites: BTreeMap<usize, &'p CallSite>,
+    /// Variable name -> current taint. Flow-sensitive: reassignment from
+    /// a clean expression clears it.
+    state: BTreeMap<String, Taint>,
+    /// True while computing summaries (params pseudo-tainted, hits mark
+    /// summary bits instead of reporting).
+    summary_mode: bool,
+    param_to_sink: Vec<bool>,
+    param_to_return: Vec<bool>,
+    returns_secret: bool,
+    sink_via: Vec<String>,
+    hits: Vec<TaintHit>,
+}
+
+impl<'p, 'a> TaintPass<'p, 'a> {
+    fn new(
+        analysis: &'p Analysis<'a>,
+        cfg: &'p Config,
+        fn_idx: usize,
+        summaries: &'p [Summary],
+        summary_mode: bool,
+    ) -> TaintPass<'p, 'a> {
+        let def = &analysis.symbols.fns[fn_idx];
+        let tokens = analysis.files[def.file].tokens();
+        let env = TypeEnv::build(def, tokens);
+        let mut state = BTreeMap::new();
+        for (k, p) in def.params.iter().enumerate() {
+            let mut t = Taint::default();
+            if summary_mode {
+                t.params.push(k);
+            }
+            // A parameter *named* like a raw secret is a taint source in
+            // both modes: its name is the declaration of intent.
+            if cfg.secret_idents.contains(&p.name.as_str()) {
+                t.origin = Some((format!("`{}`", p.name), def.line));
+            }
+            if t.is_tainted() {
+                state.insert(p.name.clone(), t);
+            }
+        }
+        TaintPass {
+            sites: analysis.sites_of(fn_idx),
+            analysis,
+            cfg,
+            fn_idx,
+            summaries,
+            tokens,
+            env,
+            state,
+            summary_mode,
+            param_to_sink: vec![false; def.params.len()],
+            param_to_return: vec![false; def.params.len()],
+            returns_secret: false,
+            sink_via: Vec::new(),
+            hits: Vec::new(),
+        }
+    }
+
+    fn def(&self) -> &crate::symbols::FnDef {
+        &self.analysis.symbols.fns[self.fn_idx]
+    }
+
+    fn into_summary(self) -> Summary {
+        Summary {
+            param_to_sink: self.param_to_sink,
+            param_to_return: self.param_to_return,
+            returns_secret: self.returns_secret,
+            sink_via: self.sink_via,
+        }
+    }
+
+    fn run(&mut self) {
+        let (body_start, end) = {
+            let d = self.def();
+            (d.span.body_start, d.span.end.min(self.tokens.len()))
+        };
+        let mut i = body_start + 1;
+        while i + 1 < end {
+            // Skip nested fn bodies: they get their own pass.
+            if self.tokens[i].is_ident("fn")
+                && self.analysis.symbols.fn_at(self.def().file, i + 1) != Some(self.fn_idx)
+            {
+                if let Some(nested) = self
+                    .analysis
+                    .symbols
+                    .fns
+                    .iter()
+                    .find(|f| f.file == self.def().file && f.span.start == i)
+                {
+                    i = nested.span.end;
+                    continue;
+                }
+            }
+            let t = &self.tokens[i];
+            if t.is_ident("let") {
+                i = self.handle_let(i, end);
+                continue;
+            }
+            if t.is_ident("for") {
+                i = self.handle_for(i, end);
+                continue;
+            }
+            if t.is_ident("return") {
+                let stop = self.stmt_end(i + 1, end);
+                let rt = self.eval(i + 1, stop);
+                self.note_return(&rt);
+                i += 1;
+                continue;
+            }
+            // Plain reassignment `x = expr;` / `x += expr;`.
+            if let Tok::Ident(name) = &t.tok {
+                let prev_sep = i == 0
+                    || matches!(
+                        self.tokens[i - 1].tok,
+                        Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}')
+                    );
+                if prev_sep && crate::rules::assigned_after(self.tokens, i) {
+                    let compound = !self.tokens[i + 1].is_punct('=');
+                    let eq = if compound { i + 3 } else { i + 2 };
+                    let stop = self.stmt_end(eq, end);
+                    let mut rt = self.eval(eq, stop);
+                    if compound {
+                        if let Some(old) = self.state.get(name.as_str()) {
+                            rt.merge(&old.clone());
+                        }
+                    }
+                    self.assign(name.clone(), rt);
+                    i = eq;
+                    continue;
+                }
+            }
+            // Sinks: format-family macros and trace payloads.
+            if let Some((open, what)) = self.sink_group(i) {
+                if let Some(close) = match_brace(self.tokens, open) {
+                    // `assert!`/`debug_assert!` evaluate their condition
+                    // but never format it — a failure prints the
+                    // condition's *source text* plus the trailing message
+                    // args. Only those message args are a sink. The
+                    // `assert_eq!` family Debug-prints its operands, so
+                    // its whole group stays one.
+                    let name = self.tokens[i].ident().unwrap_or("");
+                    let sink_from = if matches!(name, "assert" | "debug_assert") {
+                        first_top_comma(self.tokens, open, close).map_or(close, |c| c + 1)
+                    } else {
+                        open + 1
+                    };
+                    // Calls in the unformatted condition still meet
+                    // callee summaries (`assert!(leaks(key))` leaks
+                    // before the condition is judged).
+                    for j in open + 1..sink_from {
+                        if let Some(site) = self.sites.get(&j).copied() {
+                            self.check_call(site);
+                        }
+                    }
+                    if sink_from < close {
+                        let taint = self.eval(sink_from, close - 1);
+                        self.note_sink(&taint, self.tokens[i].line, &what, sink_from, close - 1);
+                    }
+                    i = close;
+                    continue;
+                }
+            }
+            // Sinks: payload struct literals (`LoginReply { key: expr }`).
+            if self.payload_literal(i) {
+                i = self.check_payload_literal(i, end);
+                continue;
+            }
+            // Call sites: argument taint meets callee summaries.
+            if let Some(site) = self.sites.get(&i).copied() {
+                self.check_call(site);
+            }
+            i += 1;
+        }
+        // The tail expression is the return value for non-unit fns.
+        if !self.def().ret_ty.is_empty() {
+            if let Some((ts, te)) = self.tail_range(body_start, end) {
+                let rt = self.eval(ts, te);
+                self.note_return(&rt);
+            }
+        }
+    }
+
+    /// `let [mut] <pat> [: ty] = expr ;` — binds pattern idents to the
+    /// RHS taint. Returns the index to resume scanning from (the RHS, so
+    /// sinks inside it are still visited).
+    fn handle_let(&mut self, let_idx: usize, end: usize) -> usize {
+        let mut j = let_idx + 1;
+        let mut pat = Vec::new();
+        let mut depth = 0i32;
+        let mut eq = None;
+        let mut in_ty = false;
+        while j < end {
+            match &self.tokens[j].tok {
+                Tok::Punct('=') if depth == 0 && !self.tokens[j + 1].is_punct('=') => {
+                    eq = Some(j);
+                    break;
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                Tok::Punct(':') if depth == 0 => in_ty = true,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Ident(id)
+                    if !in_ty
+                        && id != "mut"
+                        && id != "ref"
+                        && id
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_lowercase() || c == '_') =>
+                {
+                    pat.push(id.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            for name in pat {
+                self.state.remove(&name);
+            }
+            return j + 1;
+        };
+        let stop = self.stmt_end(eq + 1, end);
+        let taint = self.eval(eq + 1, stop);
+        for name in pat {
+            self.assign(name, taint.clone());
+        }
+        eq + 1
+    }
+
+    /// `for <pat> in expr {` — binds pattern idents when the iterated
+    /// expression is tainted.
+    fn handle_for(&mut self, for_idx: usize, end: usize) -> usize {
+        let mut j = for_idx + 1;
+        let mut pat = Vec::new();
+        let mut in_tok = None;
+        let mut depth = 0i32;
+        while j < end {
+            match &self.tokens[j].tok {
+                Tok::Ident(id) if id == "in" && depth == 0 => {
+                    in_tok = Some(j);
+                    break;
+                }
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Ident(id)
+                    if id != "mut"
+                        && id != "ref"
+                        && id
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_lowercase() || c == '_') =>
+                {
+                    pat.push(id.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_tok) = in_tok else { return j };
+        // The iterated expression runs to the loop body `{` at depth 0.
+        let mut k = in_tok + 1;
+        let mut depth = 0i32;
+        while k < end {
+            match self.tokens[k].tok {
+                Tok::Punct('{') if depth == 0 => break,
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let taint = self.eval(in_tok + 1, k);
+        for name in pat {
+            self.assign(name, taint.clone());
+        }
+        in_tok + 1
+    }
+
+    fn assign(&mut self, name: String, taint: Taint) {
+        if taint.is_tainted() {
+            self.state.insert(name, taint);
+        } else {
+            self.state.remove(&name);
+        }
+    }
+
+    /// Index one past the statement's end: the `;` at depth 0, or `end`.
+    fn stmt_end(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        for k in from..end {
+            match self.tokens[k].tok {
+                Tok::Punct(';') if depth == 0 => return k,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        end
+    }
+
+    /// The tail expression: tokens after the last `;`/block at depth 0.
+    fn tail_range(&self, body_start: usize, end: usize) -> Option<(usize, usize)> {
+        let mut depth = 0i32;
+        let mut last_break = body_start;
+        for k in body_start + 1..end.saturating_sub(1) {
+            match self.tokens[k].tok {
+                Tok::Punct(';') if depth == 0 => last_break = k,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                _ => {}
+            }
+        }
+        (last_break + 1 < end.saturating_sub(1)).then_some((last_break + 1, end - 1))
+    }
+
+    /// If token `i` opens a format-macro or trace-method argument group,
+    /// returns (group `(` index, sink description).
+    fn sink_group(&self, i: usize) -> Option<(usize, String)> {
+        if let Some(id) = self.tokens[i].ident() {
+            if FORMAT_MACROS.contains(&id)
+                && self.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                && self.tokens.get(i + 2).is_some_and(|t| {
+                    matches!(t.tok, Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{'))
+                })
+            {
+                return Some((i + 2, format!("`{id}!`")));
+            }
+        }
+        if self.tokens[i].is_punct('.') {
+            let id = self.tokens.get(i + 1)?.ident()?;
+            if TRACE_METHODS.contains(&id) && self.tokens.get(i + 2)?.is_punct('(') {
+                // `.record`/`.open`/`.close` are common method names
+                // (segments, sessions); only a trace-ish receiver makes
+                // them a payload sink here. The name-based rule keeps its
+                // broad net for literal secret idents.
+                let recv = (i >= 1).then(|| self.tokens[i - 1].ident()).flatten();
+                if recv.is_some_and(|r| {
+                    ["trace", "tracer", "span", "probe"]
+                        .iter()
+                        .any(|m| r.to_lowercase().contains(m))
+                }) {
+                    return Some((i + 2, format!("trace `.{id}(...)`")));
+                }
+            }
+        }
+        None
+    }
+
+    /// True if token `i` begins a struct literal of a payload type.
+    fn payload_literal(&self, i: usize) -> bool {
+        let Some(id) = self.tokens[i].ident() else {
+            return false;
+        };
+        if !self.analysis.payload_types.iter().any(|t| t == id) {
+            return false;
+        }
+        if !self.tokens.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            return false;
+        }
+        // `struct LoginReply {`, `enum … LoginReply {` etc. are
+        // definitions, not constructions.
+        !(i > 0
+            && (self.tokens[i - 1].is_ident("struct")
+                || self.tokens[i - 1].is_ident("enum")
+                || self.tokens[i - 1].is_ident("union")
+                || self.tokens[i - 1].is_punct('.')))
+    }
+
+    /// Scans `Payload { field: expr, … }` for tainted field values.
+    fn check_payload_literal(&mut self, i: usize, end: usize) -> usize {
+        let open = i + 1;
+        let Some(close) = match_brace(self.tokens, open) else {
+            return i + 1;
+        };
+        let type_name = self.tokens[i].ident().unwrap_or_default().to_owned();
+        let mut k = open + 1;
+        let mut depth = 0i32;
+        while k + 1 < close.min(end) {
+            match &self.tokens[k].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Ident(field)
+                    if depth == 0
+                        && self.tokens[k + 1].is_punct(':')
+                        && !self.tokens[k + 2].is_punct(':') =>
+                {
+                    // Field value runs to the `,` (or close) at depth 0.
+                    let mut v = k + 2;
+                    let mut vd = 0i32;
+                    while v < close - 1 {
+                        match self.tokens[v].tok {
+                            Tok::Punct(',') if vd == 0 => break,
+                            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => vd += 1,
+                            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => vd -= 1,
+                            _ => {}
+                        }
+                        v += 1;
+                    }
+                    if !field.starts_with("sealed_") {
+                        let taint = self.eval(k + 2, v);
+                        self.note_sink(
+                            &taint,
+                            self.tokens[k].line,
+                            &format!("payload field `{type_name}.{field}`"),
+                            k + 2,
+                            v,
+                        );
+                    }
+                    k = v;
+                    continue;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        close
+    }
+
+    /// Records a sink hit: a real origin becomes a finding (reporting
+    /// pass); parameter taint becomes summary bits (summary pass).
+    fn note_sink(&mut self, taint: &Taint, line: u32, what: &str, lo: usize, hi: usize) {
+        if !taint.is_tainted() {
+            return;
+        }
+        for &p in &taint.params {
+            self.param_to_sink[p] = true;
+        }
+        if taint.params.iter().any(|&p| self.param_to_sink[p]) && self.sink_via.is_empty() {
+            self.sink_via = vec![self.def().qualified()];
+        }
+        if let Some((origin, oline)) = &taint.origin {
+            if self.summary_mode {
+                return;
+            }
+            // Direct mentions of secret-named identifiers at the sink are
+            // the name-based rules' findings; the dataflow rule owns the
+            // renamed/projected/derived flows.
+            if self.direct_name_hit(lo, hi) {
+                return;
+            }
+            let def = self.def();
+            self.hits.push(TaintHit {
+                file: def.file,
+                line,
+                message: format!(
+                    "value tainted by {origin} (read at line {oline}) reaches {what} in \
+                     `{}`; secrets must never reach formatted, traced, or serialized output",
+                    def.qualified()
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+
+    /// True if the sink argument range itself names a secret ident —
+    /// that exact token is what `secret-format-leak` already flags.
+    fn direct_name_hit(&self, lo: usize, hi: usize) -> bool {
+        self.tokens[lo..hi.min(self.tokens.len())].iter().any(|t| {
+            t.ident()
+                .is_some_and(|id| self.cfg.secret_idents.contains(&id))
+        })
+    }
+
+    fn note_return(&mut self, taint: &Taint) {
+        for &p in &taint.params {
+            self.param_to_return[p] = true;
+        }
+        if taint.origin.is_some() {
+            self.returns_secret = true;
+        }
+    }
+
+    /// Argument ranges of the call opening at `open` (a `(`), split on
+    /// depth-0 commas.
+    fn arg_ranges(&self, open: usize) -> Vec<(usize, usize)> {
+        let Some(close) = match_brace(self.tokens, open) else {
+            return Vec::new();
+        };
+        let mut args = Vec::new();
+        let mut depth = 0i32;
+        let mut start = open + 1;
+        for k in open + 1..close - 1 {
+            match self.tokens[k].tok {
+                Tok::Punct(',') if depth == 0 => {
+                    if start < k {
+                        args.push((start, k));
+                    }
+                    start = k + 1;
+                }
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                _ => {}
+            }
+        }
+        if start < close - 1 {
+            args.push((start, close - 1));
+        }
+        args
+    }
+
+    /// At a resolved call site: tainted arguments against the callee's
+    /// summary. A tainted arg into a param that reaches a sink is the
+    /// interprocedural finding; propagation into the receiver handles
+    /// `out.push(tainted)`.
+    fn check_call(&mut self, site: &CallSite) {
+        if self.cfg.taint_sanitizers.contains(&site.name.as_str()) {
+            return;
+        }
+        let args = self.arg_ranges(site.args_open);
+        // Receiver propagation for collection writers.
+        if PROPAGATING_METHODS.contains(&site.name.as_str())
+            && site.tok >= 2
+            && self.tokens[site.tok - 1].is_punct('.')
+        {
+            if let Some(Tok::Ident(recv)) = self.tokens.get(site.tok - 2).map(|t| &t.tok) {
+                let mut all = Taint::default();
+                for &(lo, hi) in &args {
+                    all.merge(&self.eval(lo, hi));
+                }
+                if all.is_tainted() {
+                    let mut merged = self.state.get(recv).cloned().unwrap_or_default();
+                    merged.merge(&all);
+                    self.state.insert(recv.clone(), merged);
+                }
+            }
+        }
+        for (k, &(lo, hi)) in args.iter().enumerate() {
+            let taint = self.eval(lo, hi);
+            if !taint.is_tainted() {
+                continue;
+            }
+            for &callee in &site.callees {
+                let summary = &self.summaries[callee];
+                if !summary.param_to_sink.get(k).copied().unwrap_or(false) {
+                    continue;
+                }
+                for &p in &taint.params {
+                    self.param_to_sink[p] = true;
+                }
+                if !taint.params.is_empty() && self.sink_via.is_empty() {
+                    let mut via = vec![self.def().qualified()];
+                    via.extend(summary.sink_via.iter().take(5).cloned());
+                    self.sink_via = via;
+                }
+                if let Some((origin, oline)) = &taint.origin {
+                    if self.summary_mode {
+                        break;
+                    }
+                    let def = self.def();
+                    let callee_name = self.analysis.symbols.fns[callee].qualified();
+                    let mut chain = vec![def.qualified()];
+                    chain.extend(summary.sink_via.iter().take(5).cloned());
+                    self.hits.push(TaintHit {
+                        file: def.file,
+                        line: site.line,
+                        message: format!(
+                            "value tainted by {origin} (read at line {oline}) is passed to \
+                             `{callee_name}`, which lets it reach a format/trace/payload sink \
+                             (call chain: {})",
+                            chain.join(" -> "),
+                        ),
+                        chain,
+                    });
+                }
+                break;
+            }
+        }
+    }
+
+    /// Evaluates the taint of the expression in `[lo, hi)`.
+    fn eval(&mut self, lo: usize, hi: usize) -> Taint {
+        let hi = hi.min(self.tokens.len());
+        let mut taint = Taint::default();
+        let mut i = lo;
+        while i < hi {
+            let Tok::Ident(id) = &self.tokens[i].tok else {
+                i += 1;
+                continue;
+            };
+            // A sanitizer call launders everything inside its arguments.
+            if self.cfg.taint_sanitizers.contains(&id.as_str())
+                && self.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                i = match_brace(self.tokens, i + 1).unwrap_or(i + 2);
+                continue;
+            }
+            // A struct literal boxes values into fields. Field-insensitive
+            // tracking cannot say *which* field carries the taint, so the
+            // constructed value is clean here: reads of registered secret
+            // fields re-taint at projection time, payload-literal sinks
+            // are checked in the statement scan, and Debug-printing a
+            // container is `secret-debug-derive`'s beat. Without this,
+            // every `Report { … }` return taints its whole caller.
+            if id.chars().next().is_some_and(char::is_uppercase)
+                && self.tokens.get(i + 1).is_some_and(|t| t.is_punct('{'))
+            {
+                i = match_brace(self.tokens, i + 1).unwrap_or(i + 2);
+                continue;
+            }
+            // A resolved call: taint from summaries + tainted args.
+            if let Some(site) = self.sites.get(&i).copied() {
+                if self.tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                    let is_method = i > 0 && self.tokens[i - 1].is_punct('.');
+                    if !is_method {
+                        let t = self.call_taint(site);
+                        taint.merge(&t);
+                        i = match_brace(self.tokens, i + 1).unwrap_or(i + 2);
+                        continue;
+                    }
+                }
+            }
+            // A value chain: base ident, then field projections / method
+            // calls.
+            let (t, next) = self.chain_taint(i, hi);
+            taint.merge(&t);
+            i = next.max(i + 1);
+        }
+        taint
+    }
+
+    /// Return-value taint of a call per the callee summaries.
+    fn call_taint(&mut self, site: &CallSite) -> Taint {
+        let mut taint = Taint::default();
+        let args = self.arg_ranges(site.args_open);
+        for &callee in &site.callees {
+            if self.summaries[callee].returns_secret {
+                let name = self.analysis.symbols.fns[callee].qualified();
+                taint.merge(&Taint {
+                    origin: Some((format!("the return of `{name}`"), site.line)),
+                    params: Vec::new(),
+                });
+            }
+        }
+        for (k, &(lo, hi)) in args.iter().enumerate() {
+            let at = self.eval(lo, hi);
+            if !at.is_tainted() {
+                continue;
+            }
+            if site.callees.iter().any(|&c| {
+                self.summaries[c]
+                    .param_to_return
+                    .get(k)
+                    .copied()
+                    .unwrap_or(false)
+            }) {
+                taint.merge(&at);
+            }
+        }
+        taint
+    }
+
+    /// Taint of the access chain starting at ident `i`: `base`, then any
+    /// `.field` / `.method(…)` links. Returns (taint, index past chain).
+    fn chain_taint(&mut self, i: usize, hi: usize) -> (Taint, usize) {
+        let Tok::Ident(base) = &self.tokens[i].tok else {
+            return (Taint::default(), i + 1);
+        };
+        let def = self.def();
+        let mut cur_taint = self.state.get(base.as_str()).cloned().unwrap_or_default();
+        if cur_taint.origin.is_none() && self.cfg.secret_idents.contains(&base.as_str()) {
+            cur_taint.origin = Some((format!("`{base}`"), self.tokens[i].line));
+        }
+        let mut cur_type: Option<String> = if base == "self" {
+            def.self_type.clone()
+        } else {
+            self.env.ty_of(base)
+        };
+        let mut j = i + 1;
+        while j + 1 < hi {
+            if !self.tokens[j].is_punct('.') {
+                break;
+            }
+            let Some(member) = self.tokens[j + 1].ident().map(str::to_owned) else {
+                break;
+            };
+            let is_call = self.tokens.get(j + 2).is_some_and(|t| t.is_punct('('));
+            if is_call {
+                if self.cfg.taint_sanitizers.contains(&member.as_str()) {
+                    // `.len()`, `.mac(…)`: the result is public.
+                    cur_taint = Taint::default();
+                    cur_type = None;
+                } else if let Some(site) = self.sites.get(&(j + 1)).copied() {
+                    // Method with a resolved callee: fold in its summary.
+                    let t = self.call_taint(site);
+                    cur_taint.merge(&t);
+                    cur_type = None;
+                } else {
+                    // Unknown method on a tainted value: taint persists
+                    // (`.clone()`, `.to_vec()`, iterator adapters).
+                    cur_type = None;
+                }
+                j = match_brace(self.tokens, j + 2).unwrap_or(j + 3);
+            } else {
+                // Field projection: a registered secret field is a
+                // source; projections of tainted values stay tainted.
+                if let Some(ty) = &cur_type {
+                    if self
+                        .cfg
+                        .secret_fields
+                        .iter()
+                        .any(|(t, f)| t == ty && *f == member)
+                    {
+                        cur_taint.merge(&Taint {
+                            origin: Some((
+                                format!("secret field `{ty}.{member}`"),
+                                self.tokens[j + 1].line,
+                            )),
+                            params: Vec::new(),
+                        });
+                    }
+                    cur_type = self
+                        .analysis
+                        .symbols
+                        .field_ty(ty, &member)
+                        .and_then(first_nominal);
+                } else {
+                    cur_type = None;
+                }
+                j += 2;
+            }
+        }
+        (cur_taint, j)
+    }
+}
+
+/// First non-shell identifier of a declared type.
+fn first_nominal(ty: &[String]) -> Option<String> {
+    const SHELLS: &[&str] = &[
+        "mut", "dyn", "Box", "Rc", "Arc", "RefCell", "Cell", "Option",
+    ];
+    ty.iter().find(|t| !SHELLS.contains(&t.as_str())).cloned()
+}
+
+/// Index of the first depth-0 `,` strictly inside the group opened at
+/// `open` (closing at `close`), if any.
+fn first_top_comma(tokens: &[Token], open: usize, close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().take(close).skip(open + 1) {
+        match t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(',') if depth == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}

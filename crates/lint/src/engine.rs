@@ -46,31 +46,51 @@ pub fn lint_sources<'a, I>(sources: I, cfg: &Config) -> Report
 where
     I: IntoIterator<Item = (&'a str, &'a str)>,
 {
-    let mut report = Report::default();
-    for (rel, src) in sources {
-        report.files_scanned += 1;
-        let file = SourceFile::parse(rel, src, RULES);
+    // Phase 1: parse everything. The workspace rules need every file's
+    // symbols before any rule can run.
+    let files: Vec<SourceFile> = sources
+        .into_iter()
+        .map(|(rel, src)| SourceFile::parse(rel, src, RULES))
+        .collect();
 
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    // Phase 2: single-file rules plus waiver-syntax findings.
+    let mut findings = Vec::new();
+    for file in &files {
         // Malformed waivers are findings themselves and never waivable:
         // a waiver that cannot be trusted must not silence anything.
         for (comment, why) in &file.bad_waivers {
             report.findings.push(Finding::new(
                 "waiver-syntax",
-                rel,
+                &file.rel_path,
                 comment.line,
                 why.clone(),
             ));
         }
+        let mut file_findings = Vec::new();
+        rules::run_all(file, cfg, &mut file_findings);
+        findings.append(&mut file_findings);
+    }
 
-        let mut findings = Vec::new();
-        rules::run_all(&file, cfg, &mut findings);
-        // One finding per (rule, line): several hits on one line need one
-        // waiver, so they should read as one diagnostic too.
-        findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
-        for mut f in findings {
-            f.waived = file.waived(f.rule, f.line);
-            report.findings.push(f);
+    // Phase 3: workspace dataflow rules over the whole file set.
+    rules::run_workspace(&files, cfg, &mut findings);
+
+    // One finding per (rule, path, line): several hits on one line need
+    // one waiver, so they should read as one diagnostic too.
+    let mut seen = std::collections::BTreeSet::new();
+    for mut f in findings {
+        if !seen.insert((f.rule, f.path.clone(), f.line)) {
+            continue;
         }
+        f.waived = files
+            .iter()
+            .find(|file| file.rel_path == f.path)
+            .is_some_and(|file| file.waived(f.rule, f.line));
+        report.findings.push(f);
     }
     report
 }

@@ -35,12 +35,15 @@
 //! | storage sync discipline | `storage-sync-before-reply` | a reply never leaves before its record is synced |
 //! | metrics/trace parity | `metrics-trace-parity` | `derive_metrics` reconciles exactly |
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod engine;
 pub mod findings;
 pub mod lexer;
 pub mod model;
 pub mod rules;
+pub mod symbols;
 
 pub use config::Config;
 pub use engine::{find_root, lint_sources, lint_workspace};

@@ -5,8 +5,13 @@
 //! cargo run --release --bin trust_lint            # lint this workspace
 //! cargo run --release --bin trust_lint -- --root <dir>
 //! cargo run --release --bin trust_lint -- --show-waived
+//! cargo run --release --bin trust_lint -- --json   # machine-readable findings on stdout
 //! cargo run --release --bin trust_lint -- --list-rules
 //! ```
+//!
+//! With `--json`, stdout carries only the stable JSON document (schema
+//! pinned by a golden test) so CI can archive it as an artifact; human
+//! diagnostics go to stderr when the run fails. Exit codes are unchanged.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,6 +22,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
     let mut show_waived = false;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -27,6 +33,7 @@ fn main() -> ExitCode {
                 }
             },
             "--show-waived" => show_waived = true,
+            "--json" => json = true,
             "--list-rules" => {
                 for r in RULES {
                     println!("{r}");
@@ -35,7 +42,9 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("trust-lint: unknown argument `{other}`");
-                eprintln!("usage: trust_lint [--root <dir>] [--show-waived] [--list-rules]");
+                eprintln!(
+                    "usage: trust_lint [--root <dir>] [--show-waived] [--json] [--list-rules]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -69,7 +78,14 @@ fn main() -> ExitCode {
         }
     };
 
-    print!("{}", report.render(show_waived));
+    if json {
+        print!("{}", report.render_json());
+        if report.unwaived_count() > 0 {
+            eprint!("{}", report.render(show_waived));
+        }
+    } else {
+        print!("{}", report.render(show_waived));
+    }
     if report.unwaived_count() > 0 {
         ExitCode::FAILURE
     } else {

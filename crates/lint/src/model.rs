@@ -6,17 +6,24 @@ use crate::lexer::{lex, Comment, Lexed, Tok, Token};
 
 /// A waiver comment: `// trust-lint: allow(rule-a, rule-b) -- reason`.
 ///
-/// A line waiver covers findings on its own line (trailing comment) and on
-/// the line immediately below (standalone comment above the offending
-/// line). The `allow-file` form covers the whole file — for files that are
-/// wholesale outside a rule's intent (a benchmark that *is* about wall
-/// clocks). The reason after `--` is mandatory either way; a reasonless
-/// waiver is itself a finding and suppresses nothing.
+/// A line waiver covers findings on its own line (trailing comment) and —
+/// when it stands alone above a statement — the whole brace-balanced
+/// statement below it, however many lines it spans (a multi-line call or
+/// chain is one decision, and the finding may anchor on any of its
+/// lines). Above an *item* (`fn`, `impl`, `mod`, …) the coverage falls
+/// back to the next line only: waiving a whole body takes `allow-file`,
+/// never a line waiver. The `allow-file` form covers the whole file — for
+/// files that are wholesale outside a rule's intent (a benchmark that
+/// *is* about wall clocks). The reason after `--` is mandatory either
+/// way; a reasonless waiver is itself a finding and suppresses nothing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Waiver {
     pub rules: Vec<String>,
     pub reason: String,
     pub line: u32,
+    /// Last line this waiver covers (the end of the statement it
+    /// precedes); coverage is `line..=end_line`.
+    pub end_line: u32,
     /// True for `allow-file(...)`: covers every line of the file.
     pub file_scope: bool,
 }
@@ -106,8 +113,14 @@ impl SourceFile {
                 rules,
                 reason,
                 line: c.line,
+                end_line: c.line + 1,
                 file_scope,
             });
+        }
+        for w in &mut waivers {
+            if !w.file_scope {
+                w.end_line = statement_end_line(&lexed.tokens, w.line);
+            }
         }
         SourceFile {
             rel_path: rel_path.to_owned(),
@@ -120,7 +133,7 @@ impl SourceFile {
     /// True if a valid waiver for `rule` covers `line`.
     pub fn waived(&self, rule: &str, line: u32) -> bool {
         self.waivers.iter().any(|w| {
-            (w.file_scope || w.line == line || w.line + 1 == line)
+            (w.file_scope || (line >= w.line && line <= w.end_line))
                 && w.rules.iter().any(|r| r == rule)
         })
     }
@@ -133,6 +146,61 @@ impl SourceFile {
     pub fn under_any(&self, fragments: &[&str]) -> bool {
         fragments.iter().any(|f| self.rel_path.contains(f))
     }
+}
+
+/// Last line covered by a line waiver on `waiver_line`.
+///
+/// A trailing waiver (code on its own line) keeps the historical
+/// next-line reach. A standalone waiver covers the statement starting on
+/// the next code line through its terminating `;` (or the `}` closing a
+/// block statement) at depth 0 — unless that next line opens an *item*,
+/// where coverage stays next-line-only so a line waiver cannot blanket a
+/// whole `fn` body.
+fn statement_end_line(tokens: &[Token], waiver_line: u32) -> u32 {
+    const ITEM_KEYWORDS: &[&str] = &[
+        "fn",
+        "impl",
+        "mod",
+        "trait",
+        "struct",
+        "enum",
+        "union",
+        "pub",
+        "unsafe",
+        "use",
+        "const",
+        "static",
+        "type",
+        "macro_rules",
+    ];
+    if tokens.iter().any(|t| t.line == waiver_line) {
+        return waiver_line + 1; // trailing comment
+    }
+    let Some(start) = tokens.iter().position(|t| t.line > waiver_line) else {
+        return waiver_line + 1; // nothing follows
+    };
+    let first = &tokens[start];
+    if first.is_punct('#') || first.ident().is_some_and(|id| ITEM_KEYWORDS.contains(&id)) {
+        return first.line;
+    }
+    let mut depth = 0i32;
+    let mut end_line = first.line;
+    for t in &tokens[start..] {
+        end_line = t.line;
+        match t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth <= 0 {
+                    break; // block statement done, or enclosing scope closed
+                }
+            }
+            Tok::Punct(';') if depth <= 0 => break,
+            _ => {}
+        }
+    }
+    end_line
 }
 
 /// The extent of one `fn` item: `[start, end)` token indices, where
@@ -393,6 +461,53 @@ let b = 2;\n";
         assert!(f.waived("secret-debug-derive", 3));
         assert!(!f.waived("wall-clock", 4));
         assert!(f.bad_waivers.is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_the_whole_statement() {
+        let src = "\
+// trust-lint: allow(wall-clock) -- the probe pair samples host time once\n\
+let pair = (\n\
+    1u32,\n\
+    now(),\n\
+);\n\
+let after = 6;\n";
+        let f = SourceFile::parse("x.rs", src, RULES);
+        for line in 1..=5 {
+            assert!(
+                f.waived("wall-clock", line),
+                "line {line} should be covered"
+            );
+        }
+        assert!(!f.waived("wall-clock", 6), "next statement is not covered");
+    }
+
+    #[test]
+    fn waiver_above_an_item_covers_only_the_next_line() {
+        let src = "\
+// trust-lint: allow(wall-clock) -- signature only\n\
+fn f() {\n\
+    let t = now();\n\
+}\n";
+        let f = SourceFile::parse("x.rs", src, RULES);
+        assert!(f.waived("wall-clock", 2));
+        assert!(
+            !f.waived("wall-clock", 3),
+            "a line waiver must not blanket a fn body"
+        );
+    }
+
+    #[test]
+    fn waiver_above_a_block_statement_covers_through_its_close() {
+        let src = "\
+// trust-lint: allow(wall-clock) -- the loop body reads the probe clock\n\
+for x in xs {\n\
+    tick(x);\n\
+}\n\
+let after = 5;\n";
+        let f = SourceFile::parse("x.rs", src, RULES);
+        assert!(f.waived("wall-clock", 4));
+        assert!(!f.waived("wall-clock", 5));
     }
 
     #[test]

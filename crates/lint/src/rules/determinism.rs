@@ -1,27 +1,28 @@
-//! Family 2 — determinism.
+//! Family 2 — determinism (direct rules).
 //!
 //! The whole simulation is seed-deterministic: same seed, byte-identical
 //! reports and traces (`first_divergence` depends on it, and so does every
-//! "same-seed" regression test). These rules keep the two classic leak
-//! vectors out:
+//! "same-seed" regression test). These rules flag the classic leak vectors
+//! at their use sites:
 //!
-//! * `wall-clock` / `os-thread` / `os-random` — `std::time::{Instant,
-//!   SystemTime}`, OS threads, and OS randomness inject real-world
-//!   nondeterminism. Bench binaries that *measure* wall-clock time waive
-//!   each use individually, so the rule stays strict for `trust_core`.
-//! * `unordered-iteration` — iterating a `HashMap`/`HashSet` field inside
-//!   a snapshot/digest/export function leaks randomized iteration order
-//!   into canonical output (the exact bug PR 4 fixed in `attack_matrix`).
-//!   Iterations that are visibly sorted within the next few statements are
-//!   accepted.
+//! * `wall-clock` — `std::time::{Instant, SystemTime}` inject real time.
+//!   Scoped to [`Config::wall_clock_paths`]: bench binaries *measure* wall
+//!   time, so they are excluded here — the `determinism-reach` rule
+//!   (`super::reach`) still guarantees nothing sim-reachable touches the
+//!   clock, wherever it lives.
+//! * `os-thread` / `os-random` — OS scheduling and OS entropy, forbidden
+//!   everywhere deterministic ([`Config::deterministic`]) except the
+//!   sanctioned shard worker pool (`thread_pool_files`).
+//!
+//! `unordered-iteration` lives in `super::order` as a dataflow rule.
 
 use crate::config::Config;
 use crate::findings::Finding;
-use crate::lexer::{Tok, Token};
-use crate::model::{fn_spans, struct_fields, type_items, SourceFile};
+use crate::lexer::Token;
+use crate::model::SourceFile;
 
 /// Identifiers that mean "the OS random number generator".
-const OS_RANDOM: &[&str] = &[
+pub(crate) const OS_RANDOM: &[&str] = &[
     "OsRng",
     "ThreadRng",
     "thread_rng",
@@ -29,20 +30,17 @@ const OS_RANDOM: &[&str] = &[
     "from_entropy",
 ];
 
-/// How many tokens past an unordered iteration to look for a `sort`: the
-/// collect-into-`Vec`-then-`sort_by` idiom lands well inside this window.
-const SORT_LOOKAHEAD: usize = 48;
-
 pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     if !file.under_any(&cfg.deterministic) {
         return;
     }
+    let clock_scope = file.under_any(&cfg.wall_clock_paths);
     let tokens = file.tokens();
 
     for (i, t) in tokens.iter().enumerate() {
         let Some(id) = t.ident() else { continue };
         match id {
-            "Instant" | "SystemTime" => out.push(Finding::new(
+            "Instant" | "SystemTime" if clock_scope => out.push(Finding::new(
                 "wall-clock",
                 &file.rel_path,
                 t.line,
@@ -76,12 +74,10 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
             _ => {}
         }
     }
-
-    unordered_iteration(file, cfg, out);
 }
 
 /// `std :: thread` or `thread :: spawn`.
-fn std_thread(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn std_thread(tokens: &[Token], i: usize) -> bool {
     let before_std = i >= 3
         && tokens[i - 3].is_ident("std")
         && tokens[i - 2].is_punct(':')
@@ -90,61 +86,4 @@ fn std_thread(tokens: &[Token], i: usize) -> bool {
         && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
         && tokens.get(i + 3).is_some_and(|t| t.is_ident("spawn"));
     before_std || after_spawn
-}
-
-fn unordered_iteration(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
-    let tokens = file.tokens();
-
-    // Struct fields whose declared type mentions HashMap/HashSet.
-    let mut hash_fields: Vec<String> = Vec::new();
-    for item in type_items(tokens) {
-        let Some(body) = item.body else { continue };
-        if !item.is_struct {
-            continue;
-        }
-        for f in struct_fields(tokens, body) {
-            if f.ty.iter().any(|t| t == "HashMap" || t == "HashSet") {
-                hash_fields.push(f.name);
-            }
-        }
-    }
-    if hash_fields.is_empty() {
-        return;
-    }
-
-    for span in fn_spans(tokens) {
-        let lower = span.name.to_lowercase();
-        if !cfg.ordered_fn_markers.iter().any(|m| lower.contains(m)) {
-            continue;
-        }
-        for i in span.body_start..span.end.min(tokens.len()) {
-            let Tok::Ident(id) = &tokens[i].tok else {
-                continue;
-            };
-            if !hash_fields.iter().any(|f| f == id) || !super::preceded_by_dot(tokens, i) {
-                continue;
-            }
-            let iterates = ["iter", "keys", "values", "values_mut", "iter_mut"]
-                .iter()
-                .any(|m| super::calls_method(tokens, i + 1, m));
-            if !iterates {
-                continue;
-            }
-            let sorted_soon = tokens[i..tokens.len().min(i + SORT_LOOKAHEAD)]
-                .iter()
-                .any(|t| matches!(t.ident(), Some(s) if s.contains("sort")));
-            if !sorted_soon {
-                out.push(Finding::new(
-                    "unordered-iteration",
-                    &file.rel_path,
-                    tokens[i].line,
-                    format!(
-                        "`.{id}` (a HashMap/HashSet field) is iterated inside `{}` without a \
-                         visible sort; canonical output must not depend on hash order",
-                        span.name
-                    ),
-                ));
-            }
-        }
-    }
 }

@@ -4,17 +4,21 @@
 
 pub mod determinism;
 pub mod journal;
+pub mod order;
 pub mod parity;
+pub mod reach;
 pub mod secret;
 pub mod storage;
+pub mod taint;
 pub mod telemetry;
 
 use crate::config::Config;
+use crate::dataflow::Analysis;
 use crate::findings::Finding;
 use crate::lexer::Token;
 use crate::model::SourceFile;
 
-/// Runs every rule family over one file.
+/// Runs every single-file rule family over one file.
 pub fn run_all(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     secret::check(file, cfg, out);
     determinism::check(file, cfg, out);
@@ -22,6 +26,15 @@ pub fn run_all(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     storage::check(file, cfg, out);
     parity::check(file, cfg, out);
     telemetry::check(file, cfg, out);
+}
+
+/// Runs the workspace-level dataflow rules: one symbol table + call
+/// graph + summary fixpoint over *all* files, then the three flow rules.
+pub fn run_workspace(files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
+    let analysis = Analysis::build(files, cfg);
+    taint::check(&analysis, cfg, out);
+    reach::check(files, &analysis, cfg, out);
+    order::check(files, &analysis, cfg, out);
 }
 
 /// True if token `i` is a field/method access: the previous token is `.`.

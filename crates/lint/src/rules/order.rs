@@ -1,0 +1,469 @@
+//! `unordered-iteration`, rewritten as dataflow.
+//!
+//! The old rule looked 48 tokens past a `HashMap`/`HashSet` iteration
+//! for anything spelled "sort" — which both under-approximated (a sort
+//! 49 tokens later still counted as missing) and over-approximated (a
+//! sort of an *unrelated* vector inside the window silenced it). Here
+//! the iteration *taints the value*: taint follows let-bindings, loop
+//! bindings, `push`/`extend`/`insert` into accumulators, `write!` into
+//! buffers, and iterator chains, is laundered by a `.sort*()` on the
+//! binding or a collect into a `BTreeMap`/`BTreeSet`, and only a fn
+//! *return value* still tainted is a finding — hash order flowing into
+//! snapshot/digest/export output, however far the flow travels.
+//!
+//! The rule stays scoped to fns whose names carry an
+//! [`Config::ordered_fn_markers`] marker: those are the canonical-output
+//! paths the byte-identical guarantee covers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::dataflow::Analysis;
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::model::{match_brace, struct_fields, type_items, SourceFile};
+use crate::symbols::FnDef;
+
+/// Methods that iterate a collection.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// Methods that write an argument into their receiver.
+const ACCUMULATORS: &[&str] = &["push", "insert", "extend", "append", "push_str"];
+
+pub fn check(files: &[SourceFile], analysis: &Analysis<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    for (fn_idx, def) in analysis.symbols.fns.iter().enumerate() {
+        let file = &files[def.file];
+        if !file.under_any(&cfg.deterministic) {
+            continue;
+        }
+        let lower = def.name.to_lowercase();
+        if !cfg.ordered_fn_markers.iter().any(|m| lower.contains(m)) {
+            continue;
+        }
+        // Without a return value there is no canonical output to corrupt.
+        if def.ret_ty.is_empty() {
+            continue;
+        }
+        let mut pass = OrderPass::new(file, def, fn_idx, analysis);
+        pass.run();
+        for (line, field) in pass.findings {
+            out.push(Finding::new(
+                "unordered-iteration",
+                &file.rel_path,
+                line,
+                format!(
+                    "`{field}` (a HashMap/HashSet) is iterated in `{}` and the result flows \
+                     into its return value without a sort; canonical output must not depend \
+                     on hash order",
+                    def.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Where one order-taint came from: the iteration site.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Origin {
+    line: u32,
+    name: String,
+}
+
+#[derive(Clone, Debug, Default, PartialEq)]
+struct OrderTaint {
+    origins: BTreeSet<Origin>,
+}
+
+impl OrderTaint {
+    fn is_tainted(&self) -> bool {
+        !self.origins.is_empty()
+    }
+
+    fn merge(&mut self, other: &OrderTaint) {
+        self.origins.extend(other.origins.iter().cloned());
+    }
+}
+
+struct OrderPass<'p> {
+    tokens: &'p [Token],
+    def: &'p FnDef,
+    /// Struct fields (any struct in the file) with a hash-ordered type.
+    hash_fields: BTreeSet<String>,
+    /// Local variables currently holding a hash-ordered collection.
+    hash_vars: BTreeSet<String>,
+    /// Local variables currently carrying hash-order taint.
+    state: BTreeMap<String, OrderTaint>,
+    /// Iteration sites whose taint was laundered by a sort/BTree collect
+    /// at *some* point in the walk. Expression evaluation is context-free
+    /// (a tail expression rescans earlier tokens), so a laundered origin
+    /// must stay laundered at the sink. Under-approximates when one
+    /// iteration feeds two bindings and only one is sorted — documented
+    /// in DESIGN §16.
+    sanitized: BTreeSet<Origin>,
+    findings: Vec<(u32, String)>,
+}
+
+impl<'p> OrderPass<'p> {
+    fn new(
+        file: &'p SourceFile,
+        def: &'p FnDef,
+        _fn_idx: usize,
+        _analysis: &Analysis<'_>,
+    ) -> OrderPass<'p> {
+        let tokens = file.tokens();
+        let mut hash_fields = BTreeSet::new();
+        for item in type_items(tokens) {
+            let Some(body) = item.body else { continue };
+            if !item.is_struct {
+                continue;
+            }
+            for f in struct_fields(tokens, body) {
+                if is_hash_ty(&f.ty) {
+                    hash_fields.insert(f.name);
+                }
+            }
+        }
+        let mut hash_vars = BTreeSet::new();
+        for p in &def.params {
+            if is_hash_ty(&p.ty) {
+                hash_vars.insert(p.name.clone());
+            }
+        }
+        OrderPass {
+            tokens,
+            def,
+            hash_fields,
+            hash_vars,
+            state: BTreeMap::new(),
+            sanitized: BTreeSet::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) {
+        let end = self.def.span.end.min(self.tokens.len());
+        let mut i = self.def.span.body_start + 1;
+        while i + 1 < end {
+            let t = &self.tokens[i];
+            if t.is_ident("let") {
+                i = self.handle_let(i, end);
+                continue;
+            }
+            if t.is_ident("for") {
+                i = self.handle_for(i, end);
+                continue;
+            }
+            if t.is_ident("return") {
+                let stop = self.stmt_end(i + 1, end);
+                let taint = self.eval(i + 1, stop);
+                self.sink(&taint);
+                i += 1;
+                continue;
+            }
+            // `acc.push(expr)` et al: taint flows into the accumulator.
+            // `acc.sort*()` as a statement launders it.
+            if t.is_punct('.') {
+                if let (Some(Tok::Ident(recv)), Some(m)) = (
+                    (i >= 1).then(|| &self.tokens[i - 1].tok),
+                    self.tokens.get(i + 1).and_then(|t| t.ident()),
+                ) {
+                    let recv = recv.clone();
+                    if self.tokens.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                        if m.contains("sort") {
+                            if let Some(t) = self.state.remove(&recv) {
+                                self.sanitized.extend(t.origins);
+                            }
+                        } else if ACCUMULATORS.contains(&m) {
+                            let close = match_brace(self.tokens, i + 2).unwrap_or(i + 3);
+                            let taint = self.eval(i + 3, close - 1);
+                            if taint.is_tainted() {
+                                self.state.entry(recv).or_default().merge(&taint);
+                            }
+                        }
+                    }
+                }
+            }
+            // `write!(buf, …, tainted)` taints the buffer.
+            if let Some(id) = t.ident() {
+                if (id == "write" || id == "writeln")
+                    && self.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && self.tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+                {
+                    if let Some(close) = match_brace(self.tokens, i + 2) {
+                        let taint = self.eval(i + 3, close - 1);
+                        if taint.is_tainted() {
+                            if let Some(Tok::Ident(buf)) = self.tokens.get(i + 3).map(|t| &t.tok) {
+                                let buf = buf.clone();
+                                self.state.entry(buf).or_default().merge(&taint);
+                            }
+                        }
+                        i = close;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // The tail expression is the return value.
+        if let Some((lo, hi)) = self.tail_range(self.def.span.body_start, end) {
+            let taint = self.eval(lo, hi);
+            self.sink(&taint);
+        }
+    }
+
+    fn sink(&mut self, taint: &OrderTaint) {
+        for origin in &taint.origins {
+            if self.sanitized.contains(origin) {
+                continue;
+            }
+            if !self.findings.iter().any(|(l, _)| *l == origin.line) {
+                self.findings.push((origin.line, origin.name.clone()));
+            }
+        }
+    }
+
+    fn handle_let(&mut self, let_idx: usize, end: usize) -> usize {
+        let mut j = let_idx + 1;
+        let mut pat = Vec::new();
+        let mut ty: Vec<String> = Vec::new();
+        let mut in_ty = false;
+        let mut depth = 0i32;
+        let mut eq = None;
+        while j < end {
+            match &self.tokens[j].tok {
+                Tok::Punct('=') if depth == 0 && !self.tokens[j + 1].is_punct('=') => {
+                    eq = Some(j);
+                    break;
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                Tok::Punct(':') if depth == 0 => in_ty = true,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Ident(id) if in_ty => ty.push(id.clone()),
+                Tok::Ident(id) if id != "mut" && id != "ref" => pat.push(id.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            return j + 1;
+        };
+        let stop = self.stmt_end(eq + 1, end);
+        let taint = self.eval(eq + 1, stop);
+        // An annotated BTree binding is ordered whatever fed it; an
+        // annotated hash binding becomes a future iteration source.
+        let btree_bound = ty.iter().any(|t| t == "BTreeMap" || t == "BTreeSet");
+        if btree_bound {
+            self.sanitized.extend(taint.origins.iter().cloned());
+        }
+        for name in pat {
+            if is_hash_ty(&ty) || rhs_is_hash_ctor(self.tokens, eq + 1) {
+                self.hash_vars.insert(name.clone());
+            }
+            if taint.is_tainted() && !btree_bound {
+                self.state.insert(name, taint.clone());
+            } else {
+                self.state.remove(&name);
+            }
+        }
+        eq + 1
+    }
+
+    fn handle_for(&mut self, for_idx: usize, end: usize) -> usize {
+        let mut j = for_idx + 1;
+        let mut pat = Vec::new();
+        let mut in_tok = None;
+        let mut depth = 0i32;
+        while j < end {
+            match &self.tokens[j].tok {
+                Tok::Ident(id) if id == "in" && depth == 0 => {
+                    in_tok = Some(j);
+                    break;
+                }
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Ident(id) if id != "mut" && id != "ref" => pat.push(id.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_tok) = in_tok else { return j };
+        let mut k = in_tok + 1;
+        let mut depth = 0i32;
+        while k < end {
+            match self.tokens[k].tok {
+                Tok::Punct('{') if depth == 0 => break,
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let taint = self.eval(in_tok + 1, k);
+        for name in pat {
+            if taint.is_tainted() {
+                self.state.insert(name, taint.clone());
+            } else {
+                self.state.remove(&name);
+            }
+        }
+        in_tok + 1
+    }
+
+    /// Taint of the expression in `[lo, hi)`: iteration of a hash
+    /// collection is a source; mentions of tainted bindings propagate; a
+    /// `.sort*` / BTree collect in the chain launders.
+    fn eval(&mut self, lo: usize, hi: usize) -> OrderTaint {
+        let hi = hi.min(self.tokens.len());
+        let mut taint = OrderTaint::default();
+        let mut i = lo;
+        while i < hi {
+            let Tok::Ident(id) = &self.tokens[i].tok else {
+                i += 1;
+                continue;
+            };
+            let mut cur = OrderTaint::default();
+            // Source: a hash field/var being iterated (`self.pages.iter()`,
+            // `for k in &m`, `m.keys()`).
+            let is_hash = (self.hash_fields.contains(id.as_str())
+                && super::preceded_by_dot(self.tokens, i))
+                || self.hash_vars.contains(id.as_str());
+            if is_hash {
+                let iterated = ITER_METHODS
+                    .iter()
+                    .any(|m| super::calls_method(self.tokens, i + 1, m))
+                    || in_for_header(self.tokens, lo, i);
+                if iterated {
+                    cur.origins.insert(Origin {
+                        line: self.tokens[i].line,
+                        name: id.clone(),
+                    });
+                }
+            }
+            if let Some(t) = self.state.get(id.as_str()) {
+                cur.merge(&t.clone());
+            }
+            // Walk the method chain: a hash field deeper in the chain
+            // (`self.pages.iter()`) is a source; any `.sort*`/BTree
+            // collect launders.
+            let mut j = i + 1;
+            while j + 1 < hi {
+                if self.tokens[j].is_punct('.') {
+                    if let Some(m) = self.tokens[j + 1].ident() {
+                        if self.tokens.get(j + 2).is_some_and(|t| t.is_punct('(')) {
+                            if m.contains("sort") || is_btree_collect(self.tokens, j + 1) {
+                                self.sanitized.extend(std::mem::take(&mut cur.origins));
+                            }
+                            j = match_brace(self.tokens, j + 2).unwrap_or(j + 3);
+                            continue;
+                        }
+                        // Turbofish between name and `(`.
+                        if self.tokens.get(j + 2).is_some_and(|t| t.is_punct(':')) {
+                            if is_btree_collect(self.tokens, j + 1) {
+                                self.sanitized.extend(std::mem::take(&mut cur.origins));
+                            }
+                            j += 2;
+                            continue;
+                        }
+                        // Field access: `self.pages.iter()` / `for k in
+                        // &self.pages {` (chain ends at the loop body).
+                        if self.hash_fields.contains(m) {
+                            let iterated = ITER_METHODS
+                                .iter()
+                                .any(|im| super::calls_method(self.tokens, j + 2, im))
+                                || (j + 2 >= hi && in_for_header(self.tokens, lo, i));
+                            if iterated {
+                                cur.origins.insert(Origin {
+                                    line: self.tokens[j + 1].line,
+                                    name: m.to_owned(),
+                                });
+                            }
+                        }
+                        j += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            taint.merge(&cur);
+            i = j.max(i + 1);
+        }
+        taint
+    }
+
+    fn stmt_end(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        for k in from..end {
+            match self.tokens[k].tok {
+                Tok::Punct(';') if depth == 0 => return k,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        end
+    }
+
+    fn tail_range(&self, body_start: usize, end: usize) -> Option<(usize, usize)> {
+        let mut depth = 0i32;
+        let mut last_break = body_start;
+        for k in body_start + 1..end.saturating_sub(1) {
+            match self.tokens[k].tok {
+                Tok::Punct(';') if depth == 0 => last_break = k,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                _ => {}
+            }
+        }
+        (last_break + 1 < end.saturating_sub(1)).then_some((last_break + 1, end - 1))
+    }
+}
+
+fn is_hash_ty(ty: &[String]) -> bool {
+    ty.iter().any(|t| t == "HashMap" || t == "HashSet")
+}
+
+/// `let m = HashMap::new()` / `HashSet::from(…)` — constructor-evident.
+fn rhs_is_hash_ctor(tokens: &[Token], rhs: usize) -> bool {
+    tokens
+        .get(rhs)
+        .and_then(|t| t.ident())
+        .is_some_and(|id| id == "HashMap" || id == "HashSet")
+}
+
+/// True when `i` sits in a `for … in <here> {` header whose `in` lies
+/// between `lo` and `i` — direct iteration without an `.iter()` call.
+fn in_for_header(tokens: &[Token], lo: usize, i: usize) -> bool {
+    tokens[lo..i].iter().rev().take(4).any(|t| t.is_ident("in"))
+        || (lo > 0
+            && tokens[lo - 1..i]
+                .iter()
+                .rev()
+                .take(5)
+                .any(|t| t.is_ident("in")))
+}
+
+/// `collect::<BTreeMap<…>>` / turbofish at the `collect` ident.
+fn is_btree_collect(tokens: &[Token], name_idx: usize) -> bool {
+    if !tokens[name_idx].is_ident("collect") {
+        return false;
+    }
+    tokens[name_idx + 1..tokens.len().min(name_idx + 8)]
+        .iter()
+        .any(|t| t.is_ident("BTreeMap") || t.is_ident("BTreeSet"))
+}

@@ -1,0 +1,90 @@
+//! `determinism-reach` — transitive determinism over the call graph.
+//!
+//! The direct `wall-clock`/`os-random`/`os-thread` rules flag primitive
+//! uses *where they occur*, and are path-scoped: bench binaries are
+//! allowed to read the wall clock because wall time is their product.
+//! That leaves a gap the paper's same-seed guarantee cannot tolerate: a
+//! sim entry point calling (through any number of hops) into code that
+//! reads the clock, draws OS randomness, or spawns OS threads — perhaps
+//! in a file the direct rules exempt.
+//!
+//! This rule closes it with reachability: every fn transitively callable
+//! from a sim entry ([`Config::sim_entry_types`] methods and
+//! [`Config::sim_entry_fns`]) must be primitive-free, wherever it lives
+//! (`thread_pool_files` keeps its `std::thread` sanction — the shard
+//! pool erases scheduling order by construction). Each finding carries
+//! the full entry-to-primitive call chain so the fix site is obvious.
+
+use crate::config::Config;
+use crate::dataflow::Analysis;
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::model::SourceFile;
+
+pub fn check(files: &[SourceFile], analysis: &Analysis<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    let symbols = &analysis.symbols;
+    let entries: Vec<usize> = symbols
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.self_type
+                .as_deref()
+                .is_some_and(|t| cfg.sim_entry_types.contains(&t))
+                || cfg.sim_entry_fns.contains(&f.name.as_str())
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if entries.is_empty() {
+        return;
+    }
+    let parent = analysis.graph.reachable_from(&entries);
+
+    for (fn_idx, def) in symbols.fns.iter().enumerate() {
+        if parent[fn_idx].is_none() {
+            continue;
+        }
+        let file = &files[def.file];
+        let tokens = file.tokens();
+        let in_pool = file.under_any(&cfg.thread_pool_files);
+        // One finding per (primitive kind, line) inside this fn.
+        let mut last: Option<(&str, u32)> = None;
+        for i in def.span.body_start..def.span.end.min(tokens.len()) {
+            if symbols.fn_at(def.file, i) != Some(fn_idx) {
+                continue;
+            }
+            let Tok::Ident(id) = &tokens[i].tok else {
+                continue;
+            };
+            let what = match id.as_str() {
+                "Instant" | "SystemTime" => Some("reads the wall clock"),
+                id if super::determinism::OS_RANDOM.contains(&id) => Some("draws OS randomness"),
+                "thread" if super::determinism::std_thread(tokens, i) && !in_pool => {
+                    Some("spawns OS threads")
+                }
+                _ => None,
+            };
+            let Some(what) = what else { continue };
+            if last == Some((what, tokens[i].line)) {
+                continue;
+            }
+            last = Some((what, tokens[i].line));
+            let chain = analysis.graph.chain(symbols, &parent, fn_idx);
+            out.push(
+                Finding::new(
+                    "determinism-reach",
+                    &file.rel_path,
+                    tokens[i].line,
+                    format!(
+                        "`{}` {what} (`{id}`) and is transitively reachable from sim entry \
+                         `{}`; same-seed runs cannot stay byte-identical (call chain: {})",
+                        def.qualified(),
+                        chain.first().cloned().unwrap_or_default(),
+                        chain.join(" -> "),
+                    ),
+                )
+                .with_chain(chain),
+            );
+        }
+    }
+}

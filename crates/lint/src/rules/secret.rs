@@ -20,33 +20,12 @@
 //!   `sealed_`-prefixed (i.e. encrypted to a key that never left FLock).
 
 use crate::config::Config;
+// The sink definitions live with the dataflow core so the name-based
+// rules here and `secret-taint` agree on what a sink is.
+use crate::dataflow::{FORMAT_MACROS, TRACE_METHODS};
 use crate::findings::Finding;
 use crate::lexer::{Tok, Token};
 use crate::model::{struct_fields, type_items, SourceFile};
-
-/// Format-family macros whose arguments must never see a secret.
-const FORMAT_MACROS: &[&str] = &[
-    "format",
-    "print",
-    "println",
-    "eprint",
-    "eprintln",
-    "write",
-    "writeln",
-    "panic",
-    "todo",
-    "unimplemented",
-    "unreachable",
-    "assert",
-    "assert_eq",
-    "assert_ne",
-    "debug_assert",
-    "debug_assert_eq",
-    "debug_assert_ne",
-];
-
-/// Trace-recording methods whose payloads must never see a secret.
-const TRACE_METHODS: &[&str] = &["record", "open", "close"];
 
 pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     let tokens = file.tokens();

@@ -1,0 +1,35 @@
+//! `secret-taint` — the dataflow successor to the name-based secret
+//! rules.
+//!
+//! `secret-format-leak` matches secret *identifiers* at sinks, so a
+//! single rename defeats it: `let k = session.key; tracer.record(k)` is
+//! invisible. This rule runs the [`crate::dataflow`] engine instead —
+//! reads of registered secret fields ([`Config::secret_fields`]) and
+//! secret-named bindings taint the value, taint survives renames, field
+//! projections, method chains, and calls (via interprocedural
+//! summaries), and any tainted value reaching a format macro, trace
+//! payload, or wire/journal struct literal is flagged wherever it ends
+//! up and whatever it is called by then.
+//!
+//! Division of labor with the name-based rules: sinks whose argument
+//! literally names a secret ident stay `secret-format-leak` findings
+//! (one diagnostic per leak); this rule owns every flow the name rules
+//! cannot see.
+
+use crate::config::Config;
+use crate::dataflow::Analysis;
+use crate::findings::Finding;
+
+pub fn check(analysis: &Analysis<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    for hit in analysis.taint_hits(cfg) {
+        out.push(
+            Finding::new(
+                "secret-taint",
+                &analysis.symbols.paths[hit.file],
+                hit.line,
+                hit.message,
+            )
+            .with_chain(hit.chain),
+        );
+    }
+}

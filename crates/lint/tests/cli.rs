@@ -72,6 +72,40 @@ fn a_reasonless_waiver_cannot_waive_itself() {
 }
 
 #[test]
+fn json_goes_to_stdout_and_diagnostics_to_stderr() {
+    // CI archives stdout as the findings artifact; it must be pure JSON
+    // even when the run fails, with the human render on stderr.
+    let root = stage("json", "use std::time::Instant;\n");
+    let out = run(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\n  \"schema\": 1,\n"), "{stdout}");
+    assert!(stdout.ends_with("}\n"), "{stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"wall-clock\", \"path\": \"crates/core/src/lib.rs\""),
+        "{stdout}"
+    );
+    assert!(
+        !stdout.contains("error[wall-clock]"),
+        "stdout must stay parseable: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[wall-clock]"), "{stderr}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn json_on_a_clean_tree_is_quiet_and_succeeds() {
+    let root = stage("json-clean", "pub fn fine() {}\n");
+    let out = run(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"unwaived\": 0"), "{stdout}");
+    assert!(out.stderr.is_empty(), "{out:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn list_rules_prints_every_rule_id() {
     let out = Command::new(env!("CARGO_BIN_EXE_trust_lint"))
         .arg("--list-rules")

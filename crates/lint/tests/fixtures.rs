@@ -234,6 +234,106 @@ fn unordered_iteration_ignores_non_canonical_functions() {
 }
 
 #[test]
+fn secret_taint_tracks_a_renamed_binding() {
+    // The acceptance case for the dataflow engine: `let k = session.key;
+    // tracer.record(.., k)` carries no secret *name* at the sink, so the
+    // old `secret-format-leak` heuristic stays silent — `check_pair`
+    // asserts the bad fixture fires `secret-taint` and nothing else.
+    check_pair(
+        "crates/core/src/audit.rs",
+        include_str!("fixtures/secret_taint/bad.rs"),
+        include_str!("fixtures/secret_taint/good.rs"),
+        "secret-taint",
+        1,
+    );
+}
+
+#[test]
+fn secret_taint_names_its_origin() {
+    let report = lint(
+        "crates/core/src/audit.rs",
+        include_str!("fixtures/secret_taint/bad.rs"),
+    );
+    let f = report.unwaived().next().unwrap();
+    assert!(
+        f.message.contains("Session.key"),
+        "the finding should name the tainting field: {}",
+        f.message
+    );
+}
+
+#[test]
+fn determinism_reach_follows_the_call_chain() {
+    // Staged in `crates/bench`, where the direct wall-clock rule is out
+    // of scope — only transitive reachability from `World::run` fires.
+    check_pair(
+        "crates/bench/src/sim_probe.rs",
+        include_str!("fixtures/determinism_reach/bad.rs"),
+        include_str!("fixtures/determinism_reach/good.rs"),
+        "determinism-reach",
+        1,
+    );
+    let report = lint(
+        "crates/bench/src/sim_probe.rs",
+        include_str!("fixtures/determinism_reach/bad.rs"),
+    );
+    let f = report.unwaived().next().unwrap();
+    assert!(
+        f.message.contains("World::run -> step -> probe"),
+        "the finding should print the full call chain: {}",
+        f.message
+    );
+}
+
+#[test]
+fn unordered_iteration_tracks_flow_through_renames() {
+    // Dataflow, not lookahead: the hash-ordered Vec passes through a
+    // second binding before being returned from the canonical fn.
+    let src = "\
+use std::collections::HashMap;
+pub struct Book { pages: HashMap<String, u64> }
+impl Book {
+    pub fn export(&self) -> Vec<String> {
+        let names: Vec<String> = self.pages.keys().cloned().collect();
+        let out = names;
+        out
+    }
+}
+";
+    let report = lint("crates/core/src/snap.rs", src);
+    assert_eq!(
+        fired(&report),
+        vec!["unordered-iteration"],
+        "{}",
+        report.render(true)
+    );
+}
+
+#[test]
+fn unordered_iteration_sees_a_distant_sort() {
+    // The old implementation scanned a fixed 48-token window after the
+    // iteration for a `.sort`; a sort separated by unrelated statements
+    // fell outside it. The dataflow rule launders wherever the sort is.
+    let src = "\
+use std::collections::HashMap;
+pub struct Book { pages: HashMap<String, u64> }
+impl Book {
+    pub fn export(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.pages.keys().cloned().collect();
+        let a = 1u64 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10;
+        let b = a * a + a * a + a * a + a * a + a * a + a * a;
+        let c = b - a + b - a + b - a + b - a + b - a + b - a;
+        let _guard = c + b + a + c + b + a + c + b + a + c;
+        names.sort();
+        names
+    }
+}
+";
+    let report = lint("crates/core/src/snap.rs", src);
+    assert_eq!(report.unwaived_count(), 0, "{}", report.render(true));
+}
+
+#[test]
 fn telemetry_parity() {
     check_pair(
         "crates/core/src/flow.rs",
@@ -347,16 +447,61 @@ fn a_valid_waiver_downgrades_but_still_reports() {
 #[test]
 fn allow_file_covers_the_whole_file() {
     let src = "\
-// trust-lint: allow-file(wall-clock) -- this whole binary measures wall time on purpose
+// trust-lint: allow-file(wall-clock) -- this whole probe measures wall time on purpose
 use std::time::Instant;
 
 pub fn a() -> Instant {
     Instant::now()
 }
 ";
-    let report = lint("crates/bench/src/bin/clockful.rs", src);
+    let report = lint("crates/core/src/clockful.rs", src);
     assert_eq!(report.unwaived_count(), 0, "{}", report.render(true));
     assert_eq!(report.waived_count(), 3);
+}
+
+#[test]
+fn wall_clock_is_out_of_scope_in_bench_binaries() {
+    // Bench binaries measure wall time — that's their product. The direct
+    // rule is path-scoped out; `determinism-reach` still guards anything
+    // a sim entry can reach, so this is not a blanket exemption.
+    let src = "use std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n";
+    let report = lint("crates/bench/src/bin/clockful.rs", src);
+    assert_eq!(report.unwaived_count(), 0, "{}", report.render(true));
+}
+
+#[test]
+fn a_waiver_covers_its_whole_statement() {
+    // The finding anchors three lines below the waiver — still inside
+    // the brace-balanced statement the waiver precedes. The old
+    // next-line-only coverage forced one waiver per offending line of a
+    // multi-line call; statement extent makes one waiver one decision.
+    let waived = "\
+pub fn probe() -> (u32, u128) {
+    // trust-lint: allow(wall-clock) -- the probe tuple samples host time once for the human table
+    let pair = (
+        1u32,
+        std::time::Instant::now()
+            .elapsed()
+            .as_nanos(),
+    );
+    pair
+}
+";
+    let report = lint("crates/core/src/probe.rs", waived);
+    assert_eq!(report.unwaived_count(), 0, "{}", report.render(true));
+    assert_eq!(report.waived_count(), 1);
+
+    let bare = waived.replace(
+        "    // trust-lint: allow(wall-clock) -- the probe tuple samples host time once for the human table\n",
+        "",
+    );
+    let report = lint("crates/core/src/probe.rs", &bare);
+    assert_eq!(
+        fired(&report),
+        vec!["wall-clock"],
+        "{}",
+        report.render(true)
+    );
 }
 
 #[test]

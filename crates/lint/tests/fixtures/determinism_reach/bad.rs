@@ -1,0 +1,22 @@
+//! BAD: a helper two calls below a sim entry point reads the wall
+//! clock. Staged at `crates/bench/src/sim_probe.rs` by the test harness
+//! — a path where the *direct* wall-clock rule is out of scope, so any
+//! finding here is the transitive reachability rule doing its job.
+
+pub struct World {
+    ticks: u64,
+}
+
+impl World {
+    pub fn run(&mut self) {
+        self.ticks += step();
+    }
+}
+
+fn step() -> u64 {
+    probe()
+}
+
+fn probe() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,22 @@
+//! GOOD: the same call chain carries simulation time in from the
+//! caller; nothing reachable from the entry touches the host clock.
+//! Staged at `crates/bench/src/sim_probe.rs` by the test harness.
+
+pub struct World {
+    ticks: u64,
+    now_ns: u64,
+}
+
+impl World {
+    pub fn run(&mut self) {
+        self.ticks += step(self.now_ns);
+    }
+}
+
+fn step(now_ns: u64) -> u64 {
+    probe(now_ns)
+}
+
+fn probe(now_ns: u64) -> u64 {
+    now_ns
+}

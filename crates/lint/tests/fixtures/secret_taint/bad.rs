@@ -1,0 +1,9 @@
+//! BAD: the session MAC key escapes through a *rename* — the value is
+//! bound to an innocuously named local before reaching the trace sink,
+//! so the name-based `secret-format-leak` heuristic sees nothing.
+//! Staged at `crates/core/src/audit.rs` by the test harness.
+
+pub fn audit_login(session: &Session, tracer: &mut Tracer) {
+    let k = session.key;
+    tracer.record("login-key", k);
+}

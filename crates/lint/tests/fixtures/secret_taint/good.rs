@@ -1,0 +1,8 @@
+//! GOOD: the same audit event records only the key's *length* — `len`
+//! is a registered sanitizer, so the projection launders the taint.
+//! Staged at `crates/core/src/audit.rs` by the test harness.
+
+pub fn audit_login(session: &Session, tracer: &mut Tracer) {
+    let k = session.key.len();
+    tracer.record("login-key-len", k);
+}

@@ -37,6 +37,52 @@ trust-lint: 2 files scanned, 2 finding(s): 1 unwaived, 1 waived
 }
 
 #[test]
+fn json_format_is_stable() {
+    // Byte-pins the `--json` schema: CI archives this document as an
+    // artifact and downstream tooling parses it, so any change to
+    // `Report::render_json` must change `schema` and this test together.
+    // The determinism-reach fixture supplies a finding with a call
+    // chain; the waived os-random file pins `"waived": true`.
+    let report = lint_sources(
+        [
+            (
+                "crates/bench/src/sim_probe.rs",
+                include_str!("fixtures/determinism_reach/bad.rs"),
+            ),
+            (
+                "crates/core/src/b.rs",
+                "// trust-lint: allow(os-random) -- fixture for the golden test\nuse rand::rngs::OsRng;\n",
+            ),
+        ],
+        &Config::default(),
+    );
+    let expected = r#"{
+  "schema": 1,
+  "files_scanned": 2,
+  "unwaived": 1,
+  "waived": 1,
+  "findings": [
+    {"rule": "determinism-reach", "path": "crates/bench/src/sim_probe.rs", "line": 21, "waived": false, "chain": ["World::run", "step", "probe"], "message": "`probe` reads the wall clock (`Instant`) and is transitively reachable from sim entry `World::run`; same-seed runs cannot stay byte-identical (call chain: World::run -> step -> probe)"},
+    {"rule": "os-random", "path": "crates/core/src/b.rs", "line": 2, "waived": true, "chain": [], "message": "`OsRng` draws OS randomness; all entropy must flow from the experiment seed (`SimRng`/`ChaChaEntropy`)"}
+  ]
+}
+"#;
+    assert_eq!(report.render_json(), expected);
+}
+
+#[test]
+fn clean_json_has_an_empty_findings_array() {
+    let report = lint_sources(
+        [("crates/core/src/ok.rs", "pub fn fine() {}\n")],
+        &Config::default(),
+    );
+    assert_eq!(
+        report.render_json(),
+        "{\n  \"schema\": 1,\n  \"files_scanned\": 1,\n  \"unwaived\": 0,\n  \"waived\": 0,\n  \"findings\": []\n}\n"
+    );
+}
+
+#[test]
 fn clean_run_renders_summary_only() {
     let report = lint_sources(
         [("crates/core/src/ok.rs", "pub fn fine() {}\n")],

@@ -13,8 +13,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> trust-lint (trust boundary / determinism / journal discipline)"
-cargo run --release --bin trust_lint
+echo "==> trust-lint (trust boundary / dataflow taint / determinism / journal discipline)"
+mkdir -p target
+cargo run --release --bin trust_lint -- --json > target/trust_lint_findings.json
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
